@@ -1,0 +1,671 @@
+// Benchmark harness: one benchmark per experiment in DESIGN.md's
+// per-experiment index (E1–E12). Each regenerates the corresponding figure,
+// table or quantified claim of the paper; cmd/benchrunner prints the same
+// measurements as formatted tables, and EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+//
+// Custom metrics:
+//
+//	rows-shipped/op   rows crossing simulated network links
+//	bytes-shipped/op  bytes crossing simulated network links
+//	est-error         cardinality estimation error factor (E4)
+package dhqp_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dhqp"
+	"dhqp/internal/rules"
+	"dhqp/internal/workload"
+)
+
+// mustQuery fails the benchmark on error.
+func mustQuery(b *testing.B, s *dhqp.Server, sql string, params map[string]dhqp.Value) *dhqp.Result {
+	b.Helper()
+	res, err := s.Query(sql, params)
+	if err != nil {
+		b.Fatalf("Query(%q): %v", sql, err)
+	}
+	return res
+}
+
+func mustExec(b *testing.B, s *dhqp.Server, sql string) {
+	b.Helper()
+	if _, err := s.Exec(sql); err != nil {
+		b.Fatalf("Exec(%q): %v", sql, err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// E1 — Figure 4 / Example 1: cost-based remote join placement.
+// ---------------------------------------------------------------------
+
+func e1Fixture(b *testing.B) (*dhqp.Server, *dhqp.Link) {
+	b.Helper()
+	cfg := workload.SmallTPCH()
+	local := dhqp.NewServer("local", "appdb")
+	remote := dhqp.NewServer("remote0srv", "tpch10g")
+	if err := workload.LoadTPCHNation(local, cfg); err != nil {
+		b.Fatal(err)
+	}
+	if err := workload.LoadTPCHRemote(remote, cfg); err != nil {
+		b.Fatal(err)
+	}
+	link := dhqp.LAN()
+	if err := local.AddLinkedServer("remote0", dhqp.SQLProvider(remote, link), link); err != nil {
+		b.Fatal(err)
+	}
+	return local, link
+}
+
+const e1Query = `SELECT c.c_name, c.c_address, c.c_phone
+	FROM remote0.tpch10g.dbo.customer c,
+	     remote0.tpch10g.dbo.supplier s,
+	     nation n
+	WHERE c.c_nationkey = n.n_nationkey AND n.n_nationkey = s.s_nationkey`
+
+// e1PlanA forces the paper's Figure 4(a): the customer ⋈ supplier join is
+// pushed to remote0 as a pass-through query, shipping the large
+// intermediate result.
+const e1PlanA = `SELECT q.c1 AS c_name, q.c2 AS c_address, q.c3 AS c_phone
+	FROM OPENQUERY(remote0, 'SELECT c.c_name AS c1, c.c_address AS c2, c.c_phone AS c3, c.c_nationkey AS c4
+		FROM customer c, supplier s WHERE c.c_nationkey = s.s_nationkey') q,
+	     nation n
+	WHERE q.c4 = n.n_nationkey`
+
+func BenchmarkE1_Figure4PlanChoice(b *testing.B) {
+	for _, variant := range []struct {
+		name, query string
+	}{
+		{"PlanB_Optimizer", e1Query},
+		{"PlanA_ForcedRemoteJoin", e1PlanA},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			local, link := e1Fixture(b)
+			mustQuery(b, local, variant.query, nil) // warm metadata caches
+			link.Reset()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := mustQuery(b, local, variant.query, nil)
+				if len(res.Rows) == 0 {
+					b.Fatal("no rows")
+				}
+			}
+			b.StopTimer()
+			s := link.Stats()
+			b.ReportMetric(float64(s.Rows)/float64(b.N), "rows-shipped/op")
+			b.ReportMetric(float64(s.Bytes)/float64(b.N), "bytes-shipped/op")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E2 — Table 1: one query per provider, each in its own language.
+// ---------------------------------------------------------------------
+
+func BenchmarkE2_ProviderLanguages(b *testing.B) {
+	s := dhqp.NewServer("local", "db")
+	// Transact-SQL target.
+	remote := dhqp.NewServer("r", "rdb")
+	mustExecB(b, remote, `CREATE TABLE t (k INT, v INT)`)
+	mustExecB(b, remote, `INSERT INTO t VALUES (1, 2), (3, 4)`)
+	link := dhqp.LAN()
+	s.AddLinkedServer("sqlsrv", dhqp.SQLProvider(remote, link), link)
+	// Index Server query language target.
+	s.FulltextService().AddFile("lit", "a.txt", []byte("database systems"), nil)
+	mustExecB2(b, s, `EXEC sp_addlinkedserver 'ftsrv', 'MSIDXS', 'lit'`)
+	// Mail store.
+	s.MailStore().AddMailbox("m.mmf", workload.GenMailbox(20, s.Today, []string{"a@x", "b@y"}, 3))
+
+	queries := []struct {
+		name, sql string
+	}{
+		{"TransactSQL", `SELECT COUNT(*) AS n FROM sqlsrv.rdb.dbo.t WHERE v > 1`},
+		{"IndexServerQL", `SELECT q.path FROM OPENQUERY(ftsrv, 'SELECT path FROM SCOPE() WHERE CONTAINS(''database'')') q`},
+		{"MailRowsets", `SELECT COUNT(*) AS n FROM MakeTable(Mail, 'm.mmf') m WHERE m.inreplyto IS NULL`},
+	}
+	for _, qy := range queries {
+		b.Run(qy.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustQuery(b, s, qy.sql, nil)
+			}
+		})
+	}
+}
+
+func mustExecB(b *testing.B, s *dhqp.Server, sql string)  { mustExec(b, s, sql) }
+func mustExecB2(b *testing.B, s *dhqp.Server, sql string) { mustExec(b, s, sql) }
+
+// ---------------------------------------------------------------------
+// E4 — §3.2.4: remote histograms vs default selectivities.
+// ---------------------------------------------------------------------
+
+func e4Fixture(b *testing.B, useStats bool) (*dhqp.Server, int) {
+	local := dhqp.NewServer("local", "db")
+	remote := dhqp.NewServer("r", "rdb")
+	mustExec(b, remote, `CREATE TABLE skewed (id INT, v INT)`)
+	// 90% of rows share v = 7.
+	var sb strings.Builder
+	n := 2000
+	sb.WriteString("INSERT INTO skewed VALUES ")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		v := 7
+		if i%10 == 9 {
+			v = 1000 + i
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, v)
+	}
+	mustExec(b, remote, sb.String())
+	link := dhqp.LAN()
+	local.AddLinkedServer("r0", dhqp.SQLProvider(remote, link), link)
+	local.UseRemoteStatistics = useStats
+	return local, n
+}
+
+func BenchmarkE4_RemoteHistograms(b *testing.B) {
+	for _, variant := range []struct {
+		name     string
+		useStats bool
+	}{
+		{"WithRemoteHistograms", true},
+		{"WithoutStatistics", false},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			local, n := e4Fixture(b, variant.useStats)
+			query := `SELECT id FROM r0.rdb.dbo.skewed WHERE v = 7`
+			actual := float64(n) * 0.9
+			var estErr float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _, report, err := local.Plan(query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				est := report.RootCard
+				if est <= 0 {
+					est = 1
+				}
+				ratio := actual / est
+				if ratio < 1 {
+					ratio = 1 / ratio
+				}
+				estErr = ratio
+			}
+			b.ReportMetric(estErr, "est-error")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E5 — §2.2/§2.3: indexed CONTAINS vs naive evaluation.
+// ---------------------------------------------------------------------
+
+func BenchmarkE5_FullText(b *testing.B) {
+	const docCount = 3000
+	b.Run("IndexedSearchService", func(b *testing.B) {
+		s := dhqp.NewServer("local", "docdb")
+		if err := workload.LoadDocuments(s, docCount, 7); err != nil {
+			b.Fatal(err)
+		}
+		query := `SELECT COUNT(*) AS n FROM docs WHERE CONTAINS(body, 'parallel AND database')`
+		want := mustQuery(b, s, query, nil).Rows[0][0]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := mustQuery(b, s, query, nil)
+			if res.Rows[0][0] != want {
+				b.Fatal("result drift")
+			}
+		}
+	})
+	b.Run("NaiveRowAtATime", func(b *testing.B) {
+		s := dhqp.NewServer("local", "docdb")
+		// Same data, no full-text index: CONTAINS evaluates per row.
+		mustExec(b, s, `CREATE TABLE docs (id INT PRIMARY KEY, topic VARCHAR(16), title VARCHAR(32), body VARCHAR(512))`)
+		docs := workload.GenDocuments(docCount, 7)
+		var sb strings.Builder
+		for start := 0; start < len(docs); start += 200 {
+			sb.Reset()
+			sb.WriteString("INSERT INTO docs VALUES ")
+			end := start + 200
+			if end > len(docs) {
+				end = len(docs)
+			}
+			for i := start; i < end; i++ {
+				if i > start {
+					sb.WriteString(", ")
+				}
+				d := docs[i]
+				fmt.Fprintf(&sb, "(%d, '%s', '%s', '%s')", d.ID, d.Topic, d.Title, d.Body)
+			}
+			mustExec(b, s, sb.String())
+		}
+		query := `SELECT COUNT(*) AS n FROM docs WHERE CONTAINS(body, 'parallel AND database')`
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mustQuery(b, s, query, nil)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------
+// E6 — §4.1.5: partition pruning across a 7-member federation.
+// ---------------------------------------------------------------------
+
+func e6Fixture(b *testing.B, members int) (*dhqp.Server, []*dhqp.Link) {
+	head := dhqp.NewServer("head", "fed")
+	var links []*dhqp.Link
+	var arms []string
+	for i := 0; i < members; i++ {
+		yr := 1992 + i
+		m := dhqp.NewServer(fmt.Sprintf("m%d", i), "fed")
+		mustExec(b, m, fmt.Sprintf(
+			`CREATE TABLE lineitem (l_orderkey INT NOT NULL, l_commitdate DATE NOT NULL CHECK (l_commitdate >= '%d-01-01' AND l_commitdate < '%d-01-01'), l_quantity INT)`,
+			yr, yr+1))
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO lineitem VALUES ")
+		for j := 0; j < 300; j++ {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, '%d-%02d-%02d', %d)", i*1000+j, yr, 1+j%12, 1+j%28, j%50)
+		}
+		mustExec(b, m, sb.String())
+		link := dhqp.LAN()
+		head.AddLinkedServer(fmt.Sprintf("server%d", i+1), dhqp.SQLProvider(m, link), link)
+		links = append(links, link)
+		arms = append(arms, fmt.Sprintf(
+			"SELECT l_orderkey, l_commitdate, l_quantity FROM server%d.fed.dbo.lineitem", i+1))
+	}
+	mustExec(b, head, "CREATE VIEW all_lineitems AS "+strings.Join(arms, " UNION ALL "))
+	return head, links
+}
+
+func BenchmarkE6_PartitionPruning(b *testing.B) {
+	const members = 7
+	b.Run("StaticPruning_ConstYear", func(b *testing.B) {
+		head, links := e6Fixture(b, members)
+		query := `SELECT COUNT(*) AS n FROM all_lineitems WHERE l_commitdate BETWEEN '1994-01-01' AND '1994-12-31'`
+		mustQuery(b, head, query, nil)
+		for _, l := range links {
+			l.Reset()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mustQuery(b, head, query, nil)
+		}
+		b.StopTimer()
+		reportFederationTraffic(b, links)
+	})
+	b.Run("RuntimePruning_ParamYear", func(b *testing.B) {
+		head, links := e6Fixture(b, members)
+		query := `SELECT COUNT(*) AS n FROM all_lineitems WHERE l_commitdate = @d`
+		params := dhqp.Params("d", dhqp.Date("1995-01-01"))
+		mustQuery(b, head, query, params)
+		for _, l := range links {
+			l.Reset()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mustQuery(b, head, query, params)
+		}
+		b.StopTimer()
+		reportFederationTraffic(b, links)
+	})
+	b.Run("NoPruning_FullView", func(b *testing.B) {
+		head, links := e6Fixture(b, members)
+		query := `SELECT COUNT(*) AS n FROM all_lineitems`
+		mustQuery(b, head, query, nil)
+		for _, l := range links {
+			l.Reset()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mustQuery(b, head, query, nil)
+		}
+		b.StopTimer()
+		reportFederationTraffic(b, links)
+	})
+}
+
+func reportFederationTraffic(b *testing.B, links []*dhqp.Link) {
+	var rows, bytes int64
+	touched := 0
+	for _, l := range links {
+		s := l.Stats()
+		rows += s.Rows
+		bytes += s.Bytes
+		if s.Calls > 0 {
+			touched++
+		}
+	}
+	b.ReportMetric(float64(rows)/float64(b.N), "rows-shipped/op")
+	b.ReportMetric(float64(touched), "members-touched")
+}
+
+// ---------------------------------------------------------------------
+// E7 — §4.1.2: spool over remote operations.
+// ---------------------------------------------------------------------
+
+func e7Fixture(b *testing.B, disableSpool bool) (*dhqp.Server, *dhqp.Link, *dhqp.Link) {
+	local := dhqp.NewServer("local", "db")
+	// Two different remote servers: whichever side of the non-equi join
+	// becomes the loop inner is remote, so re-fetching it is observable.
+	mk := func(name string, rows int) *dhqp.Link {
+		remote := dhqp.NewServer(name, "rdb")
+		mustExec(b, remote, `CREATE TABLE pts (id INT, v INT)`)
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO pts VALUES ")
+		for i := 0; i < rows; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d)", i, i%40)
+		}
+		mustExec(b, remote, sb.String())
+		link := dhqp.LAN()
+		local.AddLinkedServer(name, dhqp.SQLProvider(remote, link), link)
+		return link
+	}
+	l0 := mk("r0", 120)
+	l1 := mk("r1", 80)
+	local.DisableSpool = disableSpool
+	// Parameterization does not apply to non-equi joins, but disable it for
+	// a clean ablation anyway.
+	local.DisableParameterization = true
+	return local, l0, l1
+}
+
+func BenchmarkE7_RemoteSpool(b *testing.B) {
+	// Non-equi join of two remote tables on different servers forces a
+	// nested-loop plan with a remote inner: with the spool enforcer the
+	// inner ships once; without it, it re-fetches per outer row (§4.1.2,
+	// §4.1.4).
+	query := `SELECT COUNT(*) AS n FROM r0.rdb.dbo.pts a, r1.rdb.dbo.pts b WHERE a.v < b.v`
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{
+		{"WithSpool", false},
+		{"SpoolDisabled", true},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			local, l0, l1 := e7Fixture(b, variant.disable)
+			mustQuery(b, local, query, nil)
+			l0.Reset()
+			l1.Reset()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustQuery(b, local, query, nil)
+			}
+			b.StopTimer()
+			rows := l0.Stats().Rows + l1.Stats().Rows
+			calls := l0.Stats().Calls + l1.Stats().Calls
+			b.ReportMetric(float64(rows)/float64(b.N), "rows-shipped/op")
+			b.ReportMetric(float64(calls)/float64(b.N), "remote-calls/op")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E8 — §4.1.1: the three optimization phases.
+// ---------------------------------------------------------------------
+
+func BenchmarkE8_OptimizationPhases(b *testing.B) {
+	local, _ := e1Fixture(b)
+	query := e1Query
+	phases := []struct {
+		name string
+		max  rules.Phase
+	}{
+		{"TransactionProcessing", rules.PhaseTP},
+		{"QuickPlan", rules.PhaseQuick},
+		{"FullOptimization", rules.PhaseFull},
+	}
+	for _, ph := range phases {
+		b.Run(ph.name, func(b *testing.B) {
+			cfg := local.OptConfig
+			cfg.MaxPhase = ph.max
+			cfg.TPThreshold = 0 // never early-exit below the cap
+			cfg.QuickThreshold = 0
+			old := local.OptConfig
+			local.OptConfig = cfg
+			defer func() { local.OptConfig = old }()
+			var cost float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _, report, err := local.Plan(query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = report.FinalCost
+			}
+			b.ReportMetric(cost, "plan-cost")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E9 — §4.1.2: parameterization of remote queries.
+// ---------------------------------------------------------------------
+
+func e9Fixture(b *testing.B, disableParam bool) (*dhqp.Server, *dhqp.Link) {
+	local := dhqp.NewServer("local", "db")
+	remote := dhqp.NewServer("r", "rdb")
+	mustExec(b, remote, `CREATE TABLE big (k INT PRIMARY KEY, payload VARCHAR(64))`)
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO big VALUES ")
+	for i := 0; i < 4000; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'payload-%060d')", i, i)
+	}
+	mustExec(b, remote, sb.String())
+	mustExec(b, local, `CREATE TABLE wanted (k INT)`)
+	mustExec(b, local, `INSERT INTO wanted VALUES (5), (1723), (3001)`)
+	link := dhqp.LAN()
+	local.AddLinkedServer("r0", dhqp.SQLProvider(remote, link), link)
+	local.DisableParameterization = disableParam
+	return local, link
+}
+
+func BenchmarkE9_Parameterization(b *testing.B) {
+	query := `SELECT b.payload FROM wanted w, r0.rdb.dbo.big b WHERE w.k = b.k`
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{
+		{"Parameterized", false},
+		{"ParameterizationDisabled", true},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			local, link := e9Fixture(b, variant.disable)
+			res := mustQuery(b, local, query, nil)
+			if len(res.Rows) != 3 {
+				b.Fatalf("rows = %d", len(res.Rows))
+			}
+			link.Reset()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustQuery(b, local, query, nil)
+			}
+			b.StopTimer()
+			s := link.Stats()
+			b.ReportMetric(float64(s.Rows)/float64(b.N), "rows-shipped/op")
+			b.ReportMetric(float64(s.Bytes)/float64(b.N), "bytes-shipped/op")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E10 — §2.1/§3.3: pushdown vs provider capability level.
+// ---------------------------------------------------------------------
+
+func BenchmarkE10_CapabilityPushdown(b *testing.B) {
+	build := func(b *testing.B, caps dhqp.Capabilities) (*dhqp.Server, *dhqp.Link) {
+		local := dhqp.NewServer("local", "db")
+		remote := dhqp.NewServer("r", "rdb")
+		mustExec(b, remote, `CREATE TABLE sales (region INT, product INT, amount INT)`)
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO sales VALUES ")
+		for i := 0; i < 3000; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d, %d)", i%8, i%50, i)
+		}
+		mustExec(b, remote, sb.String())
+		link := dhqp.LAN()
+		local.AddLinkedServer("r0", dhqp.SQLProviderWithCaps(remote, link, caps), link)
+		return local, link
+	}
+	query := `SELECT region, COUNT(*) AS n, SUM(amount) AS total
+		FROM r0.rdb.dbo.sales WHERE amount > 100 GROUP BY region`
+	variants := []struct {
+		name string
+		caps dhqp.Capabilities
+	}{
+		{"SQL92Full", dhqp.FullSQLCapabilities()},
+		{"ODBCCore", dhqp.ODBCCoreCapabilities()},
+		{"SQLMinimum", dhqp.MinimalSQLCapabilities()},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			local, link := build(b, v.caps)
+			mustQuery(b, local, query, nil)
+			link.Reset()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := mustQuery(b, local, query, nil)
+				if len(res.Rows) != 8 {
+					b.Fatalf("groups = %d", len(res.Rows))
+				}
+			}
+			b.StopTimer()
+			s := link.Stats()
+			b.ReportMetric(float64(s.Rows)/float64(b.N), "rows-shipped/op")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E11 — §4.1.5: federated TPC-C-style scale-out.
+// ---------------------------------------------------------------------
+
+func BenchmarkE11_FederationScaleout(b *testing.B) {
+	for _, members := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("Members%d", members), func(b *testing.B) {
+			head := dhqp.NewServer("head", "fed")
+			var arms []string
+			perMember := 4000 / members
+			for i := 0; i < members; i++ {
+				lo, hi := i*perMember, (i+1)*perMember
+				m := dhqp.NewServer(fmt.Sprintf("w%d", i), "fed")
+				mustExec(b, m, fmt.Sprintf(
+					`CREATE TABLE stock (s_id INT NOT NULL CHECK (s_id >= %d AND s_id < %d), s_qty INT)`, lo, hi))
+				var sb strings.Builder
+				sb.WriteString("INSERT INTO stock VALUES ")
+				for j := lo; j < hi; j++ {
+					if j > lo {
+						sb.WriteString(", ")
+					}
+					fmt.Fprintf(&sb, "(%d, %d)", j, 100)
+				}
+				mustExec(b, m, sb.String())
+				link := dhqp.LAN()
+				head.AddLinkedServer(fmt.Sprintf("server%d", i+1), dhqp.SQLProvider(m, link), link)
+				arms = append(arms, fmt.Sprintf("SELECT s_id, s_qty FROM server%d.fed.dbo.stock", i+1))
+			}
+			mustExec(b, head, "CREATE VIEW all_stock AS "+strings.Join(arms, " UNION ALL "))
+			// New-order-like transaction: a point read through the view.
+			query := `SELECT s_qty FROM all_stock WHERE s_id = @id`
+			mustQuery(b, head, query, dhqp.Params("id", dhqp.Int(1)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := dhqp.Int(int64((i * 37) % 4000))
+				res := mustQuery(b, head, query, dhqp.Params("id", id))
+				if len(res.Rows) != 1 {
+					b.Fatalf("rows = %d", len(res.Rows))
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E12 — §2.4: the heterogeneous mail + Access query.
+// ---------------------------------------------------------------------
+
+func BenchmarkE12_EmailFederation(b *testing.B) {
+	s := dhqp.NewServer("local", "db")
+	senders := []string{"ann@nw.com", "bob@nw.com", "cat@nw.com", "dan@s.com"}
+	s.MailStore().AddMailbox("m.mmf", workload.GenMailbox(500, s.Today, senders, 5))
+	access := dhqp.SimpleProvider(nil)
+	if err := access.LoadCSV("Customers", "emailaddr,city\nann@nw.com,Seattle\nbob@nw.com,Seattle\ncat@nw.com,Tacoma\ndan@s.com,Austin"); err != nil {
+		b.Fatal(err)
+	}
+	s.RegisterProviderFactory("access", dhqp.StaticProviderFactory(access))
+	query := `SELECT m1.subject FROM MakeTable(Mail, 'm.mmf') m1,
+		MakeTable(Access, 'x.mdb', Customers) c
+		WHERE m1.date >= date(today(), -2) AND m1.from = c.emailaddr AND c.city = 'Seattle'
+		AND NOT EXISTS (SELECT * FROM MakeTable(Mail, 'm.mmf') m2 WHERE m1.msgid = m2.inreplyto)`
+	mustQuery(b, s, query, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustQuery(b, s, query, nil)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Optimizer scaling: memo growth and optimization time vs join-chain
+// width (supporting E8's phase analysis).
+// ---------------------------------------------------------------------
+
+func BenchmarkOptimizerJoinChain(b *testing.B) {
+	for _, width := range []int{2, 3, 4, 5} {
+		b.Run(fmt.Sprintf("Joins%d", width), func(b *testing.B) {
+			local := dhqp.NewServer("local", "db")
+			remote := dhqp.NewServer("r", "rdb")
+			var from, where []string
+			for i := 0; i < width; i++ {
+				tbl := fmt.Sprintf("t%d", i)
+				mustExec(b, remote, fmt.Sprintf(`CREATE TABLE %s (k INT PRIMARY KEY, v INT)`, tbl))
+				var sb strings.Builder
+				sb.WriteString("INSERT INTO " + tbl + " VALUES ")
+				for j := 0; j < 100; j++ {
+					if j > 0 {
+						sb.WriteString(", ")
+					}
+					fmt.Fprintf(&sb, "(%d, %d)", j, j%10)
+				}
+				mustExec(b, remote, sb.String())
+				from = append(from, fmt.Sprintf("r0.rdb.dbo.%s a%d", tbl, i))
+				if i > 0 {
+					where = append(where, fmt.Sprintf("a%d.k = a%d.k", i-1, i))
+				}
+			}
+			link := dhqp.LAN()
+			local.AddLinkedServer("r0", dhqp.SQLProvider(remote, link), link)
+			sql := "SELECT COUNT(*) AS n FROM " + strings.Join(from, ", ") +
+				" WHERE " + strings.Join(where, " AND ")
+			if _, _, _, err := local.Plan(sql); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var groups float64
+			for i := 0; i < b.N; i++ {
+				_, _, report, err := local.Plan(sql)
+				if err != nil {
+					b.Fatal(err)
+				}
+				groups = float64(report.Groups)
+			}
+			b.ReportMetric(groups, "memo-groups")
+		})
+	}
+}

@@ -1,0 +1,6 @@
+package main
+
+import "dhqp/internal/rules"
+
+// rulesPhase aliases the optimizer phase enum for the E8 sweep.
+type rulesPhase = rules.Phase

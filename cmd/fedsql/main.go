@@ -1,0 +1,120 @@
+// fedsql is an interactive SQL shell over a DHQP federation. It starts a
+// local server plus a configurable number of linked SQL servers, loads a
+// demo dataset, and reads statements from stdin.
+//
+// Meta-commands:
+//
+//	\plan <select>   show the optimized physical plan instead of executing
+//	\traffic         show per-link traffic counters
+//	\servers         list linked servers and their capabilities
+//	\help            this text
+//	\q               quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dhqp"
+	"dhqp/internal/workload"
+)
+
+func main() {
+	remotes := flag.Int("remotes", 1, "number of linked SQL servers")
+	demo := flag.Bool("demo", true, "load the TPC-H demo dataset")
+	flag.Parse()
+
+	local := dhqp.NewServer("local", "appdb")
+	var links []*dhqp.Link
+	for i := 0; i < *remotes; i++ {
+		name := fmt.Sprintf("remote%d", i)
+		r := dhqp.NewServer(name+"srv", "tpch10g")
+		link := dhqp.LAN()
+		if err := local.AddLinkedServer(name, dhqp.SQLProvider(r, link), link); err != nil {
+			fatal(err)
+		}
+		links = append(links, link)
+		if *demo && i == 0 {
+			if err := workload.LoadTPCHRemote(r, workload.SmallTPCH()); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if *demo {
+		if err := workload.LoadTPCHNation(local, workload.SmallTPCH()); err != nil {
+			fatal(err)
+		}
+		fmt.Println("demo data loaded: nation (local); customer, supplier (remote0)")
+		fmt.Println(`try: SELECT c.c_name FROM remote0.tpch10g.dbo.customer c, nation n WHERE c.c_nationkey = n.n_nationkey AND n.n_name = 'nation03'`)
+	}
+	fmt.Printf("fedsql: local server + %d linked server(s). \\help for commands.\n", *remotes)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("fedsql> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || line == "exit" || line == "quit":
+			return
+		case line == `\help`:
+			fmt.Println(`\plan <select>  show physical plan;  \traffic  link counters;  \servers  linked servers;  \q  quit`)
+		case line == `\traffic`:
+			for i, l := range links {
+				s := l.Stats()
+				fmt.Printf("remote%d: %d calls, %d rows, %d bytes, %v virtual time\n",
+					i, s.Calls, s.Rows, s.Bytes, s.VirtualTime)
+			}
+		case line == `\servers`:
+			for _, name := range local.LinkedServers() {
+				caps, _ := local.LinkedCaps(name)
+				fmt.Printf("%s: provider=%s language=%q sql=%s\n",
+					name, caps.ProviderName, caps.QueryLanguage, caps.SQLSupport)
+			}
+		case strings.HasPrefix(line, `\plan `):
+			plan, _, report, err := local.Plan(strings.TrimPrefix(line, `\plan `))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(plan.String())
+			fmt.Printf("phase=%q cost=%.0f groups=%d exprs=%d\n",
+				report.PhaseReached, report.FinalCost, report.Groups, report.Exprs)
+		default:
+			runStatement(local, line)
+		}
+	}
+}
+
+func runStatement(local *dhqp.Server, line string) {
+	upper := strings.ToUpper(line)
+	if strings.HasPrefix(upper, "SELECT") {
+		res, err := local.Query(line, nil)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(res.Display())
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+		return
+	}
+	n, err := local.Exec(line)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("ok (%d rows affected)\n", n)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fedsql:", err)
+	os.Exit(1)
+}

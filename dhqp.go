@@ -1,0 +1,128 @@
+// Package dhqp is the public facade of the distributed/heterogeneous query
+// processing library — a from-scratch Go reproduction of the architecture
+// described in "Distributed/Heterogeneous Query Processing in Microsoft SQL
+// Server" (Blakeley, Cunningham, Ellis, Rathakrishnan, Wu; ICDE 2005).
+//
+// A Server is one SQL engine instance with a local storage engine, a
+// cost-based Cascades optimizer with distributed-query rules, and an OLE
+// DB-style provider model for reaching heterogeneous data sources. Servers
+// link to each other (and to full-text, mail, and simple rowset providers)
+// over simulated network links, forming federations:
+//
+//	local := dhqp.NewServer("local", "appdb")
+//	remote := dhqp.NewServer("remote", "salesdb")
+//	local.AddLinkedServer("remote0", dhqp.SQLProvider(remote, dhqp.LAN()), nil)
+//	res, err := local.Query(`SELECT * FROM remote0.salesdb.dbo.customer`, nil)
+package dhqp
+
+import (
+	"dhqp/internal/engine"
+	"dhqp/internal/netsim"
+	"dhqp/internal/oledb"
+	"dhqp/internal/providers/email"
+	"dhqp/internal/providers/fulltext"
+	"dhqp/internal/providers/simplep"
+	"dhqp/internal/providers/sqlful"
+	"dhqp/internal/sqltypes"
+)
+
+// Server is one engine instance; see engine.Server for the full API.
+type Server = engine.Server
+
+// Result is a query result set.
+type Result = engine.Result
+
+// Value is a SQL value.
+type Value = sqltypes.Value
+
+// Link simulates one network connection.
+type Link = netsim.Link
+
+// Message is a mail message for the mail provider.
+type Message = email.Message
+
+// Capabilities is an OLE DB provider capability set.
+type Capabilities = oledb.Capabilities
+
+// NewServer creates an engine instance with one default database.
+func NewServer(name, defaultDB string) *Server { return engine.NewServer(name, defaultDB) }
+
+// LAN returns a local-network link (1 ms per call, ~100 MB/s).
+func LAN() *Link { return netsim.LAN() }
+
+// WAN returns a wide-area link (40 ms per call, ~2 MB/s).
+func WAN() *Link { return netsim.WAN() }
+
+// SQLProvider wraps a Server as a SQL-92-full linked-server target reached
+// over link — the "SQLOLEDB" provider of the paper's Figure 1.
+func SQLProvider(target *Server, link *Link) oledb.DataSource {
+	return sqlful.New(target, link, sqlful.FullSQLCapabilities())
+}
+
+// SQLProviderWithCaps wraps a Server with an explicit capability set
+// (dialect-level experiments: SQL-Minimum "Access"-class targets, ODBC-core
+// targets).
+func SQLProviderWithCaps(target *Server, link *Link, caps Capabilities) oledb.DataSource {
+	return sqlful.New(target, link, caps)
+}
+
+// FullSQLCapabilities is the SQL-92-full capability set.
+func FullSQLCapabilities() Capabilities { return sqlful.FullSQLCapabilities() }
+
+// MinimalSQLCapabilities is the SQL-Minimum (Access-class) capability set.
+func MinimalSQLCapabilities() Capabilities { return sqlful.MinimalSQLCapabilities() }
+
+// ODBCCoreCapabilities is the intermediate ODBC-core capability set.
+func ODBCCoreCapabilities() Capabilities { return sqlful.ODBCCoreCapabilities() }
+
+// SimpleProvider returns an empty simple (rowset-only) provider; load
+// tables with LoadCSV/AddTable and register it as a linked server.
+func SimpleProvider(link *Link) *simplep.Provider { return simplep.New(link) }
+
+// FulltextProvider exposes a server's search service as a linked server
+// (the "MSIDXS" provider).
+func FulltextProvider(s *Server, link *Link) oledb.DataSource {
+	return fulltext.NewProvider(s.FulltextService(), link)
+}
+
+// Int, Float, Str, Bool, Date build SQL values for query parameters.
+func Int(v int64) Value { return sqltypes.NewInt(v) }
+
+// Float builds a FLOAT value.
+func Float(v float64) Value { return sqltypes.NewFloat(v) }
+
+// Str builds a VARCHAR value.
+func Str(v string) Value { return sqltypes.NewString(v) }
+
+// Bool builds a BIT value.
+func Bool(v bool) Value { return sqltypes.NewBool(v) }
+
+// Date builds a DATE value from 'YYYY-MM-DD' text; it panics on bad input
+// (literals in code are programmer-controlled).
+func Date(s string) Value {
+	v, err := sqltypes.ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// StaticProviderFactory adapts a fixed data source into the factory shape
+// RegisterProviderFactory expects (ad-hoc providers whose state lives
+// outside the engine).
+func StaticProviderFactory(ds oledb.DataSource) func(string) (oledb.DataSource, *Link, error) {
+	return func(string) (oledb.DataSource, *Link, error) { return ds, nil, nil }
+}
+
+// Params builds a parameter map.
+func Params(kv ...any) map[string]Value {
+	if len(kv)%2 != 0 {
+		panic("dhqp: Params takes name/value pairs")
+	}
+	out := map[string]Value{}
+	for i := 0; i < len(kv); i += 2 {
+		name := kv[i].(string)
+		out[name] = kv[i+1].(Value)
+	}
+	return out
+}

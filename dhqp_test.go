@@ -1,0 +1,147 @@
+// Tests of the public facade: everything a downstream user touches first.
+package dhqp_test
+
+import (
+	"strings"
+	"testing"
+
+	"dhqp"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	local := dhqp.NewServer("local", "appdb")
+	remote := dhqp.NewServer("hq", "hqdb")
+	remote.MustExec(`CREATE TABLE emp (id INT PRIMARY KEY, name VARCHAR(16), salary INT)`)
+	remote.MustExec(`INSERT INTO emp VALUES (1, 'ann', 120), (2, 'bob', 95)`)
+	link := dhqp.LAN()
+	if err := local.AddLinkedServer("hq", dhqp.SQLProvider(remote, link), link); err != nil {
+		t.Fatal(err)
+	}
+	res, err := local.Query(`SELECT name FROM hq.hqdb.dbo.emp WHERE salary > 100`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "ann" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if link.Stats().Calls == 0 {
+		t.Error("no link traffic recorded")
+	}
+	// Display renders headers and rows.
+	if !strings.Contains(res.Display(), "name") || !strings.Contains(res.Display(), "ann") {
+		t.Errorf("Display = %q", res.Display())
+	}
+}
+
+func TestFacadeValues(t *testing.T) {
+	if dhqp.Int(3).Int() != 3 || dhqp.Str("x").Str() != "x" {
+		t.Error("value constructors")
+	}
+	if dhqp.Float(2.5).Float() != 2.5 || !dhqp.Bool(true).Bool() {
+		t.Error("value constructors")
+	}
+	if dhqp.Date("2004-06-15").Display() != "2004-06-15" {
+		t.Error("date constructor")
+	}
+	p := dhqp.Params("a", dhqp.Int(1), "b", dhqp.Str("x"))
+	if len(p) != 2 || p["a"].Int() != 1 {
+		t.Errorf("params = %v", p)
+	}
+}
+
+func TestFacadeDatePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad date did not panic")
+		}
+	}()
+	dhqp.Date("not-a-date")
+}
+
+func TestFacadeParamsPanicsOnOddArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd Params did not panic")
+		}
+	}()
+	dhqp.Params("only-a-name")
+}
+
+func TestFacadeCapabilityPresets(t *testing.T) {
+	full := dhqp.FullSQLCapabilities()
+	min := dhqp.MinimalSQLCapabilities()
+	core := dhqp.ODBCCoreCapabilities()
+	if !full.NestedSelects || min.NestedSelects || core.NestedSelects {
+		t.Error("preset shapes wrong")
+	}
+	if full.SQLSupport <= core.SQLSupport || core.SQLSupport <= min.SQLSupport {
+		t.Error("capability ordering wrong")
+	}
+}
+
+func TestFacadeLinks(t *testing.T) {
+	if dhqp.LAN().LatencyPerCall >= dhqp.WAN().LatencyPerCall {
+		t.Error("WAN should be slower")
+	}
+}
+
+func TestFacadeSimpleProviderRoundTrip(t *testing.T) {
+	s := dhqp.NewServer("local", "db")
+	sp := dhqp.SimpleProvider(nil)
+	if err := sp.LoadCSV("pets", "name,kind\nrex,dog\nmia,cat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddLinkedServer("files", sp, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(`SELECT name FROM files.x.dbo.pets WHERE kind = 'cat'`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "mia" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestFacadeStaticProviderFactory(t *testing.T) {
+	sp := dhqp.SimpleProvider(nil)
+	f := dhqp.StaticProviderFactory(sp)
+	ds, link, err := f("ignored")
+	if err != nil || link != nil || ds == nil {
+		t.Errorf("factory = %v %v %v", ds, link, err)
+	}
+}
+
+func TestFacadePlanCacheInvalidation(t *testing.T) {
+	s := dhqp.NewServer("local", "db")
+	s.MustExec(`CREATE TABLE t (a INT)`)
+	s.MustExec(`INSERT INTO t VALUES (1)`)
+	res, _ := s.Query(`SELECT COUNT(*) AS n FROM t`, nil)
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatal("first query")
+	}
+	// Cached plan still sees new data (plans reference tables, not rows).
+	s.MustExec(`INSERT INTO t VALUES (2)`)
+	res, _ = s.Query(`SELECT COUNT(*) AS n FROM t`, nil)
+	if res.Rows[0][0].Int() != 2 {
+		t.Errorf("cached plan returned stale data: %v", res.Rows[0][0])
+	}
+	// A view redefinition invalidates cached plans that used the name.
+	s.MustExec(`CREATE TABLE u (a INT)`)
+	s.MustExec(`INSERT INTO u VALUES (10), (20)`)
+	s.MustExec(`CREATE VIEW v AS SELECT a FROM t`)
+	res, _ = s.Query(`SELECT COUNT(*) AS n FROM v`, nil)
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("view query: %v", res.Rows[0][0])
+	}
+	s.MustExec(`CREATE VIEW v AS SELECT a FROM u`)
+	res, _ = s.Query(`SELECT COUNT(*) AS n FROM v`, nil)
+	if res.Rows[0][0].Int() != 2 {
+		// v now reads u (2 rows) — same count by construction; check values
+		// instead.
+		res2, _ := s.Query(`SELECT a FROM v ORDER BY a`, nil)
+		if len(res2.Rows) != 2 || res2.Rows[0][0].Int() != 10 {
+			t.Errorf("view redefinition not picked up: %v", res2.Rows)
+		}
+	}
+}

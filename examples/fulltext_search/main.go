@@ -1,0 +1,70 @@
+// Full-text search: both integration shapes from the paper — §2.2's
+// SQL-to-file-system query through OPENROWSET('MSIDXS', ...) and §2.3's
+// CONTAINS predicate over a relational table served by a full-text index,
+// where the search service returns (KEY, RANK) and the engine joins back to
+// the base table on row identity (Figure 2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dhqp"
+	"dhqp/internal/workload"
+)
+
+func main() {
+	s := dhqp.NewServer("local", "docdb")
+
+	// --- Scenario 1: file-system documents (§2.2). --------------------
+	svc := s.FulltextService()
+	files := map[string]string{
+		`d:\lit\pdb-survey.txt`: "a survey of parallel database systems and their interconnects",
+		`d:\lit\federated.html`: "<h1>federated systems</h1> heterogeneous query processing across autonomous sources",
+		`d:\lit\cascades.doc`:   "%DOC%the cascades framework for query optimization",
+		`d:\lit\cookbook.txt`:   "recipes for pasta and roasted vegetables",
+		`d:\lit\marathon.md`:    "training plans for runners preparing a marathon",
+		`d:\lit\spatial.pdf`:    "%DOC%spatial indexing with r-trees",
+		`d:\lit\heterogq.txt`:   "notes on heterogeneous query execution over OLE DB rowsets",
+		`d:\lit\volcano.htm`:    "<p>the volcano optimizer generator</p>",
+	}
+	for path, content := range files {
+		if err := svc.AddFile("DQLiterature", path, []byte(content), nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The paper's §2.2 query, verbatim shape.
+	res, err := s.Query(`SELECT FS.path FROM OpenRowset('MSIDXS','DQLiterature';'';'',
+		'Select Path, size from SCOPE() where CONTAINS(''"Parallel database" OR "heterogeneous query"'')') AS FS`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- documents about \"parallel database\" OR \"heterogeneous query\":")
+	fmt.Print(res.Display())
+
+	// --- Scenario 2: full-text over relational data (§2.3). -----------
+	if err := workload.LoadDocuments(s, 2000, 7); err != nil {
+		log.Fatal(err)
+	}
+	query := `SELECT TOP 5 title FROM docs WHERE CONTAINS(body, 'parallel AND database') ORDER BY title`
+	plan, _, _, err := s.Plan(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- plan: search service returns (KEY, RANK); RemoteFetch joins back on row identity:")
+	fmt.Print(plan.String())
+	res, err = s.Query(query, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n-- %d matches (top 5 shown):\n", len(res.Rows))
+	fmt.Print(res.Display())
+
+	// Inflectional forms (the paper's runner/run/ran example).
+	res, err = s.Query(`SELECT COUNT(*) AS n FROM docs WHERE CONTAINS(body, 'FORMSOF(INFLECTIONAL, run)')`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- documents matching any inflection of 'run':")
+	fmt.Print(res.Display())
+}

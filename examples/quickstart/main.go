@@ -1,0 +1,79 @@
+// Quickstart: create a local server, a remote server, link them, and run
+// local, remote and mixed queries — the minimal tour of the DHQP API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dhqp"
+)
+
+func main() {
+	// A local engine instance with one database.
+	local := dhqp.NewServer("local", "appdb")
+
+	// Plain local SQL.
+	must(local.Exec(`CREATE TABLE dept (id INT PRIMARY KEY, name VARCHAR(16))`))
+	must(local.Exec(`INSERT INTO dept VALUES (10, 'eng'), (20, 'sales'), (30, 'ops')`))
+
+	// A second engine instance playing the remote SQL Server.
+	remote := dhqp.NewServer("hq", "hqdb")
+	must(remote.Exec(`CREATE TABLE emp (id INT PRIMARY KEY, dept INT, name VARCHAR(16), salary INT)`))
+	must(remote.Exec(`INSERT INTO emp VALUES
+		(1, 10, 'ann', 120), (2, 10, 'bob', 95), (3, 20, 'cat', 80),
+		(4, 20, 'dan', 150), (5, 30, 'eve', 70)`))
+
+	// Link it: the remote exposes itself through the SQL-92-full OLE DB
+	// provider across a simulated LAN (paper §2.1's linked servers).
+	link := dhqp.LAN()
+	if err := local.AddLinkedServer("hq", dhqp.SQLProvider(remote, link), link); err != nil {
+		log.Fatal(err)
+	}
+
+	// Four-part names reach the linked server.
+	res, err := local.Query(`SELECT name, salary FROM hq.hqdb.dbo.emp WHERE salary > 90 ORDER BY salary DESC`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- remote employees earning > 90:")
+	fmt.Print(res.Display())
+
+	// Mixed local/remote join with aggregation: the optimizer decides what
+	// to push to hq and what to evaluate here.
+	res, err = local.Query(`
+		SELECT d.name, COUNT(*) AS headcount, SUM(e.salary) AS payroll
+		FROM hq.hqdb.dbo.emp e, dept d
+		WHERE e.dept = d.id
+		GROUP BY d.name
+		ORDER BY payroll DESC`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- payroll by department (local dept ⋈ remote emp):")
+	fmt.Print(res.Display())
+
+	// Inspect the chosen plan and the traffic it caused.
+	plan, _, _, err := local.Plan(`SELECT name FROM hq.hqdb.dbo.emp WHERE dept = 10`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- physical plan for the remote filter:")
+	fmt.Print(plan.String())
+	fmt.Printf("\n-- link traffic so far: %+v\n", link.Stats())
+
+	// Parameterized queries.
+	res, err = local.Query(`SELECT name FROM hq.hqdb.dbo.emp WHERE id = @id`,
+		dhqp.Params("id", dhqp.Int(4)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- employee @id = 4:")
+	fmt.Print(res.Display())
+}
+
+func must(n int64, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module dhqp
+
+go 1.22

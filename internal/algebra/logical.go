@@ -1,0 +1,231 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dhqp/internal/expr"
+)
+
+// Get is the logical leaf reading a source. Cols assigns query-global
+// ColumnIDs to the source's columns in declaration order. Remote sources are
+// "tagged with a flag indicating their level of remotability" (§4.1.3) —
+// here the Source.Server tag plus the capability set the optimizer looks up
+// per server.
+type Get struct {
+	Src  *Source
+	Cols []OutCol
+}
+
+// OpName implements Operator.
+func (g *Get) OpName() string { return "Get" }
+
+// Logical implements Operator.
+func (g *Get) Logical() bool { return true }
+
+// Digest implements Operator.
+func (g *Get) Digest() string {
+	return fmt.Sprintf("%s cols=%v", g.Src, IDs(g.Cols))
+}
+
+// OutCols implements Operator.
+func (g *Get) OutCols([][]OutCol) []OutCol { return g.Cols }
+
+// Select filters rows by a predicate.
+type Select struct {
+	Filter expr.Expr
+}
+
+// Project computes expressions over its input.
+type Project struct {
+	Exprs []ProjExpr
+}
+
+// OpName implements Operator.
+func (p *Project) OpName() string { return "Project" }
+
+// Logical implements Operator.
+func (p *Project) Logical() bool { return true }
+
+// Digest implements Operator.
+func (p *Project) Digest() string {
+	parts := make([]string, len(p.Exprs))
+	for i, pe := range p.Exprs {
+		parts[i] = fmt.Sprintf("col%d=%s", pe.Out.ID, exprDigest(pe.E))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// OutCols implements Operator.
+func (p *Project) OutCols([][]OutCol) []OutCol {
+	out := make([]OutCol, len(p.Exprs))
+	for i, pe := range p.Exprs {
+		out[i] = pe.Out
+	}
+	return out
+}
+
+// OpName implements Operator.
+func (s *Select) OpName() string { return "Select" }
+
+// Logical implements Operator.
+func (s *Select) Logical() bool { return true }
+
+// Digest implements Operator.
+func (s *Select) Digest() string { return exprDigest(s.Filter) }
+
+// OutCols implements Operator.
+func (s *Select) OutCols(kids [][]OutCol) []OutCol { return kids[0] }
+
+// Join combines two inputs under a predicate.
+type Join struct {
+	Type JoinType
+	On   expr.Expr // nil = cross join
+}
+
+// OpName implements Operator.
+func (j *Join) OpName() string { return "Join" }
+
+// Logical implements Operator.
+func (j *Join) Logical() bool { return true }
+
+// Digest implements Operator.
+func (j *Join) Digest() string {
+	return fmt.Sprintf("%s on=%s", j.Type, exprDigest(j.On))
+}
+
+// OutCols implements Operator.
+func (j *Join) OutCols(kids [][]OutCol) []OutCol {
+	switch j.Type {
+	case SemiJoin, AntiJoin:
+		return kids[0]
+	default:
+		out := make([]OutCol, 0, len(kids[0])+len(kids[1]))
+		out = append(out, kids[0]...)
+		out = append(out, kids[1]...)
+		return out
+	}
+}
+
+// Apply is the correlated (parameterized) join produced by the paper's
+// parameterization exploration rule (§4.1.2): the right child references
+// parameters that are bound from left-row columns on every re-execution.
+// ParamMap names the binding; Residual is any non-pushed join predicate.
+type Apply struct {
+	Type     JoinType
+	ParamMap map[string]expr.ColumnID
+	Residual expr.Expr
+}
+
+// OpName implements Operator.
+func (a *Apply) OpName() string { return "Apply" }
+
+// Logical implements Operator.
+func (a *Apply) Logical() bool { return true }
+
+// Digest implements Operator.
+func (a *Apply) Digest() string {
+	names := make([]string, 0, len(a.ParamMap))
+	for n, id := range a.ParamMap {
+		names = append(names, fmt.Sprintf("@%s=col%d", n, id))
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("%s params=%s res=%s", a.Type, strings.Join(names, ","), exprDigest(a.Residual))
+}
+
+// OutCols implements Operator.
+func (a *Apply) OutCols(kids [][]OutCol) []OutCol {
+	return (&Join{Type: a.Type}).OutCols(kids)
+}
+
+// GroupBy aggregates over grouping columns.
+type GroupBy struct {
+	GroupCols []OutCol
+	Aggs      []AggSpec
+}
+
+// OpName implements Operator.
+func (g *GroupBy) OpName() string { return "GroupBy" }
+
+// Logical implements Operator.
+func (g *GroupBy) Logical() bool { return true }
+
+// Digest implements Operator.
+func (g *GroupBy) Digest() string {
+	aggs := make([]string, len(g.Aggs))
+	for i, a := range g.Aggs {
+		aggs[i] = a.String()
+	}
+	return fmt.Sprintf("by=%v aggs=[%s]", IDs(g.GroupCols), strings.Join(aggs, ", "))
+}
+
+// OutCols implements Operator.
+func (g *GroupBy) OutCols([][]OutCol) []OutCol {
+	out := make([]OutCol, 0, len(g.GroupCols)+len(g.Aggs))
+	out = append(out, g.GroupCols...)
+	for _, a := range g.Aggs {
+		out = append(out, a.Out)
+	}
+	return out
+}
+
+// UnionAll concatenates children. OutColsList gives the operator's own
+// output columns; InMaps[i][j] names the child-i column feeding output
+// column j. Partitioned views (§4.1.5) bind to this operator.
+type UnionAll struct {
+	OutColsList []OutCol
+	InMaps      [][]expr.ColumnID
+}
+
+// OpName implements Operator.
+func (u *UnionAll) OpName() string { return "UnionAll" }
+
+// Logical implements Operator.
+func (u *UnionAll) Logical() bool { return true }
+
+// Digest implements Operator.
+func (u *UnionAll) Digest() string {
+	return fmt.Sprintf("out=%v in=%v", IDs(u.OutColsList), u.InMaps)
+}
+
+// OutCols implements Operator.
+func (u *UnionAll) OutCols([][]OutCol) []OutCol { return u.OutColsList }
+
+// Top returns the first N rows under an ordering (TOP N ... ORDER BY).
+type Top struct {
+	N        int64
+	Ordering Ordering
+}
+
+// OpName implements Operator.
+func (t *Top) OpName() string { return "Top" }
+
+// Logical implements Operator.
+func (t *Top) Logical() bool { return true }
+
+// Digest implements Operator.
+func (t *Top) Digest() string { return fmt.Sprintf("n=%d order=[%s]", t.N, t.Ordering) }
+
+// OutCols implements Operator.
+func (t *Top) OutCols(kids [][]OutCol) []OutCol { return kids[0] }
+
+// Values is a constant relation (INSERT ... VALUES, tests).
+type Values struct {
+	Cols []OutCol
+	Rows [][]expr.Expr
+}
+
+// OpName implements Operator.
+func (v *Values) OpName() string { return "Values" }
+
+// Logical implements Operator.
+func (v *Values) Logical() bool { return true }
+
+// Digest implements Operator.
+func (v *Values) Digest() string {
+	return fmt.Sprintf("cols=%v rows=%d", IDs(v.Cols), len(v.Rows))
+}
+
+// OutCols implements Operator.
+func (v *Values) OutCols([][]OutCol) []OutCol { return v.Cols }

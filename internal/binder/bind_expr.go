@@ -1,0 +1,322 @@
+package binder
+
+import (
+	"fmt"
+
+	"dhqp/internal/algebra"
+	"dhqp/internal/expr"
+	"dhqp/internal/parser"
+	"dhqp/internal/sqltypes"
+)
+
+// exprBinder binds scalar ASTs against a scope. usedOuter records whether
+// any column resolved through a parent scope — the subquery unroller uses
+// it to classify correlated conjuncts.
+type exprBinder struct {
+	b         *Binder
+	sc        *scope
+	agg       *aggCollector // nil outside select-list/HAVING binding
+	usedOuter bool
+}
+
+var opMap = map[string]expr.Op{
+	"=": expr.OpEq, "<>": expr.OpNe, "<": expr.OpLt, "<=": expr.OpLe,
+	">": expr.OpGt, ">=": expr.OpGe, "+": expr.OpAdd, "-": expr.OpSub,
+	"*": expr.OpMul, "/": expr.OpDiv, "%": expr.OpMod,
+	"AND": expr.OpAnd, "OR": expr.OpOr,
+}
+
+// bind converts an AST expression, returning the bound expression and its
+// inferred kind.
+func (eb *exprBinder) bind(e parser.Expr) (expr.Expr, sqltypes.Kind, error) {
+	switch v := e.(type) {
+	case *parser.IntLit:
+		return expr.NewConst(sqltypes.NewInt(v.V)), sqltypes.KindInt, nil
+	case *parser.FloatLit:
+		return expr.NewConst(sqltypes.NewFloat(v.V)), sqltypes.KindFloat, nil
+	case *parser.StrLit:
+		return expr.NewConst(sqltypes.NewString(v.V)), sqltypes.KindString, nil
+	case *parser.NullLit:
+		return expr.NewConst(sqltypes.Null), sqltypes.KindNull, nil
+	case *parser.ParamExpr:
+		return expr.NewParam(v.Name), sqltypes.KindNull, nil
+	case *parser.NameExpr:
+		c, outer, err := eb.sc.resolve(v.Qualifier(), v.Column())
+		if err != nil {
+			return nil, 0, err
+		}
+		if outer {
+			eb.usedOuter = true
+		}
+		return expr.NewColRef(c.ID, c.Name), c.Kind, nil
+	case *parser.BinExpr:
+		return eb.bindBinary(v)
+	case *parser.UnExpr:
+		inner, kind, err := eb.bind(v.E)
+		if err != nil {
+			return nil, 0, err
+		}
+		if v.Op == "NOT" {
+			return expr.NewNot(inner), sqltypes.KindBool, nil
+		}
+		return expr.NewNeg(inner), kind, nil
+	case *parser.IsNullExpr:
+		inner, _, err := eb.bind(v.E)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &expr.IsNull{E: inner, Negate: v.Negate}, sqltypes.KindBool, nil
+	case *parser.LikeExpr:
+		inner, _, err := eb.bind(v.E)
+		if err != nil {
+			return nil, 0, err
+		}
+		pat, _, err := eb.bind(v.Pattern)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &expr.Like{E: inner, Pattern: pat, Negate: v.Negate}, sqltypes.KindBool, nil
+	case *parser.BetweenExpr:
+		inner, kind, err := eb.bind(v.E)
+		if err != nil {
+			return nil, 0, err
+		}
+		lo, _, err := eb.bind(v.Lo)
+		if err != nil {
+			return nil, 0, err
+		}
+		hi, _, err := eb.bind(v.Hi)
+		if err != nil {
+			return nil, 0, err
+		}
+		lo = coerceLiteral(lo, kind)
+		hi = coerceLiteral(hi, kind)
+		ge := expr.NewBinary(expr.OpGe, inner, lo)
+		le := expr.NewBinary(expr.OpLe, inner, hi)
+		out := expr.NewBinary(expr.OpAnd, ge, le)
+		if v.Negate {
+			return expr.NewNot(out), sqltypes.KindBool, nil
+		}
+		return out, sqltypes.KindBool, nil
+	case *parser.InExpr:
+		if v.Sel != nil {
+			return nil, 0, fmt.Errorf("binder: IN (SELECT ...) is only supported as a top-level WHERE conjunct")
+		}
+		inner, kind, err := eb.bind(v.E)
+		if err != nil {
+			return nil, 0, err
+		}
+		list := make([]expr.Expr, len(v.List))
+		for i, m := range v.List {
+			me, _, err := eb.bind(m)
+			if err != nil {
+				return nil, 0, err
+			}
+			list[i] = coerceLiteral(me, kind)
+		}
+		return &expr.InList{E: inner, List: list, Negate: v.Negate}, sqltypes.KindBool, nil
+	case *parser.ExistsExpr:
+		return nil, 0, fmt.Errorf("binder: EXISTS is only supported as a top-level WHERE conjunct")
+	case *parser.ContainsExpr:
+		if v.Col == nil {
+			return nil, 0, fmt.Errorf("binder: CONTAINS(*, ...) requires a full-text indexed table context")
+		}
+		c, _, err := eb.sc.resolve(v.Col.Qualifier(), v.Col.Column())
+		if err != nil {
+			return nil, 0, err
+		}
+		ct, err := expr.NewContains(expr.NewColRef(c.ID, c.Name), v.Query)
+		if err != nil {
+			return nil, 0, err
+		}
+		return ct, sqltypes.KindBool, nil
+	case *parser.FuncExpr:
+		if isAggName(v.Name) {
+			if eb.agg == nil {
+				return nil, 0, fmt.Errorf("binder: aggregate %s not allowed here", v.Name)
+			}
+			return eb.agg.bindAggregate(eb, v)
+		}
+		args := make([]expr.Expr, len(v.Args))
+		for i, a := range v.Args {
+			ae, _, err := eb.bind(a)
+			if err != nil {
+				return nil, 0, err
+			}
+			args[i] = ae
+		}
+		f, err := expr.NewFuncCall(v.Name, args)
+		if err != nil {
+			return nil, 0, err
+		}
+		return f, funcResultKind(v.Name), nil
+	default:
+		return nil, 0, fmt.Errorf("binder: unsupported expression %T", e)
+	}
+}
+
+func (eb *exprBinder) bindBinary(v *parser.BinExpr) (expr.Expr, sqltypes.Kind, error) {
+	op, ok := opMap[v.Op]
+	if !ok {
+		return nil, 0, fmt.Errorf("binder: unknown operator %q", v.Op)
+	}
+	l, lk, err := eb.bind(v.L)
+	if err != nil {
+		return nil, 0, err
+	}
+	r, rk, err := eb.bind(v.R)
+	if err != nil {
+		return nil, 0, err
+	}
+	if op.IsComparison() {
+		// Implicit coercion: comparing a DATE column against a string
+		// literal parses the literal ('1992-01-01' style).
+		if lk == sqltypes.KindDate && rk == sqltypes.KindString {
+			r = coerceLiteral(r, sqltypes.KindDate)
+		}
+		if rk == sqltypes.KindDate && lk == sqltypes.KindString {
+			l = coerceLiteral(l, sqltypes.KindDate)
+		}
+		return expr.NewBinary(op, l, r), sqltypes.KindBool, nil
+	}
+	switch op {
+	case expr.OpAnd, expr.OpOr:
+		return expr.NewBinary(op, l, r), sqltypes.KindBool, nil
+	default:
+		kind := arithKind(op, lk, rk)
+		return expr.NewBinary(op, l, r), kind, nil
+	}
+}
+
+// coerceLiteral converts constant literals to the target kind when a
+// lossless conversion exists; other expressions pass through.
+func coerceLiteral(e expr.Expr, kind sqltypes.Kind) expr.Expr {
+	c, ok := e.(*expr.Const)
+	if !ok || c.Val.IsNull() || kind == sqltypes.KindNull || c.Val.Kind() == kind {
+		return e
+	}
+	v, err := sqltypes.Coerce(c.Val, kind)
+	if err != nil {
+		return e
+	}
+	return expr.NewConst(v)
+}
+
+func arithKind(op expr.Op, l, r sqltypes.Kind) sqltypes.Kind {
+	if l == sqltypes.KindDate || r == sqltypes.KindDate {
+		if op == expr.OpSub && l == sqltypes.KindDate && r == sqltypes.KindDate {
+			return sqltypes.KindInt
+		}
+		return sqltypes.KindDate
+	}
+	if l == sqltypes.KindString && r == sqltypes.KindString && op == expr.OpAdd {
+		return sqltypes.KindString
+	}
+	if l == sqltypes.KindFloat || r == sqltypes.KindFloat {
+		return sqltypes.KindFloat
+	}
+	return sqltypes.KindInt
+}
+
+func isAggName(name string) bool {
+	switch name {
+	case "count", "sum", "min", "max", "avg":
+		return true
+	}
+	return false
+}
+
+func funcResultKind(name string) sqltypes.Kind {
+	switch name {
+	case "len", "year", "month", "abs":
+		return sqltypes.KindInt
+	case "round":
+		return sqltypes.KindFloat
+	case "upper", "lower", "substring":
+		return sqltypes.KindString
+	case "date", "today":
+		return sqltypes.KindDate
+	default:
+		return sqltypes.KindNull
+	}
+}
+
+// aggCollector gathers aggregate specifications while select items and
+// HAVING bind; aggregates become GroupBy outputs referenced by ColRef.
+type aggCollector struct {
+	b     *Binder
+	sc    *scope
+	specs []algebra.AggSpec
+	ids   expr.ColSet
+}
+
+func newAggCollector(b *Binder, sc *scope) *aggCollector {
+	return &aggCollector{b: b, sc: sc, ids: expr.ColSet{}}
+}
+
+// bindScalar binds a select-list or HAVING expression with aggregate
+// collection enabled.
+func (a *aggCollector) bindScalar(e parser.Expr) (expr.Expr, sqltypes.Kind, error) {
+	eb := &exprBinder{b: a.b, sc: a.sc, agg: a}
+	return eb.bind(e)
+}
+
+// bindAggregate converts one aggregate call into an AggSpec and returns a
+// reference to its output column.
+func (a *aggCollector) bindAggregate(eb *exprBinder, v *parser.FuncExpr) (expr.Expr, sqltypes.Kind, error) {
+	var fn algebra.AggFunc
+	switch v.Name {
+	case "count":
+		fn = algebra.AggCount
+	case "sum":
+		fn = algebra.AggSum
+	case "min":
+		fn = algebra.AggMin
+	case "max":
+		fn = algebra.AggMax
+	case "avg":
+		fn = algebra.AggAvg
+	}
+	var arg expr.Expr
+	kind := sqltypes.KindInt
+	if v.Star {
+		if fn != algebra.AggCount {
+			return nil, 0, fmt.Errorf("binder: %s(*) is not valid", v.Name)
+		}
+	} else {
+		if len(v.Args) != 1 {
+			return nil, 0, fmt.Errorf("binder: %s takes one argument", v.Name)
+		}
+		inner := &exprBinder{b: eb.b, sc: eb.sc} // no nested aggregates
+		ae, ak, err := inner.bind(v.Args[0])
+		if err != nil {
+			return nil, 0, err
+		}
+		if inner.usedOuter {
+			eb.usedOuter = true
+		}
+		arg = ae
+		switch fn {
+		case algebra.AggCount:
+			kind = sqltypes.KindInt
+		case algebra.AggAvg:
+			kind = sqltypes.KindFloat
+		default:
+			kind = ak
+		}
+	}
+	out := algebra.OutCol{ID: eb.b.allocCol(), Name: v.Name, Kind: kind}
+	a.specs = append(a.specs, algebra.AggSpec{Out: out, Func: fn, Arg: arg, Distinct: v.Distinct})
+	a.ids.Add(out.ID)
+	return expr.NewColRef(out.ID, out.Name), kind, nil
+}
+
+// isAggOutput reports whether e is a direct reference to an aggregate
+// output.
+func (a *aggCollector) isAggOutput(e expr.Expr) bool {
+	c, ok := e.(*expr.ColRef)
+	return ok && a.ids.Has(c.ID)
+}
+
+// isAggOutputID reports whether the column is an aggregate output.
+func (a *aggCollector) isAggOutputID(id expr.ColumnID) bool { return a.ids.Has(id) }

@@ -1,0 +1,386 @@
+// Package binder algebrizes parsed SQL into the logical operator algebra:
+// name resolution against the catalog (including four-part linked-server
+// names), view expansion, star expansion, ColumnID allocation, implicit
+// type coercion, BETWEEN desugaring and subquery-to-semi-join unrolling.
+//
+// The paper's framing (§4.1.3): "both local and distributed queries are
+// algebrized in the same way, i.e., the same logical operator is used no
+// matter [whether] the data source is local or remote" — the only trace of
+// remoteness the binder leaves is the Source.Server tag on each Get.
+package binder
+
+import (
+	"fmt"
+	"strings"
+
+	"dhqp/internal/algebra"
+	"dhqp/internal/expr"
+	"dhqp/internal/parser"
+	"dhqp/internal/sqltypes"
+)
+
+// Catalog resolves names for the binder; the engine implements it over the
+// local storage engine, the linked-server registry and the providers.
+type Catalog interface {
+	// ResolveObject resolves a (possibly partially qualified) table or view
+	// name. Exactly one of the result's fields is set.
+	ResolveObject(parts []string) (*Resolved, error)
+	// PassThroughSource builds a Source for OPENQUERY(server, query),
+	// asking the provider to describe the command's output columns.
+	PassThroughSource(server, query string) (*algebra.Source, error)
+	// AdHocSource builds a Source for OPENROWSET(provider, datasource,
+	// query) — an ad-hoc connection outside the linked-server catalog.
+	AdHocSource(provider, datasource, query string) (*algebra.Source, error)
+	// MakeTableSource builds a Source for MakeTable(provider, path [,
+	// table]) (§2.4).
+	MakeTableSource(provider, path, table string) (*algebra.Source, error)
+}
+
+// Resolved is a catalog resolution result.
+type Resolved struct {
+	// Source is set for base tables.
+	Source *algebra.Source
+	// ViewText is set for views (the defining SELECT).
+	ViewText string
+}
+
+// Bound is the binder's output.
+type Bound struct {
+	Root *algebra.Node
+	// ResultCols carry the display names of the statement's output, in
+	// order.
+	ResultCols []algebra.OutCol
+	// RequiredOrder is the ORDER BY requirement the optimizer must
+	// enforce on the root.
+	RequiredOrder algebra.Ordering
+}
+
+// Binder allocates ColumnIDs and binds statements.
+type Binder struct {
+	cat     Catalog
+	nextCol expr.ColumnID
+	// viewDepth guards against runaway view recursion.
+	viewDepth int
+}
+
+// New returns a binder over the catalog.
+func New(cat Catalog) *Binder { return &Binder{cat: cat, nextCol: 1} }
+
+// allocCol returns a fresh ColumnID.
+func (b *Binder) allocCol() expr.ColumnID {
+	id := b.nextCol
+	b.nextCol++
+	return id
+}
+
+// AllocCol allocates a fresh ColumnID from the same sequence the binder
+// used; the optimizer's rules draw full-text KEY/RANK columns from it.
+func (b *Binder) AllocCol() expr.ColumnID { return b.allocCol() }
+
+// scope tracks visible relations during binding. Lookup is by optional
+// qualifier (alias or table name) + column name.
+type scope struct {
+	parent *scope
+	rels   []scopeRel
+}
+
+type scopeRel struct {
+	alias string // lower-cased
+	cols  []algebra.OutCol
+	kinds []sqltypes.Kind
+}
+
+func (s *scope) addRel(alias string, cols []algebra.OutCol) {
+	kinds := make([]sqltypes.Kind, len(cols))
+	for i, c := range cols {
+		kinds[i] = c.Kind
+	}
+	s.rels = append(s.rels, scopeRel{alias: strings.ToLower(alias), cols: cols, kinds: kinds})
+}
+
+// resolve finds a column by qualifier and name; correlated references walk
+// to the parent scope. The second result reports whether the match came
+// from an outer scope.
+func (s *scope) resolve(qualifier, name string) (algebra.OutCol, bool, error) {
+	lq := strings.ToLower(qualifier)
+	ln := strings.ToLower(name)
+	var found *algebra.OutCol
+	for i := range s.rels {
+		rel := &s.rels[i]
+		if lq != "" && rel.alias != lq {
+			continue
+		}
+		for j := range rel.cols {
+			if strings.ToLower(rel.cols[j].Name) == ln {
+				if found != nil {
+					return algebra.OutCol{}, false, fmt.Errorf("binder: ambiguous column %q", name)
+				}
+				c := rel.cols[j]
+				found = &c
+			}
+		}
+	}
+	if found != nil {
+		return *found, false, nil
+	}
+	if s.parent != nil {
+		c, _, err := s.parent.resolve(qualifier, name)
+		if err != nil {
+			return algebra.OutCol{}, false, err
+		}
+		return c, true, nil
+	}
+	return algebra.OutCol{}, false, fmt.Errorf("binder: unknown column %q", displayName(qualifier, name))
+}
+
+func displayName(q, n string) string {
+	if q == "" {
+		return n
+	}
+	return q + "." + n
+}
+
+// allCols returns every visible column of the current scope level in
+// relation order (star expansion).
+func (s *scope) allCols(qualifier string) ([]algebra.OutCol, error) {
+	lq := strings.ToLower(qualifier)
+	var out []algebra.OutCol
+	for _, rel := range s.rels {
+		if lq != "" && rel.alias != lq {
+			continue
+		}
+		out = append(out, rel.cols...)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("binder: no columns match %q.*", qualifier)
+	}
+	return out, nil
+}
+
+// BindSelect binds a SELECT statement (including UNION ALL chains).
+func (b *Binder) BindSelect(sel *parser.SelectStmt) (*Bound, error) {
+	return b.bindSelect(sel, nil)
+}
+
+func (b *Binder) bindSelect(sel *parser.SelectStmt, outer *scope) (*Bound, error) {
+	head, err := b.bindOneSelect(sel, outer)
+	if err != nil {
+		return nil, err
+	}
+	if sel.Union == nil {
+		return head, nil
+	}
+	// UNION ALL chain: bind each arm, then concatenate under fresh output
+	// columns.
+	arms := []*Bound{head}
+	for u := sel.Union; u != nil; u = u.Union {
+		arm, err := b.bindOneSelect(u, outer)
+		if err != nil {
+			return nil, err
+		}
+		if len(arm.ResultCols) != len(head.ResultCols) {
+			return nil, fmt.Errorf("binder: UNION ALL arms have %d vs %d columns",
+				len(head.ResultCols), len(arm.ResultCols))
+		}
+		arms = append(arms, arm)
+		if u.Union != nil {
+			continue
+		}
+	}
+	outCols := make([]algebra.OutCol, len(head.ResultCols))
+	for i, c := range head.ResultCols {
+		outCols[i] = algebra.OutCol{ID: b.allocCol(), Name: c.Name, Kind: c.Kind}
+	}
+	inMaps := make([][]expr.ColumnID, len(arms))
+	kids := make([]*algebra.Node, len(arms))
+	for i, arm := range arms {
+		inMaps[i] = algebra.IDs(arm.ResultCols)
+		kids[i] = arm.Root
+	}
+	root := algebra.NewNode(&algebra.UnionAll{OutColsList: outCols, InMaps: inMaps}, kids...)
+	return &Bound{Root: root, ResultCols: outCols}, nil
+}
+
+// bindOneSelect binds a single query block.
+func (b *Binder) bindOneSelect(sel *parser.SelectStmt, outer *scope) (*Bound, error) {
+	sc := &scope{parent: outer}
+	var root *algebra.Node
+
+	// FROM clause: cross-join the entries.
+	for _, tr := range sel.From {
+		n, err := b.bindTableRef(tr, sc)
+		if err != nil {
+			return nil, err
+		}
+		if root == nil {
+			root = n
+		} else {
+			root = algebra.NewNode(&algebra.Join{Type: algebra.InnerJoin}, root, n)
+		}
+	}
+	if root == nil {
+		// SELECT without FROM: single-row constant relation.
+		root = algebra.NewNode(&algebra.Values{
+			Cols: []algebra.OutCol{{ID: b.allocCol(), Name: "onerow", Kind: sqltypes.KindInt}},
+			Rows: [][]expr.Expr{{expr.NewConst(sqltypes.NewInt(1))}},
+		})
+	}
+
+	// WHERE.
+	if sel.Where != nil {
+		pred, subJoins, err := b.bindPredicate(sel.Where, sc, root)
+		if err != nil {
+			return nil, err
+		}
+		root = subJoins
+		if pred != nil {
+			root = algebra.NewNode(&algebra.Select{Filter: expr.FoldConstants(pred)}, root)
+		}
+	}
+
+	// Aggregation.
+	agg := newAggCollector(b, sc)
+	items := make([]boundItem, 0, len(sel.Items))
+	for _, it := range sel.Items {
+		if it.Star {
+			cols, err := sc.allCols(it.StarTable)
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range cols {
+				items = append(items, boundItem{name: c.Name, e: expr.NewColRef(c.ID, c.Name), kind: c.Kind})
+			}
+			continue
+		}
+		e, kind, err := agg.bindScalar(it.E)
+		if err != nil {
+			return nil, err
+		}
+		name := it.Alias
+		if name == "" {
+			name = exprDisplayName(it.E)
+		}
+		items = append(items, boundItem{name: name, e: e, kind: kind})
+	}
+
+	var havingExpr expr.Expr
+	if sel.Having != nil {
+		e, _, err := agg.bindScalar(sel.Having)
+		if err != nil {
+			return nil, err
+		}
+		havingExpr = e
+	}
+
+	// GROUP BY columns must resolve to input columns.
+	var groupCols []algebra.OutCol
+	for _, ge := range sel.GroupBy {
+		ne, ok := ge.(*parser.NameExpr)
+		if !ok {
+			return nil, fmt.Errorf("binder: GROUP BY supports column references only")
+		}
+		c, outerRef, err := sc.resolve(ne.Qualifier(), ne.Column())
+		if err != nil {
+			return nil, err
+		}
+		if outerRef {
+			return nil, fmt.Errorf("binder: GROUP BY column %s is correlated", ne.Display())
+		}
+		groupCols = append(groupCols, c)
+	}
+
+	needAgg := len(agg.specs) > 0 || len(groupCols) > 0
+	if needAgg {
+		// Validate that non-aggregate select items reference group columns.
+		grouped := expr.ColSet{}
+		for _, c := range groupCols {
+			grouped.Add(c.ID)
+		}
+		for _, it := range items {
+			if !agg.isAggOutput(it.e) {
+				for id := range expr.Cols(it.e) {
+					if !grouped.Has(id) && !agg.isAggOutputID(id) {
+						return nil, fmt.Errorf("binder: column %s must appear in GROUP BY or an aggregate", it.name)
+					}
+				}
+			}
+		}
+		root = algebra.NewNode(&algebra.GroupBy{GroupCols: groupCols, Aggs: agg.specs}, root)
+		if havingExpr != nil {
+			root = algebra.NewNode(&algebra.Select{Filter: havingExpr}, root)
+		}
+	} else if sel.Having != nil {
+		return nil, fmt.Errorf("binder: HAVING without aggregation")
+	}
+
+	// Projection.
+	proj := make([]algebra.ProjExpr, len(items))
+	resultCols := make([]algebra.OutCol, len(items))
+	aliasRefs := map[string]expr.ColumnID{}
+	for i, it := range items {
+		out := algebra.OutCol{ID: b.allocCol(), Name: it.name, Kind: it.kind}
+		// Pass-through columns keep their identity so orderings survive
+		// projection.
+		if cr, ok := it.e.(*expr.ColRef); ok {
+			out.ID = cr.ID
+		}
+		proj[i] = algebra.ProjExpr{Out: out, E: it.e}
+		resultCols[i] = out
+		aliasRefs[strings.ToLower(it.name)] = out.ID
+	}
+	root = algebra.NewNode(&algebra.Project{Exprs: proj}, root)
+
+	// ORDER BY / TOP. Order keys resolve against the select list aliases
+	// first, then the underlying scope.
+	var ordering algebra.Ordering
+	for _, oi := range sel.OrderBy {
+		var id expr.ColumnID
+		if ne, ok := oi.E.(*parser.NameExpr); ok && len(ne.Parts) == 1 {
+			if aid, ok := aliasRefs[strings.ToLower(ne.Column())]; ok {
+				id = aid
+			}
+		}
+		if id == 0 {
+			ne, ok := oi.E.(*parser.NameExpr)
+			if !ok {
+				return nil, fmt.Errorf("binder: ORDER BY supports column references only")
+			}
+			c, _, err := sc.resolve(ne.Qualifier(), ne.Column())
+			if err != nil {
+				return nil, err
+			}
+			id = c.ID
+			// The ordering column must survive projection.
+			visible := false
+			for _, rc := range resultCols {
+				if rc.ID == id {
+					visible = true
+					break
+				}
+			}
+			if !visible {
+				return nil, fmt.Errorf("binder: ORDER BY column %s must appear in the select list", ne.Display())
+			}
+		}
+		ordering = append(ordering, algebra.OrderCol{Col: id, Desc: oi.Desc})
+	}
+	bound := &Bound{Root: root, ResultCols: resultCols, RequiredOrder: ordering}
+	if sel.Top > 0 {
+		bound.Root = algebra.NewNode(&algebra.Top{N: sel.Top, Ordering: ordering}, bound.Root)
+	}
+	return bound, nil
+}
+
+type boundItem struct {
+	name string
+	e    expr.Expr
+	kind sqltypes.Kind
+}
+
+// exprDisplayName generates a column name for an unaliased item.
+func exprDisplayName(e parser.Expr) string {
+	if ne, ok := e.(*parser.NameExpr); ok {
+		return ne.Column()
+	}
+	return ""
+}

@@ -1,0 +1,81 @@
+package binder
+
+import (
+	"dhqp/internal/algebra"
+	"dhqp/internal/constraint"
+	"dhqp/internal/parser"
+	"dhqp/internal/schema"
+)
+
+// CheckDomains parses a table's CHECK constraint texts and derives the
+// column domains they imply, keyed by the Get's output ColumnIDs. The
+// memo's property derivation calls this through the engine's Metadata so
+// every Get carries its CHECK-implied domains (§4.1.5: "constraint
+// properties can be derived from ... constraints defined over columns in
+// the source tables").
+func CheckDomains(def *schema.Table, cols []algebra.OutCol) constraint.Map {
+	if def == nil || len(def.Checks) == 0 {
+		return nil
+	}
+	sc := &scope{}
+	sc.addRel(def.Name, cols)
+	out := constraint.Map{}
+	for _, text := range def.Checks {
+		ast, err := parser.ParseExpr(text)
+		if err != nil {
+			continue // unparseable constraint contributes nothing
+		}
+		b := New(nil)
+		eb := &exprBinder{b: b, sc: sc}
+		e, _, err := eb.bind(ast)
+		if err != nil {
+			continue
+		}
+		if !out.ApplyPredicate(e) {
+			// Contradictory constraints: the table can hold no rows.
+			// Leave the empty domain in place; property derivation marks
+			// the group unsatisfiable.
+			return out
+		}
+	}
+	return out
+}
+
+// CheckPredicate parses and binds a table's CHECK constraints into one
+// evaluable predicate over the table's own column layout (positional), for
+// DML-time enforcement by the storage layer.
+func CheckPredicate(def *schema.Table) ([]BoundCheck, error) {
+	var out []BoundCheck
+	cols := make([]algebra.OutCol, len(def.Columns))
+	layout := map[int]int{}
+	b := New(nil)
+	for i, c := range def.Columns {
+		cols[i] = algebra.OutCol{ID: b.allocCol(), Name: c.Name, Kind: c.Kind}
+		layout[int(cols[i].ID)] = i
+	}
+	sc := &scope{}
+	sc.addRel(def.Name, cols)
+	for _, text := range def.Checks {
+		ast, err := parser.ParseExpr(text)
+		if err != nil {
+			return nil, err
+		}
+		eb := &exprBinder{b: b, sc: sc}
+		e, _, err := eb.bind(ast)
+		if err != nil {
+			return nil, err
+		}
+		bound, err := bindPositional(e, layout)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BoundCheck{Text: text, Pred: bound})
+	}
+	return out, nil
+}
+
+// BoundCheck is one CHECK constraint bound to the table's row layout.
+type BoundCheck struct {
+	Text string
+	Pred boundExpr
+}

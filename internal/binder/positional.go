@@ -1,0 +1,18 @@
+package binder
+
+import (
+	"dhqp/internal/expr"
+)
+
+// boundExpr aliases expr.Expr for readability where a positional binding is
+// implied.
+type boundExpr = expr.Expr
+
+// bindPositional resolves an expression's ColumnIDs to row positions.
+func bindPositional(e expr.Expr, layout map[int]int) (expr.Expr, error) {
+	m := make(map[expr.ColumnID]int, len(layout))
+	for id, pos := range layout {
+		m[expr.ColumnID(id)] = pos
+	}
+	return expr.Bind(e, m)
+}

@@ -1,0 +1,139 @@
+package binder
+
+import (
+	"fmt"
+
+	"dhqp/internal/algebra"
+	"dhqp/internal/expr"
+	"dhqp/internal/parser"
+)
+
+// bindPredicate binds a WHERE clause, unrolling top-level EXISTS / NOT
+// EXISTS / IN-subquery conjuncts into semi- and anti-joins (the paper's
+// "removing sub-queries" simplification, §4.1.3; for remote subtrees the
+// *exploration-time* unrolling discussed in §4.1.4 corresponds to keeping
+// the semi-join abstract until the decoder's remotable-tree selection).
+// It returns the residual scalar predicate and the (possibly join-wrapped)
+// new root.
+func (b *Binder) bindPredicate(pred parser.Expr, sc *scope, root *algebra.Node) (expr.Expr, *algebra.Node, error) {
+	conjuncts := splitASTConjuncts(pred)
+	var residual []expr.Expr
+	for _, c := range conjuncts {
+		switch v := c.(type) {
+		case *parser.ExistsExpr:
+			var err error
+			root, err = b.bindExists(v.Sel, sc, root, false)
+			if err != nil {
+				return nil, nil, err
+			}
+			continue
+		case *parser.UnExpr:
+			if v.Op == "NOT" {
+				if ex, ok := v.E.(*parser.ExistsExpr); ok {
+					var err error
+					root, err = b.bindExists(ex.Sel, sc, root, true)
+					if err != nil {
+						return nil, nil, err
+					}
+					continue
+				}
+			}
+		case *parser.InExpr:
+			if v.Sel != nil {
+				var err error
+				root, err = b.bindInSubquery(v, sc, root)
+				if err != nil {
+					return nil, nil, err
+				}
+				continue
+			}
+		}
+		eb := &exprBinder{b: b, sc: sc}
+		e, _, err := eb.bind(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		residual = append(residual, e)
+	}
+	return expr.Conjoin(residual), root, nil
+}
+
+// splitASTConjuncts flattens top-level ANDs in the AST.
+func splitASTConjuncts(e parser.Expr) []parser.Expr {
+	if b, ok := e.(*parser.BinExpr); ok && b.Op == "AND" {
+		return append(splitASTConjuncts(b.L), splitASTConjuncts(b.R)...)
+	}
+	return []parser.Expr{e}
+}
+
+// bindExists converts [NOT] EXISTS(sel) into a semi-/anti-join. The
+// subquery's WHERE conjuncts referencing outer columns lift into the join
+// condition (the §2.4 pattern: WHERE m1.MsgId = m2.InReplyTo).
+func (b *Binder) bindExists(sel *parser.SelectStmt, sc *scope, root *algebra.Node, negate bool) (*algebra.Node, error) {
+	if sel.Union != nil || len(sel.GroupBy) > 0 || sel.Having != nil || sel.Top > 0 {
+		return nil, fmt.Errorf("binder: EXISTS subquery shape too complex (UNION/GROUP BY/TOP unsupported)")
+	}
+	subSc := &scope{parent: sc}
+	var subRoot *algebra.Node
+	for _, tr := range sel.From {
+		n, err := b.bindTableRef(tr, subSc)
+		if err != nil {
+			return nil, err
+		}
+		if subRoot == nil {
+			subRoot = n
+		} else {
+			subRoot = algebra.NewNode(&algebra.Join{Type: algebra.InnerJoin}, subRoot, n)
+		}
+	}
+	if subRoot == nil {
+		return nil, fmt.Errorf("binder: EXISTS subquery needs a FROM clause")
+	}
+	var joinOn, inner []expr.Expr
+	if sel.Where != nil {
+		for _, c := range splitASTConjuncts(sel.Where) {
+			eb := &exprBinder{b: b, sc: subSc}
+			e, _, err := eb.bind(c)
+			if err != nil {
+				return nil, err
+			}
+			if eb.usedOuter {
+				joinOn = append(joinOn, e)
+			} else {
+				inner = append(inner, e)
+			}
+		}
+	}
+	if f := expr.Conjoin(inner); f != nil {
+		subRoot = algebra.NewNode(&algebra.Select{Filter: f}, subRoot)
+	}
+	jt := algebra.SemiJoin
+	if negate {
+		jt = algebra.AntiJoin
+	}
+	return algebra.NewNode(&algebra.Join{Type: jt, On: expr.Conjoin(joinOn)}, root, subRoot), nil
+}
+
+// bindInSubquery converts e [NOT] IN (SELECT x ...) into a semi-/anti-join
+// on equality with the subquery's single output column.
+func (b *Binder) bindInSubquery(in *parser.InExpr, sc *scope, root *algebra.Node) (*algebra.Node, error) {
+	eb := &exprBinder{b: b, sc: sc}
+	left, _, err := eb.bind(in.E)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := b.bindSelect(in.Sel, sc)
+	if err != nil {
+		return nil, err
+	}
+	if len(sub.ResultCols) != 1 {
+		return nil, fmt.Errorf("binder: IN subquery must return exactly one column")
+	}
+	right := expr.NewColRef(sub.ResultCols[0].ID, sub.ResultCols[0].Name)
+	on := expr.NewBinary(expr.OpEq, left, right)
+	jt := algebra.SemiJoin
+	if in.Negate {
+		jt = algebra.AntiJoin
+	}
+	return algebra.NewNode(&algebra.Join{Type: jt, On: on}, root, sub.Root), nil
+}

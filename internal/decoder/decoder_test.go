@@ -1,0 +1,371 @@
+package decoder
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dhqp/internal/algebra"
+	"dhqp/internal/expr"
+	"dhqp/internal/oledb"
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+)
+
+func fullCaps() oledb.Capabilities {
+	return oledb.Capabilities{
+		SQLSupport:    oledb.SQLFull,
+		NestedSelects: true,
+		Profile:       expr.FullRemotable(),
+	}
+}
+
+func customerDef() *schema.Table {
+	return &schema.Table{
+		Catalog: "tpch10g", Schema: "dbo", Name: "customer",
+		Columns: []schema.Column{
+			{Name: "c_custkey", Kind: sqltypes.KindInt},
+			{Name: "c_name", Kind: sqltypes.KindString},
+			{Name: "c_nationkey", Kind: sqltypes.KindInt},
+		},
+	}
+}
+
+func supplierDef() *schema.Table {
+	return &schema.Table{
+		Catalog: "tpch10g", Schema: "dbo", Name: "supplier",
+		Columns: []schema.Column{
+			{Name: "s_suppkey", Kind: sqltypes.KindInt},
+			{Name: "s_nationkey", Kind: sqltypes.KindInt},
+		},
+	}
+}
+
+func custGet() *algebra.Node {
+	return algebra.NewNode(&algebra.Get{
+		Src: &algebra.Source{Server: "remote0", Catalog: "tpch10g", Schema: "dbo", Table: "customer", Def: customerDef()},
+		Cols: []algebra.OutCol{
+			{ID: 1, Name: "c_custkey", Kind: sqltypes.KindInt},
+			{ID: 2, Name: "c_name", Kind: sqltypes.KindString},
+			{ID: 3, Name: "c_nationkey", Kind: sqltypes.KindInt},
+		},
+	})
+}
+
+func suppGet() *algebra.Node {
+	return algebra.NewNode(&algebra.Get{
+		Src: &algebra.Source{Server: "remote0", Catalog: "tpch10g", Schema: "dbo", Table: "supplier", Def: supplierDef()},
+		Cols: []algebra.OutCol{
+			{ID: 10, Name: "s_suppkey", Kind: sqltypes.KindInt},
+			{ID: 11, Name: "s_nationkey", Kind: sqltypes.KindInt},
+		},
+	})
+}
+
+func TestDecodeSimpleGet(t *testing.T) {
+	r, err := Decode(custGet(), fullCaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT t0.c_custkey AS c1, t0.c_name AS c2, t0.c_nationkey AS c3 FROM tpch10g.dbo.customer AS t0"
+	if r.SQL != want {
+		t.Errorf("SQL = %q\nwant  %q", r.SQL, want)
+	}
+	if len(r.Cols) != 3 || r.Cols[0].ID != 1 {
+		t.Errorf("Cols = %v", r.Cols)
+	}
+}
+
+func TestDecodeSelectUsesUnderlyingRefs(t *testing.T) {
+	n := algebra.NewNode(&algebra.Select{
+		Filter: expr.NewBinary(expr.OpGt, expr.NewColRef(1, "c_custkey"), expr.NewConst(sqltypes.NewInt(50))),
+	}, custGet())
+	r, err := Decode(n, fullCaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.SQL, "WHERE (t0.c_custkey > 50)") {
+		t.Errorf("SQL = %q", r.SQL)
+	}
+}
+
+func TestDecodeJoinPaperExample(t *testing.T) {
+	// Figure 4(a): Customer JOIN Supplier ON nationkey pushed to remote0.
+	on := expr.NewBinary(expr.OpEq, expr.NewColRef(3, "c_nationkey"), expr.NewColRef(11, "s_nationkey"))
+	n := algebra.NewNode(&algebra.Join{Type: algebra.InnerJoin, On: on}, custGet(), suppGet())
+	r, err := Decode(n, fullCaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"INNER JOIN", "tpch10g.dbo.customer", "tpch10g.dbo.supplier",
+		"ON (t0.c_nationkey = t1.s_nationkey)",
+	} {
+		if !strings.Contains(r.SQL, frag) {
+			t.Errorf("SQL missing %q: %q", frag, r.SQL)
+		}
+	}
+	if strings.Contains(r.SQL, "remote0") {
+		t.Errorf("server name leaked into remote SQL: %q", r.SQL)
+	}
+	if len(r.Cols) != 5 {
+		t.Errorf("Cols = %v", r.Cols)
+	}
+}
+
+func TestDecodeJoinRequiresODBCCore(t *testing.T) {
+	caps := fullCaps()
+	caps.SQLSupport = oledb.SQLMinimum
+	n := algebra.NewNode(&algebra.Join{Type: algebra.InnerJoin}, custGet(), suppGet())
+	_, err := Decode(n, caps)
+	var nr *ErrNotRemotable
+	if !errors.As(err, &nr) {
+		t.Fatalf("want ErrNotRemotable, got %v", err)
+	}
+}
+
+func TestDecodeSemiAntiJoinAsExists(t *testing.T) {
+	on := expr.NewBinary(expr.OpEq, expr.NewColRef(3, "c_nationkey"), expr.NewColRef(11, "s_nationkey"))
+	semi := algebra.NewNode(&algebra.Join{Type: algebra.SemiJoin, On: on}, custGet(), suppGet())
+	r, err := Decode(semi, fullCaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.SQL, "EXISTS (SELECT 1") ||
+		!strings.Contains(r.SQL, "(t0.c_nationkey = t1.s_nationkey)") {
+		t.Errorf("SQL = %q", r.SQL)
+	}
+	if len(r.Cols) != 3 {
+		t.Errorf("semi join output = %v", r.Cols)
+	}
+	anti := algebra.NewNode(&algebra.Join{Type: algebra.AntiJoin, On: on}, custGet(), suppGet())
+	r2, err := Decode(anti, fullCaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r2.SQL, "NOT EXISTS (SELECT 1") {
+		t.Errorf("SQL = %q", r2.SQL)
+	}
+	// Without nested selects the shape is not remotable.
+	caps := fullCaps()
+	caps.NestedSelects = false
+	if _, err := Decode(semi, caps); err == nil {
+		t.Error("semi join decoded without nested-select capability")
+	}
+	// Inner filters on the subquery side fold into the EXISTS condition.
+	filtered := algebra.NewNode(&algebra.Join{Type: algebra.SemiJoin, On: on},
+		custGet(),
+		algebra.NewNode(&algebra.Select{
+			Filter: expr.NewBinary(expr.OpGt, expr.NewColRef(10, "s_suppkey"), expr.NewConst(sqltypes.NewInt(5))),
+		}, suppGet()))
+	r3, err := Decode(filtered, fullCaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r3.SQL, "(t1.s_suppkey > 5)") {
+		t.Errorf("SQL = %q", r3.SQL)
+	}
+}
+
+func TestDecodeGroupBy(t *testing.T) {
+	gb := algebra.NewNode(&algebra.GroupBy{
+		GroupCols: []algebra.OutCol{{ID: 3, Name: "c_nationkey", Kind: sqltypes.KindInt}},
+		Aggs: []algebra.AggSpec{
+			{Out: algebra.OutCol{ID: 50, Name: "cnt", Kind: sqltypes.KindInt}, Func: algebra.AggCount},
+			{Out: algebra.OutCol{ID: 51, Name: "maxk", Kind: sqltypes.KindInt}, Func: algebra.AggMax, Arg: expr.NewColRef(1, "c_custkey")},
+		},
+	}, custGet())
+	r, err := Decode(gb, fullCaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"GROUP BY t0.c_nationkey", "COUNT(*) AS c50", "MAX(t0.c_custkey) AS c51"} {
+		if !strings.Contains(r.SQL, frag) {
+			t.Errorf("SQL missing %q: %q", frag, r.SQL)
+		}
+	}
+	caps := fullCaps()
+	caps.SQLSupport = oledb.SQLODBCCore
+	if _, err := Decode(gb, caps); err == nil {
+		t.Error("GROUP BY decoded at ODBC Core level")
+	}
+}
+
+func TestDecodeSelectOverGroupByWrapsDerivedTable(t *testing.T) {
+	gb := algebra.NewNode(&algebra.GroupBy{
+		GroupCols: []algebra.OutCol{{ID: 3, Name: "c_nationkey", Kind: sqltypes.KindInt}},
+		Aggs:      []algebra.AggSpec{{Out: algebra.OutCol{ID: 50, Name: "cnt", Kind: sqltypes.KindInt}, Func: algebra.AggCount}},
+	}, custGet())
+	sel := algebra.NewNode(&algebra.Select{
+		Filter: expr.NewBinary(expr.OpGt, expr.NewColRef(50, "cnt"), expr.NewConst(sqltypes.NewInt(10))),
+	}, gb)
+	r, err := Decode(sel, fullCaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.SQL, "FROM (SELECT") || !strings.Contains(r.SQL, "WHERE (d1.c50 > 10)") {
+		t.Errorf("SQL = %q", r.SQL)
+	}
+	// Without nested selects the same shape must fail.
+	caps := fullCaps()
+	caps.NestedSelects = false
+	if _, err := Decode(sel, caps); err == nil {
+		t.Error("derived table emitted without NestedSelects")
+	}
+}
+
+func TestDecodeTopWithOrder(t *testing.T) {
+	n := algebra.NewNode(&algebra.Top{
+		N:        5,
+		Ordering: algebra.Ordering{{Col: 1, Desc: true}},
+	}, custGet())
+	r, err := Decode(n, fullCaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(r.SQL, "SELECT TOP 5 ") || !strings.Contains(r.SQL, "ORDER BY t0.c_custkey DESC") {
+		t.Errorf("SQL = %q", r.SQL)
+	}
+}
+
+func TestDecodeProjectComputesExpressions(t *testing.T) {
+	up, _ := expr.NewFuncCall("upper", []expr.Expr{expr.NewColRef(2, "c_name")})
+	n := algebra.NewNode(&algebra.Project{
+		Exprs: []algebra.ProjExpr{
+			{Out: algebra.OutCol{ID: 60, Name: "uname", Kind: sqltypes.KindString}, E: up},
+		},
+	}, custGet())
+	r, err := Decode(n, fullCaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.SQL, "upper(t0.c_name) AS c60") {
+		t.Errorf("SQL = %q", r.SQL)
+	}
+	// Function not in the remote profile: not remotable.
+	caps := fullCaps()
+	caps.Profile.Funcs = nil
+	if _, err := Decode(n, caps); err == nil {
+		t.Error("non-profile function decoded")
+	}
+}
+
+func TestDecodeParameters(t *testing.T) {
+	n := algebra.NewNode(&algebra.Select{
+		Filter: expr.NewBinary(expr.OpEq, expr.NewColRef(1, "c_custkey"), expr.NewParam("p0")),
+	}, custGet())
+	r, err := Decode(n, fullCaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.SQL, "= @p0") {
+		t.Errorf("SQL = %q", r.SQL)
+	}
+	if len(r.Params) != 1 || r.Params[0] != "p0" {
+		t.Errorf("Params = %v", r.Params)
+	}
+	caps := fullCaps()
+	caps.Profile.Params = false
+	if _, err := Decode(n, caps); err == nil {
+		t.Error("params decoded without param capability")
+	}
+}
+
+func TestDecodeDateFormatProperty(t *testing.T) {
+	n := algebra.NewNode(&algebra.Select{
+		Filter: expr.NewBinary(expr.OpGe, expr.NewColRef(1, "c_custkey"), expr.NewConst(sqltypes.NewDate(1992, 1, 1))),
+	}, custGet())
+	caps := fullCaps()
+	caps.DateFormat = "{d '2006-01-02'}"
+	r, err := Decode(n, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.SQL, "{d '1992-01-01'}") {
+		t.Errorf("SQL = %q", r.SQL)
+	}
+	// Default format.
+	r2, _ := Decode(n, fullCaps())
+	if !strings.Contains(r2.SQL, "'1992-01-01'") {
+		t.Errorf("SQL = %q", r2.SQL)
+	}
+}
+
+func TestDecodeLikeInNullNot(t *testing.T) {
+	pred := expr.Conjoin([]expr.Expr{
+		&expr.Like{E: expr.NewColRef(2, "c_name"), Pattern: expr.NewConst(sqltypes.NewString("A%"))},
+		&expr.InList{E: expr.NewColRef(1, "c_custkey"), List: []expr.Expr{expr.NewConst(sqltypes.NewInt(1)), expr.NewConst(sqltypes.NewInt(2))}},
+		&expr.IsNull{E: expr.NewColRef(3, "c_nationkey"), Negate: true},
+		expr.NewNot(expr.NewBinary(expr.OpEq, expr.NewColRef(1, "k"), expr.NewConst(sqltypes.NewInt(9)))),
+	})
+	n := algebra.NewNode(&algebra.Select{Filter: pred}, custGet())
+	r, err := Decode(n, fullCaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"LIKE 'A%'", "IN (1, 2)", "IS NOT NULL", "NOT ("} {
+		if !strings.Contains(r.SQL, frag) {
+			t.Errorf("SQL missing %q: %q", frag, r.SQL)
+		}
+	}
+	caps := fullCaps()
+	caps.Profile.Like = false
+	if _, err := Decode(n, caps); err == nil {
+		t.Error("LIKE decoded without capability")
+	}
+}
+
+func TestDecodeContainsNeverRemotable(t *testing.T) {
+	ct, _ := expr.NewContains(expr.NewColRef(2, "c_name"), "database")
+	n := algebra.NewNode(&algebra.Select{Filter: ct}, custGet())
+	if _, err := Decode(n, fullCaps()); err == nil {
+		t.Error("CONTAINS decoded to SQL")
+	}
+}
+
+func TestDecodeNonBaseSourceFails(t *testing.T) {
+	n := algebra.NewNode(&algebra.Get{
+		Src:  &algebra.Source{Kind: algebra.SourceFullText, Table: "docs", Query: "x"},
+		Cols: []algebra.OutCol{{ID: 1, Name: "k"}},
+	})
+	if _, err := Decode(n, fullCaps()); err == nil {
+		t.Error("full-text source decoded as SQL")
+	}
+}
+
+func TestDecodeQuoting(t *testing.T) {
+	def := &schema.Table{
+		Catalog: "db", Name: "order details",
+		Columns: []schema.Column{{Name: "id", Kind: sqltypes.KindInt}},
+	}
+	n := algebra.NewNode(&algebra.Get{
+		Src:  &algebra.Source{Server: "r", Catalog: "db", Table: "order details", Def: def},
+		Cols: []algebra.OutCol{{ID: 1, Name: "id", Kind: sqltypes.KindInt}},
+	})
+	caps := fullCaps()
+	caps.QuoteChar = "["
+	r, err := Decode(n, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.SQL, "[order details]") {
+		t.Errorf("SQL = %q", r.SQL)
+	}
+	caps.QuoteChar = `"`
+	r2, _ := Decode(n, caps)
+	if !strings.Contains(r2.SQL, `"order details"`) {
+		t.Errorf("SQL = %q", r2.SQL)
+	}
+}
+
+func TestDecodeUnionAllNotSupported(t *testing.T) {
+	n := algebra.NewNode(&algebra.UnionAll{
+		OutColsList: []algebra.OutCol{{ID: 1, Name: "k"}},
+		InMaps:      [][]expr.ColumnID{{1}, {10}},
+	}, custGet(), suppGet())
+	var nr *ErrNotRemotable
+	_, err := Decode(n, fullCaps())
+	if !errors.As(err, &nr) {
+		t.Errorf("want ErrNotRemotable for UnionAll, got %v", err)
+	}
+}

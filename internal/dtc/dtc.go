@@ -1,0 +1,171 @@
+// Package dtc implements the Distributed Transaction Coordinator role the
+// paper assigns to MS DTC (§2): "SQL Server uses the Microsoft Distributed
+// Transaction Coordinator to ensure atomicity of transactions across data
+// sources." The coordinator drives classic presumed-abort two-phase commit
+// over enlisted participants.
+package dtc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Participant is one resource manager enlisted in a distributed
+// transaction.
+type Participant interface {
+	// Prepare votes in phase one: after returning nil, the participant
+	// must be able to Commit regardless of failures.
+	Prepare() error
+	// Commit applies the prepared work.
+	Commit() error
+	// Abort rolls back.
+	Abort() error
+}
+
+// Outcome is the coordinator's decision for one transaction.
+type Outcome int
+
+// Transaction outcomes.
+const (
+	OutcomeCommitted Outcome = iota
+	OutcomeAborted
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	if o == OutcomeCommitted {
+		return "committed"
+	}
+	return "aborted"
+}
+
+// ErrAborted reports a transaction aborted by a participant's veto.
+var ErrAborted = errors.New("dtc: transaction aborted")
+
+// Coordinator runs two-phase commit and records decisions.
+type Coordinator struct {
+	mu        sync.Mutex
+	decisions []Outcome
+}
+
+// New returns a coordinator.
+func New() *Coordinator { return &Coordinator{} }
+
+// Transaction is one in-flight distributed transaction.
+type Transaction struct {
+	c            *Coordinator
+	participants []Participant
+	done         bool
+}
+
+// Begin starts a transaction.
+func (c *Coordinator) Begin() *Transaction {
+	return &Transaction{c: c}
+}
+
+// Enlist adds a participant (idempotent per value).
+func (t *Transaction) Enlist(p Participant) {
+	for _, e := range t.participants {
+		if e == p {
+			return
+		}
+	}
+	t.participants = append(t.participants, p)
+}
+
+// Participants reports the enlisted count.
+func (t *Transaction) Participants() int { return len(t.participants) }
+
+// Commit runs both phases: every participant prepares; a single veto
+// aborts all. Returns ErrAborted (wrapped with the veto) on abort.
+func (t *Transaction) Commit() error {
+	if t.done {
+		return fmt.Errorf("dtc: transaction already finished")
+	}
+	t.done = true
+	// Phase one: prepare.
+	for i, p := range t.participants {
+		if err := p.Prepare(); err != nil {
+			// Abort everyone, including the participant that vetoed.
+			for j := 0; j <= i; j++ {
+				_ = t.participants[j].Abort()
+			}
+			for j := i + 1; j < len(t.participants); j++ {
+				_ = t.participants[j].Abort()
+			}
+			t.c.record(OutcomeAborted)
+			return fmt.Errorf("%w: participant %d vetoed: %v", ErrAborted, i, err)
+		}
+	}
+	// Phase two: commit. After unanimous prepare, commit must succeed;
+	// participant errors here indicate a broken contract and surface.
+	var firstErr error
+	for i, p := range t.participants {
+		if err := p.Commit(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("dtc: participant %d failed to commit after prepare: %w", i, err)
+		}
+	}
+	t.c.record(OutcomeCommitted)
+	return firstErr
+}
+
+// Abort rolls back all participants.
+func (t *Transaction) Abort() error {
+	if t.done {
+		return fmt.Errorf("dtc: transaction already finished")
+	}
+	t.done = true
+	for _, p := range t.participants {
+		_ = p.Abort()
+	}
+	t.c.record(OutcomeAborted)
+	return nil
+}
+
+func (c *Coordinator) record(o Outcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.decisions = append(c.decisions, o)
+}
+
+// Decisions returns the decision log.
+func (c *Coordinator) Decisions() []Outcome {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Outcome, len(c.decisions))
+	copy(out, c.decisions)
+	return out
+}
+
+// FuncParticipant adapts closures into a Participant (buffered-write
+// resource managers build on it).
+type FuncParticipant struct {
+	PrepareFn func() error
+	CommitFn  func() error
+	AbortFn   func() error
+}
+
+// Prepare implements Participant.
+func (f *FuncParticipant) Prepare() error {
+	if f.PrepareFn == nil {
+		return nil
+	}
+	return f.PrepareFn()
+}
+
+// Commit implements Participant.
+func (f *FuncParticipant) Commit() error {
+	if f.CommitFn == nil {
+		return nil
+	}
+	return f.CommitFn()
+}
+
+// Abort implements Participant.
+func (f *FuncParticipant) Abort() error {
+	if f.AbortFn == nil {
+		return nil
+	}
+	return f.AbortFn()
+}

@@ -1,0 +1,178 @@
+package dtc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// recorder tracks the lifecycle calls a participant receives.
+type recorder struct {
+	prepared, committed, aborted int
+	vetoPrepare                  bool
+}
+
+func (r *recorder) Prepare() error {
+	r.prepared++
+	if r.vetoPrepare {
+		return errors.New("veto")
+	}
+	return nil
+}
+func (r *recorder) Commit() error { r.committed++; return nil }
+func (r *recorder) Abort() error  { r.aborted++; return nil }
+
+func TestCommitAllPrepared(t *testing.T) {
+	c := New()
+	txn := c.Begin()
+	parts := []*recorder{{}, {}, {}}
+	for _, p := range parts {
+		txn.Enlist(p)
+	}
+	if txn.Participants() != 3 {
+		t.Fatalf("participants = %d", txn.Participants())
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		if p.prepared != 1 || p.committed != 1 || p.aborted != 0 {
+			t.Errorf("participant %d: %+v", i, p)
+		}
+	}
+	d := c.Decisions()
+	if len(d) != 1 || d[0] != OutcomeCommitted {
+		t.Errorf("decisions = %v", d)
+	}
+}
+
+func TestVetoAbortsEveryone(t *testing.T) {
+	c := New()
+	txn := c.Begin()
+	a, b, v := &recorder{}, &recorder{}, &recorder{vetoPrepare: true}
+	txn.Enlist(a)
+	txn.Enlist(v)
+	txn.Enlist(b)
+	err := txn.Commit()
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v", err)
+	}
+	// Nobody commits; everyone aborts (including the not-yet-prepared b).
+	for i, p := range []*recorder{a, v, b} {
+		if p.committed != 0 {
+			t.Errorf("participant %d committed after veto", i)
+		}
+		if p.aborted != 1 {
+			t.Errorf("participant %d aborted %d times", i, p.aborted)
+		}
+	}
+	// b never prepared (veto came before it).
+	if b.prepared != 0 {
+		t.Errorf("late participant prepared despite earlier veto")
+	}
+	if d := c.Decisions(); len(d) != 1 || d[0] != OutcomeAborted {
+		t.Errorf("decisions = %v", d)
+	}
+}
+
+func TestExplicitAbort(t *testing.T) {
+	c := New()
+	txn := c.Begin()
+	p := &recorder{}
+	txn.Enlist(p)
+	if err := txn.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if p.aborted != 1 || p.prepared != 0 {
+		t.Errorf("participant = %+v", p)
+	}
+	// Double-finish is rejected.
+	if err := txn.Commit(); err == nil {
+		t.Error("commit after abort accepted")
+	}
+	if err := txn.Abort(); err == nil {
+		t.Error("double abort accepted")
+	}
+}
+
+func TestEnlistIdempotent(t *testing.T) {
+	c := New()
+	txn := c.Begin()
+	p := &recorder{}
+	txn.Enlist(p)
+	txn.Enlist(p)
+	if txn.Participants() != 1 {
+		t.Errorf("participants = %d", txn.Participants())
+	}
+}
+
+func TestFuncParticipantDefaults(t *testing.T) {
+	p := &FuncParticipant{}
+	if p.Prepare() != nil || p.Commit() != nil || p.Abort() != nil {
+		t.Error("nil closures should be no-ops")
+	}
+	called := 0
+	q := &FuncParticipant{CommitFn: func() error { called++; return nil }}
+	c := New()
+	txn := c.Begin()
+	txn.Enlist(q)
+	txn.Commit()
+	if called != 1 {
+		t.Errorf("commit fn called %d times", called)
+	}
+}
+
+func TestCommitFailureAfterPrepareSurfaces(t *testing.T) {
+	c := New()
+	txn := c.Begin()
+	txn.Enlist(&FuncParticipant{CommitFn: func() error { return errors.New("disk died") }})
+	err := txn.Commit()
+	if err == nil || errors.Is(err, ErrAborted) {
+		t.Errorf("broken-contract commit error = %v", err)
+	}
+	// The decision is still commit (presumed outcome after unanimous
+	// prepare).
+	if d := c.Decisions(); d[len(d)-1] != OutcomeCommitted {
+		t.Errorf("decision = %v", d)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if OutcomeCommitted.String() != "committed" || OutcomeAborted.String() != "aborted" {
+		t.Error("outcome strings")
+	}
+}
+
+// Property: with any mix of vetoing participants, either everyone commits
+// (no vetoes) or nobody does.
+func TestAtomicityProperty(t *testing.T) {
+	f := func(vetoes []bool) bool {
+		if len(vetoes) == 0 {
+			return true
+		}
+		c := New()
+		txn := c.Begin()
+		parts := make([]*recorder, len(vetoes))
+		anyVeto := false
+		for i, v := range vetoes {
+			parts[i] = &recorder{vetoPrepare: v}
+			txn.Enlist(parts[i])
+			anyVeto = anyVeto || v
+		}
+		err := txn.Commit()
+		if anyVeto != (err != nil) {
+			return false
+		}
+		committed := 0
+		for _, p := range parts {
+			committed += p.committed
+		}
+		if anyVeto {
+			return committed == 0
+		}
+		return committed == len(parts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAggregationSplitsThroughPartitionedView: aggregates over a
+// distributed partitioned view push partial aggregation to each member;
+// only pre-aggregated rows cross the network.
+func TestAggregationSplitsThroughPartitionedView(t *testing.T) {
+	head, _, links := buildFederation(t) // 2 members × 400 rows
+	query := `SELECT COUNT(*) AS n, SUM(amount) AS s, MIN(amount) AS mn, MAX(amount) AS mx FROM all_sales`
+	plan, _, _, err := head.Plan(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planStr := plan.String()
+	// Each member should run its own aggregation remotely.
+	if !strings.Contains(planStr, "RemoteQuery") || !strings.Contains(planStr, "COUNT(*)") {
+		t.Errorf("partial aggregation not pushed:\n%s", planStr)
+	}
+	// Warm caches, then measure: the network must carry member-level
+	// partial rows, not the base data.
+	q(t, head, query)
+	for _, l := range links {
+		l.Reset()
+	}
+	res := q(t, head, query)
+	var rows int64
+	for _, l := range links {
+		rows += l.Stats().Rows
+	}
+	if rows > 10 {
+		t.Errorf("aggregation shipped %d rows (want partials only)", rows)
+	}
+	// Correctness: 800 rows, amounts 1000..1399 on each member.
+	r := res.Rows[0]
+	if r[0].Int() != 800 {
+		t.Errorf("count = %v", r[0])
+	}
+	wantSum := int64(0)
+	for j := 0; j < 400; j++ {
+		wantSum += 2 * int64(1000+j)
+	}
+	if r[1].Int() != wantSum || r[2].Int() != 1000 || r[3].Int() != 1399 {
+		t.Errorf("aggregates = %v (want sum=%d mn=1000 mx=1399)", r, wantSum)
+	}
+}
+
+// TestGroupedAggregationThroughView checks the split with grouping columns.
+func TestGroupedAggregationThroughView(t *testing.T) {
+	head, _, links := buildFederation(t)
+	query := `SELECT y, COUNT(*) AS n, MAX(amount) AS mx FROM all_sales GROUP BY y ORDER BY y`
+	res := q(t, head, query)
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	if res.Rows[0][0].Int() != 1992 || res.Rows[0][1].Int() != 400 || res.Rows[0][2].Int() != 1399 {
+		t.Errorf("group 1992 = %v", res.Rows[0])
+	}
+	if res.Rows[1][0].Int() != 1993 || res.Rows[1][1].Int() != 400 {
+		t.Errorf("group 1993 = %v", res.Rows[1])
+	}
+	// Traffic: partials only.
+	q(t, head, query)
+	for _, l := range links {
+		l.Reset()
+	}
+	q(t, head, query)
+	var rows int64
+	for _, l := range links {
+		rows += l.Stats().Rows
+	}
+	if rows > 10 {
+		t.Errorf("grouped aggregation shipped %d rows", rows)
+	}
+}
+
+// TestAvgAndDistinctDoNotSplit: AVG and DISTINCT aggregates cannot merge
+// from partials; they must still compute correctly (unsplit).
+func TestAvgAndDistinctDoNotSplit(t *testing.T) {
+	head, _, _ := buildFederation(t)
+	res := q(t, head, `SELECT AVG(amount) AS a, COUNT(DISTINCT y) AS dy FROM all_sales`)
+	r := res.Rows[0]
+	// amounts 1000..1399 twice: mean = 1199.5
+	if r[0].Float() != 1199.5 {
+		t.Errorf("avg = %v", r[0])
+	}
+	if r[1].Int() != 2 {
+		t.Errorf("distinct years = %v", r[1])
+	}
+}

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"dhqp/internal/oledb"
+	"dhqp/internal/rowset"
+	"dhqp/internal/sqltypes"
+)
+
+// TestConcurrentQueries runs many goroutines against one server (mixing
+// cached-plan hits, fresh plans and remote access) under -race.
+func TestConcurrentQueries(t *testing.T) {
+	local, _, _ := linkTwo(t)
+	queries := []string{
+		`SELECT COUNT(*) AS n FROM nation`,
+		`SELECT c_name FROM remote0.salesdb.dbo.customer WHERE c_id = 7`,
+		`SELECT n.n_name, COUNT(*) AS c FROM remote0.salesdb.dbo.customer cu, nation n
+			WHERE cu.c_nation = n.n_id GROUP BY n.n_name`,
+	}
+	// Warm the plan cache once.
+	for _, sql := range queries {
+		q(t, local, sql)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				sql := queries[(g+i)%len(queries)]
+				if _, err := local.Query(sql, nil); err != nil {
+					errs <- fmt.Errorf("goroutine %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// failingDS is a provider whose sessions work but whose commands fail,
+// injecting remote faults mid-query.
+type failingDS struct {
+	inner oledb.DataSource
+}
+
+func (f *failingDS) Initialize(props map[string]string) error { return f.inner.Initialize(props) }
+func (f *failingDS) Capabilities() oledb.Capabilities         { return f.inner.Capabilities() }
+func (f *failingDS) CreateSession() (oledb.Session, error) {
+	s, err := f.inner.CreateSession()
+	if err != nil {
+		return nil, err
+	}
+	return &failingSession{Session: s}, nil
+}
+
+type failingSession struct {
+	oledb.Session
+}
+
+func (f *failingSession) CreateCommand() (oledb.Command, error) {
+	return &failingCommand{}, nil
+}
+
+type failingCommand struct{}
+
+func (f *failingCommand) SetText(string)                  {}
+func (f *failingCommand) SetParam(string, sqltypes.Value) {}
+func (f *failingCommand) Execute() (rowset.Rowset, error) {
+	return nil, fmt.Errorf("injected remote failure")
+}
+func (f *failingCommand) ExecuteNonQuery() (int64, error) {
+	return 0, fmt.Errorf("injected remote failure")
+}
+
+// TestRemoteFailureSurfacesCleanly: a remote command failure must surface
+// as a query error, never a panic, and must not poison later queries.
+func TestRemoteFailureSurfacesCleanly(t *testing.T) {
+	local := NewServer("local", "db")
+	remote := NewServer("r", "rdb")
+	remote.MustExec(`CREATE TABLE t (a INT)`)
+	var b strings.Builder
+	b.WriteString("INSERT INTO t VALUES ")
+	for i := 0; i < 5000; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d)", i)
+	}
+	remote.MustExec(b.String())
+	inner := sqlfulNew(remote, netsimLAN())
+	if err := local.AddLinkedServer("r0", &failingDS{inner: inner}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A pushed query (selective filter over 800 rows) hits the failing
+	// command object.
+	if _, err := local.Query(`SELECT a FROM r0.rdb.dbo.t WHERE a = 7`, nil); err == nil {
+		t.Error("injected failure swallowed")
+	}
+	// The failure does not poison the server: the same remote reached
+	// through a healthy provider under a different linked-server name
+	// still answers.
+	if err := local.AddLinkedServer("r1", inner, nil); err != nil {
+		t.Fatal(err)
+	}
+	res := q(t, local, `SELECT COUNT(*) AS n FROM r1.rdb.dbo.t`)
+	if res.Rows[0][0].Int() != 5000 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+}

@@ -1,0 +1,718 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dhqp/internal/algebra"
+	"dhqp/internal/binder"
+	"dhqp/internal/constraint"
+	"dhqp/internal/dtc"
+	"dhqp/internal/expr"
+	"dhqp/internal/parser"
+	"dhqp/internal/providers/fulltext"
+	"dhqp/internal/providers/native"
+	"dhqp/internal/rowset"
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+	"dhqp/internal/stats"
+	"dhqp/internal/storage"
+)
+
+// Exec executes a DDL or DML statement.
+func (s *Server) Exec(sql string) (int64, error) {
+	return s.ExecParams(sql, nil)
+}
+
+// MustExec is Exec that panics on error (setup code in examples/benches).
+func (s *Server) MustExec(sql string) {
+	if _, err := s.Exec(sql); err != nil {
+		panic(fmt.Sprintf("engine: %s\n  while executing: %s", err, sql))
+	}
+}
+
+// ExecParams executes DDL/DML with parameters.
+func (s *Server) ExecParams(sql string, params map[string]sqltypes.Value) (int64, error) {
+	st, err := parser.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	switch v := st.(type) {
+	case *parser.CreateTableStmt:
+		return 0, s.execCreateTable(v)
+	case *parser.CreateIndexStmt:
+		return 0, s.execCreateIndex(v)
+	case *parser.CreateViewStmt:
+		s.mu.Lock()
+		s.views[strings.ToLower(v.Name.Name())] = v.Text
+		s.mu.Unlock()
+		s.invalidatePlans()
+		return 0, nil
+	case *parser.ExecStmt:
+		return 0, s.execProc(v)
+	case *parser.InsertStmt:
+		return s.execInsert(v, params)
+	case *parser.UpdateStmt:
+		return s.execUpdate(v, params)
+	case *parser.DeleteStmt:
+		return s.execDelete(v, params)
+	case *parser.SelectStmt:
+		return 0, fmt.Errorf("engine: use Query for SELECT statements")
+	default:
+		return 0, fmt.Errorf("engine: unsupported statement %T", st)
+	}
+}
+
+func kindOfType(t string) sqltypes.Kind {
+	switch t {
+	case "int":
+		return sqltypes.KindInt
+	case "float":
+		return sqltypes.KindFloat
+	case "bit":
+		return sqltypes.KindBool
+	case "date":
+		return sqltypes.KindDate
+	default:
+		return sqltypes.KindString
+	}
+}
+
+func (s *Server) execCreateTable(st *parser.CreateTableStmt) error {
+	if len(st.Name.Parts) == 4 {
+		// Forward DDL to the linked server (federation setup).
+		text, err := renderCreateTable(st)
+		if err != nil {
+			return err
+		}
+		_, err = s.forward(st.Name.Parts[0], text, nil)
+		return err
+	}
+	catalogName := s.defaultDB
+	if len(st.Name.Parts) == 3 {
+		catalogName = st.Name.Parts[0]
+	}
+	db := s.store.CreateDatabase(catalogName)
+	def := &schema.Table{Catalog: catalogName, Schema: "dbo", Name: st.Name.Name()}
+	for _, c := range st.Columns {
+		def.Columns = append(def.Columns, schema.Column{
+			Name: c.Name, Kind: kindOfType(c.TypeName), Nullable: !c.NotNull,
+		})
+	}
+	for _, pkc := range st.PrimaryKey {
+		ord := def.ColumnIndex(pkc)
+		if ord < 0 {
+			return fmt.Errorf("engine: PRIMARY KEY column %q not defined", pkc)
+		}
+		def.PrimaryKey = append(def.PrimaryKey, ord)
+	}
+	def.Checks = append(def.Checks, st.CheckTexts...)
+	if _, err := db.CreateTable(def); err != nil {
+		return err
+	}
+	s.invalidatePlans()
+	// A primary key implies an index.
+	if len(def.PrimaryKey) > 0 {
+		t, _ := db.Table(def.Name)
+		_, err := t.AddIndex(schema.Index{
+			Name: "pk_" + def.Name, Columns: def.PrimaryKey, Unique: true,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	s.invalidateLocal()
+	return nil
+}
+
+func (s *Server) execCreateIndex(st *parser.CreateIndexStmt) error {
+	if len(st.Table.Parts) == 4 {
+		text := "CREATE "
+		if st.Unique {
+			text += "UNIQUE "
+		}
+		text += "INDEX " + st.Name + " ON " + stripServer(st.Table.Parts) +
+			" (" + strings.Join(st.Columns, ", ") + ")"
+		_, err := s.forward(st.Table.Parts[0], text, nil)
+		return err
+	}
+	db, t, err := s.localTable(st.Table.Parts)
+	if err != nil {
+		return err
+	}
+	_ = db
+	var ords []int
+	for _, c := range st.Columns {
+		ord := t.Def().ColumnIndex(c)
+		if ord < 0 {
+			return fmt.Errorf("engine: index column %q not found", c)
+		}
+		ords = append(ords, ord)
+	}
+	_, err = t.AddIndex(schema.Index{Name: st.Name, Columns: ords, Unique: st.Unique})
+	s.invalidateLocal()
+	s.invalidatePlans()
+	return err
+}
+
+// invalidateLocal drops statistics caches affected by local DDL/DML.
+// Cached plans stay valid across DML (they reference catalog objects, not
+// data); invalidatePlans clears them on DDL.
+func (s *Server) invalidateLocal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cardCache = map[string]float64{}
+	s.histCache = map[string]*stats.Histogram{}
+}
+
+// invalidatePlans drops the plan cache (schema changed).
+func (s *Server) invalidatePlans() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.planCache = map[string]*cachedPlan{}
+}
+
+func (s *Server) execProc(st *parser.ExecStmt) error {
+	switch st.Proc {
+	case "sp_addlinkedserver":
+		if len(st.Args) != 3 {
+			return fmt.Errorf("engine: sp_addlinkedserver needs 'name', 'provider', 'datasource'")
+		}
+		name, provider, datasource := st.Args[0], st.Args[1], st.Args[2]
+		if strings.EqualFold(provider, "MSIDXS") {
+			ds := fulltext.NewProvider(s.ftService, s.ftLink)
+			if err := ds.Initialize(map[string]string{"DataSource": datasource}); err != nil {
+				return err
+			}
+			return s.AddLinkedServer(name, ds, s.ftLink)
+		}
+		s.mu.Lock()
+		f, ok := s.providerFactories[strings.ToLower(provider)]
+		s.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("engine: no provider registered as %q", provider)
+		}
+		ds, link, err := f(datasource)
+		if err != nil {
+			return err
+		}
+		if err := ds.Initialize(map[string]string{"DataSource": datasource}); err != nil {
+			return err
+		}
+		return s.AddLinkedServer(name, ds, link)
+	default:
+		return fmt.Errorf("engine: unknown procedure %q", st.Proc)
+	}
+}
+
+// localTable resolves a local table reference.
+func (s *Server) localTable(parts []string) (*storage.Database, *storage.Table, error) {
+	catalogName := s.defaultDB
+	if len(parts) == 3 {
+		catalogName = parts[0]
+	}
+	db, ok := s.store.Database(catalogName)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: database %q not found", catalogName)
+	}
+	t, ok := db.Table(parts[len(parts)-1])
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: table %q not found in %q", parts[len(parts)-1], catalogName)
+	}
+	return db, t, nil
+}
+
+// forward ships a statement to a linked server's command object.
+func (s *Server) forward(server, text string, params map[string]sqltypes.Value) (int64, error) {
+	l, err := s.linkedFor(server)
+	if err != nil {
+		return 0, err
+	}
+	sess, err := s.sessionOf(l)
+	if err != nil {
+		return 0, err
+	}
+	cmd, err := sess.CreateCommand()
+	if err != nil {
+		return 0, fmt.Errorf("engine: linked server %s does not accept commands: %w", server, err)
+	}
+	cmd.SetText(text)
+	for k, v := range params {
+		cmd.SetParam(k, v)
+	}
+	return cmd.ExecuteNonQuery()
+}
+
+func (s *Server) execInsert(st *parser.InsertStmt, params map[string]sqltypes.Value) (int64, error) {
+	if len(st.Table.Parts) == 4 {
+		if st.Sel != nil {
+			return s.insertSelectRemote(st, params)
+		}
+		text, err := renderInsert(st)
+		if err != nil {
+			return 0, err
+		}
+		return s.forward(st.Table.Parts[0], text, params)
+	}
+	// Local: view (partitioned) or table.
+	name := strings.ToLower(st.Table.Name())
+	s.mu.Lock()
+	viewText, isView := s.views[name]
+	s.mu.Unlock()
+	rows, err := s.insertRows(st, params)
+	if err != nil {
+		return 0, err
+	}
+	if isView {
+		return s.insertIntoPartitionedView(st.Table.Name(), viewText, st.Columns, rows)
+	}
+	_, t, err := s.localTable(st.Table.Parts)
+	if err != nil {
+		return 0, err
+	}
+	ordered, err := reorderForTable(t.Def(), st.Columns, rows)
+	if err != nil {
+		return 0, err
+	}
+	sess := s.nativeSess.(*native.Session)
+	n := int64(0)
+	for _, r := range ordered {
+		if _, err := sess.Insert(t.Def().Catalog+"."+t.Def().Name, r); err != nil {
+			return n, err
+		}
+		n++
+	}
+	s.invalidateLocal()
+	return n, nil
+}
+
+// insertRows evaluates VALUES rows or runs the INSERT's SELECT.
+func (s *Server) insertRows(st *parser.InsertStmt, params map[string]sqltypes.Value) ([]rowset.Row, error) {
+	if st.Sel != nil {
+		res, err := s.querySelect(st.Sel, params)
+		if err != nil {
+			return nil, err
+		}
+		return res.Rows, nil
+	}
+	env := &expr.Env{Params: params, Today: s.Today}
+	var rows []rowset.Row
+	for _, astRow := range st.Rows {
+		row := make(rowset.Row, len(astRow))
+		for i, e := range astRow {
+			bound, err := bindStandaloneExpr(e)
+			if err != nil {
+				return nil, err
+			}
+			v, err := bound.Eval(env)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// querySelect runs a parsed SELECT (INSERT ... SELECT path).
+func (s *Server) querySelect(sel *parser.SelectStmt, params map[string]sqltypes.Value) (*Result, error) {
+	plan, cols, _, err := s.planSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	return s.runPlan(plan, cols, params)
+}
+
+// bindStandaloneExpr binds a scalar AST with no columns in scope.
+func bindStandaloneExpr(e parser.Expr) (expr.Expr, error) {
+	return binder.BindScalar(e)
+}
+
+// reorderForTable maps named insert columns onto the table layout, filling
+// unnamed columns with NULL.
+func reorderForTable(def *schema.Table, cols []string, rows []rowset.Row) ([]rowset.Row, error) {
+	if len(cols) == 0 {
+		for _, r := range rows {
+			if len(r) != len(def.Columns) {
+				return nil, fmt.Errorf("engine: INSERT row has %d values, table %s has %d columns",
+					len(r), def.Name, len(def.Columns))
+			}
+		}
+		return rows, nil
+	}
+	ords := make([]int, len(cols))
+	for i, c := range cols {
+		ord := def.ColumnIndex(c)
+		if ord < 0 {
+			return nil, fmt.Errorf("engine: column %q not in table %s", c, def.Name)
+		}
+		ords[i] = ord
+	}
+	out := make([]rowset.Row, len(rows))
+	for ri, r := range rows {
+		if len(r) != len(cols) {
+			return nil, fmt.Errorf("engine: INSERT row has %d values for %d columns", len(r), len(cols))
+		}
+		full := make(rowset.Row, len(def.Columns))
+		for i := range full {
+			full[i] = sqltypes.Null
+		}
+		for i, ord := range ords {
+			full[ord] = r[i]
+		}
+		out[ri] = full
+	}
+	return out, nil
+}
+
+// insertSelectRemote materializes the SELECT locally and forwards VALUES.
+func (s *Server) insertSelectRemote(st *parser.InsertStmt, params map[string]sqltypes.Value) (int64, error) {
+	res, err := s.querySelect(st.Sel, params)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, nil
+	}
+	var b strings.Builder
+	b.WriteString("INSERT INTO " + stripServer(st.Table.Parts))
+	if len(st.Columns) > 0 {
+		b.WriteString(" (" + strings.Join(st.Columns, ", ") + ")")
+	}
+	b.WriteString(" VALUES ")
+	for i, r := range res.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		vals := make([]string, len(r))
+		for j, v := range r {
+			vals[j] = v.String()
+		}
+		b.WriteString("(" + strings.Join(vals, ", ") + ")")
+	}
+	return s.forward(st.Table.Parts[0], b.String(), nil)
+}
+
+func (s *Server) execUpdate(st *parser.UpdateStmt, params map[string]sqltypes.Value) (int64, error) {
+	if len(st.Table.Parts) == 4 {
+		text, err := renderUpdate(st)
+		if err != nil {
+			return 0, err
+		}
+		return s.forward(st.Table.Parts[0], text, params)
+	}
+	s.mu.Lock()
+	viewText, isView := s.views[strings.ToLower(st.Table.Name())]
+	s.mu.Unlock()
+	if isView {
+		return s.updateThroughView(viewText, st, params)
+	}
+	_, t, err := s.localTable(st.Table.Parts)
+	if err != nil {
+		return 0, err
+	}
+	def := t.Def()
+	where, setExprs, err := bindDMLExprs(def, st.Where, st.Set)
+	if err != nil {
+		return 0, err
+	}
+	sess := s.nativeSess.(*native.Session)
+	type change struct {
+		bm  int64
+		row rowset.Row
+	}
+	var changes []change
+	sc := t.Scan()
+	for {
+		r, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		env := &expr.Env{Row: r, Params: params, Today: s.Today}
+		if where != nil {
+			ok, err := expr.EvalPredicate(where, env)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		newRow := r.Clone()
+		for i, sc2 := range st.Set {
+			ord := def.ColumnIndex(sc2.Column)
+			v, err := setExprs[i].Eval(env)
+			if err != nil {
+				return 0, err
+			}
+			newRow[ord] = v
+		}
+		changes = append(changes, change{bm: sc.Bookmark(), row: newRow})
+	}
+	sc.Close()
+	for _, ch := range changes {
+		if err := sess.Update(def.Catalog+"."+def.Name, ch.bm, ch.row); err != nil {
+			return 0, err
+		}
+	}
+	s.invalidateLocal()
+	return int64(len(changes)), nil
+}
+
+func (s *Server) execDelete(st *parser.DeleteStmt, params map[string]sqltypes.Value) (int64, error) {
+	if len(st.Table.Parts) == 4 {
+		text, err := renderDelete(st)
+		if err != nil {
+			return 0, err
+		}
+		return s.forward(st.Table.Parts[0], text, params)
+	}
+	s.mu.Lock()
+	viewText, isView := s.views[strings.ToLower(st.Table.Name())]
+	s.mu.Unlock()
+	if isView {
+		return s.deleteThroughView(viewText, st, params)
+	}
+	_, t, err := s.localTable(st.Table.Parts)
+	if err != nil {
+		return 0, err
+	}
+	def := t.Def()
+	where, _, err := bindDMLExprs(def, st.Where, nil)
+	if err != nil {
+		return 0, err
+	}
+	var bms []int64
+	sc := t.Scan()
+	for {
+		r, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		if where != nil {
+			env := &expr.Env{Row: r, Params: params, Today: s.Today}
+			ok, err := expr.EvalPredicate(where, env)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		bms = append(bms, sc.Bookmark())
+	}
+	sc.Close()
+	for _, bm := range bms {
+		if err := t.Delete(bm); err != nil {
+			return 0, err
+		}
+	}
+	s.invalidateLocal()
+	return int64(len(bms)), nil
+}
+
+// bindDMLExprs binds a WHERE clause and SET expressions against a table's
+// positional layout.
+func bindDMLExprs(def *schema.Table, where parser.Expr, set []parser.SetClause) (expr.Expr, []expr.Expr, error) {
+	var boundWhere expr.Expr
+	var err error
+	if where != nil {
+		boundWhere, err = binder.BindTableScalar(def, where)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	var setExprs []expr.Expr
+	for _, sc := range set {
+		if def.ColumnIndex(sc.Column) < 0 {
+			return nil, nil, fmt.Errorf("engine: SET column %q not in table %s", sc.Column, def.Name)
+		}
+		e, err := binder.BindTableScalar(def, sc.E)
+		if err != nil {
+			return nil, nil, err
+		}
+		setExprs = append(setExprs, e)
+	}
+	return boundWhere, setExprs, nil
+}
+
+// insertIntoPartitionedView routes rows to member tables by their CHECK
+// domains and commits across servers under the DTC (§4.1.5 partitioned
+// views; §2 atomicity via MS DTC).
+func (s *Server) insertIntoPartitionedView(viewName, viewText string, cols []string, rows []rowset.Row) (int64, error) {
+	members, err := s.partitionedViewMembers(viewText)
+	if err != nil {
+		return 0, fmt.Errorf("engine: view %s: %w", viewName, err)
+	}
+	if len(members) == 0 {
+		return 0, fmt.Errorf("engine: view %s is not insertable (no member tables)", viewName)
+	}
+	def := members[0].def
+	ordered, err := reorderForTable(def, cols, rows)
+	if err != nil {
+		return 0, err
+	}
+	// Find the partitioning column: one whose domain is restricted in every
+	// member.
+	partOrd := -1
+	for ord := range def.Columns {
+		restrictedEverywhere := true
+		for _, m := range members {
+			d, ok := m.domains[ord]
+			if !ok || d == nil {
+				restrictedEverywhere = false
+				break
+			}
+		}
+		if restrictedEverywhere {
+			partOrd = ord
+			break
+		}
+	}
+	if partOrd < 0 {
+		return 0, fmt.Errorf("engine: view %s has no partitioning column (members need disjoint CHECK constraints)", viewName)
+	}
+	// Route rows.
+	batches := make([][]rowset.Row, len(members))
+	for _, r := range ordered {
+		v := r[partOrd]
+		target := -1
+		for mi, m := range members {
+			if m.domains[partOrd].Contains(v) {
+				target = mi
+				break
+			}
+		}
+		if target < 0 {
+			return 0, fmt.Errorf("engine: value %s of column %s falls outside every partition",
+				v.Display(), def.Columns[partOrd].Name)
+		}
+		batches[target] = append(batches[target], r)
+	}
+	// Two-phase commit across the member servers.
+	coord := dtc.New()
+	txn := coord.Begin()
+	total := int64(0)
+	for mi, m := range members {
+		if len(batches[mi]) == 0 {
+			continue
+		}
+		member := m
+		batch := batches[mi]
+		total += int64(len(batch))
+		txn.Enlist(&dtc.FuncParticipant{
+			PrepareFn: func() error {
+				// Validate CHECK constraints before any member applies.
+				checks, err := binder.CheckPredicate(member.def)
+				if err != nil {
+					return err
+				}
+				for _, r := range batch {
+					for _, c := range checks {
+						ok, err := expr.EvalPredicate(c.Pred, &expr.Env{Row: r})
+						if err != nil {
+							return err
+						}
+						if !ok {
+							return fmt.Errorf("CHECK %s fails for %s", c.Text, r)
+						}
+					}
+				}
+				return nil
+			},
+			CommitFn: func() error {
+				return s.applyMemberInsert(member, batch)
+			},
+		})
+	}
+	if err := txn.Commit(); err != nil {
+		return 0, err
+	}
+	s.invalidateLocal()
+	return total, nil
+}
+
+// applyMemberInsert inserts a batch into one member (local or remote).
+func (s *Server) applyMemberInsert(m pvMember, batch []rowset.Row) error {
+	if m.server == "" {
+		sess := s.nativeSess.(*native.Session)
+		for _, r := range batch {
+			if _, err := sess.Insert(m.def.Catalog+"."+m.def.Name, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString("INSERT INTO " + m.def.Catalog + ".dbo." + m.def.Name + " VALUES ")
+	for i, r := range batch {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		vals := make([]string, len(r))
+		for j, v := range r {
+			vals[j] = v.String()
+		}
+		b.WriteString("(" + strings.Join(vals, ", ") + ")")
+	}
+	_, err := s.forward(m.server, b.String(), nil)
+	return err
+}
+
+// pvMember is one partitioned-view member table.
+type pvMember struct {
+	server  string
+	def     *schema.Table
+	domains map[int]*constraint.Domain // column ordinal -> CHECK domain
+}
+
+// partitionedViewMembers parses a view's UNION ALL arms into member tables
+// with their CHECK domains.
+func (s *Server) partitionedViewMembers(viewText string) ([]pvMember, error) {
+	st, err := parser.Parse(viewText)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*parser.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("view text is not a SELECT")
+	}
+	cat := &catalog{s: s}
+	var members []pvMember
+	for arm := sel; arm != nil; arm = arm.Union {
+		if len(arm.From) != 1 {
+			return nil, fmt.Errorf("partitioned view arms must select from one table")
+		}
+		nt, ok := arm.From[0].(*parser.NamedTable)
+		if !ok {
+			return nil, fmt.Errorf("partitioned view arms must reference base tables")
+		}
+		res, err := cat.ResolveObject(nt.Parts)
+		if err != nil {
+			return nil, err
+		}
+		if res.Source == nil {
+			return nil, fmt.Errorf("partitioned view member %s is not a base table", nt.Name())
+		}
+		def := res.Source.Def
+		// Derive CHECK domains keyed by column ordinal.
+		cols := make([]algebra.OutCol, len(def.Columns))
+		for i, c := range def.Columns {
+			cols[i] = algebra.OutCol{ID: expr.ColumnID(i + 1), Name: c.Name, Kind: c.Kind}
+		}
+		domains := map[int]*constraint.Domain{}
+		for id, d := range binder.CheckDomains(def, cols) {
+			domains[int(id)-1] = d
+		}
+		members = append(members, pvMember{server: res.Source.Server, def: def, domains: domains})
+	}
+	return members, nil
+}

@@ -1,0 +1,348 @@
+// Package engine assembles the complete system of Figure 1: the relational
+// engine (parser → algebrizer → Cascades optimizer → executor), the local
+// storage engine behind the native OLE DB provider, the linked-server
+// catalog, the distributed/heterogeneous query processor with its remote
+// rules, the full-text search service integration, the mail provider, and
+// DTC-coordinated distributed DML.
+//
+// A Server is one simulated SQL Server instance. Federations are built by
+// instantiating several Servers and linking them with simulated network
+// links; every instance is simultaneously a DHQP consumer and (through the
+// sqlful provider) a linked-server target for its peers.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"dhqp/internal/algebra"
+	"dhqp/internal/cost"
+	"dhqp/internal/netsim"
+	"dhqp/internal/oledb"
+	"dhqp/internal/opt"
+	"dhqp/internal/providers/email"
+	"dhqp/internal/providers/fulltext"
+	"dhqp/internal/providers/native"
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+	"dhqp/internal/stats"
+	"dhqp/internal/storage"
+)
+
+// Server is one engine instance.
+type Server struct {
+	mu        sync.Mutex
+	name      string
+	store     *storage.Engine
+	defaultDB string
+
+	nativeProv *native.Provider
+	nativeSess oledb.Session
+
+	linked map[string]*linkedServer
+	views  map[string]string // lower name -> SELECT text
+
+	ftService *fulltext.Service
+	ftLink    *netsim.Link
+	ftIndexes map[string]string // "catalog.table.column" -> ft catalog name
+
+	mailStore *email.Store
+
+	// extraSessions holds ad-hoc provider sessions (OPENROWSET, MakeTable
+	// over registered providers) keyed by synthetic server names.
+	extraSessions map[string]oledb.Session
+	extraCaps     map[string]oledb.Capabilities
+	adhocSeq      int
+
+	// providerFactories backs EXEC sp_addlinkedserver.
+	providerFactories map[string]func(datasource string) (oledb.DataSource, *netsim.Link, error)
+
+	meter *netsim.Meter
+
+	// UseRemoteStatistics gates fetching remote histograms (E4 contrast).
+	UseRemoteStatistics bool
+	// DisableSpool and DisableParameterization turn off the corresponding
+	// remote rules (ablation experiments).
+	DisableSpool            bool
+	DisableParameterization bool
+	// OptConfig tunes the optimizer per server.
+	OptConfig opt.Config
+	// Today is the session date for today().
+	Today sqltypes.Value
+
+	histCache map[string]*stats.Histogram
+	cardCache map[string]float64
+
+	// planCache memoizes compiled plans by statement text; parameters bind
+	// at execution, so cached plans serve any parameter values. DDL and
+	// linked-server changes invalidate it.
+	planCache map[string]*cachedPlan
+	// DisablePlanCache forces re-optimization on every Query.
+	DisablePlanCache bool
+
+	lastReport *opt.Report
+}
+
+type cachedPlan struct {
+	plan *algebra.Node
+	cols []schema.Column
+}
+
+type linkedServer struct {
+	name    string
+	ds      oledb.DataSource
+	caps    oledb.Capabilities
+	link    *netsim.Link
+	session oledb.Session
+	// tables caches the remote schema (TablesInfo); DelayedValidation
+	// controls when mismatches surface.
+	tables map[string]*oledb.TableInfo
+}
+
+// NewServer creates an engine instance with one (default) database.
+func NewServer(name, defaultDB string) *Server {
+	store := storage.NewEngine()
+	store.CreateDatabase(defaultDB)
+	s := &Server{
+		name:              name,
+		store:             store,
+		defaultDB:         defaultDB,
+		nativeProv:        native.New(store, defaultDB),
+		linked:            map[string]*linkedServer{},
+		views:             map[string]string{},
+		ftService:         fulltext.NewService(),
+		ftIndexes:         map[string]string{},
+		mailStore:         email.NewStore(),
+		extraSessions:     map[string]oledb.Session{},
+		extraCaps:         map[string]oledb.Capabilities{},
+		providerFactories: map[string]func(string) (oledb.DataSource, *netsim.Link, error){},
+		meter:             netsim.NewMeter(),
+		OptConfig:         opt.DefaultConfig(),
+		Today:             sqltypes.NewDate(2004, 6, 15),
+		histCache:         map[string]*stats.Histogram{},
+		cardCache:         map[string]float64{},
+		planCache:         map[string]*cachedPlan{},
+	}
+	s.UseRemoteStatistics = true
+	// The search service runs on the same machine: cheap, but still a
+	// service boundary (Figure 2).
+	s.ftLink = &netsim.Link{LatencyPerCall: 100 * time.Microsecond, BytesPerSecond: 1e9}
+	s.meter.Register(ftServerName, s.ftLink)
+	sess, _ := s.nativeProv.CreateSession()
+	s.nativeSess = sess
+	return s
+}
+
+// Name returns the server name.
+func (s *Server) Name() string { return s.name }
+
+// Store exposes the local storage engine (tests, data loaders).
+func (s *Server) Store() *storage.Engine { return s.store }
+
+// Meter exposes the per-linked-server traffic meter.
+func (s *Server) Meter() *netsim.Meter { return s.meter }
+
+// FulltextService exposes the search service (corpus loading).
+func (s *Server) FulltextService() *fulltext.Service { return s.ftService }
+
+// MailStore exposes the mail store (mailbox loading).
+func (s *Server) MailStore() *email.Store { return s.mailStore }
+
+// LastReport returns the optimizer report of the most recent Query/Plan.
+func (s *Server) LastReport() *opt.Report { return s.lastReport }
+
+// AddLinkedServer registers a linked server over an initialized data
+// source (the programmatic equivalent of sp_addlinkedserver; §2.1).
+func (s *Server) AddLinkedServer(name string, ds oledb.DataSource, link *netsim.Link) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := s.linked[key]; ok {
+		return fmt.Errorf("engine: linked server %q already exists", name)
+	}
+	s.linked[key] = &linkedServer{name: name, ds: ds, caps: ds.Capabilities(), link: link}
+	s.planCache = map[string]*cachedPlan{}
+	if link != nil {
+		s.meter.Register(name, link)
+	}
+	return nil
+}
+
+// RegisterProviderFactory installs a provider factory for
+// EXEC sp_addlinkedserver 'name', 'provider', 'datasource'.
+func (s *Server) RegisterProviderFactory(provider string, f func(datasource string) (oledb.DataSource, *netsim.Link, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.providerFactories[strings.ToLower(provider)] = f
+}
+
+// LinkedCaps reports a linked server's capability set.
+func (s *Server) LinkedCaps(name string) (oledb.Capabilities, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.linked[strings.ToLower(name)]
+	if !ok {
+		return oledb.Capabilities{}, false
+	}
+	return l.caps, true
+}
+
+// LinkedServers lists linked server names.
+func (s *Server) LinkedServers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.linked))
+	for _, l := range s.linked {
+		out = append(out, l.name)
+	}
+	return out
+}
+
+// linkedFor fetches a linked server entry.
+func (s *Server) linkedFor(name string) (*linkedServer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.linked[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: linked server %q not found", name)
+	}
+	return l, nil
+}
+
+// sessionOf returns (creating on demand) the linked server's session.
+func (s *Server) sessionOf(l *linkedServer) (oledb.Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l.session == nil {
+		sess, err := l.ds.CreateSession()
+		if err != nil {
+			return nil, err
+		}
+		l.session = sess
+	}
+	return l.session, nil
+}
+
+// remoteTables returns (fetching and caching on first use) the linked
+// server's table catalog. With DelayedSchemaValidation the fetch happens on
+// first *use* rather than at link time (§4.1.5's delayed schema validation).
+func (s *Server) remoteTables(l *linkedServer) (map[string]*oledb.TableInfo, error) {
+	s.mu.Lock()
+	cached := l.tables
+	s.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	sess, err := s.sessionOf(l)
+	if err != nil {
+		return nil, err
+	}
+	infos, err := sess.TablesInfo()
+	if err != nil {
+		return nil, fmt.Errorf("engine: fetching schema from %s: %w", l.name, err)
+	}
+	m := map[string]*oledb.TableInfo{}
+	for i := range infos {
+		ti := infos[i]
+		key := strings.ToLower(ti.Def.Catalog + "." + ti.Def.Name)
+		m[key] = &ti
+		// Also index by bare name for single-catalog targets.
+		m[strings.ToLower(ti.Def.Name)] = &ti
+	}
+	s.mu.Lock()
+	l.tables = m
+	s.mu.Unlock()
+	return m, nil
+}
+
+// InvalidateRemoteSchema drops the cached remote schema so the next use
+// re-validates (delayed schema validation hook).
+func (s *Server) InvalidateRemoteSchema(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.linked[strings.ToLower(name)]; ok {
+		l.tables = nil
+		l.session = nil
+	}
+	for k := range s.cardCache {
+		if strings.HasPrefix(k, strings.ToLower(name)+"|") {
+			delete(s.cardCache, k)
+		}
+	}
+	for k := range s.histCache {
+		if strings.HasPrefix(k, strings.ToLower(name)+"|") {
+			delete(s.histCache, k)
+		}
+	}
+}
+
+// CreateFullTextIndex builds a full-text catalog over a local table column
+// (§2.3): every row's text indexes under its bookmark so (KEY, RANK)
+// results join back to the base table by row identity.
+func (s *Server) CreateFullTextIndex(catalogName, table, column string) error {
+	db, ok := s.store.Database(s.defaultDB)
+	if !ok {
+		return fmt.Errorf("engine: database %s missing", s.defaultDB)
+	}
+	t, ok := db.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: table %q not found", table)
+	}
+	ord := t.Def().ColumnIndex(column)
+	if ord < 0 {
+		return fmt.Errorf("engine: column %q not found on %q", column, table)
+	}
+	cat := s.ftService.CreateCatalog(catalogName)
+	sc := t.Scan()
+	defer sc.Close()
+	for {
+		r, err := sc.Next()
+		if err != nil {
+			break
+		}
+		if r[ord].Kind() == sqltypes.KindString {
+			cat.AddText(sc.Bookmark(), r[ord].Str(), nil)
+		}
+	}
+	s.mu.Lock()
+	s.ftIndexes[strings.ToLower(s.defaultDB+"."+table+"."+column)] = catalogName
+	s.mu.Unlock()
+	return nil
+}
+
+// costModel builds the per-server cost model over registered links.
+func (s *Server) costModel() *cost.Model {
+	return &cost.Model{LinkFor: func(server string) *netsim.Link {
+		switch {
+		case server == "":
+			return nil
+		case server == ftServerName:
+			return s.ftLink
+		default:
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if l, ok := s.linked[strings.ToLower(server)]; ok {
+				return l.link
+			}
+			return nil
+		}
+	}}
+}
+
+// Synthetic server names for in-process services.
+const (
+	ftServerName   = "#fulltext"
+	mailServerName = "#mail"
+)
+
+// ftProviderOf returns a provider over the server's search service.
+func ftProviderOf(s *Server) *fulltext.Provider {
+	return fulltext.NewProvider(s.ftService, s.ftLink)
+}
+
+// mailSessionOf returns a session over the server's mail store.
+func mailSessionOf(s *Server) (oledb.Session, error) {
+	return email.NewProvider(s.mailStore, nil).CreateSession()
+}

@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"dhqp/internal/netsim"
+	"dhqp/internal/providers/sqlful"
+	"dhqp/internal/sqltypes"
+)
+
+func q(t *testing.T, s *Server, sql string) *Result {
+	t.Helper()
+	res, err := s.Query(sql, nil)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", sql, err)
+	}
+	return res
+}
+
+func newLocal(t *testing.T) *Server {
+	t.Helper()
+	s := NewServer("local", "appdb")
+	s.MustExec(`CREATE TABLE emp (id INT PRIMARY KEY, dept INT, salary INT, name VARCHAR(32))`)
+	s.MustExec(`CREATE INDEX ix_dept ON emp (dept)`)
+	s.MustExec(`INSERT INTO emp VALUES
+		(1, 10, 100, 'ann'), (2, 10, 200, 'bob'), (3, 20, 150, 'cat'),
+		(4, 20, 250, 'dan'), (5, 30, 300, 'eve'), (6, 30, 50, 'fay'),
+		(7, 10, 75, 'gus'), (8, 20, 125, 'hal')`)
+	s.MustExec(`CREATE TABLE dept (id INT PRIMARY KEY, name VARCHAR(16))`)
+	s.MustExec(`INSERT INTO dept VALUES (10, 'eng'), (20, 'sales'), (30, 'ops')`)
+	return s
+}
+
+func TestLocalScanAndFilter(t *testing.T) {
+	s := newLocal(t)
+	res := q(t, s, `SELECT name FROM emp WHERE salary > 150 ORDER BY name`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d: %v", len(res.Rows), res.Rows)
+	}
+	if res.Rows[0][0].Str() != "bob" || res.Rows[2][0].Str() != "eve" {
+		t.Errorf("order wrong: %v", res.Rows)
+	}
+}
+
+func TestLocalJoinAggregation(t *testing.T) {
+	s := newLocal(t)
+	res := q(t, s, `SELECT d.name, COUNT(*) AS cnt, SUM(e.salary) AS total
+		FROM emp e, dept d WHERE e.dept = d.id
+		GROUP BY d.name ORDER BY cnt DESC, d.name`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	// dept 10 and 20 have 3 members each; eng < sales alphabetically.
+	if res.Rows[0][0].Str() != "eng" || res.Rows[0][1].Int() != 3 {
+		t.Errorf("row0 = %v", res.Rows[0])
+	}
+	if res.Rows[0][2].Int() != 375 {
+		t.Errorf("eng total = %v", res.Rows[0][2])
+	}
+}
+
+func TestTopN(t *testing.T) {
+	s := newLocal(t)
+	res := q(t, s, `SELECT TOP 2 name, salary FROM emp ORDER BY salary DESC`)
+	if len(res.Rows) != 2 || res.Rows[0][0].Str() != "eve" || res.Rows[1][0].Str() != "dan" {
+		t.Errorf("top = %v", res.Rows)
+	}
+}
+
+func TestParameters(t *testing.T) {
+	s := newLocal(t)
+	res, err := s.Query(`SELECT name FROM emp WHERE id = @id`,
+		map[string]sqltypes.Value{"id": sqltypes.NewInt(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "eve" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	s := newLocal(t)
+	n, err := s.Exec(`UPDATE emp SET salary = salary + 10 WHERE dept = 10`)
+	if err != nil || n != 3 {
+		t.Fatalf("update: %d, %v", n, err)
+	}
+	res := q(t, s, `SELECT salary FROM emp WHERE id = 1`)
+	if res.Rows[0][0].Int() != 110 {
+		t.Errorf("salary = %v", res.Rows[0][0])
+	}
+	n, err = s.Exec(`DELETE FROM emp WHERE dept = 30`)
+	if err != nil || n != 2 {
+		t.Fatalf("delete: %d, %v", n, err)
+	}
+	res = q(t, s, `SELECT COUNT(*) AS c FROM emp`)
+	if res.Rows[0][0].Int() != 6 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestCheckConstraintEnforced(t *testing.T) {
+	s := NewServer("local", "appdb")
+	s.MustExec(`CREATE TABLE part (k INT NOT NULL CHECK (k >= 0 AND k < 100))`)
+	if _, err := s.Exec(`INSERT INTO part VALUES (50)`); err != nil {
+		t.Fatalf("valid insert rejected: %v", err)
+	}
+	if _, err := s.Exec(`INSERT INTO part VALUES (150)`); err == nil {
+		t.Error("CHECK violation accepted")
+	}
+}
+
+func TestViews(t *testing.T) {
+	s := newLocal(t)
+	s.MustExec(`CREATE VIEW highpaid AS SELECT name, salary FROM emp WHERE salary > 150`)
+	res := q(t, s, `SELECT name FROM highpaid ORDER BY name`)
+	if len(res.Rows) != 3 {
+		t.Errorf("view rows = %d", len(res.Rows))
+	}
+}
+
+// linkTwo builds a local server plus a remote one holding remote-side
+// tables, linked over a LAN link with the full SQL provider.
+func linkTwo(t *testing.T) (*Server, *Server, *netsim.Link) {
+	t.Helper()
+	local := NewServer("local", "appdb")
+	remote := NewServer("remoteSrv", "salesdb")
+	remote.MustExec(`CREATE TABLE customer (c_id INT PRIMARY KEY, c_nation INT, c_name VARCHAR(32))`)
+	remote.MustExec(`CREATE INDEX ix_cnation ON customer (c_nation)`)
+	remote.MustExec(`CREATE TABLE supplier (s_id INT PRIMARY KEY, s_nation INT)`)
+	for i := 0; i < 40; i++ {
+		remote.MustExec(insertCustomer(i))
+	}
+	remote.MustExec(`INSERT INTO supplier VALUES (1, 0), (2, 1), (3, 2), (4, 0)`)
+	local.MustExec(`CREATE TABLE nation (n_id INT PRIMARY KEY, n_name VARCHAR(16))`)
+	local.MustExec(`INSERT INTO nation VALUES (0, 'peru'), (1, 'japan'), (2, 'kenya')`)
+	link := netsim.LAN()
+	prov := sqlful.New(remote, link, sqlful.FullSQLCapabilities())
+	if err := local.AddLinkedServer("remote0", prov, link); err != nil {
+		t.Fatal(err)
+	}
+	return local, remote, link
+}
+
+func insertCustomer(i int) string {
+	names := []string{"ann", "bob", "cat", "dan"}
+	return "INSERT INTO customer VALUES (" +
+		itoa(i) + ", " + itoa(i%3) + ", '" + names[i%4] + itoa(i) + "')"
+}
+
+func itoa(i int) string { return sqltypes.NewInt(int64(i)).Display() }
+
+func TestRemoteScanThroughLinkedServer(t *testing.T) {
+	local, _, link := linkTwo(t)
+	res := q(t, local, `SELECT c_name FROM remote0.salesdb.dbo.customer WHERE c_id = 7`)
+	if len(res.Rows) != 1 || !strings.HasPrefix(res.Rows[0][0].Str(), "dan") {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if link.Stats().Calls == 0 {
+		t.Error("no traffic crossed the link")
+	}
+}
+
+func TestRemoteJoinPushdown(t *testing.T) {
+	local, _, _ := linkTwo(t)
+	// Both tables remote: the whole join should push as one remote query.
+	plan, _, _, err := local.Plan(`SELECT c.c_name FROM remote0.salesdb.dbo.customer c,
+		remote0.salesdb.dbo.supplier s WHERE c.c_nation = s.s_nation`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planStr := plan.String()
+	if !strings.Contains(planStr, "RemoteQuery") {
+		t.Errorf("join not pushed:\n%s", planStr)
+	}
+	if strings.Contains(planStr, "HashJoin") {
+		t.Errorf("local join remains:\n%s", planStr)
+	}
+	// And it returns correct rows: customers with nation in {0,1,2} all
+	// match some supplier; each customer matches suppliers of its nation.
+	res := q(t, local, `SELECT c.c_name FROM remote0.salesdb.dbo.customer c,
+		remote0.salesdb.dbo.supplier s WHERE c.c_nation = s.s_nation`)
+	// nations: 0 has 2 suppliers, 1 has 1, 2 has 1. 40 customers: nation
+	// 0: ids 0,3,..39 -> 14; nation 1: 13; nation 2: 13.
+	want := 14*2 + 13 + 13
+	if len(res.Rows) != want {
+		t.Errorf("rows = %d, want %d", len(res.Rows), want)
+	}
+}
+
+func TestMixedLocalRemoteJoin(t *testing.T) {
+	local, _, _ := linkTwo(t)
+	res := q(t, local, `SELECT n.n_name, COUNT(*) AS cnt
+		FROM remote0.salesdb.dbo.customer c, nation n
+		WHERE c.c_nation = n.n_id GROUP BY n.n_name ORDER BY n.n_name`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].Str() != "japan" || res.Rows[0][1].Int() != 13 {
+		t.Errorf("row0 = %v", res.Rows[0])
+	}
+}
+
+func TestExistsSubquery(t *testing.T) {
+	s := newLocal(t)
+	res := q(t, s, `SELECT d.name FROM dept d WHERE EXISTS (
+		SELECT * FROM emp e WHERE e.dept = d.id AND e.salary > 200) ORDER BY d.name`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res2 := q(t, s, `SELECT d.name FROM dept d WHERE NOT EXISTS (
+		SELECT * FROM emp e WHERE e.dept = d.id AND e.salary > 200)`)
+	if len(res2.Rows) != 1 || res2.Rows[0][0].Str() != "eng" {
+		t.Errorf("anti rows = %v", res2.Rows)
+	}
+}
+
+func TestInsertSelect(t *testing.T) {
+	s := newLocal(t)
+	s.MustExec(`CREATE TABLE rich (id INT, name VARCHAR(32))`)
+	n, err := s.Exec(`INSERT INTO rich SELECT id, name FROM emp WHERE salary > 200`)
+	if err != nil || n != 2 {
+		t.Fatalf("insert-select: %d, %v", n, err)
+	}
+}
+
+func TestRemoteDML(t *testing.T) {
+	local, remote, _ := linkTwo(t)
+	n, err := local.Exec(`INSERT INTO remote0.salesdb.dbo.supplier VALUES (99, 2)`)
+	if err != nil || n != 1 {
+		t.Fatalf("remote insert: %d, %v", n, err)
+	}
+	res := q(t, remote, `SELECT COUNT(*) AS c FROM supplier`)
+	if res.Rows[0][0].Int() != 5 {
+		t.Errorf("remote count = %v", res.Rows[0][0])
+	}
+	n, err = local.Exec(`DELETE FROM remote0.salesdb.dbo.supplier WHERE s_id = 99`)
+	if err != nil || n != 1 {
+		t.Fatalf("remote delete: %d, %v", n, err)
+	}
+}
+
+func TestPlanChoosesIndexRange(t *testing.T) {
+	// On a tiny table a scan wins; on a larger one the index range must.
+	s := NewServer("local", "appdb")
+	s.MustExec(`CREATE TABLE big (k INT, v INT)`)
+	s.MustExec(`CREATE INDEX ix_k ON big (k)`)
+	var b strings.Builder
+	b.WriteString("INSERT INTO big VALUES ")
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(" + itoa(i) + ", " + itoa(i*2) + ")")
+	}
+	s.MustExec(b.String())
+	plan, _, _, err := s.Plan(`SELECT v FROM big WHERE k = 77`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.String(), "IndexRange") {
+		t.Errorf("no index range in plan:\n%s", plan.String())
+	}
+	res := q(t, s, `SELECT v FROM big WHERE k = 77`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 154 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// A tiny table still prefers the scan.
+	s2 := newLocal(t)
+	plan2, _, _, _ := s2.Plan(`SELECT name FROM emp WHERE dept = 20`)
+	if strings.Contains(plan2.String(), "IndexRange") {
+		t.Logf("note: index range chosen even for 8 rows:\n%s", plan2.String())
+	}
+}
+
+func TestSelectLiteralOnly(t *testing.T) {
+	s := NewServer("x", "db")
+	res := q(t, s, `SELECT 1 + 2 AS three`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 3 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestQueryErrorPaths(t *testing.T) {
+	s := NewServer("x", "db")
+	if _, err := s.Query(`SELECT * FROM missing`, nil); err == nil {
+		t.Error("missing table accepted")
+	}
+	if _, err := s.Query(`FROB`, nil); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := s.Exec(`SELECT 1 AS x`); err == nil {
+		t.Error("Exec of SELECT accepted")
+	}
+	if _, err := s.Query(`SELECT * FROM nosuch.db.dbo.t`, nil); err == nil {
+		t.Error("unknown linked server accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"dhqp/internal/netsim"
+	"dhqp/internal/providers/sqlful"
+	"dhqp/internal/sqltypes"
+)
+
+// TestOpenQueryToSQLProvider checks §3.3's pass-through path against a
+// SQL-capable provider: the remote plans the statement to describe its
+// shape, then executes it verbatim.
+func TestOpenQueryToSQLProvider(t *testing.T) {
+	local, _, _ := linkTwo(t)
+	res := q(t, local, `SELECT q.c_name FROM OPENQUERY(remote0,
+		'SELECT c_name, c_nation FROM customer WHERE c_id < 3') q WHERE q.c_nation = 1`)
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// Describe failures surface at bind time.
+	if _, err := local.Query(`SELECT * FROM OPENQUERY(remote0, 'SELECT nope FROM customer') q`, nil); err == nil {
+		t.Error("bad pass-through text accepted")
+	}
+}
+
+// TestDelayedSchemaValidation exercises §4.1.5's delayed schema validation:
+// remote schema is fetched on first use and cached; after the remote
+// changes, InvalidateRemoteSchema forces re-validation.
+func TestDelayedSchemaValidation(t *testing.T) {
+	local := NewServer("local", "db")
+	remote := NewServer("r", "rdb")
+	link := netsim.LAN()
+	// Linking succeeds even though the remote has no tables yet — nothing
+	// is validated at link time.
+	if err := local.AddLinkedServer("r0", sqlful.New(remote, link, sqlful.FullSQLCapabilities()), link); err != nil {
+		t.Fatal(err)
+	}
+	remote.MustExec(`CREATE TABLE t (a INT)`)
+	remote.MustExec(`INSERT INTO t VALUES (1)`)
+	res := q(t, local, `SELECT a FROM r0.rdb.dbo.t`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// The remote gains a column; the cached schema hides it until
+	// invalidation.
+	remote.MustExec(`CREATE TABLE t2 (a INT, b INT)`)
+	remote.MustExec(`INSERT INTO t2 VALUES (1, 2)`)
+	if _, err := local.Query(`SELECT b FROM r0.rdb.dbo.t2`, nil); err == nil {
+		t.Error("stale schema cache still resolved a new table")
+	}
+	local.InvalidateRemoteSchema("r0")
+	res = q(t, local, `SELECT b FROM r0.rdb.dbo.t2`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 2 {
+		t.Errorf("rows after revalidation = %v", res.Rows)
+	}
+}
+
+// TestWANLinkChangesPlanPreference: over a slow WAN the optimizer should be
+// even more traffic-averse — a selective predicate must be pushed rather
+// than shipping the table.
+func TestWANLinkChangesPlanPreference(t *testing.T) {
+	local := NewServer("local", "db")
+	remote := NewServer("r", "rdb")
+	remote.MustExec(`CREATE TABLE big (k INT PRIMARY KEY, v VARCHAR(64))`)
+	var b strings.Builder
+	b.WriteString("INSERT INTO big VALUES ")
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(" + itoa(i) + ", 'vvvvvvvvvvvvvvvv')")
+	}
+	remote.MustExec(b.String())
+	link := netsim.WAN()
+	local.AddLinkedServer("r0", sqlful.New(remote, link, sqlful.FullSQLCapabilities()), link)
+	plan, _, _, err := local.Plan(`SELECT v FROM r0.rdb.dbo.big WHERE k = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	if !strings.Contains(s, "RemoteQuery") && !strings.Contains(s, "RemoteRange") {
+		t.Errorf("WAN plan ships the table:\n%s", s)
+	}
+}
+
+func TestMeterTotals(t *testing.T) {
+	local, _, link := linkTwo(t)
+	q(t, local, `SELECT COUNT(*) AS n FROM remote0.salesdb.dbo.customer`)
+	total := local.Meter().Total()
+	if total.Calls == 0 || total.Bytes == 0 {
+		t.Errorf("meter empty: %+v", total)
+	}
+	if link.Stats().Calls == 0 {
+		t.Error("link unregistered with meter")
+	}
+	local.Meter().ResetAll()
+	if local.Meter().Total().Calls != 0 {
+		t.Error("ResetAll failed")
+	}
+}
+
+func TestExecWithParams(t *testing.T) {
+	s := NewServer("local", "db")
+	s.MustExec(`CREATE TABLE t (a INT)`)
+	n, err := s.ExecParams(`INSERT INTO t VALUES (@x)`, map[string]valueT{"x": intV(7)})
+	if err != nil || n != 1 {
+		t.Fatalf("insert: %d %v", n, err)
+	}
+	n, err = s.ExecParams(`DELETE FROM t WHERE a = @x`, map[string]valueT{"x": intV(7)})
+	if err != nil || n != 1 {
+		t.Fatalf("delete: %d %v", n, err)
+	}
+}
+
+// Local aliases keeping test signatures compact.
+type valueT = sqltypes.Value
+
+func intV(v int64) valueT { return sqltypes.NewInt(v) }

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"dhqp/internal/binder"
+	"dhqp/internal/constraint"
+	"dhqp/internal/dtc"
+	"dhqp/internal/parser"
+	"dhqp/internal/sqltypes"
+)
+
+// updateThroughView routes an UPDATE against a partitioned view to the
+// members whose CHECK domains intersect the predicate (the paper's
+// "algebraic re-writes of query and DML operator trees", §4.1.5), under
+// two-phase commit when more than one member participates.
+func (s *Server) updateThroughView(viewText string, st *parser.UpdateStmt, params map[string]sqltypes.Value) (int64, error) {
+	members, err := s.partitionedViewMembers(viewText)
+	if err != nil {
+		return 0, err
+	}
+	render := func(m pvMember) (string, error) {
+		var b strings.Builder
+		b.WriteString("UPDATE " + m.def.Catalog + "." + m.def.Name + " SET ")
+		for i, sc := range st.Set {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			v, err := renderExpr(sc.E)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(sc.Column + " = " + v)
+		}
+		if st.Where != nil {
+			w, err := renderExpr(st.Where)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(" WHERE " + w)
+		}
+		return b.String(), nil
+	}
+	return s.routeViewDML(members, st.Where, params, render)
+}
+
+// deleteThroughView routes a DELETE against a partitioned view.
+func (s *Server) deleteThroughView(viewText string, st *parser.DeleteStmt, params map[string]sqltypes.Value) (int64, error) {
+	members, err := s.partitionedViewMembers(viewText)
+	if err != nil {
+		return 0, err
+	}
+	render := func(m pvMember) (string, error) {
+		var b strings.Builder
+		b.WriteString("DELETE FROM " + m.def.Catalog + "." + m.def.Name)
+		if st.Where != nil {
+			w, err := renderExpr(st.Where)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(" WHERE " + w)
+		}
+		return b.String(), nil
+	}
+	return s.routeViewDML(members, st.Where, params, render)
+}
+
+// routeViewDML prunes members whose CHECK domains contradict the statement
+// predicate, then applies the rendered statement to the remainder under one
+// distributed transaction.
+func (s *Server) routeViewDML(members []pvMember, where parser.Expr,
+	params map[string]sqltypes.Value, render func(pvMember) (string, error)) (int64, error) {
+
+	targets := make([]pvMember, 0, len(members))
+	for _, m := range members {
+		if where != nil && s.memberProvablyUnaffected(m, where) {
+			continue
+		}
+		targets = append(targets, m)
+	}
+	if len(targets) == 0 {
+		return 0, nil
+	}
+	coord := dtc.New()
+	txn := coord.Begin()
+	total := int64(0)
+	results := make([]int64, len(targets))
+	for i, m := range targets {
+		i, m := i, m
+		text, err := render(m)
+		if err != nil {
+			return 0, err
+		}
+		txn.Enlist(&dtc.FuncParticipant{
+			CommitFn: func() error {
+				n, err := s.applyMemberDML(m, text, params)
+				results[i] = n
+				return err
+			},
+		})
+	}
+	if err := txn.Commit(); err != nil {
+		return 0, err
+	}
+	for _, n := range results {
+		total += n
+	}
+	return total, nil
+}
+
+// memberProvablyUnaffected reports whether the member's CHECK domains
+// contradict the predicate (static pruning for DML).
+func (s *Server) memberProvablyUnaffected(m pvMember, where parser.Expr) bool {
+	bound, cols, err := binder.BindTableScalarIDs(m.def, where)
+	if err != nil {
+		return false // cannot reason; include the member
+	}
+	domains := binder.CheckDomains(m.def, cols)
+	if domains == nil {
+		return false
+	}
+	cm := constraint.Map{}
+	for id, d := range domains {
+		cm[id] = d
+	}
+	return !cm.ApplyPredicate(bound)
+}
+
+// applyMemberDML executes a rendered statement on one member.
+func (s *Server) applyMemberDML(m pvMember, text string, params map[string]sqltypes.Value) (int64, error) {
+	if m.server == "" {
+		return s.ExecParams(text, params)
+	}
+	return s.forward(m.server, text, params)
+}
+
+// RefreshFullTextIndex rebuilds a catalog over its source table — the
+// "index creation and maintenance" half of §2.3's full-text support.
+func (s *Server) RefreshFullTextIndex(catalogName string) error {
+	s.mu.Lock()
+	var table, column string
+	for key, cat := range s.ftIndexes {
+		if strings.EqualFold(cat, catalogName) {
+			parts := strings.SplitN(key, ".", 3)
+			if len(parts) == 3 {
+				table, column = parts[1], parts[2]
+			}
+		}
+	}
+	s.mu.Unlock()
+	if table == "" {
+		return fmt.Errorf("engine: no full-text index registered for catalog %q", catalogName)
+	}
+	// Rebuild: replace the catalog's contents.
+	s.ftService.CreateCatalog(catalogName) // ensure it exists
+	s.ftService.DropCatalog(catalogName)
+	return s.CreateFullTextIndex(catalogName, table, column)
+}

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"testing"
+)
+
+// TestPartitionedViewUpdateDelete exercises DML routing through a
+// distributed partitioned view: statements reach only the members whose
+// CHECK domains intersect the predicate, and multi-member statements commit
+// under the DTC.
+func TestPartitionedViewUpdateDelete(t *testing.T) {
+	head, members, links := buildFederation(t) // 1992 / 1993 partitions, 400 rows each
+	// Predicate hits only the 1992 member.
+	warmDML := `UPDATE all_sales SET amount = amount + 0 WHERE y = 1993`
+	if _, err := head.Exec(warmDML); err != nil {
+		t.Fatal(err)
+	}
+	links[0].Reset()
+	links[1].Reset()
+	n, err := head.Exec(`UPDATE all_sales SET amount = amount + 1 WHERE y = 1992`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 400 {
+		t.Errorf("updated = %d", n)
+	}
+	if links[1].Stats().Calls != 0 {
+		t.Errorf("update touched pruned member: %+v", links[1].Stats())
+	}
+	res := q(t, members[0], `SELECT MIN(amount) AS m FROM sales`)
+	if res.Rows[0][0].Int() != 1001 {
+		t.Errorf("member1 min amount = %v", res.Rows[0][0])
+	}
+	// Member 2 untouched.
+	res = q(t, members[1], `SELECT MIN(amount) AS m FROM sales`)
+	if res.Rows[0][0].Int() != 1000 {
+		t.Errorf("member2 min amount = %v", res.Rows[0][0])
+	}
+
+	// DELETE across both members (no pruning possible).
+	n, err = head.Exec(`DELETE FROM all_sales WHERE amount > 1300`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 199 {
+		// member1 amounts are 1001..1400 (>1300: 100 rows); member2
+		// 1000..1399 (>1300: 99 rows).
+		t.Errorf("deleted = %d", n)
+	}
+	res = q(t, head, `SELECT COUNT(*) AS c FROM all_sales`)
+	if res.Rows[0][0].Int() != 601 {
+		t.Errorf("remaining = %v", res.Rows[0][0])
+	}
+}
+
+// TestHalloweenProtection documents the §4.1.4 concern: an UPDATE whose SET
+// moves rows forward through the very index the scan would use must not
+// revisit them. The engine collects target bookmarks before applying any
+// change, so each row updates exactly once.
+func TestHalloweenProtection(t *testing.T) {
+	s := NewServer("local", "db")
+	s.MustExec(`CREATE TABLE pay (id INT PRIMARY KEY, salary INT)`)
+	s.MustExec(`CREATE INDEX ix_sal ON pay (salary)`)
+	s.MustExec(`INSERT INTO pay VALUES (1, 10), (2, 20), (3, 30)`)
+	n, err := s.Exec(`UPDATE pay SET salary = salary + 100 WHERE salary < 200`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("updated = %d", n)
+	}
+	res := q(t, s, `SELECT salary FROM pay ORDER BY salary`)
+	// Exactly one increment per row — 110/120/130, never 210+.
+	want := []int64{110, 120, 130}
+	for i, w := range want {
+		if res.Rows[i][0].Int() != w {
+			t.Errorf("row %d salary = %v, want %d", i, res.Rows[i][0], w)
+		}
+	}
+}
+
+func TestRefreshFullTextIndex(t *testing.T) {
+	s := NewServer("local", "docdb")
+	s.MustExec(`CREATE TABLE notes (id INT PRIMARY KEY, body VARCHAR(64))`)
+	s.MustExec(`INSERT INTO notes VALUES (1, 'alpha content')`)
+	if err := s.CreateFullTextIndex("ncat", "notes", "body"); err != nil {
+		t.Fatal(err)
+	}
+	// New rows are invisible to the index until maintenance runs.
+	s.MustExec(`INSERT INTO notes VALUES (2, 'beta content')`)
+	cat, _ := s.FulltextService().Catalog("ncat")
+	if cat.Len() != 1 {
+		t.Fatalf("catalog size before refresh = %d", cat.Len())
+	}
+	if err := s.RefreshFullTextIndex("ncat"); err != nil {
+		t.Fatal(err)
+	}
+	cat, _ = s.FulltextService().Catalog("ncat")
+	if cat.Len() != 2 {
+		t.Errorf("catalog size after refresh = %d", cat.Len())
+	}
+	res := q(t, s, `SELECT id FROM notes WHERE CONTAINS(body, 'beta')`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 2 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	if err := s.RefreshFullTextIndex("nosuch"); err == nil {
+		t.Error("unknown catalog refreshed")
+	}
+}

@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"dhqp/internal/algebra"
+	"dhqp/internal/binder"
+	"dhqp/internal/exec"
+	"dhqp/internal/oledb"
+	"dhqp/internal/opt"
+	"dhqp/internal/parser"
+	"dhqp/internal/rowset"
+	"dhqp/internal/rules"
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+)
+
+// Result is a query result set.
+type Result struct {
+	Cols []schema.Column
+	Rows []rowset.Row
+}
+
+// Display renders the result as text (REPL, examples).
+func (r *Result) Display() string {
+	var b strings.Builder
+	for i, c := range r.Cols {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteString(c.Name)
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(v.Display())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Plan compiles a SELECT into a physical plan (without executing it); it
+// returns the plan, the result columns and the optimizer report.
+func (s *Server) Plan(sql string) (*algebra.Node, []schema.Column, *opt.Report, error) {
+	st, err := parser.Parse(sql)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sel, ok := st.(*parser.SelectStmt)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("engine: Plan expects a SELECT, got %T", st)
+	}
+	return s.planSelect(sel)
+}
+
+func (s *Server) planSelect(sel *parser.SelectStmt) (*algebra.Node, []schema.Column, *opt.Report, error) {
+	b := binder.New(&catalog{s: s})
+	bound, err := b.BindSelect(sel)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	md := s.newMetadata(bound.Root)
+	rctx := &rules.Context{
+		CapsFor: func(server string) (oledb.Capabilities, bool) {
+			return s.capsFor(server)
+		},
+		NewCol: b.AllocCol,
+		FulltextIndex: func(src *algebra.Source, column string) (rules.FulltextIndexInfo, bool) {
+			if src.Server != "" {
+				return rules.FulltextIndexInfo{}, false
+			}
+			s.mu.Lock()
+			cat, ok := s.ftIndexes[strings.ToLower(src.Catalog+"."+src.Table+"."+column)]
+			s.mu.Unlock()
+			if !ok {
+				return rules.FulltextIndexInfo{}, false
+			}
+			return rules.FulltextIndexInfo{Server: ftServerName, Catalog: cat}, true
+		},
+		TableCardFn:             md.TableCardinality,
+		DisableSpool:            s.DisableSpool,
+		DisableParameterization: s.DisableParameterization,
+	}
+	cfg := s.OptConfig
+	if cfg.Model == nil {
+		cfg.Model = s.costModel()
+	}
+	optimizer := opt.New(cfg, rctx)
+	plan, report, err := optimizer.Optimize(bound.Root, md, bound.RequiredOrder)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("engine: optimizing: %w", err)
+	}
+	s.lastReport = report
+	cols := make([]schema.Column, len(bound.ResultCols))
+	for i, c := range bound.ResultCols {
+		cols[i] = schema.Column{Name: c.Name, Kind: c.Kind, Nullable: true}
+	}
+	// Result columns ride on the plan's output in bound.ResultCols order;
+	// the Project at the top of the bound tree guarantees the shape.
+	return plan, cols, report, nil
+}
+
+// capsFor resolves capability sets for any server tag the optimizer sees.
+func (s *Server) capsFor(server string) (oledb.Capabilities, bool) {
+	switch server {
+	case "":
+		return s.nativeProv.Capabilities(), true
+	case ftServerName:
+		return oledb.Capabilities{ProviderName: "MSIDXS", SQLSupport: oledb.SQLProprietary, SupportsCommand: true}, true
+	case mailServerName:
+		return oledb.Capabilities{ProviderName: "Microsoft.Mail", SQLSupport: oledb.SQLNone}, true
+	}
+	s.mu.Lock()
+	if caps, ok := s.extraCaps[server]; ok {
+		s.mu.Unlock()
+		return caps, true
+	}
+	l, ok := s.linked[strings.ToLower(server)]
+	s.mu.Unlock()
+	if !ok {
+		return oledb.Capabilities{}, false
+	}
+	return l.caps, true
+}
+
+// runtime implements exec.Runtime.
+type runtime struct {
+	s *Server
+}
+
+// SessionFor implements exec.Runtime.
+func (rt *runtime) SessionFor(server string) (oledb.Session, error) {
+	s := rt.s
+	switch server {
+	case "":
+		return s.nativeSess, nil
+	case ftServerName:
+		prov := ftProviderOf(s)
+		return prov.CreateSession()
+	case mailServerName:
+		return mailSessionOf(s)
+	}
+	s.mu.Lock()
+	if sess, ok := s.extraSessions[server]; ok {
+		s.mu.Unlock()
+		return sess, nil
+	}
+	s.mu.Unlock()
+	l, err := s.linkedFor(server)
+	if err != nil {
+		return nil, err
+	}
+	return s.sessionOf(l)
+}
+
+// Query parses, optimizes and executes a SELECT. Compiled plans cache by
+// statement text; parameters bind at execution time (startup filters and
+// parameterized access paths re-evaluate per run), so one cached plan
+// serves every parameter value.
+func (s *Server) Query(sql string, params map[string]sqltypes.Value) (*Result, error) {
+	if !s.DisablePlanCache {
+		s.mu.Lock()
+		cached, ok := s.planCache[sql]
+		s.mu.Unlock()
+		if ok {
+			return s.runPlan(cached.plan, cached.cols, params)
+		}
+	}
+	plan, cols, _, err := s.Plan(sql)
+	if err != nil {
+		return nil, err
+	}
+	if !s.DisablePlanCache {
+		s.mu.Lock()
+		s.planCache[sql] = &cachedPlan{plan: plan, cols: cols}
+		s.mu.Unlock()
+	}
+	return s.runPlan(plan, cols, params)
+}
+
+func (s *Server) runPlan(plan *algebra.Node, cols []schema.Column, params map[string]sqltypes.Value) (*Result, error) {
+	if params == nil {
+		params = map[string]sqltypes.Value{}
+	}
+	ctx := &exec.Context{RT: &runtime{s: s}, Params: params, Today: s.Today}
+	out := plan.OutCols()
+	m, err := exec.Run(plan, ctx, out)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: cols, Rows: m.Rows()}, nil
+}
+
+// QuerySQL implements sqlful.Target, making this server usable as a linked
+// server by its peers.
+func (s *Server) QuerySQL(sql string, params map[string]sqltypes.Value) (*rowset.Materialized, error) {
+	res, err := s.Query(sql, params)
+	if err != nil {
+		return nil, err
+	}
+	return rowset.NewMaterialized(res.Cols, res.Rows), nil
+}
+
+// ExecSQL implements sqlful.Target for remote DML/DDL.
+func (s *Server) ExecSQL(sql string, params map[string]sqltypes.Value) (int64, error) {
+	return s.ExecParams(sql, params)
+}
+
+// NativeSession implements sqlful.Target.
+func (s *Server) NativeSession() (oledb.Session, error) {
+	return s.nativeProv.CreateSession()
+}
+
+// DescribeSQL implements sqlful.Target: plan the statement (without
+// executing) and report its output shape.
+func (s *Server) DescribeSQL(sql string) ([]schema.Column, error) {
+	_, cols, _, err := s.Plan(sql)
+	return cols, err
+}

@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"dhqp/internal/parser"
+	"dhqp/internal/sqltypes"
+)
+
+// renderExpr reconstructs SQL text from a parsed expression; DML statements
+// addressed to linked servers forward through it (the remote engine speaks
+// the same dialect).
+func renderExpr(e parser.Expr) (string, error) {
+	switch v := e.(type) {
+	case *parser.IntLit:
+		return fmt.Sprintf("%d", v.V), nil
+	case *parser.FloatLit:
+		return fmt.Sprintf("%g", v.V), nil
+	case *parser.StrLit:
+		return sqltypes.NewString(v.V).String(), nil
+	case *parser.NullLit:
+		return "NULL", nil
+	case *parser.ParamExpr:
+		return "@" + v.Name, nil
+	case *parser.NameExpr:
+		return v.Display(), nil
+	case *parser.BinExpr:
+		l, err := renderExpr(v.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := renderExpr(v.R)
+		if err != nil {
+			return "", err
+		}
+		return "(" + l + " " + v.Op + " " + r + ")", nil
+	case *parser.UnExpr:
+		inner, err := renderExpr(v.E)
+		if err != nil {
+			return "", err
+		}
+		if v.Op == "NOT" {
+			return "(NOT " + inner + ")", nil
+		}
+		return "(-" + inner + ")", nil
+	case *parser.IsNullExpr:
+		inner, err := renderExpr(v.E)
+		if err != nil {
+			return "", err
+		}
+		if v.Negate {
+			return "(" + inner + " IS NOT NULL)", nil
+		}
+		return "(" + inner + " IS NULL)", nil
+	case *parser.LikeExpr:
+		l, err := renderExpr(v.E)
+		if err != nil {
+			return "", err
+		}
+		p, err := renderExpr(v.Pattern)
+		if err != nil {
+			return "", err
+		}
+		op := "LIKE"
+		if v.Negate {
+			op = "NOT LIKE"
+		}
+		return "(" + l + " " + op + " " + p + ")", nil
+	case *parser.BetweenExpr:
+		x, err := renderExpr(v.E)
+		if err != nil {
+			return "", err
+		}
+		lo, err := renderExpr(v.Lo)
+		if err != nil {
+			return "", err
+		}
+		hi, err := renderExpr(v.Hi)
+		if err != nil {
+			return "", err
+		}
+		op := "BETWEEN"
+		if v.Negate {
+			op = "NOT BETWEEN"
+		}
+		return fmt.Sprintf("(%s %s %s AND %s)", x, op, lo, hi), nil
+	case *parser.InExpr:
+		if v.Sel != nil {
+			return "", fmt.Errorf("engine: cannot forward IN (SELECT ...) to a linked server")
+		}
+		x, err := renderExpr(v.E)
+		if err != nil {
+			return "", err
+		}
+		items := make([]string, len(v.List))
+		for i, m := range v.List {
+			items[i], err = renderExpr(m)
+			if err != nil {
+				return "", err
+			}
+		}
+		op := "IN"
+		if v.Negate {
+			op = "NOT IN"
+		}
+		return fmt.Sprintf("(%s %s (%s))", x, op, strings.Join(items, ", ")), nil
+	case *parser.FuncExpr:
+		if v.Star {
+			return v.Name + "(*)", nil
+		}
+		args := make([]string, len(v.Args))
+		var err error
+		for i, a := range v.Args {
+			args[i], err = renderExpr(a)
+			if err != nil {
+				return "", err
+			}
+		}
+		d := ""
+		if v.Distinct {
+			d = "DISTINCT "
+		}
+		return v.Name + "(" + d + strings.Join(args, ", ") + ")", nil
+	default:
+		return "", fmt.Errorf("engine: cannot forward expression %T to a linked server", e)
+	}
+}
+
+// stripServer removes the leading server part of a four-part name for
+// forwarding.
+func stripServer(parts []string) string {
+	return strings.Join(parts[1:], ".")
+}
+
+// renderInsert forwards an INSERT.
+func renderInsert(st *parser.InsertStmt) (string, error) {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(stripServer(st.Table.Parts))
+	if len(st.Columns) > 0 {
+		b.WriteString(" (" + strings.Join(st.Columns, ", ") + ")")
+	}
+	if st.Sel != nil {
+		return "", fmt.Errorf("engine: INSERT ... SELECT cannot forward verbatim; materialize locally first")
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range st.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		vals := make([]string, len(row))
+		var err error
+		for j, e := range row {
+			vals[j], err = renderExpr(e)
+			if err != nil {
+				return "", err
+			}
+		}
+		b.WriteString("(" + strings.Join(vals, ", ") + ")")
+	}
+	return b.String(), nil
+}
+
+// renderUpdate forwards an UPDATE.
+func renderUpdate(st *parser.UpdateStmt) (string, error) {
+	var b strings.Builder
+	b.WriteString("UPDATE ")
+	b.WriteString(stripServer(st.Table.Parts))
+	b.WriteString(" SET ")
+	for i, sc := range st.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		v, err := renderExpr(sc.E)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(sc.Column + " = " + v)
+	}
+	if st.Where != nil {
+		w, err := renderExpr(st.Where)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(" WHERE " + w)
+	}
+	return b.String(), nil
+}
+
+// renderDelete forwards a DELETE.
+func renderDelete(st *parser.DeleteStmt) (string, error) {
+	var b strings.Builder
+	b.WriteString("DELETE FROM ")
+	b.WriteString(stripServer(st.Table.Parts))
+	if st.Where != nil {
+		w, err := renderExpr(st.Where)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(" WHERE " + w)
+	}
+	return b.String(), nil
+}
+
+// renderCreateTable forwards a CREATE TABLE (federation setup pushes member
+// DDL to member servers).
+func renderCreateTable(st *parser.CreateTableStmt) (string, error) {
+	var parts []string
+	pk := map[string]bool{}
+	for _, c := range st.PrimaryKey {
+		pk[strings.ToLower(c)] = true
+	}
+	for _, c := range st.Columns {
+		def := c.Name + " " + strings.ToUpper(c.TypeName)
+		if c.NotNull {
+			def += " NOT NULL"
+		}
+		parts = append(parts, def)
+	}
+	if len(st.PrimaryKey) > 0 {
+		parts = append(parts, "PRIMARY KEY ("+strings.Join(st.PrimaryKey, ", ")+")")
+	}
+	for _, text := range st.CheckTexts {
+		parts = append(parts, "CHECK ("+text+")")
+	}
+	return "CREATE TABLE " + stripServer(st.Name.Parts) + " (" + strings.Join(parts, ", ") + ")", nil
+}

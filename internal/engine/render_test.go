@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"dhqp/internal/parser"
+)
+
+func parseExprT(t *testing.T, src string) parser.Expr {
+	t.Helper()
+	e, err := parser.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestRenderExprRoundTrip renders parsed expressions back to SQL and
+// re-parses them — the forwarding path for remote DML must stay parseable.
+func TestRenderExprRoundTrip(t *testing.T) {
+	cases := []string{
+		`a + 1`,
+		`(a * 2) - (b / 3)`,
+		`a % 5`,
+		`name = 'O''Brien'`,
+		`a BETWEEN 1 AND 10`,
+		`a NOT BETWEEN 1 AND 10`,
+		`name LIKE 'x%'`,
+		`name NOT LIKE 'x%'`,
+		`a IN (1, 2, 3)`,
+		`a NOT IN (1)`,
+		`a IS NULL`,
+		`a IS NOT NULL`,
+		`NOT a = 1`,
+		`-a`,
+		`upper(name)`,
+		`date(today(), -2)`,
+		`count(*)`,
+		`sum(DISTINCT a)`,
+		`a = @p`,
+		`NULL`,
+		`price > 1.5`,
+		`t.a = u.b AND (x OR y = 2)`,
+	}
+	for _, src := range cases {
+		rendered, err := renderExpr(parseExprT(t, src))
+		if err != nil {
+			t.Errorf("render(%q): %v", src, err)
+			continue
+		}
+		if _, err := parser.ParseExpr(rendered); err != nil {
+			t.Errorf("reparse(%q -> %q): %v", src, rendered, err)
+		}
+	}
+	// IN (SELECT ...) cannot forward.
+	st, err := parser.Parse(`DELETE FROM t WHERE a IN (SELECT b FROM u)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := renderDelete(st.(*parser.DeleteStmt)); err == nil {
+		t.Error("IN-subquery forwarded")
+	}
+}
+
+func TestRenderStatements(t *testing.T) {
+	ins := mustParseT(t, `INSERT INTO srv.db.dbo.t (a, b) VALUES (1, 'x'), (2, 'y')`).(*parser.InsertStmt)
+	text, err := renderInsert(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"INSERT INTO db.dbo.t", "(a, b)", "(1, 'x'), (2, 'y')"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("insert text missing %q: %q", frag, text)
+		}
+	}
+	up := mustParseT(t, `UPDATE srv.db.dbo.t SET a = a + 1 WHERE b = 'x'`).(*parser.UpdateStmt)
+	text, err = renderUpdate(up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "UPDATE db.dbo.t SET a = (a + 1) WHERE (b = 'x')") {
+		t.Errorf("update text = %q", text)
+	}
+	del := mustParseT(t, `DELETE FROM srv.db.dbo.t WHERE a > 5`).(*parser.DeleteStmt)
+	text, err = renderDelete(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "DELETE FROM db.dbo.t WHERE (a > 5)") {
+		t.Errorf("delete text = %q", text)
+	}
+	ct := mustParseT(t, `CREATE TABLE srv.db.dbo.p (k INT NOT NULL CHECK (k >= 0), v VARCHAR(8), PRIMARY KEY (k))`).(*parser.CreateTableStmt)
+	text, err = renderCreateTable(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"CREATE TABLE db.dbo.p", "k INT NOT NULL", "PRIMARY KEY (k)", "CHECK (k >= 0)"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("ddl text missing %q: %q", frag, text)
+		}
+	}
+	// Rendered DDL re-parses.
+	if _, err := parser.Parse(text); err != nil {
+		t.Errorf("rendered DDL does not reparse: %v", err)
+	}
+	// INSERT ... SELECT cannot render verbatim.
+	insSel := mustParseT(t, `INSERT INTO srv.db.dbo.t SELECT a FROM u`).(*parser.InsertStmt)
+	if _, err := renderInsert(insSel); err == nil {
+		t.Error("insert-select rendered verbatim")
+	}
+}
+
+func mustParseT(t *testing.T, sql string) parser.Statement {
+	t.Helper()
+	st, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestInsertWithColumnListAndDefaults(t *testing.T) {
+	s := NewServer("local", "db")
+	s.MustExec(`CREATE TABLE t (a INT, b VARCHAR(8), c INT)`)
+	if _, err := s.Exec(`INSERT INTO t (c, a) VALUES (30, 1)`); err != nil {
+		t.Fatal(err)
+	}
+	res := q(t, s, `SELECT a, b, c FROM t`)
+	r := res.Rows[0]
+	if r[0].Int() != 1 || !r[1].IsNull() || r[2].Int() != 30 {
+		t.Errorf("row = %v", r)
+	}
+	if _, err := s.Exec(`INSERT INTO t (nope) VALUES (1)`); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := s.Exec(`INSERT INTO t (a, b) VALUES (1)`); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestInsertSelectIntoRemote(t *testing.T) {
+	local, remote, _ := linkTwo(t)
+	local.MustExec(`CREATE TABLE picks (id INT)`)
+	local.MustExec(`INSERT INTO picks VALUES (1), (99)`)
+	n, err := local.Exec(`INSERT INTO remote0.salesdb.dbo.supplier SELECT id, id FROM picks WHERE id > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("inserted = %d", n)
+	}
+	res := q(t, remote, `SELECT COUNT(*) AS n FROM supplier WHERE s_id = 99`)
+	if res.Rows[0][0].Int() != 1 {
+		t.Errorf("remote row missing: %v", res.Rows[0][0])
+	}
+}
+
+func TestExecProcErrors(t *testing.T) {
+	s := NewServer("local", "db")
+	if _, err := s.Exec(`EXEC sp_addlinkedserver 'x'`); err == nil {
+		t.Error("short arg list accepted")
+	}
+	if _, err := s.Exec(`EXEC sp_addlinkedserver 'x', 'NOPROVIDER', 'ds'`); err == nil {
+		t.Error("unknown provider accepted")
+	}
+	if _, err := s.Exec(`EXEC sp_unknown 'a'`); err == nil {
+		t.Error("unknown proc accepted")
+	}
+}
+
+func TestMustExecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustExec did not panic on bad SQL")
+		}
+	}()
+	NewServer("x", "db").MustExec(`FROB`)
+}

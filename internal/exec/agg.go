@@ -1,0 +1,362 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dhqp/internal/algebra"
+	"dhqp/internal/expr"
+	"dhqp/internal/rowset"
+	"dhqp/internal/sqltypes"
+)
+
+// accumulator computes one aggregate over a group.
+type accumulator struct {
+	fn       algebra.AggFunc
+	distinct bool
+	seen     map[uint64]bool
+
+	count int64
+	sumI  int64
+	sumF  float64
+	isF   bool
+	min   sqltypes.Value
+	max   sqltypes.Value
+	any   bool
+}
+
+func newAccumulator(spec algebra.AggSpec) *accumulator {
+	a := &accumulator{fn: spec.Func, distinct: spec.Distinct}
+	if spec.Distinct {
+		a.seen = map[uint64]bool{}
+	}
+	return a
+}
+
+func (a *accumulator) add(v sqltypes.Value, isStar bool) error {
+	if !isStar && v.IsNull() {
+		return nil // aggregates skip NULLs
+	}
+	if a.distinct {
+		h := v.Hash()
+		if a.seen[h] {
+			return nil
+		}
+		a.seen[h] = true
+	}
+	a.count++
+	switch a.fn {
+	case algebra.AggCount:
+	case algebra.AggSum, algebra.AggAvg:
+		switch v.Kind() {
+		case sqltypes.KindInt, sqltypes.KindBool:
+			i, _ := v.AsInt()
+			a.sumI += i
+			a.sumF += float64(i)
+		case sqltypes.KindFloat:
+			a.isF = true
+			a.sumF += v.Float()
+		default:
+			return fmt.Errorf("exec: SUM/AVG over %s", v.Kind())
+		}
+	case algebra.AggMin:
+		if !a.any || sqltypes.Compare(v, a.min) < 0 {
+			a.min = v
+		}
+	case algebra.AggMax:
+		if !a.any || sqltypes.Compare(v, a.max) > 0 {
+			a.max = v
+		}
+	}
+	a.any = true
+	return nil
+}
+
+func (a *accumulator) result() sqltypes.Value {
+	switch a.fn {
+	case algebra.AggCount:
+		return sqltypes.NewInt(a.count)
+	case algebra.AggSum:
+		if !a.any {
+			return sqltypes.Null
+		}
+		if a.isF {
+			return sqltypes.NewFloat(a.sumF)
+		}
+		return sqltypes.NewInt(a.sumI)
+	case algebra.AggAvg:
+		if a.count == 0 {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(a.sumF / float64(a.count))
+	case algebra.AggMin:
+		if !a.any {
+			return sqltypes.Null
+		}
+		return a.min
+	case algebra.AggMax:
+		if !a.any {
+			return sqltypes.Null
+		}
+		return a.max
+	default:
+		return sqltypes.Null
+	}
+}
+
+func buildAgg(n *algebra.Node, groupCols []algebra.OutCol, aggs []algebra.AggSpec, ctx *Context, stream bool) (Iterator, error) {
+	child, err := Build(n.Kids[0], ctx)
+	if err != nil {
+		return nil, err
+	}
+	kidCols := n.Kids[0].OutCols()
+	gpos := make([]int, len(groupCols))
+	for i, gc := range groupCols {
+		gpos[i] = posOf(kidCols, gc.ID)
+		if gpos[i] < 0 {
+			return nil, fmt.Errorf("exec: grouping column col%d not in input", gc.ID)
+		}
+	}
+	args := make([]expr.Expr, len(aggs))
+	for i, a := range aggs {
+		if a.Arg != nil {
+			bound, err := bindExpr(a.Arg, kidCols)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = bound
+		}
+	}
+	if stream {
+		return &streamAggIter{ctx: ctx, child: child, gpos: gpos, specs: aggs, args: args}, nil
+	}
+	return &hashAggIter{ctx: ctx, child: child, gpos: gpos, specs: aggs, args: args}, nil
+}
+
+// hashAggIter groups with a hash table (no input order requirement).
+type hashAggIter struct {
+	ctx   *Context
+	child Iterator
+	gpos  []int
+	specs []algebra.AggSpec
+	args  []expr.Expr
+
+	out *rowset.Materialized
+}
+
+func (h *hashAggIter) Open() error {
+	h.out = nil
+	if err := h.child.Open(); err != nil {
+		return err
+	}
+	type groupState struct {
+		key  rowset.Row
+		accs []*accumulator
+	}
+	groups := map[string]*groupState{}
+	var order []string
+	scalar := len(h.gpos) == 0
+	for {
+		r, err := h.child.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		key := ""
+		if !scalar {
+			var b []byte
+			for _, p := range h.gpos {
+				hv := r[p].Hash()
+				for i := 0; i < 8; i++ {
+					b = append(b, byte(hv>>(8*i)))
+				}
+			}
+			key = string(b)
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &groupState{accs: make([]*accumulator, len(h.specs))}
+			for i, s := range h.specs {
+				g.accs[i] = newAccumulator(s)
+			}
+			gk := make(rowset.Row, len(h.gpos))
+			for i, p := range h.gpos {
+				gk[i] = r[p]
+			}
+			g.key = gk
+			groups[key] = g
+			order = append(order, key)
+		}
+		if err := h.accumulate(g.accs, r); err != nil {
+			return err
+		}
+	}
+	if scalar && len(groups) == 0 {
+		// Scalar aggregate over empty input yields one row.
+		g := &groupState{accs: make([]*accumulator, len(h.specs))}
+		for i, s := range h.specs {
+			g.accs[i] = newAccumulator(s)
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+	out := rowset.NewMaterialized(nil, nil)
+	// Deterministic output: insertion order.
+	sortStable(order)
+	for _, key := range order {
+		g := groups[key]
+		row := make(rowset.Row, 0, len(h.gpos)+len(h.specs))
+		row = append(row, g.key...)
+		for _, a := range g.accs {
+			row = append(row, a.result())
+		}
+		out.Append(row)
+	}
+	h.out = out
+	return h.child.Close()
+}
+
+// sortStable keeps group output deterministic across runs (map iteration
+// order is randomized); groups emit in first-seen order which `order`
+// already captures, so this is a no-op placeholder kept for clarity.
+func sortStable(keys []string) { _ = sort.SearchStrings }
+
+func (h *hashAggIter) accumulate(accs []*accumulator, r rowset.Row) error {
+	env := h.ctx.env(r)
+	for i, a := range accs {
+		if h.args[i] == nil {
+			if err := a.add(sqltypes.NewInt(1), true); err != nil {
+				return err
+			}
+			continue
+		}
+		v, err := h.args[i].Eval(env)
+		if err != nil {
+			return err
+		}
+		if err := a.add(v, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *hashAggIter) Next() (rowset.Row, error) {
+	if h.out == nil {
+		return nil, io.EOF
+	}
+	return h.out.Next()
+}
+
+func (h *hashAggIter) Close() error {
+	h.out = nil
+	return nil
+}
+
+// streamAggIter aggregates input already ordered by the grouping columns.
+type streamAggIter struct {
+	ctx   *Context
+	child Iterator
+	gpos  []int
+	specs []algebra.AggSpec
+	args  []expr.Expr
+
+	curKey  rowset.Row
+	accs    []*accumulator
+	done    bool
+	started bool
+}
+
+func (s *streamAggIter) Open() error {
+	s.curKey, s.accs, s.done, s.started = nil, nil, false, false
+	return s.child.Open()
+}
+
+func (s *streamAggIter) newAccs() []*accumulator {
+	accs := make([]*accumulator, len(s.specs))
+	for i, sp := range s.specs {
+		accs[i] = newAccumulator(sp)
+	}
+	return accs
+}
+
+func (s *streamAggIter) emit() rowset.Row {
+	row := make(rowset.Row, 0, len(s.curKey)+len(s.accs))
+	row = append(row, s.curKey...)
+	for _, a := range s.accs {
+		row = append(row, a.result())
+	}
+	return row
+}
+
+func (s *streamAggIter) Next() (rowset.Row, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	for {
+		r, err := s.child.Next()
+		if err == io.EOF {
+			s.done = true
+			if s.started {
+				return s.emit(), nil
+			}
+			if len(s.gpos) == 0 {
+				// Scalar aggregate over empty input.
+				s.curKey = nil
+				s.accs = s.newAccs()
+				return s.emit(), nil
+			}
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		key := make(rowset.Row, len(s.gpos))
+		for i, p := range s.gpos {
+			key[i] = r[p]
+		}
+		var flush rowset.Row
+		if s.started && !keysEqual(key, s.curKey) {
+			flush = s.emit()
+			s.started = false
+		}
+		if !s.started {
+			s.curKey = key.Clone()
+			s.accs = s.newAccs()
+			s.started = true
+		}
+		env := s.ctx.env(r)
+		for i, a := range s.accs {
+			if s.args[i] == nil {
+				if err := a.add(sqltypes.NewInt(1), true); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			v, err := s.args[i].Eval(env)
+			if err != nil {
+				return nil, err
+			}
+			if err := a.add(v, false); err != nil {
+				return nil, err
+			}
+		}
+		if flush != nil {
+			return flush, nil
+		}
+	}
+}
+
+func keysEqual(a, b rowset.Row) bool {
+	for i := range a {
+		if !sqltypes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *streamAggIter) Close() error { return s.child.Close() }

@@ -1,0 +1,218 @@
+// Package exec implements the execution engine: a pull-based iterator per
+// physical operator. Both local and remote access paths flow through the
+// oledb.Session interface — the paper's unification property (§2): the
+// executor cannot tell the local storage engine from a linked server except
+// by which session it asked for.
+//
+// Iterators follow an Open/Next/Close protocol where Open restarts the
+// iterator; loop joins re-Open their inner side per outer row, binding
+// correlation parameters first (the parameterized execution of §4.1.2).
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"dhqp/internal/algebra"
+	"dhqp/internal/expr"
+	"dhqp/internal/oledb"
+	"dhqp/internal/rowset"
+	"dhqp/internal/sqltypes"
+)
+
+// Runtime resolves provider sessions; the engine implements it. Server ""
+// is the local storage engine's native provider.
+type Runtime interface {
+	SessionFor(server string) (oledb.Session, error)
+}
+
+// Context carries one statement execution's state.
+type Context struct {
+	RT Runtime
+	// Params holds @name parameter values; loop joins bind correlation
+	// parameters here between inner re-opens.
+	Params map[string]sqltypes.Value
+	// Today is the session date for today().
+	Today sqltypes.Value
+}
+
+func (c *Context) env(row rowset.Row) *expr.Env {
+	return &expr.Env{Row: row, Params: c.Params, Today: c.Today}
+}
+
+// Iterator is one operator's cursor. Open (re)starts execution; Next
+// returns io.EOF at the end.
+type Iterator interface {
+	Open() error
+	Next() (rowset.Row, error)
+	Close() error
+}
+
+// Build compiles a physical plan into an iterator tree.
+func Build(n *algebra.Node, ctx *Context) (Iterator, error) {
+	switch op := n.Op.(type) {
+	case *algebra.TableScan:
+		return newScan(ctx, op.Src, len(op.Cols)), nil
+	case *algebra.RemoteScan:
+		return newScan(ctx, op.Src, len(op.Cols)), nil
+	case *algebra.IndexRange:
+		return newIndexRange(ctx, op.Src, op.Index, op.Lo, op.Hi, len(op.Cols))
+	case *algebra.RemoteRange:
+		return newIndexRange(ctx, op.Src, op.Index, op.Lo, op.Hi, len(op.Cols))
+	case *algebra.RemoteQuery:
+		return &remoteQueryIter{ctx: ctx, op: op}, nil
+	case *algebra.ProviderCommand:
+		return &providerCommandIter{ctx: ctx, op: op}, nil
+	case *algebra.RemoteFetch:
+		child, err := Build(n.Kids[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		keyPos := posOf(n.Kids[0].OutCols(), op.KeyCol)
+		if keyPos < 0 {
+			return nil, fmt.Errorf("exec: RemoteFetch key col%d not in child output", op.KeyCol)
+		}
+		return &remoteFetchIter{ctx: ctx, op: op, child: child, keyPos: keyPos}, nil
+	case *algebra.Filter:
+		child, err := Build(n.Kids[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := bindExpr(op.Pred, n.Kids[0].OutCols())
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{ctx: ctx, child: child, pred: pred}, nil
+	case *algebra.StartupFilter:
+		child, err := Build(n.Kids[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		// Startup predicates reference only parameters; bind against an
+		// empty layout.
+		pred, err := expr.Bind(op.Pred, map[expr.ColumnID]int{})
+		if err != nil {
+			return nil, err
+		}
+		return &startupFilterIter{ctx: ctx, child: child, pred: pred}, nil
+	case *algebra.Compute:
+		child, err := Build(n.Kids[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		kidCols := n.Kids[0].OutCols()
+		exprs := make([]expr.Expr, len(op.Exprs))
+		for i, pe := range op.Exprs {
+			bound, err := bindExpr(pe.E, kidCols)
+			if err != nil {
+				return nil, err
+			}
+			exprs[i] = bound
+		}
+		return &computeIter{ctx: ctx, child: child, exprs: exprs}, nil
+	case *algebra.HashJoin:
+		return buildHashJoin(n, op, ctx)
+	case *algebra.MergeJoin:
+		return buildMergeJoin(n, op, ctx)
+	case *algebra.LoopJoin:
+		return buildLoopJoin(n, op, ctx)
+	case *algebra.HashAgg:
+		return buildAgg(n, op.GroupCols, op.Aggs, ctx, false)
+	case *algebra.StreamAgg:
+		return buildAgg(n, op.GroupCols, op.Aggs, ctx, true)
+	case *algebra.Sort:
+		child, err := Build(n.Kids[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		ords, descs, err := orderPositions(op.Order, n.Kids[0].OutCols())
+		if err != nil {
+			return nil, err
+		}
+		return &sortIter{child: child, ordinals: ords, desc: descs}, nil
+	case *algebra.TopN:
+		child, err := Build(n.Kids[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		ords, descs, err := orderPositions(op.Order, n.Kids[0].OutCols())
+		if err != nil {
+			return nil, err
+		}
+		return &topIter{child: child, n: op.N, ordinals: ords, desc: descs}, nil
+	case *algebra.Concat:
+		return buildConcat(n, op, ctx)
+	case *algebra.Spool:
+		child, err := Build(n.Kids[0], ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &spoolIter{child: child}, nil
+	case *algebra.ConstScan:
+		return buildConstScan(op, ctx)
+	case *algebra.EmptyScan:
+		return &emptyIter{}, nil
+	default:
+		return nil, fmt.Errorf("exec: operator %s is not executable (logical operator reached the executor?)", n.Op.OpName())
+	}
+}
+
+// Run drains a plan into a materialized rowset with the given output
+// columns.
+func Run(n *algebra.Node, ctx *Context, outCols []algebra.OutCol) (*rowset.Materialized, error) {
+	it, err := Build(n, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.Open(); err != nil {
+		it.Close()
+		return nil, err
+	}
+	defer it.Close()
+	out := rowset.NewMaterialized(toSchemaCols(outCols), nil)
+	for {
+		r, err := it.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out.Append(r)
+	}
+}
+
+// bindExpr resolves an expression against a child operator's output layout.
+func bindExpr(e expr.Expr, cols []algebra.OutCol) (expr.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	layout := make(map[expr.ColumnID]int, len(cols))
+	for i, c := range cols {
+		layout[c.ID] = i
+	}
+	return expr.Bind(e, layout)
+}
+
+func posOf(cols []algebra.OutCol, id expr.ColumnID) int {
+	for i, c := range cols {
+		if c.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func orderPositions(order algebra.Ordering, cols []algebra.OutCol) ([]int, []bool, error) {
+	ords := make([]int, len(order))
+	descs := make([]bool, len(order))
+	for i, oc := range order {
+		p := posOf(cols, oc.Col)
+		if p < 0 {
+			return nil, nil, fmt.Errorf("exec: ordering column col%d not in input", oc.Col)
+		}
+		ords[i] = p
+		descs[i] = oc.Desc
+	}
+	return ords, descs, nil
+}

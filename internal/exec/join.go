@@ -1,0 +1,492 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"dhqp/internal/algebra"
+	"dhqp/internal/expr"
+	"dhqp/internal/rowset"
+	"dhqp/internal/sqltypes"
+)
+
+// keyOf builds a hashable string key from row positions; a trailing flag
+// distinguishes NULL from empty (NULLs never join).
+func keyOf(r rowset.Row, positions []int) (string, bool) {
+	key := make([]byte, 0, 16*len(positions))
+	for _, p := range positions {
+		v := r[p]
+		if v.IsNull() {
+			return "", false
+		}
+		h := v.Hash()
+		for i := 0; i < 8; i++ {
+			key = append(key, byte(h>>(8*i)))
+		}
+		key = append(key, '|')
+	}
+	return string(key), true
+}
+
+func buildHashJoin(n *algebra.Node, op *algebra.HashJoin, ctx *Context) (Iterator, error) {
+	left, err := Build(n.Kids[0], ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Build(n.Kids[1], ctx)
+	if err != nil {
+		return nil, err
+	}
+	lcols, rcols := n.Kids[0].OutCols(), n.Kids[1].OutCols()
+	lpos := make([]int, len(op.Pairs))
+	rpos := make([]int, len(op.Pairs))
+	for i, pr := range op.Pairs {
+		lpos[i] = posOf(lcols, pr.Left)
+		rpos[i] = posOf(rcols, pr.Right)
+		if lpos[i] < 0 || rpos[i] < 0 {
+			return nil, fmt.Errorf("exec: hash join pair %v not found in inputs", pr)
+		}
+	}
+	var residual expr.Expr
+	if op.Residual != nil {
+		all := append(append([]algebra.OutCol{}, lcols...), rcols...)
+		residual, err = bindExpr(op.Residual, all)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &hashJoinIter{
+		ctx: ctx, typ: op.Type, left: left, right: right,
+		lpos: lpos, rpos: rpos, residual: residual,
+		lwidth: len(lcols), rwidth: len(rcols),
+	}, nil
+}
+
+type hashJoinIter struct {
+	ctx         *Context
+	typ         algebra.JoinType
+	left, right Iterator
+	lpos, rpos  []int
+	residual    expr.Expr
+	lwidth      int
+	rwidth      int
+
+	table   map[string][]rowset.Row
+	cur     rowset.Row // current left row
+	matches []rowset.Row
+	midx    int
+	matched bool
+}
+
+func (h *hashJoinIter) Open() error {
+	if err := h.right.Open(); err != nil {
+		return err
+	}
+	h.table = map[string][]rowset.Row{}
+	for {
+		r, err := h.right.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if key, ok := keyOf(r, h.rpos); ok {
+			h.table[key] = append(h.table[key], r.Clone())
+		}
+	}
+	h.cur, h.matches, h.midx = nil, nil, 0
+	return h.left.Open()
+}
+
+func (h *hashJoinIter) Next() (rowset.Row, error) {
+	for {
+		// Emit pending matches for the current left row.
+		for h.midx < len(h.matches) {
+			rrow := h.matches[h.midx]
+			h.midx++
+			combined := combineRows(h.cur, rrow)
+			if h.residual != nil {
+				ok, err := expr.EvalPredicate(h.residual, h.ctx.env(combined))
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			h.matched = true
+			switch h.typ {
+			case algebra.SemiJoin:
+				h.matches = nil // one match suffices
+				return h.cur, nil
+			case algebra.AntiJoin:
+				h.matches = nil
+				// Matched: skip this left row entirely.
+			default:
+				return combined, nil
+			}
+			break
+		}
+		// Finish the previous left row for outer/anti semantics.
+		if h.cur != nil && h.midx >= len(h.matches) {
+			prev := h.cur
+			prevMatched := h.matched
+			h.cur = nil
+			switch h.typ {
+			case algebra.LeftOuterJoin:
+				if !prevMatched {
+					return combineRows(prev, nullRow(h.rwidth)), nil
+				}
+			case algebra.AntiJoin:
+				if !prevMatched {
+					return prev, nil
+				}
+			}
+		}
+		// Advance left.
+		l, err := h.left.Next()
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		h.cur = l.Clone()
+		h.matched = false
+		h.midx = 0
+		if key, ok := keyOf(l, h.lpos); ok {
+			h.matches = h.table[key]
+		} else {
+			h.matches = nil
+		}
+	}
+}
+
+func (h *hashJoinIter) Close() error {
+	h.table = nil
+	err1 := h.left.Close()
+	err2 := h.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func combineRows(l, r rowset.Row) rowset.Row {
+	out := make(rowset.Row, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
+func nullRow(width int) rowset.Row {
+	r := make(rowset.Row, width)
+	for i := range r {
+		r[i] = sqltypes.Null
+	}
+	return r
+}
+
+func buildMergeJoin(n *algebra.Node, op *algebra.MergeJoin, ctx *Context) (Iterator, error) {
+	left, err := Build(n.Kids[0], ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Build(n.Kids[1], ctx)
+	if err != nil {
+		return nil, err
+	}
+	lcols, rcols := n.Kids[0].OutCols(), n.Kids[1].OutCols()
+	lpos := make([]int, len(op.Pairs))
+	rpos := make([]int, len(op.Pairs))
+	for i, pr := range op.Pairs {
+		lpos[i] = posOf(lcols, pr.Left)
+		rpos[i] = posOf(rcols, pr.Right)
+		if lpos[i] < 0 || rpos[i] < 0 {
+			return nil, fmt.Errorf("exec: merge join pair %v not found in inputs", pr)
+		}
+	}
+	var residual expr.Expr
+	if op.Residual != nil {
+		all := append(append([]algebra.OutCol{}, lcols...), rcols...)
+		residual, err = bindExpr(op.Residual, all)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if op.Type != algebra.InnerJoin {
+		return nil, fmt.Errorf("exec: merge join supports inner joins only")
+	}
+	return &mergeJoinIter{
+		ctx: ctx, left: left, right: right,
+		lpos: lpos, rpos: rpos, residual: residual,
+	}, nil
+}
+
+// mergeJoinIter joins two inputs ordered on their key columns.
+type mergeJoinIter struct {
+	ctx         *Context
+	left, right Iterator
+	lpos, rpos  []int
+	residual    expr.Expr
+
+	lrow    rowset.Row
+	rgroup  []rowset.Row // buffered right rows with equal keys
+	rnext   rowset.Row   // lookahead
+	gidx    int
+	rdone   bool
+	started bool
+}
+
+func (m *mergeJoinIter) Open() error {
+	if err := m.left.Open(); err != nil {
+		return err
+	}
+	if err := m.right.Open(); err != nil {
+		return err
+	}
+	m.lrow, m.rgroup, m.rnext = nil, nil, nil
+	m.gidx, m.rdone, m.started = 0, false, false
+	return nil
+}
+
+func compareKey(l rowset.Row, lpos []int, r rowset.Row, rpos []int) int {
+	for i := range lpos {
+		c := sqltypes.Compare(l[lpos[i]], r[rpos[i]])
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func (m *mergeJoinIter) advanceLeft() error {
+	l, err := m.left.Next()
+	if err == io.EOF {
+		m.lrow = nil
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	m.lrow = l.Clone()
+	return nil
+}
+
+// fillRightGroup buffers the run of right rows whose key equals m.lrow's.
+func (m *mergeJoinIter) fillRightGroup() error {
+	m.rgroup = m.rgroup[:0]
+	m.gidx = 0
+	for {
+		if m.rnext == nil && !m.rdone {
+			r, err := m.right.Next()
+			if err == io.EOF {
+				m.rdone = true
+			} else if err != nil {
+				return err
+			} else {
+				m.rnext = r.Clone()
+			}
+		}
+		if m.rnext == nil {
+			return nil
+		}
+		c := compareKey(m.lrow, m.lpos, m.rnext, m.rpos)
+		switch {
+		case c > 0:
+			m.rnext = nil // right behind: discard and pull more
+		case c == 0:
+			m.rgroup = append(m.rgroup, m.rnext)
+			m.rnext = nil
+		default:
+			return nil // right ahead: group complete (possibly empty)
+		}
+	}
+}
+
+func (m *mergeJoinIter) Next() (rowset.Row, error) {
+	for {
+		if m.lrow != nil && m.gidx < len(m.rgroup) {
+			combined := combineRows(m.lrow, m.rgroup[m.gidx])
+			m.gidx++
+			if m.residual != nil {
+				ok, err := expr.EvalPredicate(m.residual, m.ctx.env(combined))
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			return combined, nil
+		}
+		prev := m.lrow
+		if err := m.advanceLeft(); err != nil {
+			return nil, err
+		}
+		if m.lrow == nil {
+			return nil, io.EOF
+		}
+		// Key-equal left runs reuse the buffered right group.
+		if m.started && prev != nil && compareKey(m.lrow, m.lpos, prev, m.lpos) == 0 {
+			m.gidx = 0
+			continue
+		}
+		m.started = true
+		// NULL keys never match: skip left rows with NULL keys.
+		if _, ok := keyOf(m.lrow, m.lpos); !ok {
+			m.rgroup = m.rgroup[:0]
+			m.gidx = 0
+			continue
+		}
+		if err := m.fillRightGroup(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (m *mergeJoinIter) Close() error {
+	err1 := m.left.Close()
+	err2 := m.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func buildLoopJoin(n *algebra.Node, op *algebra.LoopJoin, ctx *Context) (Iterator, error) {
+	left, err := Build(n.Kids[0], ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Build(n.Kids[1], ctx)
+	if err != nil {
+		return nil, err
+	}
+	lcols, rcols := n.Kids[0].OutCols(), n.Kids[1].OutCols()
+	var on expr.Expr
+	if op.On != nil {
+		all := append(append([]algebra.OutCol{}, lcols...), rcols...)
+		on, err = bindExpr(op.On, all)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Parameter bindings: param name -> left row position.
+	paramPos := map[string]int{}
+	for name, id := range op.ParamMap {
+		p := posOf(lcols, id)
+		if p < 0 {
+			return nil, fmt.Errorf("exec: loop join parameter @%s references col%d not in outer input", name, id)
+		}
+		paramPos[name] = p
+	}
+	return &loopJoinIter{
+		ctx: ctx, typ: op.Type, left: left, right: right, on: on,
+		paramPos: paramPos, rwidth: len(rcols),
+	}, nil
+}
+
+// loopJoinIter re-opens its inner side per outer row. With a non-empty
+// paramPos it is the parameterized plan of §4.1.2: outer column values bind
+// to @p<i> parameters, and the inner side (remote range, remote query,
+// index range) uses them in its access path.
+type loopJoinIter struct {
+	ctx         *Context
+	typ         algebra.JoinType
+	left, right Iterator
+	on          expr.Expr
+	paramPos    map[string]int
+	rwidth      int
+
+	cur       rowset.Row
+	innerOpen bool
+	matched   bool
+	leftDone  bool
+}
+
+func (l *loopJoinIter) Open() error {
+	l.cur, l.innerOpen, l.matched, l.leftDone = nil, false, false, false
+	return l.left.Open()
+}
+
+func (l *loopJoinIter) Next() (rowset.Row, error) {
+	for {
+		if l.cur == nil {
+			if l.leftDone {
+				return nil, io.EOF
+			}
+			lrow, err := l.left.Next()
+			if err == io.EOF {
+				l.leftDone = true
+				return nil, io.EOF
+			}
+			if err != nil {
+				return nil, err
+			}
+			l.cur = lrow.Clone()
+			l.matched = false
+			// Bind correlation parameters and (re)open the inner side.
+			if l.ctx.Params == nil && len(l.paramPos) > 0 {
+				l.ctx.Params = map[string]sqltypes.Value{}
+			}
+			for name, pos := range l.paramPos {
+				l.ctx.Params[name] = l.cur[pos]
+			}
+			if err := l.right.Open(); err != nil {
+				return nil, err
+			}
+			l.innerOpen = true
+		}
+		rrow, err := l.right.Next()
+		if err == io.EOF {
+			prev, prevMatched := l.cur, l.matched
+			l.cur = nil
+			switch l.typ {
+			case algebra.LeftOuterJoin:
+				if !prevMatched {
+					return combineRows(prev, nullRow(l.rwidth)), nil
+				}
+			case algebra.AntiJoin:
+				if !prevMatched {
+					return prev, nil
+				}
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		combined := combineRows(l.cur, rrow)
+		if l.on != nil {
+			ok, err := expr.EvalPredicate(l.on, l.ctx.env(combined))
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		l.matched = true
+		switch l.typ {
+		case algebra.SemiJoin:
+			out := l.cur
+			l.cur = nil
+			return out, nil
+		case algebra.AntiJoin:
+			l.cur = nil // matched: drop left row
+			continue
+		default:
+			return combined, nil
+		}
+	}
+}
+
+func (l *loopJoinIter) Close() error {
+	err1 := l.left.Close()
+	err2 := l.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

@@ -1,0 +1,375 @@
+package exec
+
+import (
+	"io"
+
+	"dhqp/internal/algebra"
+	"dhqp/internal/expr"
+	"dhqp/internal/rowset"
+)
+
+// filterIter applies a predicate.
+type filterIter struct {
+	ctx   *Context
+	child Iterator
+	pred  expr.Expr
+}
+
+func (f *filterIter) Open() error { return f.child.Open() }
+
+func (f *filterIter) Next() (rowset.Row, error) {
+	for {
+		r, err := f.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		ok, err := expr.EvalPredicate(f.pred, f.ctx.env(r))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return r, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() error { return f.child.Close() }
+
+// startupFilterIter evaluates a parameter-only predicate at Open; when
+// false the child never executes (§4.1.5).
+type startupFilterIter struct {
+	ctx     *Context
+	child   Iterator
+	pred    expr.Expr
+	enabled bool
+}
+
+func (s *startupFilterIter) Open() error {
+	ok, err := expr.EvalPredicate(s.pred, s.ctx.env(nil))
+	if err != nil {
+		return err
+	}
+	s.enabled = ok
+	if !ok {
+		return nil
+	}
+	return s.child.Open()
+}
+
+func (s *startupFilterIter) Next() (rowset.Row, error) {
+	if !s.enabled {
+		return nil, io.EOF
+	}
+	return s.child.Next()
+}
+
+func (s *startupFilterIter) Close() error {
+	if !s.enabled {
+		return nil
+	}
+	return s.child.Close()
+}
+
+// computeIter evaluates projections.
+type computeIter struct {
+	ctx   *Context
+	child Iterator
+	exprs []expr.Expr
+}
+
+func (c *computeIter) Open() error { return c.child.Open() }
+
+func (c *computeIter) Next() (rowset.Row, error) {
+	r, err := c.child.Next()
+	if err != nil {
+		return nil, err
+	}
+	env := c.ctx.env(r)
+	out := make(rowset.Row, len(c.exprs))
+	for i, e := range c.exprs {
+		v, err := e.Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (c *computeIter) Close() error { return c.child.Close() }
+
+// sortIter materializes and orders its input.
+type sortIter struct {
+	child    Iterator
+	ordinals []int
+	desc     []bool
+	buf      *rowset.Materialized
+}
+
+func (s *sortIter) Open() error {
+	s.buf = nil
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	buf := rowset.NewMaterialized(nil, nil)
+	for {
+		r, err := s.child.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		buf.Append(r)
+	}
+	buf.Sort(s.ordinals, s.desc)
+	s.buf = buf
+	return nil
+}
+
+func (s *sortIter) Next() (rowset.Row, error) {
+	if s.buf == nil {
+		return nil, io.EOF
+	}
+	return s.buf.Next()
+}
+
+func (s *sortIter) Close() error {
+	s.buf = nil
+	return s.child.Close()
+}
+
+// topIter returns the first N rows under an ordering (sorting when an
+// ordering is specified; pass-through limit otherwise).
+type topIter struct {
+	child    Iterator
+	n        int64
+	ordinals []int
+	desc     []bool
+	buf      *rowset.Materialized
+	emitted  int64
+}
+
+func (t *topIter) Open() error {
+	t.buf, t.emitted = nil, 0
+	if err := t.child.Open(); err != nil {
+		return err
+	}
+	if len(t.ordinals) == 0 {
+		return nil // streaming limit
+	}
+	buf := rowset.NewMaterialized(nil, nil)
+	for {
+		r, err := t.child.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		buf.Append(r)
+	}
+	buf.Sort(t.ordinals, t.desc)
+	t.buf = buf
+	return nil
+}
+
+func (t *topIter) Next() (rowset.Row, error) {
+	if t.emitted >= t.n {
+		return nil, io.EOF
+	}
+	var r rowset.Row
+	var err error
+	if t.buf != nil {
+		r, err = t.buf.Next()
+	} else {
+		r, err = t.child.Next()
+	}
+	if err != nil {
+		return nil, err
+	}
+	t.emitted++
+	return r, nil
+}
+
+func (t *topIter) Close() error {
+	t.buf = nil
+	return t.child.Close()
+}
+
+// spoolIter materializes its child once; re-opens replay the buffer
+// without re-executing the child (§4.1.2's spool-over-remote).
+type spoolIter struct {
+	child  Iterator
+	buf    *rowset.Materialized
+	filled bool
+}
+
+func (s *spoolIter) Open() error {
+	if s.filled {
+		s.buf.Reset()
+		return nil
+	}
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	buf := rowset.NewMaterialized(nil, nil)
+	for {
+		r, err := s.child.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		buf.Append(r)
+	}
+	s.buf = buf
+	s.filled = true
+	// The child's resources are no longer needed.
+	return s.child.Close()
+}
+
+func (s *spoolIter) Next() (rowset.Row, error) {
+	if s.buf == nil {
+		return nil, io.EOF
+	}
+	return s.buf.Next()
+}
+
+func (s *spoolIter) Close() error { return nil }
+
+// concatIter is UNION ALL: children in sequence, each remapped to the
+// output column order.
+type concatIter struct {
+	kids []Iterator
+	maps [][]int // per child: output position -> child position
+	idx  int
+	open bool
+}
+
+func buildConcat(n *algebra.Node, op *algebra.Concat, ctx *Context) (Iterator, error) {
+	kids := make([]Iterator, len(n.Kids))
+	maps := make([][]int, len(n.Kids))
+	for i, k := range n.Kids {
+		it, err := Build(k, ctx)
+		if err != nil {
+			return nil, err
+		}
+		kids[i] = it
+		kcols := k.OutCols()
+		m := make([]int, len(op.OutColsList))
+		for j := range op.OutColsList {
+			m[j] = posOf(kcols, op.InMaps[i][j])
+			if m[j] < 0 {
+				return nil, errColNotFound(op.InMaps[i][j])
+			}
+		}
+		maps[i] = m
+	}
+	return &concatIter{kids: kids, maps: maps}, nil
+}
+
+type colNotFoundError expr.ColumnID
+
+func (e colNotFoundError) Error() string { return "exec: concat input column not found" }
+
+func errColNotFound(id expr.ColumnID) error { return colNotFoundError(id) }
+
+func (c *concatIter) Open() error {
+	c.idx = 0
+	c.open = false
+	return nil
+}
+
+func (c *concatIter) Next() (rowset.Row, error) {
+	for {
+		if c.idx >= len(c.kids) {
+			return nil, io.EOF
+		}
+		if !c.open {
+			if err := c.kids[c.idx].Open(); err != nil {
+				return nil, err
+			}
+			c.open = true
+		}
+		r, err := c.kids[c.idx].Next()
+		if err == io.EOF {
+			c.kids[c.idx].Close()
+			c.idx++
+			c.open = false
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		m := c.maps[c.idx]
+		out := make(rowset.Row, len(m))
+		for j, p := range m {
+			out[j] = r[p]
+		}
+		return out, nil
+	}
+}
+
+func (c *concatIter) Close() error {
+	if c.open && c.idx < len(c.kids) {
+		return c.kids[c.idx].Close()
+	}
+	return nil
+}
+
+// constScanIter yields literal rows.
+type constScanIter struct {
+	ctx   *Context
+	rows  [][]expr.Expr
+	pos   int
+	width int
+}
+
+func buildConstScan(op *algebra.ConstScan, ctx *Context) (Iterator, error) {
+	rows := make([][]expr.Expr, len(op.Rows))
+	for i, r := range op.Rows {
+		rows[i] = make([]expr.Expr, len(r))
+		for j, e := range r {
+			bound, err := expr.Bind(e, map[expr.ColumnID]int{})
+			if err != nil {
+				return nil, err
+			}
+			rows[i][j] = bound
+		}
+	}
+	return &constScanIter{ctx: ctx, rows: rows, width: len(op.Cols)}, nil
+}
+
+func (c *constScanIter) Open() error {
+	c.pos = 0
+	return nil
+}
+
+func (c *constScanIter) Next() (rowset.Row, error) {
+	if c.pos >= len(c.rows) {
+		return nil, io.EOF
+	}
+	exprs := c.rows[c.pos]
+	c.pos++
+	env := c.ctx.env(nil)
+	out := make(rowset.Row, len(exprs))
+	for i, e := range exprs {
+		v, err := e.Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (c *constScanIter) Close() error { return nil }
+
+// emptyIter yields nothing (static pruning's EmptyScan).
+type emptyIter struct{}
+
+func (e *emptyIter) Open() error               { return nil }
+func (e *emptyIter) Next() (rowset.Row, error) { return nil, io.EOF }
+func (e *emptyIter) Close() error              { return nil }

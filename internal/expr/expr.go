@@ -1,0 +1,644 @@
+// Package expr implements scalar expression trees: evaluation with SQL
+// three-valued logic, column analysis, constant folding, conjunct handling
+// and the remotability analysis the DHQP's predicate split/merge rules rely
+// on (paper §4.1.2).
+//
+// Columns are referenced by query-global ColumnID, never by position; each
+// relational operator publishes the ColumnIDs it produces, which is what
+// lets exploration rules reorder joins without rewriting expressions. Before
+// execution, Bind resolves ColumnIDs to positions for a concrete row layout.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dhqp/internal/ftquery"
+	"dhqp/internal/sqltypes"
+)
+
+// ColumnID identifies a column within one query compilation. IDs are
+// allocated by the binder's ColumnAllocator and are unique across all tables
+// and computed columns in the query.
+type ColumnID int
+
+// ColSet is a set of ColumnIDs.
+type ColSet map[ColumnID]struct{}
+
+// NewColSet builds a set from ids.
+func NewColSet(ids ...ColumnID) ColSet {
+	s := make(ColSet, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts id.
+func (s ColSet) Add(id ColumnID) { s[id] = struct{}{} }
+
+// Has reports membership.
+func (s ColSet) Has(id ColumnID) bool { _, ok := s[id]; return ok }
+
+// SubsetOf reports whether every member of s is in t.
+func (s ColSet) SubsetOf(t ColSet) bool {
+	for id := range s {
+		if !t.Has(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns a new set with all members of s and t.
+func (s ColSet) Union(t ColSet) ColSet {
+	out := make(ColSet, len(s)+len(t))
+	for id := range s {
+		out.Add(id)
+	}
+	for id := range t {
+		out.Add(id)
+	}
+	return out
+}
+
+// Intersects reports whether the sets share a member.
+func (s ColSet) Intersects(t ColSet) bool {
+	for id := range s {
+		if t.Has(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Sorted returns the members in ascending order.
+func (s ColSet) Sorted() []ColumnID {
+	out := make([]ColumnID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Env supplies runtime state during evaluation: the current row with its
+// layout, query parameters (@name), and the session date for today().
+type Env struct {
+	Row    []sqltypes.Value
+	Params map[string]sqltypes.Value
+	// Today is the session's current date (deterministic for tests).
+	Today sqltypes.Value
+}
+
+// Expr is a scalar expression node. Implementations are immutable after
+// construction; rewrites build new nodes.
+type Expr interface {
+	// Eval evaluates the expression. Bind must have resolved column
+	// references against the row layout first.
+	Eval(env *Env) (sqltypes.Value, error)
+	// String renders the expression in SQL-ish debug syntax.
+	String() string
+}
+
+// Op enumerates binary and unary operators.
+type Op uint8
+
+// Operators.
+const (
+	OpInvalid Op = iota
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpNot
+	OpNeg
+)
+
+var opNames = map[Op]string{
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "AND", OpOr: "OR", OpNot: "NOT", OpNeg: "-",
+}
+
+// String returns the SQL spelling of the operator.
+func (o Op) String() string { return opNames[o] }
+
+// IsComparison reports whether the operator is a comparison.
+func (o Op) IsComparison() bool { return o >= OpEq && o <= OpGe }
+
+// Negate returns the comparison with swapped operand order (a op b ==
+// b op.Negate a), used when normalizing predicates.
+func (o Op) Commute() Op {
+	switch o {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default:
+		return o
+	}
+}
+
+// Const is a literal value.
+type Const struct{ Val sqltypes.Value }
+
+// NewConst returns a literal expression.
+func NewConst(v sqltypes.Value) *Const { return &Const{Val: v} }
+
+// Eval implements Expr.
+func (c *Const) Eval(*Env) (sqltypes.Value, error) { return c.Val, nil }
+
+func (c *Const) String() string { return c.Val.String() }
+
+// ColRef references a column by ColumnID. Name carries the display name.
+// pos is the bound position within the execution row layout; -1 when
+// unbound. Eval on an unbound ColRef returns an error, which surfaces
+// binder/optimizer bugs instead of silently reading wrong columns.
+type ColRef struct {
+	ID   ColumnID
+	Name string
+	pos  int
+}
+
+// NewColRef returns an unbound column reference.
+func NewColRef(id ColumnID, name string) *ColRef {
+	return &ColRef{ID: id, Name: name, pos: -1}
+}
+
+// BoundColRef returns a column reference pre-bound to a position (tests and
+// internal plan construction).
+func BoundColRef(id ColumnID, name string, pos int) *ColRef {
+	return &ColRef{ID: id, Name: name, pos: pos}
+}
+
+// Pos returns the bound position, or -1.
+func (c *ColRef) Pos() int { return c.pos }
+
+// Eval implements Expr.
+func (c *ColRef) Eval(env *Env) (sqltypes.Value, error) {
+	if c.pos < 0 {
+		return sqltypes.Null, fmt.Errorf("expr: unbound column %s (id %d)", c.Name, c.ID)
+	}
+	if c.pos >= len(env.Row) {
+		return sqltypes.Null, fmt.Errorf("expr: column %s position %d beyond row of %d", c.Name, c.pos, len(env.Row))
+	}
+	return env.Row[c.pos], nil
+}
+
+func (c *ColRef) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("col%d", c.ID)
+}
+
+// Param references a query parameter (@name). Startup filters (§4.1.5) are
+// built entirely from Params and Consts so they can run before their input.
+type Param struct{ Name string }
+
+// NewParam returns a parameter reference; name excludes the '@'.
+func NewParam(name string) *Param { return &Param{Name: name} }
+
+// Eval implements Expr.
+func (p *Param) Eval(env *Env) (sqltypes.Value, error) {
+	if env.Params == nil {
+		return sqltypes.Null, fmt.Errorf("expr: no parameters bound (@%s)", p.Name)
+	}
+	v, ok := env.Params[p.Name]
+	if !ok {
+		return sqltypes.Null, fmt.Errorf("expr: parameter @%s not supplied", p.Name)
+	}
+	return v, nil
+}
+
+func (p *Param) String() string { return "@" + p.Name }
+
+// Binary applies Op to two operands.
+type Binary struct {
+	Op   Op
+	L, R Expr
+}
+
+// NewBinary builds a binary expression.
+func NewBinary(op Op, l, r Expr) *Binary { return &Binary{Op: op, L: l, R: r} }
+
+// Eval implements Expr with SQL three-valued logic: comparisons and
+// arithmetic on NULL yield NULL; AND/OR use Kleene logic.
+func (b *Binary) Eval(env *Env) (sqltypes.Value, error) {
+	if b.Op == OpAnd || b.Op == OpOr {
+		return b.evalLogic(env)
+	}
+	l, err := b.L.Eval(env)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	r, err := b.R.Eval(env)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return sqltypes.Null, nil
+	}
+	if b.Op.IsComparison() {
+		c := sqltypes.Compare(l, r)
+		switch b.Op {
+		case OpEq:
+			return sqltypes.NewBool(c == 0), nil
+		case OpNe:
+			return sqltypes.NewBool(c != 0), nil
+		case OpLt:
+			return sqltypes.NewBool(c < 0), nil
+		case OpLe:
+			return sqltypes.NewBool(c <= 0), nil
+		case OpGt:
+			return sqltypes.NewBool(c > 0), nil
+		case OpGe:
+			return sqltypes.NewBool(c >= 0), nil
+		}
+	}
+	return evalArith(b.Op, l, r)
+}
+
+func (b *Binary) evalLogic(env *Env) (sqltypes.Value, error) {
+	l, err := b.L.Eval(env)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	lb, lnull := boolOf(l)
+	// Short-circuit where Kleene logic allows.
+	if b.Op == OpAnd && !lnull && !lb {
+		return sqltypes.NewBool(false), nil
+	}
+	if b.Op == OpOr && !lnull && lb {
+		return sqltypes.NewBool(true), nil
+	}
+	r, err := b.R.Eval(env)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	rb, rnull := boolOf(r)
+	if b.Op == OpAnd {
+		switch {
+		case !rnull && !rb:
+			return sqltypes.NewBool(false), nil
+		case lnull || rnull:
+			return sqltypes.Null, nil
+		default:
+			return sqltypes.NewBool(lb && rb), nil
+		}
+	}
+	switch {
+	case !rnull && rb:
+		return sqltypes.NewBool(true), nil
+	case lnull || rnull:
+		return sqltypes.Null, nil
+	default:
+		return sqltypes.NewBool(lb || rb), nil
+	}
+}
+
+func boolOf(v sqltypes.Value) (b, isNull bool) {
+	if v.IsNull() {
+		return false, true
+	}
+	if i, ok := v.AsInt(); ok {
+		return i != 0, false
+	}
+	return false, true
+}
+
+func evalArith(op Op, l, r sqltypes.Value) (sqltypes.Value, error) {
+	// Date ± integer days (the paper's date(today(), -2) pattern also
+	// flows through here after the date() function evaluates).
+	if l.Kind() == sqltypes.KindDate && r.Kind() == sqltypes.KindInt {
+		switch op {
+		case OpAdd:
+			return sqltypes.NewDateDays(l.DateDays() + r.Int()), nil
+		case OpSub:
+			return sqltypes.NewDateDays(l.DateDays() - r.Int()), nil
+		}
+	}
+	if l.Kind() == sqltypes.KindDate && r.Kind() == sqltypes.KindDate && op == OpSub {
+		return sqltypes.NewInt(l.DateDays() - r.DateDays()), nil
+	}
+	if l.Kind() == sqltypes.KindString && r.Kind() == sqltypes.KindString && op == OpAdd {
+		return sqltypes.NewString(l.Str() + r.Str()), nil
+	}
+	if l.Kind() == sqltypes.KindInt && r.Kind() == sqltypes.KindInt {
+		a, b := l.Int(), r.Int()
+		switch op {
+		case OpAdd:
+			return sqltypes.NewInt(a + b), nil
+		case OpSub:
+			return sqltypes.NewInt(a - b), nil
+		case OpMul:
+			return sqltypes.NewInt(a * b), nil
+		case OpDiv:
+			if b == 0 {
+				return sqltypes.Null, fmt.Errorf("expr: division by zero")
+			}
+			return sqltypes.NewInt(a / b), nil
+		case OpMod:
+			if b == 0 {
+				return sqltypes.Null, fmt.Errorf("expr: modulo by zero")
+			}
+			return sqltypes.NewInt(a % b), nil
+		}
+	}
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return sqltypes.Null, fmt.Errorf("expr: %s not defined on %s, %s", op, l.Kind(), r.Kind())
+	}
+	switch op {
+	case OpAdd:
+		return sqltypes.NewFloat(lf + rf), nil
+	case OpSub:
+		return sqltypes.NewFloat(lf - rf), nil
+	case OpMul:
+		return sqltypes.NewFloat(lf * rf), nil
+	case OpDiv:
+		if rf == 0 {
+			return sqltypes.Null, fmt.Errorf("expr: division by zero")
+		}
+		return sqltypes.NewFloat(lf / rf), nil
+	case OpMod:
+		if rf == 0 {
+			return sqltypes.Null, fmt.Errorf("expr: modulo by zero")
+		}
+		return sqltypes.NewFloat(float64(int64(lf) % int64(rf))), nil
+	}
+	return sqltypes.Null, fmt.Errorf("expr: unsupported operator %v", op)
+}
+
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L.String(), b.Op, b.R.String())
+}
+
+// Unary applies NOT or numeric negation.
+type Unary struct {
+	Op Op
+	E  Expr
+}
+
+// NewNot returns NOT e.
+func NewNot(e Expr) *Unary { return &Unary{Op: OpNot, E: e} }
+
+// NewNeg returns -e.
+func NewNeg(e Expr) *Unary { return &Unary{Op: OpNeg, E: e} }
+
+// Eval implements Expr.
+func (u *Unary) Eval(env *Env) (sqltypes.Value, error) {
+	v, err := u.E.Eval(env)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if v.IsNull() {
+		return sqltypes.Null, nil
+	}
+	switch u.Op {
+	case OpNot:
+		b, null := boolOf(v)
+		if null {
+			return sqltypes.Null, nil
+		}
+		return sqltypes.NewBool(!b), nil
+	case OpNeg:
+		switch v.Kind() {
+		case sqltypes.KindInt:
+			return sqltypes.NewInt(-v.Int()), nil
+		case sqltypes.KindFloat:
+			return sqltypes.NewFloat(-v.Float()), nil
+		}
+	}
+	return sqltypes.Null, fmt.Errorf("expr: unary %v on %s", u.Op, v.Kind())
+}
+
+func (u *Unary) String() string {
+	if u.Op == OpNot {
+		return "NOT " + u.E.String()
+	}
+	return "-" + u.E.String()
+}
+
+// IsNull tests e IS [NOT] NULL.
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// Eval implements Expr.
+func (n *IsNull) Eval(env *Env) (sqltypes.Value, error) {
+	v, err := n.E.Eval(env)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	return sqltypes.NewBool(v.IsNull() != n.Negate), nil
+}
+
+func (n *IsNull) String() string {
+	if n.Negate {
+		return n.E.String() + " IS NOT NULL"
+	}
+	return n.E.String() + " IS NULL"
+}
+
+// Like implements the SQL LIKE operator with % and _ wildcards.
+type Like struct {
+	E       Expr
+	Pattern Expr
+	Negate  bool
+}
+
+// Eval implements Expr.
+func (l *Like) Eval(env *Env) (sqltypes.Value, error) {
+	v, err := l.E.Eval(env)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	p, err := l.Pattern.Eval(env)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if v.IsNull() || p.IsNull() {
+		return sqltypes.Null, nil
+	}
+	if v.Kind() != sqltypes.KindString || p.Kind() != sqltypes.KindString {
+		return sqltypes.Null, fmt.Errorf("expr: LIKE needs strings, got %s, %s", v.Kind(), p.Kind())
+	}
+	m := likeMatch(v.Str(), p.Str())
+	return sqltypes.NewBool(m != l.Negate), nil
+}
+
+func (l *Like) String() string {
+	op := "LIKE"
+	if l.Negate {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("%s %s %s", l.E.String(), op, l.Pattern.String())
+}
+
+// likeMatch matches s against a SQL LIKE pattern, case-insensitively (SQL
+// Server default collation behaviour).
+func likeMatch(s, pattern string) bool {
+	s = strings.ToLower(s)
+	pattern = strings.ToLower(pattern)
+	var match func(si, pi int) bool
+	match = func(si, pi int) bool {
+		for pi < len(pattern) {
+			switch pattern[pi] {
+			case '%':
+				// Collapse consecutive %.
+				for pi < len(pattern) && pattern[pi] == '%' {
+					pi++
+				}
+				if pi == len(pattern) {
+					return true
+				}
+				for i := si; i <= len(s); i++ {
+					if match(i, pi) {
+						return true
+					}
+				}
+				return false
+			case '_':
+				if si >= len(s) {
+					return false
+				}
+				si++
+				pi++
+			default:
+				if si >= len(s) || s[si] != pattern[pi] {
+					return false
+				}
+				si++
+				pi++
+			}
+		}
+		return si == len(s)
+	}
+	return match(0, 0)
+}
+
+// InList tests e IN (v1, v2, ...).
+type InList struct {
+	E      Expr
+	List   []Expr
+	Negate bool
+}
+
+// Eval implements Expr with SQL NULL semantics: if no member matches and any
+// member (or e) is NULL, the result is NULL.
+func (in *InList) Eval(env *Env) (sqltypes.Value, error) {
+	v, err := in.E.Eval(env)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if v.IsNull() {
+		return sqltypes.Null, nil
+	}
+	sawNull := false
+	for _, m := range in.List {
+		mv, err := m.Eval(env)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		if mv.IsNull() {
+			sawNull = true
+			continue
+		}
+		if sqltypes.Equal(v, mv) {
+			return sqltypes.NewBool(!in.Negate), nil
+		}
+	}
+	if sawNull {
+		return sqltypes.Null, nil
+	}
+	return sqltypes.NewBool(in.Negate), nil
+}
+
+func (in *InList) String() string {
+	parts := make([]string, len(in.List))
+	for i, e := range in.List {
+		parts[i] = e.String()
+	}
+	op := "IN"
+	if in.Negate {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("%s %s (%s)", in.E.String(), op, strings.Join(parts, ", "))
+}
+
+// Contains is the full-text CONTAINS(col, 'query') predicate. Its direct
+// Eval is the *naive* evaluator — tokenize the column text and match — used
+// when no full-text index serves the table; the optimizer normally replaces
+// it with a join against the search service's (key, rank) rowset (§2.3).
+type Contains struct {
+	Col   Expr
+	Query string
+
+	parsed ftquery.Node
+}
+
+// NewContains builds a CONTAINS predicate, parsing the query eagerly so
+// syntax errors surface at compile time.
+func NewContains(col Expr, query string) (*Contains, error) {
+	n, err := ftquery.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Contains{Col: col, Query: query, parsed: n}, nil
+}
+
+// Node exposes the parsed full-text query (the fulltext provider reuses it).
+func (c *Contains) Node() ftquery.Node { return c.parsed }
+
+// Eval implements Expr (naive path).
+func (c *Contains) Eval(env *Env) (sqltypes.Value, error) {
+	v, err := c.Col.Eval(env)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if v.IsNull() {
+		return sqltypes.NewBool(false), nil
+	}
+	if v.Kind() != sqltypes.KindString {
+		return sqltypes.Null, fmt.Errorf("expr: CONTAINS over %s", v.Kind())
+	}
+	return sqltypes.NewBool(c.parsed.Match(ftquery.NewDocument(v.Str()))), nil
+}
+
+func (c *Contains) String() string {
+	return fmt.Sprintf("CONTAINS(%s, '%s')", c.Col.String(), c.Query)
+}
+
+// Truthy reports whether a predicate result admits the row (TRUE only;
+// FALSE and NULL reject, per SQL WHERE semantics).
+func Truthy(v sqltypes.Value) bool {
+	b, null := boolOf(v)
+	return !null && b
+}
+
+// EvalPredicate evaluates e and applies WHERE semantics.
+func EvalPredicate(e Expr, env *Env) (bool, error) {
+	v, err := e.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	return Truthy(v), nil
+}

@@ -1,0 +1,374 @@
+// Package ftquery implements the full-text query language accepted by the
+// CONTAINS predicate (paper §2.2–2.3 and Table 1's "Index Server Query
+// Language"): words, quoted phrases, AND/OR/NOT combinations, NEAR proximity
+// and FORMSOF(INFLECTIONAL, ...) stem expansion.
+//
+// The package is shared by two consumers with deliberately identical
+// semantics: the Microsoft-Search-Service stand-in (internal/providers/
+// fulltext), which matches queries against its inverted index, and the naive
+// row-at-a-time CONTAINS evaluator used when no full-text index is available
+// (the baseline in experiment E5).
+package ftquery
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Node is a parsed full-text query expression.
+type Node interface {
+	// Match evaluates the node against a tokenized document.
+	Match(doc *Document) bool
+	String() string
+}
+
+// Document is a tokenized, stemmed document ready for matching. Positions
+// support phrase and NEAR matching.
+type Document struct {
+	// Positions maps each stem to its token positions in order.
+	Positions map[string][]int
+	// Length is the total token count.
+	Length int
+}
+
+// Tokenize splits text into lower-cased word tokens.
+func Tokenize(text string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'' {
+			cur.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+// irregular maps irregular inflections to their stem so that 'ran' matches
+// 'run' (the paper's example: runner, run and ran are equivalent).
+var irregular = map[string]string{
+	"ran": "run", "went": "go", "gone": "go", "was": "be", "were": "be",
+	"is": "be", "are": "be", "been": "be", "had": "have", "has": "have",
+	"did": "do", "done": "do", "said": "say", "made": "make", "took": "take",
+	"taken": "take", "came": "come", "saw": "see", "seen": "see",
+	"wrote": "write", "written": "write", "found": "find", "gave": "give",
+	"given": "give", "sent": "send", "built": "build", "bought": "buy",
+	"brought": "bring", "thought": "think", "held": "hold", "kept": "keep",
+	"left": "leave", "lost": "lose", "meant": "mean", "met": "meet",
+	"paid": "pay", "read": "read", "sold": "sell", "told": "tell",
+	"mice": "mouse", "men": "man", "women": "woman", "children": "child",
+	"feet": "foot", "teeth": "tooth", "geese": "goose", "people": "person",
+	"databases": "database", "queries": "query", "indices": "index",
+	"indexes": "index",
+}
+
+// Stem reduces a token to its inflectional stem. It applies the irregular
+// table first, then a compact suffix-stripping pass (a Porter-style subset
+// sufficient for the inflectional forms the paper's examples require).
+func Stem(tok string) string {
+	tok = strings.ToLower(tok)
+	if s, ok := irregular[tok]; ok {
+		return s
+	}
+	n := len(tok)
+	switch {
+	case n > 4 && strings.HasSuffix(tok, "ies"):
+		return tok[:n-3] + "y" // queries -> query
+	case n > 3 && strings.HasSuffix(tok, "ing"):
+		stem := tok[:n-3]
+		// running -> run (undouble), indexing -> index
+		if len(stem) > 2 && stem[len(stem)-1] == stem[len(stem)-2] && !isVowel(stem[len(stem)-1]) {
+			stem = stem[:len(stem)-1]
+		}
+		if len(stem) >= 3 {
+			return stem
+		}
+		return tok
+	case n > 3 && strings.HasSuffix(tok, "ers"):
+		return stemAgent(tok[:n-1])
+	case n > 3 && strings.HasSuffix(tok, "er"):
+		return stemAgent(tok)
+	case n > 2 && strings.HasSuffix(tok, "ed"):
+		stem := tok[:n-2]
+		if len(stem) > 2 && stem[len(stem)-1] == stem[len(stem)-2] && !isVowel(stem[len(stem)-1]) {
+			stem = stem[:len(stem)-1]
+		}
+		if len(stem) >= 3 {
+			return stem
+		}
+		return tok
+	case n > 3 && strings.HasSuffix(tok, "es") && hasSibilantBefore(tok[:n-2]):
+		// classes -> class, boxes -> box; but writes -> write (plain -s).
+		return tok[:n-2]
+	case n > 2 && strings.HasSuffix(tok, "s") && !strings.HasSuffix(tok, "ss"):
+		return tok[:n-1]
+	}
+	return tok
+}
+
+// stemAgent strips the agentive -er suffix: runner -> run, indexer -> index.
+func stemAgent(tok string) string {
+	stem := tok[:len(tok)-2]
+	if len(stem) > 2 && stem[len(stem)-1] == stem[len(stem)-2] && !isVowel(stem[len(stem)-1]) {
+		stem = stem[:len(stem)-1]
+	}
+	if len(stem) >= 3 {
+		return stem
+	}
+	return tok
+}
+
+// hasSibilantBefore reports whether stem ends in a sibilant sound that takes
+// the -es plural (s, x, z, ch, sh).
+func hasSibilantBefore(stem string) bool {
+	if stem == "" {
+		return false
+	}
+	switch stem[len(stem)-1] {
+	case 's', 'x', 'z':
+		return true
+	case 'h':
+		return len(stem) > 1 && (stem[len(stem)-2] == 'c' || stem[len(stem)-2] == 's')
+	}
+	return false
+}
+
+func isVowel(b byte) bool {
+	switch b {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// NewDocument tokenizes and stems text into a matchable document.
+func NewDocument(text string) *Document {
+	toks := Tokenize(text)
+	d := &Document{Positions: make(map[string][]int, len(toks)), Length: len(toks)}
+	for i, t := range toks {
+		s := Stem(t)
+		d.Positions[s] = append(d.Positions[s], i)
+	}
+	return d
+}
+
+// Term matches a single word (by stem when Inflectional, exactly-stemmed
+// otherwise; in this engine all index terms are stems, so both forms stem —
+// Inflectional additionally expands via the irregular table at query time,
+// which Stem already performs, so the flag is retained for fidelity of the
+// FORMSOF syntax).
+type Term struct {
+	Word         string
+	Inflectional bool
+}
+
+// Match implements Node.
+func (t *Term) Match(doc *Document) bool {
+	_, ok := doc.Positions[Stem(t.Word)]
+	return ok
+}
+
+func (t *Term) String() string {
+	if t.Inflectional {
+		return fmt.Sprintf("FORMSOF(INFLECTIONAL, %s)", t.Word)
+	}
+	return t.Word
+}
+
+// Phrase matches consecutive words.
+type Phrase struct {
+	Words []string
+}
+
+// Match implements Node.
+func (p *Phrase) Match(doc *Document) bool {
+	if len(p.Words) == 0 {
+		return false
+	}
+	first := doc.Positions[Stem(p.Words[0])]
+	for _, pos := range first {
+		ok := true
+		for i := 1; i < len(p.Words); i++ {
+			if !hasPosition(doc.Positions[Stem(p.Words[i])], pos+i) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Phrase) String() string { return `"` + strings.Join(p.Words, " ") + `"` }
+
+func hasPosition(positions []int, want int) bool {
+	lo, hi := 0, len(positions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if positions[mid] < want {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(positions) && positions[lo] == want
+}
+
+// Near matches two sub-expressions whose nearest occurrences are within
+// Distance tokens (default 10, mirroring proximity search).
+type Near struct {
+	Left, Right Node
+	Distance    int
+}
+
+// Match implements Node. NEAR is defined over terms/phrases; for composite
+// operands it degrades to AND (both present).
+func (n *Near) Match(doc *Document) bool {
+	lp := nodePositions(n.Left, doc)
+	rp := nodePositions(n.Right, doc)
+	if lp == nil || rp == nil {
+		return n.Left.Match(doc) && n.Right.Match(doc)
+	}
+	d := n.Distance
+	if d <= 0 {
+		d = 10
+	}
+	for _, a := range lp {
+		for _, b := range rp {
+			diff := a - b
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff <= d {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (n *Near) String() string {
+	return fmt.Sprintf("(%s NEAR %s)", n.Left.String(), n.Right.String())
+}
+
+// nodePositions returns occurrence positions for position-bearing nodes.
+func nodePositions(n Node, doc *Document) []int {
+	switch v := n.(type) {
+	case *Term:
+		return doc.Positions[Stem(v.Word)]
+	case *Phrase:
+		if len(v.Words) == 0 {
+			return nil
+		}
+		var out []int
+		for _, pos := range doc.Positions[Stem(v.Words[0])] {
+			ok := true
+			for i := 1; i < len(v.Words); i++ {
+				if !hasPosition(doc.Positions[Stem(v.Words[i])], pos+i) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, pos)
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// And matches when every child matches.
+type And struct{ Children []Node }
+
+// Match implements Node.
+func (a *And) Match(doc *Document) bool {
+	for _, c := range a.Children {
+		if !c.Match(doc) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *And) String() string { return joinChildren(a.Children, " AND ") }
+
+// Or matches when any child matches.
+type Or struct{ Children []Node }
+
+// Match implements Node.
+func (o *Or) Match(doc *Document) bool {
+	for _, c := range o.Children {
+		if c.Match(doc) {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *Or) String() string { return joinChildren(o.Children, " OR ") }
+
+// Not matches when the child does not match. In CONTAINS, NOT only appears
+// as AND NOT; the parser enforces that.
+type Not struct{ Child Node }
+
+// Match implements Node.
+func (n *Not) Match(doc *Document) bool { return !n.Child.Match(doc) }
+
+func (n *Not) String() string { return "NOT " + n.Child.String() }
+
+func joinChildren(children []Node, sep string) string {
+	parts := make([]string, len(children))
+	for i, c := range children {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// Terms returns every positive term/phrase word stem mentioned by the query;
+// the index uses this as the candidate posting lists.
+func Terms(n Node) []string {
+	var out []string
+	var walk func(Node, bool)
+	walk = func(n Node, negated bool) {
+		switch v := n.(type) {
+		case *Term:
+			if !negated {
+				out = append(out, Stem(v.Word))
+			}
+		case *Phrase:
+			if !negated {
+				for _, w := range v.Words {
+					out = append(out, Stem(w))
+				}
+			}
+		case *And:
+			for _, c := range v.Children {
+				walk(c, negated)
+			}
+		case *Or:
+			for _, c := range v.Children {
+				walk(c, negated)
+			}
+		case *Not:
+			walk(v.Child, !negated)
+		case *Near:
+			walk(v.Left, negated)
+			walk(v.Right, negated)
+		}
+	}
+	walk(n, false)
+	return out
+}

@@ -1,0 +1,228 @@
+package ftquery
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Parallel database, heterogeneous-query! 42")
+	want := []string{"parallel", "database", "heterogeneous", "query", "42"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tok %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStemPaperExample(t *testing.T) {
+	// The paper: 'runner', 'run', and 'ran' are all equivalent.
+	if Stem("runner") != "run" {
+		t.Errorf("Stem(runner) = %q", Stem("runner"))
+	}
+	if Stem("run") != "run" {
+		t.Errorf("Stem(run) = %q", Stem("run"))
+	}
+	if Stem("ran") != "run" {
+		t.Errorf("Stem(ran) = %q", Stem("ran"))
+	}
+	if Stem("running") != "run" {
+		t.Errorf("Stem(running) = %q", Stem("running"))
+	}
+}
+
+func TestStemRegular(t *testing.T) {
+	cases := map[string]string{
+		"databases": "database",
+		"queries":   "query",
+		"indexed":   "index",
+		"indexing":  "index",
+		"cats":      "cat",
+		"classes":   "class",
+		"stopped":   "stop",
+		"writes":    "write",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWordsStable(t *testing.T) {
+	// Very short words must not be reduced to nothing.
+	for _, w := range []string{"a", "is", "ed", "es", "s"} {
+		if got := Stem(w); got == "" {
+			t.Errorf("Stem(%q) produced empty string", w)
+		}
+	}
+}
+
+func TestNewDocumentPositions(t *testing.T) {
+	d := NewDocument("the runner ran and ran")
+	runs := d.Positions["run"]
+	if len(runs) != 3 {
+		t.Fatalf("run positions = %v", runs)
+	}
+	if d.Length != 5 {
+		t.Errorf("Length = %d", d.Length)
+	}
+}
+
+func mustParse(t *testing.T, q string) Node {
+	t.Helper()
+	n, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return n
+}
+
+func TestParsePaperQuery(t *testing.T) {
+	n := mustParse(t, `"Parallel database" OR "heterogeneous query"`)
+	doc1 := NewDocument("A survey of parallel database systems")
+	doc2 := NewDocument("Heterogeneous query processing in federated systems")
+	doc3 := NewDocument("Nothing relevant here")
+	if !n.Match(doc1) {
+		t.Error("doc1 should match")
+	}
+	if !n.Match(doc2) {
+		t.Error("doc2 should match")
+	}
+	if n.Match(doc3) {
+		t.Error("doc3 should not match")
+	}
+}
+
+func TestPhraseRequiresAdjacency(t *testing.T) {
+	n := mustParse(t, `"parallel database"`)
+	if n.Match(NewDocument("parallel systems and database engines")) {
+		t.Error("non-adjacent words must not match a phrase")
+	}
+	if !n.Match(NewDocument("massively parallel database machines")) {
+		t.Error("adjacent phrase should match")
+	}
+}
+
+func TestAndNot(t *testing.T) {
+	n := mustParse(t, `database AND NOT oracle`)
+	if !n.Match(NewDocument("a database paper")) {
+		t.Error("positive doc should match")
+	}
+	if n.Match(NewDocument("a database paper about oracle")) {
+		t.Error("negated term present; should not match")
+	}
+}
+
+func TestLeadingNot(t *testing.T) {
+	n := mustParse(t, `NOT oracle`)
+	if !n.Match(NewDocument("postgres paper")) || n.Match(NewDocument("oracle paper")) {
+		t.Error("NOT matching broken")
+	}
+}
+
+func TestNear(t *testing.T) {
+	n := mustParse(t, `query NEAR optimization`)
+	if !n.Match(NewDocument("query cost optimization")) {
+		t.Error("near terms should match")
+	}
+	far := "query " + strings.Repeat("x ", 30) + "optimization"
+	if n.Match(NewDocument(far)) {
+		t.Error("distant terms should not match NEAR")
+	}
+}
+
+func TestNearExplicitDistance(t *testing.T) {
+	n := mustParse(t, `query NEAR(2) optimization`)
+	if !n.Match(NewDocument("query plan optimization")) {
+		t.Error("distance-2 should match")
+	}
+	if n.Match(NewDocument("query a b c optimization")) {
+		t.Error("distance-4 should not match NEAR(2)")
+	}
+}
+
+func TestFormsOf(t *testing.T) {
+	n := mustParse(t, `FORMSOF(INFLECTIONAL, run)`)
+	if !n.Match(NewDocument("she ran home")) {
+		t.Error("FORMSOF should match inflected form")
+	}
+	n2 := mustParse(t, `FORMSOF(INFLECTIONAL, run, walk)`)
+	if !n2.Match(NewDocument("they walked")) {
+		t.Error("multi-term FORMSOF should match")
+	}
+}
+
+func TestParens(t *testing.T) {
+	n := mustParse(t, `(database OR files) AND distributed`)
+	if !n.Match(NewDocument("distributed files everywhere")) {
+		t.Error("should match")
+	}
+	if n.Match(NewDocument("distributed computing")) {
+		t.Error("should not match without database/files")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `(database`, `FORMSOF(THESAURUS, x)`, `FORMSOF(INFLECTIONAL)`,
+		`database extra )`, `NEAR`, `query NEAR( optimization`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestTerms(t *testing.T) {
+	n := mustParse(t, `"parallel database" AND NOT oracle OR running`)
+	ts := Terms(n)
+	has := func(w string) bool {
+		for _, x := range ts {
+			if x == w {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("parallel") || !has("database") || !has("run") {
+		t.Errorf("Terms = %v", ts)
+	}
+	if has("oracle") {
+		t.Errorf("negated term leaked into Terms: %v", ts)
+	}
+}
+
+func TestNodeStrings(t *testing.T) {
+	n := mustParse(t, `"parallel database" OR FORMSOF(INFLECTIONAL, run) AND NOT x NEAR y`)
+	if n.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+// Property: matching a document consisting of exactly the query's positive
+// terms always succeeds for AND/OR-only queries.
+func TestMatchOwnTermsProperty(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	f := func(aIdx, bIdx uint8, useAnd bool) bool {
+		a := words[int(aIdx)%len(words)]
+		b := words[int(bIdx)%len(words)]
+		op := "OR"
+		if useAnd {
+			op = "AND"
+		}
+		n, err := Parse(a + " " + op + " " + b)
+		if err != nil {
+			return false
+		}
+		return n.Match(NewDocument(a + " " + b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

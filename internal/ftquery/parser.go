@@ -1,0 +1,290 @@
+package ftquery
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a CONTAINS search condition:
+//
+//	condition := or
+//	or        := and { OR and }
+//	and       := unary { AND [NOT] unary }
+//	unary     := primary | NOT primary      (leading NOT allowed in this dialect)
+//	primary   := '"' phrase '"' | word
+//	           | FORMSOF '(' INFLECTIONAL ',' word ')'
+//	           | primary NEAR primary | '(' condition ')'
+//
+// matching the subset of the Index Server / SQL Server full-text language
+// used in the paper's examples, e.g.
+//
+//	'"Parallel database" OR "heterogeneous query"'
+func Parse(s string) (Node, error) {
+	p := &ftparser{toks: lexFT(s)}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("ftquery: unexpected token %q", p.peek())
+	}
+	return n, nil
+}
+
+// isFTStop reports whether b terminates a bare word token.
+func isFTStop(b byte) bool {
+	switch b {
+	case ' ', '\t', '\n', '\r', '(', ')', ',', '"':
+		return true
+	}
+	return false
+}
+
+type fttoken struct {
+	kind string // "word", "phrase", "(", ")", ","
+	text string
+}
+
+func lexFT(s string) []fttoken {
+	var toks []fttoken
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(s) && s[j] != '"' {
+				j++
+			}
+			toks = append(toks, fttoken{kind: "phrase", text: s[i+1 : j]})
+			if j < len(s) {
+				j++
+			}
+			i = j
+		case c == '(' || c == ')' || c == ',':
+			toks = append(toks, fttoken{kind: string(c), text: string(c)})
+			i++
+		default:
+			j := i
+			for j < len(s) && !isFTStop(s[j]) {
+				j++
+			}
+			toks = append(toks, fttoken{kind: "word", text: s[i:j]})
+			i = j
+		}
+	}
+	return toks
+}
+
+type ftparser struct {
+	toks []fttoken
+	pos  int
+}
+
+func (p *ftparser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *ftparser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos].text
+}
+
+func (p *ftparser) peekKind() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos].kind
+}
+
+func (p *ftparser) next() fttoken {
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *ftparser) matchWord(w string) bool {
+	if !p.eof() && p.toks[p.pos].kind == "word" && strings.EqualFold(p.toks[p.pos].text, w) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *ftparser) parseOr() (Node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []Node{left}
+	for p.matchWord("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return children[0], nil
+	}
+	return &Or{Children: children}, nil
+}
+
+func (p *ftparser) parseAnd() (Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	children := []Node{left}
+	for {
+		if p.matchWord("AND") {
+			neg := p.matchWord("NOT")
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			if neg {
+				right = &Not{Child: right}
+			}
+			children = append(children, right)
+			continue
+		}
+		break
+	}
+	if len(children) == 1 {
+		return children[0], nil
+	}
+	return &And{Children: children}, nil
+}
+
+func (p *ftparser) parseUnary() (Node, error) {
+	if p.matchWord("NOT") {
+		n, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return p.parseNearTail(&Not{Child: n})
+	}
+	n, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseNearTail(n)
+}
+
+func (p *ftparser) parseNearTail(left Node) (Node, error) {
+	for {
+		if p.matchWord("NEAR") {
+			dist := 0
+			// optional (N) distance
+			if p.peekKind() == "(" {
+				p.next()
+				if p.peekKind() != "word" {
+					return nil, fmt.Errorf("ftquery: expected distance after NEAR(")
+				}
+				d, err := strconv.Atoi(p.next().text)
+				if err != nil {
+					return nil, fmt.Errorf("ftquery: bad NEAR distance: %v", err)
+				}
+				dist = d
+				if p.peekKind() != ")" {
+					return nil, fmt.Errorf("ftquery: expected ) after NEAR distance")
+				}
+				p.next()
+			}
+			right, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			left = &Near{Left: left, Right: right, Distance: dist}
+			continue
+		}
+		// '~' is the Index Server spelling of NEAR.
+		if p.peekKind() == "word" && p.peek() == "~" {
+			p.next()
+			right, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			left = &Near{Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *ftparser) parsePrimary() (Node, error) {
+	if p.eof() {
+		return nil, fmt.Errorf("ftquery: unexpected end of query")
+	}
+	switch p.peekKind() {
+	case "phrase":
+		t := p.next()
+		words := Tokenize(t.text)
+		if len(words) == 0 {
+			return nil, fmt.Errorf("ftquery: empty phrase")
+		}
+		if len(words) == 1 {
+			return &Term{Word: words[0]}, nil
+		}
+		return &Phrase{Words: words}, nil
+	case "(":
+		p.next()
+		n, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peekKind() != ")" {
+			return nil, fmt.Errorf("ftquery: expected )")
+		}
+		p.next()
+		return n, nil
+	case "word":
+		t := p.next()
+		switch strings.ToUpper(t.text) {
+		case "AND", "OR", "NEAR", "NOT":
+			return nil, fmt.Errorf("ftquery: keyword %q where a term was expected", t.text)
+		}
+		if strings.EqualFold(t.text, "FORMSOF") {
+			if p.peekKind() != "(" {
+				return nil, fmt.Errorf("ftquery: expected ( after FORMSOF")
+			}
+			p.next()
+			if !p.matchWord("INFLECTIONAL") {
+				return nil, fmt.Errorf("ftquery: only FORMSOF(INFLECTIONAL, ...) is supported")
+			}
+			if p.peekKind() != "," {
+				return nil, fmt.Errorf("ftquery: expected , in FORMSOF")
+			}
+			p.next()
+			var terms []Node
+			for {
+				if p.peekKind() == "word" || p.peekKind() == "phrase" {
+					terms = append(terms, &Term{Word: p.next().text, Inflectional: true})
+					if p.peekKind() == "," {
+						p.next()
+						continue
+					}
+				}
+				break
+			}
+			if p.peekKind() != ")" {
+				return nil, fmt.Errorf("ftquery: expected ) to close FORMSOF")
+			}
+			p.next()
+			if len(terms) == 0 {
+				return nil, fmt.Errorf("ftquery: FORMSOF with no terms")
+			}
+			if len(terms) == 1 {
+				return terms[0], nil
+			}
+			return &Or{Children: terms}, nil
+		}
+		return &Term{Word: t.text}, nil
+	default:
+		return nil, fmt.Errorf("ftquery: unexpected token %q", p.peek())
+	}
+}

@@ -1,0 +1,55 @@
+package memo
+
+import (
+	"testing"
+
+	"dhqp/internal/algebra"
+	"dhqp/internal/expr"
+	"dhqp/internal/sqltypes"
+)
+
+// TestExtractLogicalPrefersPickedExprs exercises the §4.1.4 mechanism: when
+// the first alternative in a group is not acceptable, extraction picks
+// another equivalent tree from the same group.
+func TestExtractLogicalPrefersPickedExprs(t *testing.T) {
+	m := New(&testMD{})
+	a := m.Insert(getNode("a", "", 1))
+	b := m.Insert(getNode("b", "", 2))
+	on := expr.NewBinary(expr.OpEq, expr.NewColRef(1, "x"), expr.NewColRef(2, "y"))
+	g := m.InsertExpr(&algebra.Join{Type: algebra.SemiJoin, On: on}, []GroupID{a, b}, -1)
+	// Add an inner-join alternative to the same group (hypothetically
+	// equivalent for this test's purpose).
+	m.InsertExpr(&algebra.Join{Type: algebra.InnerJoin, On: on}, []GroupID{a, b}, g)
+
+	// Without a pick, the first (semi join) extracts.
+	tree := m.ExtractLogical(g, nil)
+	if tree == nil || tree.Op.(*algebra.Join).Type != algebra.SemiJoin {
+		t.Fatalf("default extraction = %v", tree)
+	}
+	// Picking "no semi joins" extracts the inner-join alternative.
+	tree = m.ExtractLogical(g, func(e *GroupExpr) bool {
+		j, ok := e.Op.(*algebra.Join)
+		return !ok || j.Type == algebra.InnerJoin
+	})
+	if tree == nil || tree.Op.(*algebra.Join).Type != algebra.InnerJoin {
+		t.Fatalf("picked extraction = %v", tree)
+	}
+	// Children extract recursively.
+	if len(tree.Kids) != 2 || tree.Kids[0].Op.OpName() != "Get" {
+		t.Errorf("kids = %v", tree.Kids)
+	}
+}
+
+func TestExtractLogicalSkipsPhysicalExprs(t *testing.T) {
+	m := New(&testMD{})
+	g := m.Insert(getNode("t", "", 1))
+	// Add a physical alternative; extraction must ignore it.
+	m.InsertExpr(&algebra.TableScan{
+		Src:  &algebra.Source{Table: "t"},
+		Cols: []algebra.OutCol{{ID: 1, Name: "c", Kind: sqltypes.KindInt}},
+	}, nil, g)
+	tree := m.ExtractLogical(g, nil)
+	if tree == nil || tree.Op.OpName() != "Get" {
+		t.Errorf("extracted %v", tree)
+	}
+}

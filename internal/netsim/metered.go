@@ -1,0 +1,56 @@
+package netsim
+
+import (
+	"dhqp/internal/rowset"
+	"dhqp/internal/schema"
+)
+
+// Metered wraps a rowset so that every batch of rows crossing it is charged
+// to the link (one Call per batch, batching to model streaming fetch
+// buffers). Providers wrap the rowsets they return to the DHQP with it.
+func Metered(rs rowset.Rowset, link *Link, batch int) rowset.Rowset {
+	if link == nil {
+		return rs
+	}
+	if batch <= 0 {
+		batch = 64
+	}
+	return &meteredRowset{rs: rs, link: link, batch: batch}
+}
+
+type meteredRowset struct {
+	rs    rowset.Rowset
+	link  *Link
+	batch int
+
+	pendingRows  int
+	pendingBytes int
+}
+
+func (m *meteredRowset) Columns() []schema.Column { return m.rs.Columns() }
+
+func (m *meteredRowset) Next() (rowset.Row, error) {
+	r, err := m.rs.Next()
+	if err != nil {
+		m.flush()
+		return nil, err
+	}
+	m.pendingRows++
+	m.pendingBytes += r.EncodedSize()
+	if m.pendingRows >= m.batch {
+		m.flush()
+	}
+	return r, nil
+}
+
+func (m *meteredRowset) flush() {
+	if m.pendingRows > 0 {
+		m.link.Call(m.pendingRows, m.pendingBytes)
+		m.pendingRows, m.pendingBytes = 0, 0
+	}
+}
+
+func (m *meteredRowset) Close() error {
+	m.flush()
+	return m.rs.Close()
+}

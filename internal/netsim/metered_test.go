@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"io"
+	"testing"
+
+	"dhqp/internal/rowset"
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+)
+
+func sampleRowset(n int) *rowset.Materialized {
+	cols := []schema.Column{{Name: "a", Kind: sqltypes.KindInt}}
+	rows := make([]rowset.Row, n)
+	for i := range rows {
+		rows[i] = rowset.Row{sqltypes.NewInt(int64(i))}
+	}
+	return rowset.NewMaterialized(cols, rows)
+}
+
+func TestMeteredCountsRowsAndBytes(t *testing.T) {
+	link := &Link{}
+	rs := Metered(sampleRowset(10), link, 4)
+	n := 0
+	for {
+		if _, err := rs.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	rs.Close()
+	s := link.Stats()
+	if n != 10 || s.Rows != 10 {
+		t.Errorf("rows = %d / %d", n, s.Rows)
+	}
+	// 10 rows, batch 4 → calls at 4, 8, and flush of the final 2 on EOF.
+	if s.Calls != 3 {
+		t.Errorf("calls = %d", s.Calls)
+	}
+	if s.Bytes != 10*10 { // 2 header + 8 int per row
+		t.Errorf("bytes = %d", s.Bytes)
+	}
+}
+
+func TestMeteredFlushOnClose(t *testing.T) {
+	link := &Link{}
+	rs := Metered(sampleRowset(3), link, 100)
+	rs.Next()
+	rs.Next()
+	rs.Close() // two pending rows flush here
+	if s := link.Stats(); s.Rows != 2 || s.Calls != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestMeteredNilLinkPassThrough(t *testing.T) {
+	src := sampleRowset(2)
+	if Metered(src, nil, 8) != rowset.Rowset(src) {
+		t.Error("nil link should return the source unchanged")
+	}
+}
+
+func TestMeteredColumnsAndDefaultBatch(t *testing.T) {
+	link := &Link{}
+	rs := Metered(sampleRowset(1), link, 0)
+	if len(rs.Columns()) != 1 {
+		t.Error("columns lost")
+	}
+	rs.Close()
+}

@@ -1,0 +1,151 @@
+// Package netsim simulates the network between the DHQP and remote data
+// sources: per-link latency and bandwidth, plus traffic accounting (calls,
+// rows and bytes shipped). The paper's remote cost model minimizes network
+// traffic (§4.1.3); the simulator is what makes that traffic observable in
+// experiments and chargeable in the cost model.
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Link models one connection to a remote server.
+type Link struct {
+	// LatencyPerCall is charged once per remote call (round trip).
+	LatencyPerCall time.Duration
+	// BytesPerSecond is the transfer bandwidth; zero means infinite.
+	BytesPerSecond float64
+	// Sleep enables real wall-clock delays (benchmarks measuring elapsed
+	// time); when false, only virtual time and counters accumulate.
+	Sleep bool
+
+	calls       atomic.Int64
+	rows        atomic.Int64
+	bytes       atomic.Int64
+	virtualTime atomic.Int64 // nanoseconds
+}
+
+// LAN returns a link with typical local-network characteristics, scaled for
+// fast benchmarks: 1ms per call, ~100 MB/s.
+func LAN() *Link {
+	return &Link{LatencyPerCall: time.Millisecond, BytesPerSecond: 100e6}
+}
+
+// WAN returns a slow wide-area link: 40ms per call, ~2 MB/s.
+func WAN() *Link {
+	return &Link{LatencyPerCall: 40 * time.Millisecond, BytesPerSecond: 2e6}
+}
+
+// Call records one remote round trip shipping the given payload.
+func (l *Link) Call(rows int, bytes int) {
+	if l == nil {
+		return
+	}
+	l.calls.Add(1)
+	l.rows.Add(int64(rows))
+	l.bytes.Add(int64(bytes))
+	d := l.LatencyPerCall
+	if l.BytesPerSecond > 0 {
+		d += time.Duration(float64(bytes) / l.BytesPerSecond * float64(time.Second))
+	}
+	l.virtualTime.Add(int64(d))
+	if l.Sleep && d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// TransferCost returns the virtual time a payload of the given size would
+// take on this link; the remote cost model charges plans with it.
+func (l *Link) TransferCost(bytes int64) time.Duration {
+	if l == nil {
+		return 0
+	}
+	d := l.LatencyPerCall
+	if l.BytesPerSecond > 0 {
+		d += time.Duration(float64(bytes) / l.BytesPerSecond * float64(time.Second))
+	}
+	return d
+}
+
+// Stats is a snapshot of a link's accumulated traffic.
+type Stats struct {
+	Calls       int64
+	Rows        int64
+	Bytes       int64
+	VirtualTime time.Duration
+}
+
+// Stats returns the current counters.
+func (l *Link) Stats() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	return Stats{
+		Calls:       l.calls.Load(),
+		Rows:        l.rows.Load(),
+		Bytes:       l.bytes.Load(),
+		VirtualTime: time.Duration(l.virtualTime.Load()),
+	}
+}
+
+// Reset zeroes the counters.
+func (l *Link) Reset() {
+	if l == nil {
+		return
+	}
+	l.calls.Store(0)
+	l.rows.Store(0)
+	l.bytes.Store(0)
+	l.virtualTime.Store(0)
+}
+
+// Meter aggregates traffic across a set of named links (one per linked
+// server); experiments read it to report "rows shipped over the network".
+type Meter struct {
+	mu    sync.Mutex
+	links map[string]*Link
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter { return &Meter{links: map[string]*Link{}} }
+
+// Register adds a link under a server name. Registering the same name
+// twice replaces the link.
+func (m *Meter) Register(name string, l *Link) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.links[name] = l
+}
+
+// Link returns the named link, or nil.
+func (m *Meter) Link(name string) *Link {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.links[name]
+}
+
+// Total sums all links' stats.
+func (m *Meter) Total() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t Stats
+	for _, l := range m.links {
+		s := l.Stats()
+		t.Calls += s.Calls
+		t.Rows += s.Rows
+		t.Bytes += s.Bytes
+		t.VirtualTime += s.VirtualTime
+	}
+	return t
+}
+
+// ResetAll zeroes every link.
+func (m *Meter) ResetAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, l := range m.links {
+		l.Reset()
+	}
+}

@@ -1,0 +1,89 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLinkAccounting(t *testing.T) {
+	l := &Link{LatencyPerCall: time.Millisecond, BytesPerSecond: 1e6}
+	l.Call(10, 1000)
+	l.Call(5, 500)
+	s := l.Stats()
+	if s.Calls != 2 || s.Rows != 15 || s.Bytes != 1500 {
+		t.Errorf("stats = %+v", s)
+	}
+	// Virtual time: 2 calls * 1ms latency + 1500B at 1MB/s = 2ms + 1.5ms.
+	want := 2*time.Millisecond + 1500*time.Microsecond
+	if s.VirtualTime != want {
+		t.Errorf("virtual time = %v, want %v", s.VirtualTime, want)
+	}
+	l.Reset()
+	if s := l.Stats(); s.Calls != 0 || s.Bytes != 0 {
+		t.Errorf("after reset: %+v", s)
+	}
+}
+
+func TestTransferCost(t *testing.T) {
+	l := &Link{LatencyPerCall: 10 * time.Millisecond, BytesPerSecond: 1e6}
+	got := l.TransferCost(1e6)
+	want := 10*time.Millisecond + time.Second
+	if got != want {
+		t.Errorf("TransferCost = %v, want %v", got, want)
+	}
+	var nilLink *Link
+	if nilLink.TransferCost(100) != 0 {
+		t.Error("nil link should cost 0")
+	}
+	nilLink.Call(1, 1) // must not panic
+	nilLink.Reset()
+	if s := nilLink.Stats(); s.Calls != 0 {
+		t.Error("nil link stats")
+	}
+}
+
+func TestInfiniteBandwidth(t *testing.T) {
+	l := &Link{LatencyPerCall: time.Millisecond}
+	if got := l.TransferCost(1 << 30); got != time.Millisecond {
+		t.Errorf("infinite bandwidth cost = %v", got)
+	}
+}
+
+func TestSleepMode(t *testing.T) {
+	l := &Link{LatencyPerCall: 2 * time.Millisecond, Sleep: true}
+	start := time.Now()
+	l.Call(1, 0)
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("Sleep mode did not sleep: %v", elapsed)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter()
+	a := LAN()
+	b := WAN()
+	m.Register("srvA", a)
+	m.Register("srvB", b)
+	a.Call(10, 100)
+	b.Call(20, 200)
+	tot := m.Total()
+	if tot.Calls != 2 || tot.Rows != 30 || tot.Bytes != 300 {
+		t.Errorf("total = %+v", tot)
+	}
+	if m.Link("srvA") != a || m.Link("missing") != nil {
+		t.Error("Link lookup broken")
+	}
+	m.ResetAll()
+	if tot := m.Total(); tot.Bytes != 0 {
+		t.Errorf("after ResetAll: %+v", tot)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if LAN().LatencyPerCall >= WAN().LatencyPerCall {
+		t.Error("WAN should be slower than LAN")
+	}
+	if LAN().BytesPerSecond <= WAN().BytesPerSecond {
+		t.Error("WAN should have less bandwidth")
+	}
+}

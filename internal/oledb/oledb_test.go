@@ -1,0 +1,108 @@
+package oledb
+
+import (
+	"errors"
+	"testing"
+
+	"dhqp/internal/rowset"
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+)
+
+func TestSQLSupportString(t *testing.T) {
+	cases := map[SQLSupport]string{
+		SQLNone: "None", SQLMinimum: "SQL Minimum", SQLODBCCore: "ODBC Core",
+		SQLEntry: "SQL-92 Entry", SQLFull: "SQL-92 Full", SQLProprietary: "Proprietary",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestInterfaceMatrix(t *testing.T) {
+	full := Capabilities{
+		SupportsCommand: true, SupportsIndexes: true, SupportsBookmarks: true,
+		SupportsSchemaRowset: true,
+	}
+	rows := InterfaceMatrix(full)
+	if len(rows) != 9 {
+		t.Fatalf("matrix rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Mandatory && !r.Supported {
+			t.Errorf("mandatory interface %s unsupported", r.Interface)
+		}
+		if !full.SupportsCommand && r.Interface == "IDBCreateCommand" && r.Supported {
+			t.Errorf("command support leaked")
+		}
+	}
+	simple := Capabilities{}
+	rows = InterfaceMatrix(simple)
+	for _, r := range rows {
+		switch r.Interface {
+		case "IDBCreateCommand", "IRowsetIndex", "IRowsetLocate", "IDBSchemaRowset":
+			if r.Supported {
+				t.Errorf("simple provider should not support %s", r.Interface)
+			}
+		}
+	}
+}
+
+// fakeDS is a minimal DataSource for registry tests.
+type fakeDS struct {
+	props map[string]string
+	fail  bool
+}
+
+func (f *fakeDS) Initialize(props map[string]string) error {
+	if f.fail {
+		return errors.New("boom")
+	}
+	f.props = props
+	return nil
+}
+func (f *fakeDS) Capabilities() Capabilities      { return Capabilities{ProviderName: "FAKE"} }
+func (f *fakeDS) CreateSession() (Session, error) { return nil, ErrNotSupported }
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	var made *fakeDS
+	r.Register("FAKE", func() DataSource { made = &fakeDS{}; return made })
+	ls := schema.LinkedServer{
+		Name: "remote0", ProviderName: "FAKE", DataSource: "host1",
+		Options: map[string]string{"timeout": "5"},
+	}
+	ds, err := r.Create(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds != made {
+		t.Error("factory not used")
+	}
+	if made.props["DataSource"] != "host1" || made.props["timeout"] != "5" {
+		t.Errorf("props = %v", made.props)
+	}
+	if _, err := r.Create(schema.LinkedServer{ProviderName: "MISSING"}); err == nil {
+		t.Error("unknown provider accepted")
+	}
+	r.Register("FAIL", func() DataSource { return &fakeDS{fail: true} })
+	if _, err := r.Create(schema.LinkedServer{Name: "x", ProviderName: "FAIL"}); err == nil {
+		t.Error("failing Initialize accepted")
+	}
+	if len(r.Names()) != 2 {
+		t.Errorf("Names = %v", r.Names())
+	}
+}
+
+func TestBoundAndTableInfoShape(t *testing.T) {
+	b := Bound{Key: rowset.Row{sqltypes.NewInt(1)}, Inclusive: true}
+	if b.Key[0].Int() != 1 {
+		t.Error("bound key")
+	}
+	ti := TableInfo{Def: &schema.Table{Name: "t"}, Cardinality: 42}
+	if ti.Def.Name != "t" || ti.Cardinality != 42 {
+		t.Error("table info")
+	}
+}

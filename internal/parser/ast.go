@@ -1,0 +1,322 @@
+// Package parser implements the SQL dialect of the engine: a T-SQL-flavored
+// language with four-part names for linked-server tables (§2.1), OPENROWSET
+// ad-hoc access and OPENQUERY pass-through (§3.3), the CONTAINS full-text
+// predicate (§2.3), the MakeTable mail table-valued function (§2.4), DML,
+// and the DDL needed to build federations (tables with CHECK constraints,
+// indexes, partitioned views, linked servers).
+package parser
+
+import "strings"
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is a query block, possibly the head of a UNION ALL chain.
+type SelectStmt struct {
+	Top     int64 // 0 = no TOP clause
+	Items   []SelectItem
+	From    []TableRef // implicit cross join between entries
+	Where   Expr
+	GroupBy []Expr
+	Having  Expr
+	OrderBy []OrderItem
+	// Union chains the next SELECT of a UNION ALL.
+	Union *SelectStmt
+}
+
+func (*SelectStmt) stmt() {}
+
+// SelectItem is one projection: either a star or an expression.
+type SelectItem struct {
+	Star      bool
+	StarTable string // qualifier for t.*; empty for bare *
+	E         Expr
+	Alias     string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	E    Expr
+	Desc bool
+}
+
+// TableRef is a FROM-clause item.
+type TableRef interface{ tref() }
+
+// NamedTable references a (possibly four-part) table or view name.
+type NamedTable struct {
+	Parts []string // up to server.catalog.schema.object
+	Alias string
+}
+
+func (*NamedTable) tref() {}
+
+// Name returns the trailing object name.
+func (n *NamedTable) Name() string { return n.Parts[len(n.Parts)-1] }
+
+// DerivedTable is a parenthesized subquery with an alias.
+type DerivedTable struct {
+	Sel   *SelectStmt
+	Alias string
+}
+
+func (*DerivedTable) tref() {}
+
+// JoinRef is an explicit JOIN ... ON.
+type JoinRef struct {
+	Left, Right TableRef
+	Kind        JoinKind
+	On          Expr
+}
+
+func (*JoinRef) tref() {}
+
+// JoinKind enumerates the join syntax accepted.
+type JoinKind int
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeftOuter
+)
+
+// OpenRowset is the ad-hoc connection syntax of §2.2:
+// OPENROWSET('provider', 'datasource';”;”, 'query') AS alias.
+type OpenRowset struct {
+	Provider   string
+	DataSource string
+	Query      string
+	Alias      string
+}
+
+func (*OpenRowset) tref() {}
+
+// OpenQuery is the pass-through syntax of §3.3:
+// OPENQUERY(server, 'query') AS alias.
+type OpenQuery struct {
+	Server string
+	Query  string
+	Alias  string
+}
+
+func (*OpenQuery) tref() {}
+
+// MakeTable is the table-valued function of §2.4:
+// MakeTable(Mail, 'd:\mail\smith.mmf') or MakeTable(Access, 'db', table).
+type MakeTable struct {
+	Provider string
+	Path     string
+	Table    string
+	Alias    string
+}
+
+func (*MakeTable) tref() {}
+
+// InsertStmt is INSERT INTO t [(cols)] VALUES (...)... or INSERT ... SELECT.
+type InsertStmt struct {
+	Table   *NamedTable
+	Columns []string
+	Rows    [][]Expr
+	Sel     *SelectStmt
+}
+
+func (*InsertStmt) stmt() {}
+
+// UpdateStmt is UPDATE t SET c = e, ... [WHERE ...].
+type UpdateStmt struct {
+	Table *NamedTable
+	Set   []SetClause
+	Where Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
+// SetClause is one assignment.
+type SetClause struct {
+	Column string
+	E      Expr
+}
+
+// DeleteStmt is DELETE FROM t [WHERE ...].
+type DeleteStmt struct {
+	Table *NamedTable
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// CreateTableStmt declares a table.
+type CreateTableStmt struct {
+	Name    *NamedTable
+	Columns []ColumnDef
+	// PrimaryKey lists key column names (table-level or column-level).
+	PrimaryKey []string
+	// Checks holds CHECK constraint expressions.
+	Checks []Expr
+	// CheckTexts holds the original text of each CHECK (kept for the
+	// catalog so remote members can re-parse them).
+	CheckTexts []string
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// ColumnDef is one column declaration.
+type ColumnDef struct {
+	Name     string
+	TypeName string // normalized lower-case: int, float, varchar, bit, date
+	NotNull  bool
+}
+
+// CreateIndexStmt declares a secondary index.
+type CreateIndexStmt struct {
+	Name    string
+	Table   *NamedTable
+	Columns []string
+	Unique  bool
+}
+
+func (*CreateIndexStmt) stmt() {}
+
+// CreateViewStmt declares a view (partitioned views are UNION ALL selects).
+type CreateViewStmt struct {
+	Name *NamedTable
+	Sel  *SelectStmt
+	// Text is the original SELECT text, stored in the catalog.
+	Text string
+}
+
+func (*CreateViewStmt) stmt() {}
+
+// ExecStmt is EXEC procname 'arg', 'arg', ... — used for
+// sp_addlinkedserver and friends.
+type ExecStmt struct {
+	Proc string
+	Args []string
+}
+
+func (*ExecStmt) stmt() {}
+
+// Expr is an unresolved scalar expression (names not yet bound).
+type Expr interface{ expr() }
+
+// NameExpr is a possibly-qualified column reference a.b.c.
+type NameExpr struct {
+	Parts []string
+}
+
+func (*NameExpr) expr() {}
+
+// Display joins the parts.
+func (n *NameExpr) Display() string { return strings.Join(n.Parts, ".") }
+
+// Column returns the trailing part.
+func (n *NameExpr) Column() string { return n.Parts[len(n.Parts)-1] }
+
+// Qualifier returns everything before the column, joined.
+func (n *NameExpr) Qualifier() string {
+	return strings.Join(n.Parts[:len(n.Parts)-1], ".")
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+func (*IntLit) expr() {}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ V float64 }
+
+func (*FloatLit) expr() {}
+
+// StrLit is a string literal.
+type StrLit struct{ V string }
+
+func (*StrLit) expr() {}
+
+// NullLit is the NULL keyword.
+type NullLit struct{}
+
+func (*NullLit) expr() {}
+
+// ParamExpr is @name.
+type ParamExpr struct{ Name string }
+
+func (*ParamExpr) expr() {}
+
+// BinExpr is a binary operation; Op uses the expr package's spellings
+// ("=", "<>", "+", "AND", ...).
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (*BinExpr) expr() {}
+
+// UnExpr is NOT or unary minus.
+type UnExpr struct {
+	Op string // "NOT" or "-"
+	E  Expr
+}
+
+func (*UnExpr) expr() {}
+
+// FuncExpr is a function call; aggregates parse here too (Star for
+// COUNT(*), Distinct for agg DISTINCT).
+type FuncExpr struct {
+	Name     string
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+func (*FuncExpr) expr() {}
+
+// LikeExpr is [NOT] LIKE.
+type LikeExpr struct {
+	E, Pattern Expr
+	Negate     bool
+}
+
+func (*LikeExpr) expr() {}
+
+// InExpr is [NOT] IN (list) or [NOT] IN (subquery).
+type InExpr struct {
+	E      Expr
+	List   []Expr
+	Sel    *SelectStmt
+	Negate bool
+}
+
+func (*InExpr) expr() {}
+
+// ExistsExpr is [NOT] EXISTS (subquery).
+type ExistsExpr struct {
+	Sel    *SelectStmt
+	Negate bool
+}
+
+func (*ExistsExpr) expr() {}
+
+// BetweenExpr is e BETWEEN lo AND hi (desugared by the binder).
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+	Negate    bool
+}
+
+func (*BetweenExpr) expr() {}
+
+// IsNullExpr is e IS [NOT] NULL.
+type IsNullExpr struct {
+	E      Expr
+	Negate bool
+}
+
+func (*IsNullExpr) expr() {}
+
+// ContainsExpr is CONTAINS(col, 'query') (§2.3). A Star column means
+// "all full-text indexed columns".
+type ContainsExpr struct {
+	Col   *NameExpr // nil means CONTAINS(*, ...)
+	Query string
+}
+
+func (*ContainsExpr) expr() {}

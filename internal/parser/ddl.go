@@ -1,0 +1,219 @@
+package parser
+
+import "strings"
+
+func (p *parser) createStmt() (Statement, error) {
+	p.pos++ // CREATE
+	switch {
+	case p.isKw("TABLE"):
+		return p.createTable()
+	case p.isKw("INDEX"), p.isKw("UNIQUE"):
+		return p.createIndex()
+	case p.isKw("VIEW"):
+		return p.createView()
+	default:
+		return nil, p.errf("expected TABLE, INDEX or VIEW after CREATE")
+	}
+}
+
+func (p *parser) createTable() (Statement, error) {
+	p.pos++ // TABLE
+	parts, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	st := &CreateTableStmt{Name: &NamedTable{Parts: parts}}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isKw("PRIMARY"):
+			p.pos++
+			if err := p.expectKw("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			for {
+				c, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				st.PrimaryKey = append(st.PrimaryKey, c)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		case p.isKw("CHECK"):
+			if err := p.parseCheck(st); err != nil {
+				return nil, err
+			}
+		default:
+			col, err := p.columnDef(st)
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col)
+		}
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseCheck parses CHECK ( expr ), capturing both the parsed expression
+// and the source text between the parentheses.
+func (p *parser) parseCheck(st *CreateTableStmt) error {
+	p.pos++ // CHECK
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	startTok := p.peek()
+	e, err := p.expr()
+	if err != nil {
+		return err
+	}
+	endTok := p.peek()
+	if err := p.expect(")"); err != nil {
+		return err
+	}
+	st.Checks = append(st.Checks, e)
+	st.CheckTexts = append(st.CheckTexts, strings.TrimSpace(p.src[startTok.pos:endTok.pos]))
+	return nil
+}
+
+func (p *parser) columnDef(st *CreateTableStmt) (ColumnDef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return ColumnDef{}, err
+	}
+	typeName, err := p.ident()
+	if err != nil {
+		return ColumnDef{}, err
+	}
+	col := ColumnDef{Name: name, TypeName: normalizeType(typeName)}
+	if col.TypeName == "" {
+		return ColumnDef{}, p.errf("unknown type %q", typeName)
+	}
+	// Optional (n) length, ignored.
+	if p.accept("(") {
+		if p.peek().kind == tkNumber {
+			p.pos++
+		}
+		if err := p.expect(")"); err != nil {
+			return ColumnDef{}, err
+		}
+	}
+	for {
+		switch {
+		case p.isKw("NOT"):
+			p.pos++
+			if err := p.expectKw("NULL"); err != nil {
+				return ColumnDef{}, err
+			}
+			col.NotNull = true
+		case p.isKw("NULL"):
+			p.pos++
+		case p.isKw("PRIMARY"):
+			p.pos++
+			if err := p.expectKw("KEY"); err != nil {
+				return ColumnDef{}, err
+			}
+			st.PrimaryKey = append(st.PrimaryKey, name)
+			col.NotNull = true
+		case p.isKw("CHECK"):
+			if err := p.parseCheck(st); err != nil {
+				return ColumnDef{}, err
+			}
+		default:
+			return col, nil
+		}
+	}
+}
+
+// normalizeType maps SQL type names to the engine's kinds; empty means
+// unknown.
+func normalizeType(t string) string {
+	switch strings.ToLower(t) {
+	case "int", "integer", "bigint", "smallint", "tinyint":
+		return "int"
+	case "float", "real", "double", "decimal", "numeric", "money":
+		return "float"
+	case "varchar", "char", "nvarchar", "nchar", "text", "ntext", "string":
+		return "varchar"
+	case "bit", "bool", "boolean":
+		return "bit"
+	case "date", "datetime", "smalldatetime":
+		return "date"
+	default:
+		return ""
+	}
+}
+
+func (p *parser) createIndex() (Statement, error) {
+	st := &CreateIndexStmt{}
+	if p.acceptKw("UNIQUE") {
+		st.Unique = true
+	}
+	if err := p.expectKw("INDEX"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	parts, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	st.Table = &NamedTable{Parts: parts}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Columns = append(st.Columns, c)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) createView() (Statement, error) {
+	p.pos++ // VIEW
+	parts, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("AS"); err != nil {
+		return nil, err
+	}
+	startTok := p.peek()
+	sel, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	text := strings.TrimSpace(p.src[startTok.pos:])
+	text = strings.TrimSuffix(text, ";")
+	return &CreateViewStmt{Name: &NamedTable{Parts: parts}, Sel: sel, Text: text}, nil
+}

@@ -1,0 +1,340 @@
+package parser
+
+import (
+	"strconv"
+	"strings"
+)
+
+// expr parses with precedence: OR < AND < NOT < predicate < additive <
+// multiplicative < unary < primary.
+func (p *parser) expr() (Expr, error) {
+	return p.orExpr()
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.acceptKw("NOT") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "NOT", E: e}, nil
+	}
+	return p.predicate()
+}
+
+// predicate parses comparisons and SQL predicate forms over additive
+// expressions.
+func (p *parser) predicate() (Expr, error) {
+	l, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKw("IS") {
+		neg := p.acceptKw("NOT")
+		if err := p.expectKw("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: l, Negate: neg}, nil
+	}
+	neg := false
+	if p.isKw("NOT") {
+		// NOT LIKE / NOT IN / NOT BETWEEN
+		save := p.save()
+		p.pos++
+		if p.isKw("LIKE") || p.isKw("IN") || p.isKw("BETWEEN") {
+			neg = true
+		} else {
+			p.restore(save)
+			return l, nil
+		}
+	}
+	switch {
+	case p.acceptKw("LIKE"):
+		r, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		return &LikeExpr{E: l, Pattern: r, Negate: neg}, nil
+	case p.acceptKw("BETWEEN"):
+		lo, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{E: l, Lo: lo, Hi: hi, Negate: neg}, nil
+	case p.acceptKw("IN"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{E: l, Negate: neg}
+		if p.isKw("SELECT") {
+			sel, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			in.Sel = sel
+		} else {
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				in.List = append(in.List, e)
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	// Comparison operators.
+	for _, op := range []string{"=", "<>", "<=", ">=", "<", ">"} {
+		if p.accept(op) {
+			r, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) additive() (Expr, error) {
+	l, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept("+"):
+			op = "+"
+		case p.accept("-"):
+			op = "-"
+		default:
+			return l, nil
+		}
+		r, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept("*"):
+			op = "*"
+		case p.accept("/"):
+			op = "/"
+		case p.accept("%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.accept("-") {
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold -literal immediately for nicer ASTs.
+		switch v := e.(type) {
+		case *IntLit:
+			return &IntLit{V: -v.V}, nil
+		case *FloatLit:
+			return &FloatLit{V: -v.V}, nil
+		}
+		return &UnExpr{Op: "-", E: e}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tkNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return &FloatLit{V: f}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &IntLit{V: n}, nil
+	case tkString:
+		p.pos++
+		return &StrLit{V: t.text}, nil
+	case tkParam:
+		p.pos++
+		return &ParamExpr{Name: t.text}, nil
+	case tkPunct:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tkIdent:
+		switch {
+		case strings.EqualFold(t.text, "NULL"):
+			p.pos++
+			return &NullLit{}, nil
+		case strings.EqualFold(t.text, "EXISTS"):
+			p.pos++
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			sel, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Sel: sel}, nil
+		case strings.EqualFold(t.text, "CONTAINS"):
+			return p.containsExpr()
+		case strings.EqualFold(t.text, "CASE"):
+			return nil, p.errf("CASE expressions are not supported")
+		}
+		// Function call or qualified name.
+		save := p.save()
+		name, _ := p.ident()
+		if p.accept("(") {
+			return p.funcCall(name)
+		}
+		p.restore(save)
+		parts, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		return &NameExpr{Parts: parts}, nil
+	}
+	return nil, p.errf("expected an expression, found %q", t.text)
+}
+
+func (p *parser) funcCall(name string) (Expr, error) {
+	f := &FuncExpr{Name: strings.ToLower(name)}
+	if p.accept("*") {
+		f.Star = true
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	if p.accept(")") {
+		return f, nil
+	}
+	if p.acceptKw("DISTINCT") {
+		f.Distinct = true
+	}
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		f.Args = append(f.Args, e)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// containsExpr parses CONTAINS(col, 'query') and CONTAINS(*, 'query').
+func (p *parser) containsExpr() (Expr, error) {
+	p.pos++ // CONTAINS
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	c := &ContainsExpr{}
+	if !p.accept("*") {
+		parts, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		c.Col = &NameExpr{Parts: parts}
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	q, err := p.stringLit()
+	if err != nil {
+		return nil, err
+	}
+	c.Query = q
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,656 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, p.errf("unexpected %q after statement", p.peek().text)
+	}
+	return st, nil
+}
+
+// ParseExpr parses a standalone scalar expression (CHECK constraint bodies
+// stored in the catalog re-parse through here).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("unexpected %q after expression", p.peek().text)
+	}
+	return e, nil
+}
+
+type parser struct {
+	src  string
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token   { return p.toks[p.pos] }
+func (p *parser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool   { return p.peek().kind == tkEOF }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(s int) { p.pos = s }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("parser: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+// isKw reports whether the current token is the given keyword.
+func (p *parser) isKw(kw string) bool {
+	t := p.peek()
+	return t.kind == tkIdent && strings.EqualFold(t.text, kw)
+}
+
+// acceptKw consumes a keyword if present.
+func (p *parser) acceptKw(kw string) bool {
+	if p.isKw(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expectKw requires a keyword.
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s, found %q", strings.ToUpper(kw), p.peek().text)
+	}
+	return nil
+}
+
+// accept consumes a punctuation token if present.
+func (p *parser) accept(punct string) bool {
+	t := p.peek()
+	if t.kind == tkPunct && t.text == punct {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect requires punctuation.
+func (p *parser) expect(punct string) error {
+	if !p.accept(punct) {
+		return p.errf("expected %q, found %q", punct, p.peek().text)
+	}
+	return nil
+}
+
+// ident requires an identifier token.
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tkIdent {
+		return "", p.errf("expected identifier, found %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// stringLit requires a string literal.
+func (p *parser) stringLit() (string, error) {
+	t := p.peek()
+	if t.kind != tkString {
+		return "", p.errf("expected string literal, found %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.isKw("SELECT"):
+		return p.selectStmt()
+	case p.isKw("INSERT"):
+		return p.insertStmt()
+	case p.isKw("UPDATE"):
+		return p.updateStmt()
+	case p.isKw("DELETE"):
+		return p.deleteStmt()
+	case p.isKw("CREATE"):
+		return p.createStmt()
+	case p.isKw("EXEC") || p.isKw("EXECUTE"):
+		return p.execStmt()
+	default:
+		return nil, p.errf("expected a statement, found %q", p.peek().text)
+	}
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{}
+	if p.acceptKw("TOP") {
+		t := p.peek()
+		if t.kind != tkNumber {
+			return nil, p.errf("expected number after TOP")
+		}
+		p.pos++
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad TOP count %q", t.text)
+		}
+		s.Top = n
+	}
+	// Select list.
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.acceptKw("FROM") {
+		for {
+			tr, err := p.tableRef()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, tr)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("HAVING") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			it := OrderItem{E: e}
+			if p.acceptKw("DESC") {
+				it.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, it)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("UNION") {
+		if err := p.expectKw("ALL"); err != nil {
+			return nil, p.errf("only UNION ALL is supported")
+		}
+		u, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Union = u
+	}
+	return s, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	if p.accept("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// t.* form: identifier(s) followed by .*
+	start := p.save()
+	if p.peek().kind == tkIdent {
+		name, _ := p.ident()
+		if p.accept(".") && p.accept("*") {
+			return SelectItem{Star: true, StarTable: name}, nil
+		}
+		p.restore(start)
+	}
+	e, err := p.expr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{E: e}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.peek().kind == tkIdent && !p.isSelectTerminator() {
+		a, _ := p.ident()
+		item.Alias = a
+	}
+	return item, nil
+}
+
+// isSelectTerminator reports whether the current identifier is a clause
+// keyword rather than an implicit alias.
+func (p *parser) isSelectTerminator() bool {
+	for _, kw := range []string{"FROM", "WHERE", "GROUP", "HAVING", "ORDER", "UNION", "AS", "INNER", "LEFT", "JOIN", "ON", "DESC", "ASC"} {
+		if p.isKw(kw) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	left, err := p.simpleTableRef()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		kind := JoinInner
+		switch {
+		case p.isKw("INNER"):
+			p.pos++
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+		case p.isKw("LEFT"):
+			p.pos++
+			p.acceptKw("OUTER")
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinLeftOuter
+		case p.isKw("JOIN"):
+			p.pos++
+		default:
+			return left, nil
+		}
+		right, err := p.simpleTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		left = &JoinRef{Left: left, Right: right, Kind: kind, On: on}
+	}
+}
+
+func (p *parser) simpleTableRef() (TableRef, error) {
+	switch {
+	case p.isKw("OPENROWSET"):
+		return p.openRowset()
+	case p.isKw("OPENQUERY"):
+		return p.openQuery()
+	case p.isKw("MAKETABLE"):
+		return p.makeTable()
+	}
+	if p.accept("(") {
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		p.acceptKw("AS")
+		alias, err := p.ident()
+		if err != nil {
+			return nil, p.errf("derived table requires an alias")
+		}
+		return &DerivedTable{Sel: sel, Alias: alias}, nil
+	}
+	parts, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	nt := &NamedTable{Parts: parts}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		nt.Alias = a
+	} else if p.peek().kind == tkIdent && !p.isTableTerminator() {
+		a, _ := p.ident()
+		nt.Alias = a
+	}
+	return nt, nil
+}
+
+func (p *parser) isTableTerminator() bool {
+	for _, kw := range []string{"WHERE", "GROUP", "HAVING", "ORDER", "UNION", "INNER", "LEFT", "JOIN", "ON", "AS", "SET"} {
+		if p.isKw(kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// qualifiedName parses up to four dot-separated parts.
+func (p *parser) qualifiedName() ([]string, error) {
+	var parts []string
+	n, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	parts = append(parts, n)
+	for p.accept(".") {
+		n, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, n)
+		if len(parts) > 4 {
+			return nil, p.errf("name has more than four parts")
+		}
+	}
+	return parts, nil
+}
+
+// openRowset parses OPENROWSET('provider','datasource';”;”, 'query').
+// The §2.2 example's connection string uses ;-separated fields; we accept
+// either 'datasource';'user';'pwd' or a single 'datasource'.
+func (p *parser) openRowset() (TableRef, error) {
+	p.pos++ // OPENROWSET
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	provider, err := p.stringLit()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	ds, err := p.stringLit()
+	if err != nil {
+		return nil, err
+	}
+	// Optional ;'user';'pwd' fields.
+	for p.accept(";") {
+		if p.peek().kind == tkString {
+			p.pos++
+		}
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	query, err := p.stringLit()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	o := &OpenRowset{Provider: provider, DataSource: ds, Query: query}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		o.Alias = a
+	} else if p.peek().kind == tkIdent && !p.isTableTerminator() {
+		a, _ := p.ident()
+		o.Alias = a
+	}
+	return o, nil
+}
+
+func (p *parser) openQuery() (TableRef, error) {
+	p.pos++ // OPENQUERY
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	server, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	query, err := p.stringLit()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	o := &OpenQuery{Server: server, Query: query}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		o.Alias = a
+	} else if p.peek().kind == tkIdent && !p.isTableTerminator() {
+		a, _ := p.ident()
+		o.Alias = a
+	}
+	return o, nil
+}
+
+// makeTable parses MakeTable(Mail, 'path') and
+// MakeTable(Access, 'path', table) per §2.4.
+func (p *parser) makeTable() (TableRef, error) {
+	p.pos++ // MAKETABLE
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	provider, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	path, err := p.stringLit()
+	if err != nil {
+		return nil, err
+	}
+	m := &MakeTable{Provider: provider, Path: path}
+	if p.accept(",") {
+		tbl, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		m.Table = tbl
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		m.Alias = a
+	} else if p.peek().kind == tkIdent && !p.isTableTerminator() {
+		a, _ := p.ident()
+		m.Alias = a
+	}
+	return m, nil
+}
+
+func (p *parser) insertStmt() (Statement, error) {
+	p.pos++ // INSERT
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	parts, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: &NamedTable{Parts: parts}}
+	if p.accept("(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, c)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKw("VALUES") {
+		for {
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			var row []Expr
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			st.Rows = append(st.Rows, row)
+			if !p.accept(",") {
+				break
+			}
+		}
+		return st, nil
+	}
+	if p.isKw("SELECT") {
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Sel = sel
+		return st, nil
+	}
+	return nil, p.errf("expected VALUES or SELECT")
+}
+
+func (p *parser) updateStmt() (Statement, error) {
+	p.pos++ // UPDATE
+	parts, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: &NamedTable{Parts: parts}}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Set = append(st.Set, SetClause{Column: c, E: e})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) deleteStmt() (Statement, error) {
+	p.pos++ // DELETE
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	parts, err := p.qualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: &NamedTable{Parts: parts}}
+	if p.acceptKw("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	return st, nil
+}
+
+func (p *parser) execStmt() (Statement, error) {
+	p.pos++ // EXEC
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &ExecStmt{Proc: strings.ToLower(name)}
+	for p.peek().kind == tkString {
+		s, _ := p.stringLit()
+		st.Args = append(st.Args, s)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return st, nil
+}

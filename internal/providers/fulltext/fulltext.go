@@ -1,0 +1,313 @@
+// Package fulltext implements the Microsoft-Search-Service stand-in
+// (§2.2–2.3, Figure 2, Table 1): full-text catalogs with an inverted index
+// (positions for phrases/NEAR, stems for inflectional matching), IFilters
+// that extract text from document formats, tf-idf ranking, and an OLE DB
+// provider whose command language is the Index Server query language:
+//
+//	CONTAINSTABLE <catalog> :: <query>          -> (KEY, RANK) rowset
+//	SELECT <props> FROM SCOPE() WHERE CONTAINS('<query>')
+//	                                            -> document-property rowset
+//
+// Catalogs index either file-system documents (path + properties + content
+// through an IFilter) or relational table columns keyed by row bookmark —
+// the integration that lets the relational engine join (KEY, RANK) rowsets
+// back to base tables on row identity.
+package fulltext
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"dhqp/internal/ftquery"
+	"dhqp/internal/sqltypes"
+)
+
+// IFilter extracts indexable text from a document format (§2.2: "the
+// IFilter is an interface for retrieving text and properties out of
+// documents").
+type IFilter interface {
+	// Extensions lists file extensions served, without dots.
+	Extensions() []string
+	// Extract returns the plain text of the document body.
+	Extract(content []byte) (string, error)
+}
+
+// plainFilter indexes text-like formats verbatim.
+type plainFilter struct{}
+
+func (plainFilter) Extensions() []string { return []string{"txt", "md", "log"} }
+func (plainFilter) Extract(content []byte) (string, error) {
+	return string(content), nil
+}
+
+// htmlFilter strips tags.
+type htmlFilter struct{}
+
+func (htmlFilter) Extensions() []string { return []string{"html", "htm", "xml"} }
+func (htmlFilter) Extract(content []byte) (string, error) {
+	var b strings.Builder
+	inTag := false
+	for _, c := range string(content) {
+		switch {
+		case c == '<':
+			inTag = true
+			b.WriteByte(' ')
+		case c == '>':
+			inTag = false
+		case !inTag:
+			b.WriteRune(c)
+		}
+	}
+	return b.String(), nil
+}
+
+// docFilter models binary office formats: a header line "%DOC%" followed by
+// body text (our synthetic .doc/.ppt/.pdf corpus uses this container).
+type docFilter struct{}
+
+func (docFilter) Extensions() []string { return []string{"doc", "ppt", "pdf", "zip"} }
+func (docFilter) Extract(content []byte) (string, error) {
+	s := string(content)
+	if strings.HasPrefix(s, "%DOC%") {
+		return s[len("%DOC%"):], nil
+	}
+	return s, nil
+}
+
+// Service is the search service: a set of catalogs plus the IFilter
+// registry.
+type Service struct {
+	mu       sync.RWMutex
+	catalogs map[string]*Catalog
+	filters  map[string]IFilter // by extension
+}
+
+// NewService returns a service with the standard IFilters registered.
+func NewService() *Service {
+	s := &Service{catalogs: map[string]*Catalog{}, filters: map[string]IFilter{}}
+	for _, f := range []IFilter{plainFilter{}, htmlFilter{}, docFilter{}} {
+		s.RegisterIFilter(f)
+	}
+	return s
+}
+
+// RegisterIFilter installs a filter for its extensions (third-party
+// formats plug in exactly this way, §2.2).
+func (s *Service) RegisterIFilter(f IFilter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ext := range f.Extensions() {
+		s.filters[strings.ToLower(ext)] = f
+	}
+}
+
+// CreateCatalog creates (or returns) a named catalog.
+func (s *Service) CreateCatalog(name string) *Catalog {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if c, ok := s.catalogs[key]; ok {
+		return c
+	}
+	c := &Catalog{
+		name:     name,
+		postings: map[string][]posting{},
+	}
+	s.catalogs[key] = c
+	return c
+}
+
+// DropCatalog removes a catalog (index rebuild path).
+func (s *Service) DropCatalog(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.catalogs, strings.ToLower(name))
+}
+
+// Catalog returns a catalog by name.
+func (s *Service) Catalog(name string) (*Catalog, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.catalogs[strings.ToLower(name)]
+	return c, ok
+}
+
+// filterFor picks the IFilter for a path.
+func (s *Service) filterFor(path string) (IFilter, error) {
+	ext := ""
+	if i := strings.LastIndexByte(path, '.'); i >= 0 {
+		ext = strings.ToLower(path[i+1:])
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.filters[ext]
+	if !ok {
+		return nil, fmt.Errorf("fulltext: no IFilter registered for %q documents", ext)
+	}
+	return f, nil
+}
+
+// document is one indexed entry.
+type document struct {
+	key   int64
+	props map[string]sqltypes.Value
+	doc   *ftquery.Document
+}
+
+// posting records a term occurrence.
+type posting struct {
+	docIdx int
+	tf     int
+}
+
+// Catalog is one full-text catalog/index.
+type Catalog struct {
+	mu       sync.RWMutex
+	name     string
+	docs     []document
+	postings map[string][]posting
+}
+
+// Name returns the catalog name.
+func (c *Catalog) Name() string { return c.name }
+
+// Len returns the number of indexed documents.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// AddText indexes raw text under a key with optional properties (the
+// relational-table integration path uses the row bookmark as key, §2.3).
+func (c *Catalog) AddText(key int64, text string, props map[string]sqltypes.Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := ftquery.NewDocument(text)
+	idx := len(c.docs)
+	if props == nil {
+		props = map[string]sqltypes.Value{}
+	}
+	c.docs = append(c.docs, document{key: key, props: props, doc: d})
+	for stem, positions := range d.Positions {
+		c.postings[stem] = append(c.postings[stem], posting{docIdx: idx, tf: len(positions)})
+	}
+}
+
+// AddFile extracts a file's text through the appropriate IFilter and
+// indexes it with the standard document properties (§2.2's SCOPE()
+// columns: Path, Directory, FileName, size, Create, Write).
+func (s *Service) AddFile(catalog, path string, content []byte, props map[string]sqltypes.Value) error {
+	f, err := s.filterFor(path)
+	if err != nil {
+		return err
+	}
+	text, err := f.Extract(content)
+	if err != nil {
+		return fmt.Errorf("fulltext: extracting %s: %w", path, err)
+	}
+	c := s.CreateCatalog(catalog)
+	merged := map[string]sqltypes.Value{
+		"path":      sqltypes.NewString(path),
+		"directory": sqltypes.NewString(dirOf(path)),
+		"filename":  sqltypes.NewString(baseOf(path)),
+		"size":      sqltypes.NewInt(int64(len(content))),
+	}
+	for k, v := range props {
+		merged[strings.ToLower(k)] = v
+	}
+	c.mu.Lock()
+	key := int64(len(c.docs))
+	c.mu.Unlock()
+	c.AddText(key, text, merged)
+	return nil
+}
+
+func dirOf(path string) string {
+	i := strings.LastIndexAny(path, `/\`)
+	if i < 0 {
+		return ""
+	}
+	return path[:i]
+}
+
+func baseOf(path string) string {
+	i := strings.LastIndexAny(path, `/\`)
+	return path[i+1:]
+}
+
+// Hit is one search result.
+type Hit struct {
+	Key   int64
+	Rank  float64
+	Props map[string]sqltypes.Value
+}
+
+// Search evaluates a parsed query against the catalog using the inverted
+// index: candidate documents come from the positive terms' posting lists;
+// each candidate is verified against the full query (phrases, NEAR, NOT)
+// and ranked by tf-idf. Results order by rank descending.
+func (c *Catalog) Search(q ftquery.Node) []Hit {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	terms := ftquery.Terms(q)
+	candidates := map[int]bool{}
+	if len(terms) == 0 {
+		// Pure-negative queries scan everything.
+		for i := range c.docs {
+			candidates[i] = true
+		}
+	} else {
+		for _, t := range terms {
+			for _, p := range c.postings[t] {
+				candidates[p.docIdx] = true
+			}
+		}
+	}
+	var hits []Hit
+	n := float64(len(c.docs))
+	for idx := range candidates {
+		d := &c.docs[idx]
+		if !q.Match(d.doc) {
+			continue
+		}
+		rank := 0.0
+		for _, t := range terms {
+			df := float64(len(c.postings[t]))
+			if df == 0 {
+				continue
+			}
+			tf := float64(len(d.doc.Positions[t]))
+			if tf == 0 {
+				continue
+			}
+			idf := math.Log(1 + n/df)
+			rank += (tf / float64(d.doc.Length+1)) * idf
+		}
+		hits = append(hits, Hit{Key: d.key, Rank: rank, Props: d.props})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Rank != hits[j].Rank {
+			return hits[i].Rank > hits[j].Rank
+		}
+		return hits[i].Key < hits[j].Key
+	})
+	return hits
+}
+
+// SearchNaive matches the query against every document without the index
+// (the E5 baseline — what CONTAINS costs with no full-text index).
+func (c *Catalog) SearchNaive(q ftquery.Node) []Hit {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var hits []Hit
+	for i := range c.docs {
+		if q.Match(c.docs[i].doc) {
+			hits = append(hits, Hit{Key: c.docs[i].key, Props: c.docs[i].props})
+		}
+	}
+	return hits
+}

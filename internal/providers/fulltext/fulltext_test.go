@@ -1,0 +1,234 @@
+package fulltext
+
+import (
+	"strings"
+	"testing"
+
+	"dhqp/internal/ftquery"
+	"dhqp/internal/rowset"
+	"dhqp/internal/sqltypes"
+)
+
+func mustQuery(t *testing.T, q string) ftquery.Node {
+	t.Helper()
+	n, err := ftquery.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestIFilters(t *testing.T) {
+	svc := NewService()
+	cases := []struct {
+		path, content, wantWord string
+	}{
+		{"a.txt", "plain text body", "plain"},
+		{"b.html", "<html><b>bold</b> words</html>", "bold"},
+		{"c.doc", "%DOC%office document body", "office"},
+		{"d.pdf", "%DOC%portable document", "portable"},
+	}
+	for _, c := range cases {
+		if err := svc.AddFile("cat", c.path, []byte(c.content), nil); err != nil {
+			t.Fatalf("%s: %v", c.path, err)
+		}
+	}
+	catalog, ok := svc.Catalog("cat")
+	if !ok || catalog.Len() != 4 {
+		t.Fatalf("catalog missing or wrong size")
+	}
+	for _, c := range cases {
+		hits := catalog.Search(mustQuery(t, c.wantWord))
+		if len(hits) != 1 {
+			t.Errorf("%s: %q found %d hits", c.path, c.wantWord, len(hits))
+		}
+	}
+	// HTML tags must not be indexed.
+	if hits := catalog.Search(mustQuery(t, "html")); len(hits) != 0 {
+		t.Errorf("tag text leaked into index: %d hits", len(hits))
+	}
+	// No IFilter for unknown extensions.
+	if err := svc.AddFile("cat", "x.exe", []byte("binary"), nil); err == nil {
+		t.Error("unknown extension accepted")
+	}
+}
+
+func TestCustomIFilterRegistration(t *testing.T) {
+	svc := NewService()
+	svc.RegisterIFilter(csvFilter{})
+	if err := svc.AddFile("c", "data.csv", []byte("alpha,beta"), nil); err != nil {
+		t.Fatal(err)
+	}
+	cat, _ := svc.Catalog("c")
+	if len(cat.Search(mustQuery(t, "beta"))) != 1 {
+		t.Error("custom filter content not indexed")
+	}
+}
+
+type csvFilter struct{}
+
+func (csvFilter) Extensions() []string { return []string{"csv"} }
+func (csvFilter) Extract(content []byte) (string, error) {
+	return strings.ReplaceAll(string(content), ",", " "), nil
+}
+
+func TestSearchRankingOrder(t *testing.T) {
+	svc := NewService()
+	cat := svc.CreateCatalog("c")
+	cat.AddText(1, "database database database systems", nil)
+	cat.AddText(2, "a database appears once in this much longer text about other things entirely", nil)
+	cat.AddText(3, "nothing relevant", nil)
+	hits := cat.Search(mustQuery(t, "database"))
+	if len(hits) != 2 {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	if hits[0].Key != 1 || hits[0].Rank <= hits[1].Rank {
+		t.Errorf("ranking order wrong: %+v", hits)
+	}
+}
+
+func TestSearchMatchesNaive(t *testing.T) {
+	svc := NewService()
+	cat := svc.CreateCatalog("c")
+	texts := []string{
+		"parallel database systems", "heterogeneous query processing",
+		"running a marathon", "the runner ran", "query optimization",
+		"parallel running tracks", "database indexes",
+	}
+	for i, tx := range texts {
+		cat.AddText(int64(i), tx, nil)
+	}
+	for _, q := range []string{
+		"database", `"parallel database"`, "run", "query AND NOT optimization",
+		"parallel OR marathon", "NOT database",
+	} {
+		node := mustQuery(t, q)
+		indexed := cat.Search(node)
+		naive := cat.SearchNaive(node)
+		if len(indexed) != len(naive) {
+			t.Errorf("%q: indexed %d vs naive %d", q, len(indexed), len(naive))
+			continue
+		}
+		seen := map[int64]bool{}
+		for _, h := range indexed {
+			seen[h.Key] = true
+		}
+		for _, h := range naive {
+			if !seen[h.Key] {
+				t.Errorf("%q: naive found key %d missing from indexed", q, h.Key)
+			}
+		}
+	}
+}
+
+func TestProviderContainsTable(t *testing.T) {
+	svc := NewService()
+	cat := svc.CreateCatalog("doccat")
+	cat.AddText(10, "parallel database research", nil)
+	cat.AddText(20, "cooking pasta", nil)
+	p := NewProvider(svc, nil)
+	if p.Capabilities().QueryLanguage != "Index Server Query Language" {
+		t.Error("wrong language name")
+	}
+	sess, err := p.CreateSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd, err := sess.CreateCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.SetText("CONTAINSTABLE doccat :: database")
+	cols, err := cmd.(*Command).Describe()
+	if err != nil || len(cols) != 2 || cols[0].Name != "KEY" {
+		t.Fatalf("describe: %v %v", cols, err)
+	}
+	rs, err := cmd.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := rowset.ReadAll(rs)
+	if m.Len() != 1 || m.Rows()[0][0].Int() != 10 {
+		t.Errorf("rows = %v", m.Rows())
+	}
+	if m.Rows()[0][1].Kind() != sqltypes.KindFloat {
+		t.Error("rank kind")
+	}
+}
+
+func TestProviderScopeSelect(t *testing.T) {
+	svc := NewService()
+	svc.AddFile("lit", `d:\a.txt`, []byte("database things"), nil)
+	svc.AddFile("lit", `d:\b.txt`, []byte("other things"), nil)
+	p := NewProvider(svc, nil)
+	p.Initialize(map[string]string{"DataSource": "lit"})
+	sess, _ := p.CreateSession()
+	cmd, _ := sess.CreateCommand()
+	cmd.SetText("SELECT path, size, rank FROM SCOPE() WHERE CONTAINS('database')")
+	rs, err := cmd.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := rowset.ReadAll(rs)
+	if m.Len() != 1 || m.Rows()[0][0].Str() != `d:\a.txt` {
+		t.Fatalf("rows = %v", m.Rows())
+	}
+	if m.Rows()[0][1].Int() != int64(len("database things")) {
+		t.Errorf("size = %v", m.Rows()[0][1])
+	}
+}
+
+func TestProviderErrors(t *testing.T) {
+	svc := NewService()
+	p := NewProvider(svc, nil)
+	sess, _ := p.CreateSession()
+	cmd, _ := sess.CreateCommand()
+	for _, text := range []string{
+		"GARBAGE", "CONTAINSTABLE nocatalog", "SELECT path FROM SCOPE()",
+		"SELECT path FROM SCOPE() WHERE size > 3",
+		"CONTAINSTABLE missing :: word",
+	} {
+		cmd.SetText(text)
+		if _, err := cmd.Execute(); err == nil {
+			t.Errorf("command %q accepted", text)
+		}
+	}
+	// Scope query without a default catalog.
+	cmd.SetText("SELECT path FROM SCOPE() WHERE CONTAINS('x')")
+	if _, err := cmd.Execute(); err == nil {
+		t.Error("scope query without catalog accepted")
+	}
+	if _, err := cmd.ExecuteNonQuery(); err == nil {
+		t.Error("write to search service accepted")
+	}
+	if _, err := sess.OpenRowset("x"); err == nil {
+		t.Error("OpenRowset should be unsupported")
+	}
+}
+
+func TestPropsAndDirHelpers(t *testing.T) {
+	svc := NewService()
+	svc.AddFile("c", `d:\docs\sub\file.txt`, []byte("word"), map[string]sqltypes.Value{
+		"Write": sqltypes.NewDate(2004, 1, 1),
+	})
+	p := NewProvider(svc, nil)
+	p.Initialize(map[string]string{"DataSource": "c"})
+	sess, _ := p.CreateSession()
+	cmd, _ := sess.CreateCommand()
+	cmd.SetText("SELECT path, directory, filename, write, missingprop FROM SCOPE() WHERE CONTAINS('word')")
+	rs, err := cmd.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := rowset.ReadAll(rs)
+	r := m.Rows()[0]
+	if r[1].Str() != `d:\docs\sub` || r[2].Str() != "file.txt" {
+		t.Errorf("dir/base = %v / %v", r[1], r[2])
+	}
+	if r[3].IsNull() {
+		t.Error("custom prop lost")
+	}
+	if !r[4].IsNull() {
+		t.Error("missing prop should be NULL")
+	}
+}

@@ -1,0 +1,260 @@
+// Package native exposes the local storage engine through the OLE DB
+// provider model — the architecture's unification trick (§2, Figure 1):
+// "OLE DB is the interface used by SQL Server to access its local storage
+// engine, thus the code patterns to access data from local and external
+// sources are almost identical." The executor reaches local tables through
+// exactly the same Session interface it uses for linked servers.
+package native
+
+import (
+	"fmt"
+	"strings"
+
+	"dhqp/internal/binder"
+	"dhqp/internal/expr"
+	"dhqp/internal/oledb"
+	"dhqp/internal/rowset"
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+	"dhqp/internal/stats"
+	"dhqp/internal/storage"
+)
+
+// Provider wraps a storage engine as an oledb.DataSource.
+type Provider struct {
+	eng *storage.Engine
+	// DefaultCatalog resolves unqualified table names.
+	defaultCatalog string
+}
+
+// New returns a provider over the storage engine. defaultCatalog resolves
+// unqualified names.
+func New(eng *storage.Engine, defaultCatalog string) *Provider {
+	return &Provider{eng: eng, defaultCatalog: defaultCatalog}
+}
+
+// Initialize implements oledb.DataSource; the native provider needs no
+// connection properties.
+func (p *Provider) Initialize(props map[string]string) error {
+	if ds, ok := props["DataSource"]; ok && ds != "" {
+		p.defaultCatalog = ds
+	}
+	return nil
+}
+
+// Capabilities implements oledb.DataSource. The native storage engine is an
+// index provider with statistics but no command language of its own — SQL
+// lives a layer above it.
+func (p *Provider) Capabilities() oledb.Capabilities {
+	return oledb.Capabilities{
+		ProviderName:         "Native",
+		QueryLanguage:        "(rowset interfaces only)",
+		SQLSupport:           oledb.SQLNone,
+		SupportsCommand:      false,
+		SupportsIndexes:      true,
+		SupportsBookmarks:    true,
+		SupportsStatistics:   true,
+		SupportsSchemaRowset: true,
+		SupportsTransactions: true,
+	}
+}
+
+// CreateSession implements oledb.DataSource.
+func (p *Provider) CreateSession() (oledb.Session, error) {
+	return &Session{p: p}, nil
+}
+
+// Session is a native session. It also enforces CHECK constraints on DML
+// performed through it.
+type Session struct {
+	p *Provider
+}
+
+// resolve splits "catalog.table" (or bare "table") and finds the table.
+func (s *Session) resolve(name string) (*storage.Table, error) {
+	catalog := s.p.defaultCatalog
+	table := name
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		catalog = name[:i]
+		table = name[i+1:]
+	}
+	db, ok := s.p.eng.Database(catalog)
+	if !ok {
+		return nil, fmt.Errorf("native: database %q not found", catalog)
+	}
+	t, ok := db.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("native: table %q not found in %q", table, catalog)
+	}
+	return t, nil
+}
+
+// OpenRowset implements oledb.Session.
+func (s *Session) OpenRowset(table string) (rowset.Rowset, error) {
+	t, err := s.resolve(table)
+	if err != nil {
+		return nil, err
+	}
+	return t.Scan(), nil
+}
+
+// CreateCommand implements oledb.Session; the bare storage engine has no
+// query language.
+func (s *Session) CreateCommand() (oledb.Command, error) {
+	return nil, oledb.ErrNotSupported
+}
+
+// TablesInfo implements oledb.Session.
+func (s *Session) TablesInfo() ([]oledb.TableInfo, error) {
+	var out []oledb.TableInfo
+	for _, dbName := range s.p.eng.Databases() {
+		db, _ := s.p.eng.Database(dbName)
+		for _, tn := range db.Tables() {
+			t, _ := db.Table(tn)
+			out = append(out, oledb.TableInfo{Def: t.Def(), Cardinality: int64(t.RowCount())})
+		}
+	}
+	return out, nil
+}
+
+// OpenIndexRange implements oledb.Session (IRowsetIndex).
+func (s *Session) OpenIndexRange(table, index string, lo, hi oledb.Bound) (rowset.Rowset, error) {
+	t, err := s.resolve(table)
+	if err != nil {
+		return nil, err
+	}
+	ix, ok := t.Index(index)
+	if !ok {
+		return nil, fmt.Errorf("native: index %q not found on %q", index, table)
+	}
+	return ix.Range(
+		storage.Bound{Key: lo.Key, Inclusive: lo.Inclusive},
+		storage.Bound{Key: hi.Key, Inclusive: hi.Inclusive},
+	), nil
+}
+
+// FetchByBookmarks implements oledb.Session (IRowsetLocate).
+func (s *Session) FetchByBookmarks(table string, bms []int64) (rowset.Rowset, error) {
+	t, err := s.resolve(table)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]rowset.Row, 0, len(bms))
+	for _, bm := range bms {
+		r, err := t.Fetch(bm)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rowset.NewMaterialized(t.Def().Columns, rows), nil
+}
+
+// ColumnHistogram implements oledb.Session (the statistics extension,
+// §3.2.4), building an equi-depth histogram over the column on demand.
+func (s *Session) ColumnHistogram(table, column string) (rowset.Rowset, error) {
+	t, err := s.resolve(table)
+	if err != nil {
+		return nil, err
+	}
+	ord := t.Def().ColumnIndex(column)
+	if ord < 0 {
+		return nil, fmt.Errorf("native: column %q not found on %q", column, table)
+	}
+	all, err := rowset.ReadAll(t.Scan())
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]sqltypes.Value, all.Len())
+	for i, r := range all.Rows() {
+		vals[i] = r[ord]
+	}
+	h := stats.Build(vals, 64)
+	return h.ToRowset(), nil
+}
+
+// Close implements oledb.Session.
+func (s *Session) Close() error { return nil }
+
+// Insert validates CHECK constraints and inserts a row (used by the DML
+// layer; not part of the minimal OLE DB surface).
+func (s *Session) Insert(table string, r rowset.Row) (int64, error) {
+	t, err := s.resolve(table)
+	if err != nil {
+		return 0, err
+	}
+	r, err = coerceRow(t.Def(), r)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.enforceChecks(t.Def(), r); err != nil {
+		return 0, err
+	}
+	return t.Insert(r)
+}
+
+// Delete removes a row by bookmark.
+func (s *Session) Delete(table string, bm int64) error {
+	t, err := s.resolve(table)
+	if err != nil {
+		return err
+	}
+	return t.Delete(bm)
+}
+
+// Update replaces a row by bookmark, enforcing CHECK constraints.
+func (s *Session) Update(table string, bm int64, r rowset.Row) error {
+	t, err := s.resolve(table)
+	if err != nil {
+		return err
+	}
+	r, err = coerceRow(t.Def(), r)
+	if err != nil {
+		return err
+	}
+	if err := s.enforceChecks(t.Def(), r); err != nil {
+		return err
+	}
+	return t.Update(bm, r)
+}
+
+// coerceRow converts row values to the table's column kinds so CHECK
+// predicates compare typed values (a date literal arrives as a string).
+func coerceRow(def *schema.Table, r rowset.Row) (rowset.Row, error) {
+	out := r
+	for i, c := range def.Columns {
+		if i >= len(r) || r[i].IsNull() || r[i].Kind() == c.Kind {
+			continue
+		}
+		v, err := sqltypes.Coerce(r[i], c.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("native: %s.%s: %w", def.Name, c.Name, err)
+		}
+		if &out[0] == &r[0] {
+			out = r.Clone()
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (s *Session) enforceChecks(def *schema.Table, r rowset.Row) error {
+	if len(def.Checks) == 0 {
+		return nil
+	}
+	checks, err := binder.CheckPredicate(def)
+	if err != nil {
+		return fmt.Errorf("native: parsing CHECK on %s: %w", def.Name, err)
+	}
+	env := &expr.Env{Row: r}
+	for _, c := range checks {
+		ok, err := expr.EvalPredicate(c.Pred, env)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("native: CHECK constraint violated on %s: %s", def.Name, c.Text)
+		}
+	}
+	return nil
+}

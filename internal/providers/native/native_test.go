@@ -1,0 +1,172 @@
+package native
+
+import (
+	"testing"
+
+	"dhqp/internal/oledb"
+	"dhqp/internal/rowset"
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+	"dhqp/internal/stats"
+	"dhqp/internal/storage"
+)
+
+func setup(t *testing.T) *Session {
+	t.Helper()
+	eng := storage.NewEngine()
+	db := eng.CreateDatabase("appdb")
+	tbl, err := db.CreateTable(&schema.Table{
+		Catalog: "appdb", Name: "items",
+		Columns: []schema.Column{
+			{Name: "id", Kind: sqltypes.KindInt},
+			{Name: "qty", Kind: sqltypes.KindInt},
+		},
+		Indexes: []schema.Index{{Name: "ix_qty", Columns: []int{1}}},
+		Checks:  []string{"qty >= 0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		if _, err := tbl.Insert(rowset.Row{sqltypes.NewInt(i), sqltypes.NewInt(i * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := New(eng, "appdb")
+	sess, err := p.CreateSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess.(*Session)
+}
+
+func TestCapabilities(t *testing.T) {
+	p := New(storage.NewEngine(), "x")
+	caps := p.Capabilities()
+	if caps.SupportsCommand {
+		t.Error("native provider should not support commands")
+	}
+	if !caps.SupportsIndexes || !caps.SupportsBookmarks || !caps.SupportsStatistics {
+		t.Error("native provider should be a full index provider")
+	}
+	if err := p.Initialize(map[string]string{"DataSource": "other"}); err != nil {
+		t.Fatal(err)
+	}
+	if p.defaultCatalog != "other" {
+		t.Error("Initialize ignored DataSource")
+	}
+}
+
+func TestOpenRowset(t *testing.T) {
+	s := setup(t)
+	rs, err := s.OpenRowset("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := rowset.ReadAll(rs)
+	if m.Len() != 10 {
+		t.Errorf("rows = %d", m.Len())
+	}
+	// Qualified name.
+	if _, err := s.OpenRowset("appdb.items"); err != nil {
+		t.Errorf("qualified open failed: %v", err)
+	}
+	if _, err := s.OpenRowset("missing"); err == nil {
+		t.Error("missing table opened")
+	}
+	if _, err := s.OpenRowset("nodb.items"); err == nil {
+		t.Error("missing db opened")
+	}
+}
+
+func TestCommandNotSupported(t *testing.T) {
+	s := setup(t)
+	if _, err := s.CreateCommand(); err != oledb.ErrNotSupported {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTablesInfo(t *testing.T) {
+	s := setup(t)
+	info, err := s.TablesInfo()
+	if err != nil || len(info) != 1 {
+		t.Fatalf("info = %v, %v", info, err)
+	}
+	if info[0].Cardinality != 10 || info[0].Def.Name != "items" {
+		t.Errorf("info[0] = %+v", info[0])
+	}
+}
+
+func TestOpenIndexRange(t *testing.T) {
+	s := setup(t)
+	rs, err := s.OpenIndexRange("items", "ix_qty",
+		oledb.Bound{Key: rowset.Row{sqltypes.NewInt(30)}, Inclusive: true},
+		oledb.Bound{Key: rowset.Row{sqltypes.NewInt(50)}, Inclusive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := rowset.ReadAll(rs)
+	if m.Len() != 3 {
+		t.Errorf("range rows = %d", m.Len())
+	}
+	if _, err := s.OpenIndexRange("items", "nope", oledb.Bound{}, oledb.Bound{}); err == nil {
+		t.Error("missing index opened")
+	}
+}
+
+func TestFetchByBookmarks(t *testing.T) {
+	s := setup(t)
+	rs, err := s.FetchByBookmarks("items", []int64{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := rowset.ReadAll(rs)
+	if m.Len() != 2 || m.Rows()[0][0].Int() != 2 || m.Rows()[1][0].Int() != 5 {
+		t.Errorf("fetched = %v", m.Rows())
+	}
+	if _, err := s.FetchByBookmarks("items", []int64{999}); err == nil {
+		t.Error("bad bookmark fetched")
+	}
+}
+
+func TestColumnHistogram(t *testing.T) {
+	s := setup(t)
+	rs, err := s.ColumnHistogram("items", "qty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := stats.FromRowset(rs, sqltypes.KindInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TotalRows != 10 || h.Distinct != 10 {
+		t.Errorf("histogram = %+v", h)
+	}
+	if _, err := s.ColumnHistogram("items", "nope"); err == nil {
+		t.Error("missing column histogram")
+	}
+}
+
+func TestDMLWithChecks(t *testing.T) {
+	s := setup(t)
+	bm, err := s.Insert("items", rowset.Row{sqltypes.NewInt(100), sqltypes.NewInt(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CHECK (qty >= 0) rejects negatives.
+	if _, err := s.Insert("items", rowset.Row{sqltypes.NewInt(101), sqltypes.NewInt(-1)}); err == nil {
+		t.Error("CHECK violation accepted on insert")
+	}
+	if err := s.Update("items", bm, rowset.Row{sqltypes.NewInt(100), sqltypes.NewInt(-5)}); err == nil {
+		t.Error("CHECK violation accepted on update")
+	}
+	if err := s.Update("items", bm, rowset.Row{sqltypes.NewInt(100), sqltypes.NewInt(9)}); err != nil {
+		t.Errorf("valid update rejected: %v", err)
+	}
+	if err := s.Delete("items", bm); err != nil {
+		t.Errorf("delete failed: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package simplep
+
+import (
+	"testing"
+
+	"dhqp/internal/oledb"
+	"dhqp/internal/rowset"
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+)
+
+func TestLoadCSVAndOpenRowset(t *testing.T) {
+	p := New(nil)
+	err := p.LoadCSV("items", `sku:int,price:float,when:date,ok:bool,name
+1,9.5,2004-01-02,1,apple
+2,3.25,2004-02-03,0,pear
+3,,2004-03-04,1,`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := p.CreateSession()
+	rs, err := sess.OpenRowset("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := rowset.ReadAll(rs)
+	if m.Len() != 3 {
+		t.Fatalf("rows = %d", m.Len())
+	}
+	r0 := m.Rows()[0]
+	if r0[0].Kind() != sqltypes.KindInt || r0[1].Kind() != sqltypes.KindFloat ||
+		r0[2].Kind() != sqltypes.KindDate || r0[3].Kind() != sqltypes.KindBool ||
+		r0[4].Kind() != sqltypes.KindString {
+		t.Errorf("kinds wrong: %v", r0)
+	}
+	// Empty fields load as NULL.
+	if !m.Rows()[2][1].IsNull() || !m.Rows()[2][4].IsNull() {
+		t.Errorf("empty fields: %v", m.Rows()[2])
+	}
+	// Qualified name resolution takes the last part.
+	if _, err := sess.OpenRowset("cat.dbo.items"); err != nil {
+		t.Errorf("qualified open: %v", err)
+	}
+	if _, err := sess.OpenRowset("missing"); err == nil {
+		t.Error("missing rowset opened")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	p := New(nil)
+	if err := p.LoadCSV("bad", "a:int\n1,2"); err == nil {
+		t.Error("ragged row accepted")
+	}
+	if err := p.LoadCSV("bad2", "a:int\nxyz"); err == nil {
+		t.Error("uncoercible value accepted")
+	}
+	if err := p.LoadCSV("", ""); err == nil {
+		t.Error("empty csv accepted")
+	}
+}
+
+func TestCapabilitiesMinimal(t *testing.T) {
+	p := New(nil)
+	caps := p.Capabilities()
+	if caps.SupportsCommand || caps.SupportsIndexes || caps.SupportsBookmarks || caps.SupportsStatistics {
+		t.Errorf("simple provider over-capable: %+v", caps)
+	}
+	if caps.SQLSupport != oledb.SQLNone {
+		t.Error("simple provider should have no SQL")
+	}
+	matrix := oledb.InterfaceMatrix(caps)
+	for _, row := range matrix {
+		if row.Interface == "IDBCreateCommand" && row.Supported {
+			t.Error("matrix claims command support")
+		}
+	}
+}
+
+func TestUnsupportedInterfaces(t *testing.T) {
+	p := New(nil)
+	p.AddTable(&schema.Table{Name: "t", Columns: []schema.Column{{Name: "a", Kind: sqltypes.KindInt}}}, nil)
+	sess, _ := p.CreateSession()
+	if _, err := sess.CreateCommand(); err != oledb.ErrNotSupported {
+		t.Error("command")
+	}
+	if _, err := sess.OpenIndexRange("t", "i", oledb.Bound{}, oledb.Bound{}); err != oledb.ErrNotSupported {
+		t.Error("index")
+	}
+	if _, err := sess.FetchByBookmarks("t", nil); err != oledb.ErrNotSupported {
+		t.Error("bookmarks")
+	}
+	if _, err := sess.ColumnHistogram("t", "a"); err != oledb.ErrNotSupported {
+		t.Error("stats")
+	}
+	info, err := sess.TablesInfo()
+	if err != nil || len(info) != 1 {
+		t.Errorf("tables info: %v %v", info, err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Error(err)
+	}
+	if err := p.Initialize(nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddTableValidates(t *testing.T) {
+	p := New(nil)
+	if err := p.AddTable(&schema.Table{}, nil); err == nil {
+		t.Error("invalid table accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package rowset
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+)
+
+func cols(names ...string) []schema.Column {
+	out := make([]schema.Column, len(names))
+	for i, n := range names {
+		out[i] = schema.Column{Name: n, Kind: sqltypes.KindInt}
+	}
+	return out
+}
+
+func intRow(vs ...int64) Row {
+	r := make(Row, len(vs))
+	for i, v := range vs {
+		r[i] = sqltypes.NewInt(v)
+	}
+	return r
+}
+
+func TestMaterializedIteration(t *testing.T) {
+	m := NewMaterialized(cols("a", "b"), []Row{intRow(1, 2), intRow(3, 4)})
+	r, err := m.Next()
+	if err != nil || r[0].Int() != 1 {
+		t.Fatalf("first row: %v %v", r, err)
+	}
+	r, err = m.Next()
+	if err != nil || r[1].Int() != 4 {
+		t.Fatalf("second row: %v %v", r, err)
+	}
+	if _, err = m.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	m.Reset()
+	if r, _ := m.Next(); r[0].Int() != 1 {
+		t.Fatal("reset did not rewind")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := intRow(1, 2)
+	c := r.Clone()
+	c[0] = sqltypes.NewInt(99)
+	if r[0].Int() != 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestRowEncodedSizeAndString(t *testing.T) {
+	r := Row{sqltypes.NewInt(1), sqltypes.NewString("ab")}
+	if got := r.EncodedSize(); got != 2+8+4+2 {
+		t.Errorf("EncodedSize = %d", got)
+	}
+	if got := r.String(); got != "(1, ab)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestAppendClones(t *testing.T) {
+	m := NewMaterialized(cols("a"), nil)
+	r := intRow(5)
+	m.Append(r)
+	r[0] = sqltypes.NewInt(6)
+	if m.Rows()[0][0].Int() != 5 {
+		t.Error("Append did not clone")
+	}
+}
+
+func TestSort(t *testing.T) {
+	m := NewMaterialized(cols("a", "b"), []Row{
+		intRow(2, 1), intRow(1, 3), intRow(2, 0), intRow(1, 2),
+	})
+	m.Sort([]int{0, 1}, []bool{false, true})
+	want := [][2]int64{{1, 3}, {1, 2}, {2, 1}, {2, 0}}
+	for i, w := range want {
+		got := m.Rows()[i]
+		if got[0].Int() != w[0] || got[1].Int() != w[1] {
+			t.Fatalf("row %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestReadAll(t *testing.T) {
+	src := NewMaterialized(cols("a"), []Row{intRow(1), intRow(2)})
+	m, err := ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestReadAllPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	f := &Func{Cols: cols("a"), NextFn: func() (Row, error) { return nil, boom }}
+	if _, err := ReadAll(f); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFuncRowset(t *testing.T) {
+	n := 0
+	closed := false
+	f := &Func{
+		Cols: cols("a"),
+		NextFn: func() (Row, error) {
+			if n >= 3 {
+				return nil, io.EOF
+			}
+			n++
+			return intRow(int64(n)), nil
+		},
+		CloseFn: func() error { closed = true; return nil },
+	}
+	m, err := ReadAll(f)
+	if err != nil || m.Len() != 3 {
+		t.Fatalf("%v %v", m, err)
+	}
+	if !closed {
+		t.Error("ReadAll did not close source")
+	}
+}
+
+func TestFuncRowsetNilClose(t *testing.T) {
+	f := &Func{Cols: cols("a"), NextFn: func() (Row, error) { return nil, io.EOF }}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := NewMaterialized(cols("a", "b"), []Row{intRow(1, 2)})
+	if err := Validate(good); err != nil {
+		t.Errorf("good rowset rejected: %v", err)
+	}
+	bad := NewMaterialized(cols("a", "b"), []Row{intRow(1)})
+	if err := Validate(bad); err == nil {
+		t.Error("ragged rowset accepted")
+	}
+}
+
+func TestRowObject(t *testing.T) {
+	ro := &RowObject{
+		Common: intRow(1),
+		Extra:  map[string]sqltypes.Value{"subject": sqltypes.NewString("hi")},
+	}
+	v, ok := ro.Get("subject")
+	if !ok || v.Str() != "hi" {
+		t.Error("Get(subject) failed")
+	}
+	if _, ok := ro.Get("missing"); ok {
+		t.Error("Get(missing) should fail")
+	}
+}

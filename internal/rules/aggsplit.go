@@ -1,0 +1,185 @@
+package rules
+
+import (
+	"dhqp/internal/algebra"
+	"dhqp/internal/expr"
+	"dhqp/internal/memo"
+)
+
+// SplitAggThroughUnion rewrites an aggregation over a UNION ALL into a
+// global aggregation over per-arm partial aggregations:
+//
+//	GroupBy(g, aggs)(UnionAll(arms...))
+//	  ≡ GroupBy(g, merge(aggs))(UnionAll(GroupBy(g_i, aggs_i)(arm_i)...))
+//
+// For partitioned views (§4.1.5) each arm is a sole-server subtree, so the
+// partial aggregations push to the member servers and only pre-aggregated
+// rows cross the network — one of the "algebraic re-writes of query ...
+// operator trees" the federation work depends on. COUNT merges by SUM; SUM,
+// MIN and MAX merge by themselves. DISTINCT aggregates and AVG do not
+// decompose this way and disable the rule.
+type SplitAggThroughUnion struct{}
+
+// Name implements ExplorationRule.
+func (*SplitAggThroughUnion) Name() string { return "SplitAggThroughUnion" }
+
+// Promise implements ExplorationRule.
+func (*SplitAggThroughUnion) Promise() int { return 55 }
+
+// MinPhase implements ExplorationRule.
+func (*SplitAggThroughUnion) MinPhase() Phase { return PhaseQuick }
+
+// Apply implements ExplorationRule. The rule marks itself fired per
+// expression and refuses to split when the union's arms already aggregate —
+// without both guards the global aggregation it produces would match the
+// rule again, nesting partials forever.
+func (r *SplitAggThroughUnion) Apply(e *memo.GroupExpr, ctx *Context) []*memo.XNode {
+	gb := e.Op.(*algebra.GroupBy)
+	for _, a := range gb.Aggs {
+		if a.Distinct || a.Func == algebra.AggAvg {
+			return nil
+		}
+	}
+	var out []*memo.XNode
+	for _, kid := range ctx.Memo.Group(e.Kids[0]).Exprs {
+		u, ok := kid.Op.(*algebra.UnionAll)
+		if !ok {
+			continue
+		}
+		// Fire once per (aggregation expr, union alternative): the split
+		// allocates fresh column IDs, so digest dedup alone cannot stop
+		// re-derivation. Keying by the union's digest still lets the rule
+		// fire when pushdown/pruning adds *new* union alternatives later.
+		marker := r.Name() + "|" + u.Digest()
+		if e.Fired(marker) {
+			continue
+		}
+		e.MarkFired(marker)
+		if armsAlreadyAggregate(kid, ctx) {
+			continue
+		}
+		if x := splitOverUnion(gb, u, kid, ctx); x != nil {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// armsAlreadyAggregate reports whether every union arm carries a GroupBy
+// alternative (the shape this rule produces).
+func armsAlreadyAggregate(kid *memo.GroupExpr, ctx *Context) bool {
+	for _, armGroup := range kid.Kids {
+		found := false
+		for _, ae := range ctx.Memo.Group(armGroup).Exprs {
+			if _, ok := ae.Op.(*algebra.GroupBy); ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return len(kid.Kids) > 0
+}
+
+func splitOverUnion(gb *algebra.GroupBy, u *algebra.UnionAll, kid *memo.GroupExpr, ctx *Context) *memo.XNode {
+	// Locate each grouping column's position in the union's output list.
+	groupPos := make([]int, len(gb.GroupCols))
+	for i, gc := range gb.GroupCols {
+		groupPos[i] = -1
+		for j, oc := range u.OutColsList {
+			if oc.ID == gc.ID {
+				groupPos[i] = j
+				break
+			}
+		}
+		if groupPos[i] < 0 {
+			return nil // grouping column is not a direct union output
+		}
+	}
+	// The inner union's outputs: the original grouping columns (keeping
+	// their IDs so the global aggregation's output matches the group's
+	// logical properties) followed by one fresh column per partial
+	// aggregate.
+	newOut := make([]algebra.OutCol, 0, len(gb.GroupCols)+len(gb.Aggs))
+	newOut = append(newOut, gb.GroupCols...)
+	partialUnionCols := make([]algebra.OutCol, len(gb.Aggs))
+	for j, a := range gb.Aggs {
+		partialUnionCols[j] = algebra.OutCol{ID: ctx.NewCol(), Name: a.Out.Name, Kind: a.Out.Kind}
+		newOut = append(newOut, partialUnionCols[j])
+	}
+
+	arms := make([]memo.XChild, len(kid.Kids))
+	inMaps := make([][]expr.ColumnID, len(kid.Kids))
+	for i, armGroup := range kid.Kids {
+		armProps := ctx.Memo.Group(armGroup).Props
+		colOf := func(id expr.ColumnID) (algebra.OutCol, bool) {
+			for _, c := range armProps.OutCols {
+				if c.ID == id {
+					return c, true
+				}
+			}
+			return algebra.OutCol{}, false
+		}
+		// Substitution: union output IDs -> this arm's column refs.
+		subst := map[expr.ColumnID]expr.Expr{}
+		for j, oc := range u.OutColsList {
+			in := u.InMaps[i][j]
+			subst[oc.ID] = expr.NewColRef(in, oc.Name)
+		}
+		armGroupCols := make([]algebra.OutCol, len(gb.GroupCols))
+		for gi, pos := range groupPos {
+			armID := u.InMaps[i][pos]
+			c, ok := colOf(armID)
+			if !ok {
+				return nil
+			}
+			armGroupCols[gi] = c
+		}
+		armAggs := make([]algebra.AggSpec, len(gb.Aggs))
+		armMap := make([]expr.ColumnID, 0, len(newOut))
+		for gi := range armGroupCols {
+			armMap = append(armMap, armGroupCols[gi].ID)
+		}
+		for j, a := range gb.Aggs {
+			var arg expr.Expr
+			if a.Arg != nil {
+				arg = expr.Substitute(a.Arg, subst)
+			}
+			armAggs[j] = algebra.AggSpec{
+				Out:  algebra.OutCol{ID: ctx.NewCol(), Name: a.Out.Name, Kind: a.Out.Kind},
+				Func: a.Func,
+				Arg:  arg,
+			}
+			armMap = append(armMap, armAggs[j].Out.ID)
+		}
+		arms[i] = memo.NodeChild(&memo.XNode{
+			Op:   &algebra.GroupBy{GroupCols: armGroupCols, Aggs: armAggs},
+			Kids: []memo.XChild{memo.GroupChild(armGroup)},
+		})
+		inMaps[i] = armMap
+	}
+	innerUnion := &memo.XNode{
+		Op:   &algebra.UnionAll{OutColsList: newOut, InMaps: inMaps},
+		Kids: arms,
+	}
+	// Global aggregation merges the partials; its outputs carry the
+	// original column IDs.
+	globalAggs := make([]algebra.AggSpec, len(gb.Aggs))
+	for j, a := range gb.Aggs {
+		mergeFn := a.Func
+		if a.Func == algebra.AggCount {
+			mergeFn = algebra.AggSum
+		}
+		globalAggs[j] = algebra.AggSpec{
+			Out:  a.Out,
+			Func: mergeFn,
+			Arg:  expr.NewColRef(partialUnionCols[j].ID, a.Out.Name),
+		}
+	}
+	return &memo.XNode{
+		Op:   &algebra.GroupBy{GroupCols: gb.GroupCols, Aggs: globalAggs},
+		Kids: []memo.XChild{memo.NodeChild(innerUnion)},
+	}
+}

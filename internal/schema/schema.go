@@ -1,0 +1,160 @@
+// Package schema defines the catalog metadata objects shared by the storage
+// engine, the providers and the optimizer: columns, tables, indexes, CHECK
+// constraints and linked-server definitions.
+//
+// Schema objects are descriptive only; they carry no behaviour beyond name
+// resolution. Constraint *semantics* (domain derivation, static pruning) live
+// in internal/constraint, and statistics live in internal/stats, both keyed
+// by these descriptors.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"dhqp/internal/sqltypes"
+)
+
+// Column describes one column of a table or rowset.
+type Column struct {
+	Name     string
+	Kind     sqltypes.Kind
+	Nullable bool
+}
+
+// Table describes a base table: its columns, key, indexes and CHECK
+// constraints. CheckSQL holds the raw constraint text; the binder parses it
+// into the constraint framework on demand (the storage engine enforces it on
+// DML through the same parsed form).
+type Table struct {
+	Catalog string // database name
+	Schema  string // e.g. "dbo"
+	Name    string
+	Columns []Column
+	// PrimaryKey lists column ordinals forming the key, empty if keyless.
+	PrimaryKey []int
+	Indexes    []Index
+	// Checks holds CHECK constraint definitions in SQL text, e.g.
+	// "l_commitdate >= '1992-01-01' AND l_commitdate < '1993-01-01'".
+	Checks []string
+}
+
+// Index describes a secondary index over a table.
+type Index struct {
+	Name    string
+	Columns []int // ordinals into Table.Columns, significant order
+	Unique  bool
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the named column descriptor.
+func (t *Table) Column(name string) (Column, bool) {
+	if i := t.ColumnIndex(name); i >= 0 {
+		return t.Columns[i], true
+	}
+	return Column{}, false
+}
+
+// QualifiedName returns catalog.schema.name with empty parts elided.
+func (t *Table) QualifiedName() string {
+	parts := make([]string, 0, 3)
+	if t.Catalog != "" {
+		parts = append(parts, t.Catalog)
+	}
+	if t.Schema != "" {
+		parts = append(parts, t.Schema)
+	}
+	parts = append(parts, t.Name)
+	return strings.Join(parts, ".")
+}
+
+// Validate checks internal consistency of the descriptor.
+func (t *Table) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("schema: table with empty name")
+	}
+	seen := map[string]bool{}
+	for _, c := range t.Columns {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return fmt.Errorf("schema: table %s: duplicate column %q", t.Name, c.Name)
+		}
+		seen[lc] = true
+	}
+	for _, ord := range t.PrimaryKey {
+		if ord < 0 || ord >= len(t.Columns) {
+			return fmt.Errorf("schema: table %s: primary key ordinal %d out of range", t.Name, ord)
+		}
+	}
+	for _, ix := range t.Indexes {
+		if ix.Name == "" {
+			return fmt.Errorf("schema: table %s: index with empty name", t.Name)
+		}
+		for _, ord := range ix.Columns {
+			if ord < 0 || ord >= len(t.Columns) {
+				return fmt.Errorf("schema: table %s index %s: ordinal %d out of range", t.Name, ix.Name, ord)
+			}
+		}
+	}
+	return nil
+}
+
+// ObjectName is a (possibly partially qualified) four-part name
+// server.catalog.schema.object, as used in FROM clauses (§2.1 of the paper).
+// Empty leading parts mean "default".
+type ObjectName struct {
+	Server  string
+	Catalog string
+	Schema  string
+	Object  string
+}
+
+// String renders the four-part name with empty leading parts elided but
+// interior empties preserved as in T-SQL (server..schema.object is not
+// produced; we keep it simple: elide empties from the left).
+func (n ObjectName) String() string {
+	parts := []string{}
+	started := false
+	for _, p := range []string{n.Server, n.Catalog, n.Schema} {
+		if p != "" || started {
+			parts = append(parts, p)
+			started = true
+		}
+	}
+	parts = append(parts, n.Object)
+	return strings.Join(parts, ".")
+}
+
+// IsRemote reports whether the name addresses a linked server.
+func (n ObjectName) IsRemote() bool { return n.Server != "" }
+
+// LinkedServer associates a server name with a provider data source, as
+// created by sp_addlinkedserver in the paper's architecture. ProviderName
+// identifies which registered provider factory to instantiate and
+// DataSource/Location are passed to it as initialization properties.
+type LinkedServer struct {
+	Name         string
+	ProviderName string // e.g. "SQLOLEDB", "MSIDXS", "Microsoft.Mail"
+	DataSource   string // provider-specific connect string
+	Options      map[string]string
+}
+
+// View describes a (possibly partitioned, possibly distributed) view.
+// Text holds the defining SELECT; the binder expands it. A partitioned view
+// is a UNION ALL of member tables each carrying a CHECK constraint on the
+// partitioning column (§4.1.5).
+type View struct {
+	Catalog string
+	Schema  string
+	Name    string
+	Text    string
+}

@@ -1,0 +1,106 @@
+package schema
+
+import (
+	"testing"
+
+	"dhqp/internal/sqltypes"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		Catalog: "tpch",
+		Schema:  "dbo",
+		Name:    "customer",
+		Columns: []Column{
+			{Name: "c_custkey", Kind: sqltypes.KindInt},
+			{Name: "c_name", Kind: sqltypes.KindString},
+			{Name: "c_nationkey", Kind: sqltypes.KindInt},
+		},
+		PrimaryKey: []int{0},
+		Indexes:    []Index{{Name: "ix_nation", Columns: []int{2}}},
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	tb := sampleTable()
+	if got := tb.ColumnIndex("c_name"); got != 1 {
+		t.Errorf("ColumnIndex(c_name) = %d", got)
+	}
+	if got := tb.ColumnIndex("C_NAME"); got != 1 {
+		t.Errorf("lookup should be case-insensitive, got %d", got)
+	}
+	if got := tb.ColumnIndex("missing"); got != -1 {
+		t.Errorf("ColumnIndex(missing) = %d", got)
+	}
+}
+
+func TestColumn(t *testing.T) {
+	tb := sampleTable()
+	c, ok := tb.Column("c_custkey")
+	if !ok || c.Kind != sqltypes.KindInt {
+		t.Errorf("Column(c_custkey) = %v, %v", c, ok)
+	}
+	if _, ok := tb.Column("nope"); ok {
+		t.Error("Column(nope) should not be found")
+	}
+}
+
+func TestQualifiedName(t *testing.T) {
+	tb := sampleTable()
+	if got := tb.QualifiedName(); got != "tpch.dbo.customer" {
+		t.Errorf("QualifiedName = %q", got)
+	}
+	tb2 := &Table{Name: "t"}
+	if got := tb2.QualifiedName(); got != "t" {
+		t.Errorf("QualifiedName = %q", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tb := sampleTable()
+	if err := tb.Validate(); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+	bad := sampleTable()
+	bad.Columns = append(bad.Columns, Column{Name: "C_CUSTKEY"})
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	bad2 := sampleTable()
+	bad2.PrimaryKey = []int{9}
+	if err := bad2.Validate(); err == nil {
+		t.Error("out-of-range pk accepted")
+	}
+	bad3 := sampleTable()
+	bad3.Indexes = []Index{{Name: "ix", Columns: []int{5}}}
+	if err := bad3.Validate(); err == nil {
+		t.Error("out-of-range index ordinal accepted")
+	}
+	bad4 := &Table{}
+	if err := bad4.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	bad5 := sampleTable()
+	bad5.Indexes = []Index{{Columns: []int{0}}}
+	if err := bad5.Validate(); err == nil {
+		t.Error("unnamed index accepted")
+	}
+}
+
+func TestObjectName(t *testing.T) {
+	n := ObjectName{Server: "DeptSQLSrvr", Catalog: "Northwind", Schema: "dbo", Object: "Employees"}
+	if got := n.String(); got != "DeptSQLSrvr.Northwind.dbo.Employees" {
+		t.Errorf("String = %q", got)
+	}
+	if !n.IsRemote() {
+		t.Error("four-part name should be remote")
+	}
+	local := ObjectName{Object: "orders"}
+	if local.String() != "orders" || local.IsRemote() {
+		t.Errorf("local name: %q remote=%v", local.String(), local.IsRemote())
+	}
+	two := ObjectName{Schema: "dbo", Object: "orders"}
+	if two.String() != "dbo.orders" {
+		t.Errorf("two-part = %q", two.String())
+	}
+}

@@ -1,0 +1,17 @@
+package stats
+
+import (
+	"dhqp/internal/rowset"
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+)
+
+// collectHelper exercises Collect over a single int column named "k".
+func collectHelper(vals []int64) *TableStats {
+	cols := []schema.Column{{Name: "k", Kind: sqltypes.KindInt}}
+	rows := make([]rowset.Row, len(vals))
+	for i, v := range vals {
+		rows[i] = rowset.Row{sqltypes.NewInt(v)}
+	}
+	return Collect(cols, rows, nil, 8)
+}

@@ -1,0 +1,297 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dhqp/internal/expr"
+	"dhqp/internal/sqltypes"
+)
+
+func intVals(vs ...int64) []sqltypes.Value {
+	out := make([]sqltypes.Value, len(vs))
+	for i, v := range vs {
+		out[i] = sqltypes.NewInt(v)
+	}
+	return out
+}
+
+func uniformVals(n int) []sqltypes.Value {
+	out := make([]sqltypes.Value, n)
+	for i := range out {
+		out[i] = sqltypes.NewInt(int64(i))
+	}
+	return out
+}
+
+func TestBuildBasics(t *testing.T) {
+	h := Build(uniformVals(100), 10)
+	if h.TotalRows != 100 || h.NullCount != 0 {
+		t.Errorf("totals: %d/%d", h.TotalRows, h.NullCount)
+	}
+	if h.Distinct != 100 {
+		t.Errorf("Distinct = %d", h.Distinct)
+	}
+	if len(h.Buckets) != 10 {
+		t.Errorf("buckets = %d", len(h.Buckets))
+	}
+	var sum int64
+	for _, b := range h.Buckets {
+		sum += b.Rows
+	}
+	if sum != 100 {
+		t.Errorf("bucket rows sum = %d", sum)
+	}
+}
+
+func TestBuildWithNulls(t *testing.T) {
+	vals := append(intVals(1, 2, 3), sqltypes.Null, sqltypes.Null)
+	h := Build(vals, 4)
+	if h.NullCount != 2 || h.TotalRows != 5 {
+		t.Errorf("nulls: %d/%d", h.NullCount, h.TotalRows)
+	}
+}
+
+func TestBuildEmptyAndAllNull(t *testing.T) {
+	h := Build(nil, 4)
+	if h.TotalRows != 0 || len(h.Buckets) != 0 {
+		t.Error("empty build")
+	}
+	h2 := Build([]sqltypes.Value{sqltypes.Null}, 4)
+	if h2.NullCount != 1 || len(h2.Buckets) != 0 {
+		t.Error("all-null build")
+	}
+	if s := h2.SelectivityEq(sqltypes.NewInt(1)); s != 0 {
+		t.Errorf("eq on bucket-less histogram = %v", s)
+	}
+}
+
+func TestSelectivityEqExactBoundary(t *testing.T) {
+	// Heavily skewed: value 7 appears 90 times out of 100.
+	vals := make([]sqltypes.Value, 0, 100)
+	for i := 0; i < 90; i++ {
+		vals = append(vals, sqltypes.NewInt(7))
+	}
+	for i := int64(0); i < 10; i++ {
+		vals = append(vals, sqltypes.NewInt(100+i))
+	}
+	h := Build(vals, 10)
+	got := h.SelectivityEq(sqltypes.NewInt(7))
+	if math.Abs(got-0.9) > 0.02 {
+		t.Errorf("skewed eq selectivity = %v, want ~0.9", got)
+	}
+	miss := h.SelectivityEq(sqltypes.NewInt(-5))
+	if miss != 0 {
+		t.Errorf("below-min selectivity = %v", miss)
+	}
+	if h.SelectivityEq(sqltypes.Null) != 0 {
+		t.Error("NULL eq selectivity should be 0")
+	}
+}
+
+func TestSelectivityRangeUniform(t *testing.T) {
+	h := Build(uniformVals(1000), 50)
+	got := h.SelectivityRange(sqltypes.NewInt(250), sqltypes.NewInt(500), false, true)
+	if math.Abs(got-0.25) > 0.03 {
+		t.Errorf("range selectivity = %v, want ~0.25", got)
+	}
+	all := h.SelectivityRange(sqltypes.Null, sqltypes.Null, false, false)
+	if math.Abs(all-1.0) > 0.001 {
+		t.Errorf("unbounded range = %v", all)
+	}
+	lt := h.SelectivityRange(sqltypes.Null, sqltypes.NewInt(100), false, false)
+	if math.Abs(lt-0.1) > 0.03 {
+		t.Errorf("lt selectivity = %v, want ~0.1", lt)
+	}
+	gt := h.SelectivityRange(sqltypes.NewInt(900), sqltypes.Null, false, false)
+	if math.Abs(gt-0.1) > 0.03 {
+		t.Errorf("gt selectivity = %v, want ~0.1", gt)
+	}
+}
+
+func TestSelectivityRangeEmpty(t *testing.T) {
+	h := Build(uniformVals(100), 10)
+	got := h.SelectivityRange(sqltypes.NewInt(500), sqltypes.NewInt(600), false, false)
+	if got != 0 {
+		t.Errorf("out-of-range = %v", got)
+	}
+}
+
+func TestDuplicatesDoNotStraddleBuckets(t *testing.T) {
+	// 50 copies of 1 and 50 copies of 2 with 10 buckets: each value's rows
+	// must live in a single bucket region so EQ estimates stay exact.
+	vals := make([]sqltypes.Value, 0, 100)
+	for i := 0; i < 50; i++ {
+		vals = append(vals, sqltypes.NewInt(1), sqltypes.NewInt(2))
+	}
+	h := Build(vals, 10)
+	if got := h.SelectivityEq(sqltypes.NewInt(1)); math.Abs(got-0.5) > 0.001 {
+		t.Errorf("eq(1) = %v", got)
+	}
+	if got := h.SelectivityEq(sqltypes.NewInt(2)); math.Abs(got-0.5) > 0.001 {
+		t.Errorf("eq(2) = %v", got)
+	}
+}
+
+func TestRowsetRoundTrip(t *testing.T) {
+	h := Build(uniformVals(500), 20)
+	rs := h.ToRowset()
+	h2, err := FromRowset(rs, sqltypes.KindInt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.TotalRows != h.TotalRows || h2.Distinct != h.Distinct || len(h2.Buckets) != len(h.Buckets) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", h2, h)
+	}
+	for i := range h.Buckets {
+		if !sqltypes.Equal(h.Buckets[i].UpperBound, h2.Buckets[i].UpperBound) ||
+			h.Buckets[i].Rows != h2.Buckets[i].Rows {
+			t.Fatalf("bucket %d mismatch", i)
+		}
+	}
+}
+
+func TestRowsetRoundTripDates(t *testing.T) {
+	vals := []sqltypes.Value{
+		sqltypes.NewDate(1992, 1, 1), sqltypes.NewDate(1993, 6, 15), sqltypes.NewDate(1994, 12, 31),
+	}
+	h := Build(vals, 2)
+	h2, err := FromRowset(h.ToRowset(), sqltypes.KindDate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sqltypes.Equal(h2.MinValue, sqltypes.NewDate(1992, 1, 1)) {
+		t.Errorf("MinValue = %v", h2.MinValue.Display())
+	}
+}
+
+func TestEstimatorWithAndWithoutHistogram(t *testing.T) {
+	// Skew: key 7 is 90% of the table. With the histogram, eq(7) ≈ 0.9 and
+	// eq(9999) = 0; without it, both default to 0.10. This is E4's claim.
+	vals := make([]sqltypes.Value, 0, 1000)
+	for i := 0; i < 900; i++ {
+		vals = append(vals, sqltypes.NewInt(7))
+	}
+	for i := int64(0); i < 100; i++ {
+		vals = append(vals, sqltypes.NewInt(1000+i))
+	}
+	h := Build(vals, 32)
+	col := expr.NewColRef(1, "k")
+	pred := expr.NewBinary(expr.OpEq, col, expr.NewConst(sqltypes.NewInt(7)))
+
+	with := &Estimator{Lookup: func(id expr.ColumnID) *Histogram {
+		if id == 1 {
+			return h
+		}
+		return nil
+	}}
+	without := &Estimator{}
+
+	sWith := with.Selectivity(pred)
+	sWithout := without.Selectivity(pred)
+	if math.Abs(sWith-0.9) > 0.02 {
+		t.Errorf("with histogram: %v, want ~0.9", sWith)
+	}
+	if sWithout != DefaultEqSelectivity {
+		t.Errorf("without histogram: %v", sWithout)
+	}
+	// Error ratio should be about an order of magnitude.
+	if sWith/sWithout < 5 {
+		t.Errorf("histogram advantage too small: %v vs %v", sWith, sWithout)
+	}
+}
+
+func TestEstimatorOperators(t *testing.T) {
+	h := Build(uniformVals(100), 10)
+	est := &Estimator{Lookup: func(expr.ColumnID) *Histogram { return h }}
+	col := expr.NewColRef(1, "k")
+	c := func(v int64) expr.Expr { return expr.NewConst(sqltypes.NewInt(v)) }
+
+	if s := est.Selectivity(expr.NewBinary(expr.OpLt, col, c(50))); math.Abs(s-0.5) > 0.05 {
+		t.Errorf("lt: %v", s)
+	}
+	if s := est.Selectivity(expr.NewBinary(expr.OpGe, col, c(90))); math.Abs(s-0.1) > 0.05 {
+		t.Errorf("ge: %v", s)
+	}
+	if s := est.Selectivity(expr.NewBinary(expr.OpNe, col, c(5))); s < 0.9 {
+		t.Errorf("ne: %v", s)
+	}
+	// Conjunction multiplies.
+	and := expr.Conjoin([]expr.Expr{
+		expr.NewBinary(expr.OpGe, col, c(0)),
+		expr.NewBinary(expr.OpLt, col, c(50)),
+	})
+	if s := est.Selectivity(and); math.Abs(s-0.5) > 0.06 {
+		t.Errorf("and: %v", s)
+	}
+	// Disjunction.
+	or := expr.NewBinary(expr.OpOr,
+		expr.NewBinary(expr.OpLt, col, c(10)),
+		expr.NewBinary(expr.OpGe, col, c(90)))
+	if s := est.Selectivity(or); math.Abs(s-0.19) > 0.06 {
+		t.Errorf("or: %v", s)
+	}
+	// IN list.
+	in := &expr.InList{E: col, List: []expr.Expr{c(1), c(2), c(3)}}
+	if s := est.Selectivity(in); math.Abs(s-0.03) > 0.02 {
+		t.Errorf("in: %v", s)
+	}
+	// NOT.
+	not := expr.NewNot(expr.NewBinary(expr.OpLt, col, c(50)))
+	if s := est.Selectivity(not); math.Abs(s-0.5) > 0.06 {
+		t.Errorf("not: %v", s)
+	}
+	// Parameterized comparison falls back to defaults.
+	p := expr.NewBinary(expr.OpEq, col, expr.NewParam("x"))
+	if s := est.Selectivity(p); s != DefaultEqSelectivity {
+		t.Errorf("param: %v", s)
+	}
+	if s := est.Selectivity(nil); s != 1 {
+		t.Errorf("nil pred: %v", s)
+	}
+}
+
+func TestJoinSelectivity(t *testing.T) {
+	h1 := Build(uniformVals(100), 10) // 100 distinct
+	h2 := Build(uniformVals(10), 5)   // 10 distinct
+	est := &Estimator{Lookup: func(id expr.ColumnID) *Histogram {
+		switch id {
+		case 1:
+			return h1
+		case 2:
+			return h2
+		}
+		return nil
+	}}
+	if s := est.JoinSelectivity(1, 2); math.Abs(s-0.01) > 1e-9 {
+		t.Errorf("join sel = %v, want 0.01", s)
+	}
+	if s := est.JoinSelectivity(8, 9); s != DefaultEqSelectivity {
+		t.Errorf("no-stats join sel = %v", s)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	cols := []int64{5, 5, 7, 9}
+	ts := collectHelper(cols)
+	if ts.RowCount != 4 {
+		t.Errorf("RowCount = %d", ts.RowCount)
+	}
+	h := ts.Histograms["k"]
+	if h == nil || h.TotalRows != 4 {
+		t.Fatalf("histogram missing: %+v", ts.Histograms)
+	}
+}
+
+// Property: selectivity estimates always lie in [0, 1].
+func TestSelectivityBoundsProperty(t *testing.T) {
+	h := Build(uniformVals(97), 7)
+	f := func(lo, hi int16, loIncl, hiIncl bool) bool {
+		s := h.SelectivityRange(sqltypes.NewInt(int64(lo)), sqltypes.NewInt(int64(hi)), loIncl, hiIncl)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

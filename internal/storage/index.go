@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"io"
+	"sort"
+
+	"dhqp/internal/rowset"
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+)
+
+var errEOF = io.EOF
+
+// Index is an ordered secondary index: a sorted list of (key, bookmark)
+// entries supporting seek and range navigation (the paper's IRowsetIndex)
+// and bookmark retrieval for base-row fetch (IRowsetLocate).
+type Index struct {
+	def     schema.Index
+	table   *Table
+	entries []indexEntry // sorted by key, then bookmark
+}
+
+type indexEntry struct {
+	key rowset.Row
+	bm  int64
+}
+
+// Def returns the index descriptor.
+func (ix *Index) Def() schema.Index { return ix.def }
+
+// keyOf extracts the index key from a table row.
+func (ix *Index) keyOf(r rowset.Row) rowset.Row {
+	k := make(rowset.Row, len(ix.def.Columns))
+	for i, ord := range ix.def.Columns {
+		k[i] = r[ord]
+	}
+	return k
+}
+
+func compareKeys(a, b rowset.Row) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := sqltypes.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	// A shorter key is a prefix: equal for range purposes.
+	return 0
+}
+
+// insertLocked adds an entry; caller holds the table lock.
+func (ix *Index) insertLocked(r rowset.Row, bm int64) {
+	key := ix.keyOf(r)
+	pos := sort.Search(len(ix.entries), func(i int) bool {
+		c := compareKeys(ix.entries[i].key, key)
+		if c != 0 {
+			return c > 0
+		}
+		return ix.entries[i].bm >= bm
+	})
+	ix.entries = append(ix.entries, indexEntry{})
+	copy(ix.entries[pos+1:], ix.entries[pos:])
+	ix.entries[pos] = indexEntry{key: key, bm: bm}
+}
+
+// deleteLocked removes an entry; caller holds the table lock.
+func (ix *Index) deleteLocked(r rowset.Row, bm int64) {
+	key := ix.keyOf(r)
+	pos := sort.Search(len(ix.entries), func(i int) bool {
+		c := compareKeys(ix.entries[i].key, key)
+		if c != 0 {
+			return c > 0
+		}
+		return ix.entries[i].bm >= bm
+	})
+	if pos < len(ix.entries) && ix.entries[pos].bm == bm {
+		ix.entries = append(ix.entries[:pos], ix.entries[pos+1:]...)
+	}
+}
+
+// Bound describes one end of a key range. A nil Key means unbounded.
+type Bound struct {
+	Key       rowset.Row
+	Inclusive bool
+}
+
+// Range returns a rowset of base-table rows whose index keys fall within
+// [lo, hi] per the bounds' inclusivity, in index order. The returned rowset
+// carries bookmarks. Keys may be prefixes of the full index key.
+func (ix *Index) Range(lo, hi Bound) rowset.Bookmarked {
+	ix.table.mu.RLock()
+	defer ix.table.mu.RUnlock()
+	start := 0
+	if lo.Key != nil {
+		start = sort.Search(len(ix.entries), func(i int) bool {
+			c := compareKeys(ix.entries[i].key, lo.Key)
+			if lo.Inclusive {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	end := len(ix.entries)
+	if hi.Key != nil {
+		end = sort.Search(len(ix.entries), func(i int) bool {
+			c := compareKeys(ix.entries[i].key, hi.Key)
+			if hi.Inclusive {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if end < start {
+		end = start
+	}
+	// Snapshot the row pointers for the range.
+	rows := make([]rowset.Row, 0, end-start)
+	bms := make([]int64, 0, end-start)
+	for i := start; i < end; i++ {
+		bm := ix.entries[i].bm
+		if r := ix.table.rows[bm]; r != nil {
+			rows = append(rows, r)
+			bms = append(bms, bm)
+		}
+	}
+	return &rangeScan{cols: ix.table.def.Columns, rows: rows, bms: bms, pos: -1}
+}
+
+// Seek returns the rows whose index key equals key exactly.
+func (ix *Index) Seek(key rowset.Row) rowset.Bookmarked {
+	return ix.Range(Bound{Key: key, Inclusive: true}, Bound{Key: key, Inclusive: true})
+}
+
+// Len returns the number of index entries.
+func (ix *Index) Len() int {
+	ix.table.mu.RLock()
+	defer ix.table.mu.RUnlock()
+	return len(ix.entries)
+}
+
+type rangeScan struct {
+	cols []schema.Column
+	rows []rowset.Row
+	bms  []int64
+	pos  int
+}
+
+func (s *rangeScan) Columns() []schema.Column { return s.cols }
+
+func (s *rangeScan) Next() (rowset.Row, error) {
+	if s.pos+1 >= len(s.rows) {
+		return nil, errEOF
+	}
+	s.pos++
+	return s.rows[s.pos], nil
+}
+
+func (s *rangeScan) Close() error { return nil }
+
+// Bookmark implements rowset.Bookmarked.
+func (s *rangeScan) Bookmark() int64 { return s.bms[s.pos] }

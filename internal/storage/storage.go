@@ -1,0 +1,305 @@
+// Package storage implements the local storage engine: in-memory heap tables
+// with ordered secondary indexes supporting ISAM-style navigation — full
+// scans, key-range scans (seek/set-range) and bookmark-based row fetch —
+// exactly the access paths the paper's remote scan / remote range / remote
+// fetch rules target (§3.2.2, §4.1.2).
+//
+// The engine is deliberately simple (single-version, coarse table locks): the
+// paper's contribution is the query processor above it, and the storage
+// engine's job here is to expose realistic access-path cost asymmetries and
+// to be shared verbatim by the local server and every simulated remote
+// server.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dhqp/internal/rowset"
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+)
+
+// Engine is one storage instance: a set of databases each holding tables.
+type Engine struct {
+	mu  sync.RWMutex
+	dbs map[string]*Database
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{dbs: map[string]*Database{}}
+}
+
+// CreateDatabase adds a database; it is a no-op if it already exists.
+func (e *Engine) CreateDatabase(name string) *Database {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if db, ok := e.dbs[lower(name)]; ok {
+		return db
+	}
+	db := &Database{name: name, tables: map[string]*Table{}}
+	e.dbs[lower(name)] = db
+	return db
+}
+
+// Database returns the named database.
+func (e *Engine) Database(name string) (*Database, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	db, ok := e.dbs[lower(name)]
+	return db, ok
+}
+
+// Databases lists database names in sorted order.
+func (e *Engine) Databases() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.dbs))
+	for _, db := range e.dbs {
+		out = append(out, db.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Database is a namespace of tables.
+type Database struct {
+	mu     sync.RWMutex
+	name   string
+	tables map[string]*Table
+}
+
+// Name returns the database name.
+func (d *Database) Name() string { return d.name }
+
+// CreateTable registers a table from its schema descriptor.
+func (d *Database) CreateTable(def *schema.Table) (*Table, error) {
+	if err := def.Validate(); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := lower(def.Name)
+	if _, ok := d.tables[key]; ok {
+		return nil, fmt.Errorf("storage: table %s already exists in %s", def.Name, d.name)
+	}
+	t := &Table{def: def}
+	for _, ix := range def.Indexes {
+		t.indexes = append(t.indexes, &Index{def: ix, table: t})
+	}
+	d.tables[key] = t
+	return t, nil
+}
+
+// DropTable removes a table.
+func (d *Database) DropTable(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.tables[lower(name)]; !ok {
+		return fmt.Errorf("storage: table %s not found in %s", name, d.name)
+	}
+	delete(d.tables, lower(name))
+	return nil
+}
+
+// Table returns the named table.
+func (d *Database) Table(name string) (*Table, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.tables[lower(name)]
+	return t, ok
+}
+
+// Tables lists table names in sorted order.
+func (d *Database) Tables() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.tables))
+	for _, t := range d.tables {
+		out = append(out, t.def.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table is a heap of rows plus its secondary indexes. Bookmarks are stable
+// row slots; deleted slots hold nil and are skipped by scans (a tombstone
+// model that keeps bookmarks valid for the life of the table, which the
+// remote-fetch path relies on).
+type Table struct {
+	mu      sync.RWMutex
+	def     *schema.Table
+	rows    []rowset.Row // slot = bookmark; nil = deleted
+	live    int
+	indexes []*Index
+}
+
+// Def returns the schema descriptor.
+func (t *Table) Def() *schema.Table { return t.def }
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// Insert validates and appends a row, maintaining indexes, and returns its
+// bookmark.
+func (t *Table) Insert(r rowset.Row) (int64, error) {
+	if len(r) != len(t.def.Columns) {
+		return 0, fmt.Errorf("storage: %s: row has %d values, want %d", t.def.Name, len(r), len(t.def.Columns))
+	}
+	for i, c := range t.def.Columns {
+		if r[i].IsNull() {
+			if !c.Nullable {
+				return 0, fmt.Errorf("storage: %s.%s: NULL not allowed", t.def.Name, c.Name)
+			}
+			continue
+		}
+		coerced, err := sqltypes.Coerce(r[i], c.Kind)
+		if err != nil {
+			return 0, fmt.Errorf("storage: %s.%s: %w", t.def.Name, c.Name, err)
+		}
+		r[i] = coerced
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bm := int64(len(t.rows))
+	stored := r.Clone()
+	t.rows = append(t.rows, stored)
+	t.live++
+	for _, ix := range t.indexes {
+		ix.insertLocked(stored, bm)
+	}
+	return bm, nil
+}
+
+// Delete removes the row at the given bookmark.
+func (t *Table) Delete(bm int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if bm < 0 || bm >= int64(len(t.rows)) || t.rows[bm] == nil {
+		return fmt.Errorf("storage: %s: bad bookmark %d", t.def.Name, bm)
+	}
+	old := t.rows[bm]
+	t.rows[bm] = nil
+	t.live--
+	for _, ix := range t.indexes {
+		ix.deleteLocked(old, bm)
+	}
+	return nil
+}
+
+// Update replaces the row at the bookmark.
+func (t *Table) Update(bm int64, r rowset.Row) error {
+	if len(r) != len(t.def.Columns) {
+		return fmt.Errorf("storage: %s: row has %d values, want %d", t.def.Name, len(r), len(t.def.Columns))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if bm < 0 || bm >= int64(len(t.rows)) || t.rows[bm] == nil {
+		return fmt.Errorf("storage: %s: bad bookmark %d", t.def.Name, bm)
+	}
+	old := t.rows[bm]
+	stored := r.Clone()
+	t.rows[bm] = stored
+	for _, ix := range t.indexes {
+		ix.deleteLocked(old, bm)
+		ix.insertLocked(stored, bm)
+	}
+	return nil
+}
+
+// Fetch returns the row at a bookmark (the IRowsetLocate path).
+func (t *Table) Fetch(bm int64) (rowset.Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if bm < 0 || bm >= int64(len(t.rows)) || t.rows[bm] == nil {
+		return nil, fmt.Errorf("storage: %s: bad bookmark %d", t.def.Name, bm)
+	}
+	return t.rows[bm], nil
+}
+
+// Scan returns a full-table rowset snapshot. The rowset carries bookmarks.
+func (t *Table) Scan() rowset.Bookmarked {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	// Snapshot slot references; rows are immutable once stored.
+	rows := make([]rowset.Row, len(t.rows))
+	copy(rows, t.rows)
+	return &tableScan{cols: t.def.Columns, rows: rows, pos: -1}
+}
+
+type tableScan struct {
+	cols []schema.Column
+	rows []rowset.Row
+	pos  int
+}
+
+func (s *tableScan) Columns() []schema.Column { return s.cols }
+
+func (s *tableScan) Next() (rowset.Row, error) {
+	for s.pos+1 < len(s.rows) {
+		s.pos++
+		if s.rows[s.pos] != nil {
+			return s.rows[s.pos], nil
+		}
+	}
+	return nil, errEOF
+}
+
+func (s *tableScan) Close() error { return nil }
+
+// Bookmark implements rowset.Bookmarked.
+func (s *tableScan) Bookmark() int64 { return int64(s.pos) }
+
+// Index returns the named secondary index.
+func (t *Table) Index(name string) (*Index, bool) {
+	for _, ix := range t.indexes {
+		if lower(ix.def.Name) == lower(name) {
+			return ix, true
+		}
+	}
+	return nil, false
+}
+
+// Indexes lists the table's indexes.
+func (t *Table) Indexes() []*Index { return t.indexes }
+
+// AddIndex creates and backfills a secondary index.
+func (t *Table) AddIndex(def schema.Index) (*Index, error) {
+	for _, ord := range def.Columns {
+		if ord < 0 || ord >= len(t.def.Columns) {
+			return nil, fmt.Errorf("storage: %s: index ordinal %d out of range", t.def.Name, ord)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, ix := range t.indexes {
+		if lower(ix.def.Name) == lower(def.Name) {
+			return nil, fmt.Errorf("storage: %s: index %s already exists", t.def.Name, def.Name)
+		}
+	}
+	ix := &Index{def: def, table: t}
+	for bm, r := range t.rows {
+		if r != nil {
+			ix.insertLocked(r, int64(bm))
+		}
+	}
+	t.indexes = append(t.indexes, ix)
+	t.def.Indexes = append(t.def.Indexes, def)
+	return ix, nil
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,248 @@
+// Package workload generates the synthetic datasets the experiments run
+// on: a TPC-H-shaped relational schema (the paper's Example 1 and Figure 4
+// evaluate on TPC-H), a document corpus for the full-text experiments, a
+// mailbox for the §2.4 scenario, and a TPC-C-like new-order stream for the
+// federation scale-out experiment (§4.1.5's federated TPC-C).
+//
+// All generators are deterministic for a given seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dhqp/internal/engine"
+	"dhqp/internal/providers/email"
+	"dhqp/internal/rowset"
+	"dhqp/internal/sqltypes"
+)
+
+// TPCHConfig scales the TPC-H-style load.
+type TPCHConfig struct {
+	Nations   int
+	Customers int
+	Suppliers int
+	Orders    int
+	Seed      int64
+}
+
+// SmallTPCH is a laptop-scale configuration preserving TPC-H's shape:
+// |customer| ≫ |supplier| ≫ |nation|.
+func SmallTPCH() TPCHConfig {
+	return TPCHConfig{Nations: 25, Customers: 3000, Suppliers: 120, Orders: 6000, Seed: 42}
+}
+
+// LoadTPCHNation creates and fills nation on a server.
+func LoadTPCHNation(s *engine.Server, cfg TPCHConfig) error {
+	if _, err := s.Exec(`CREATE TABLE nation (n_nationkey INT PRIMARY KEY, n_name VARCHAR(25), n_regionkey INT)`); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("INSERT INTO nation VALUES ")
+	for i := 0; i < cfg.Nations; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, 'nation%02d', %d)", i, i, i%5)
+	}
+	_, err := s.Exec(b.String())
+	return err
+}
+
+// LoadTPCHRemote creates and fills customer and supplier on a server (the
+// remote side of Example 1).
+func LoadTPCHRemote(s *engine.Server, cfg TPCHConfig) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	stmts := []string{
+		`CREATE TABLE customer (c_custkey INT PRIMARY KEY, c_name VARCHAR(25), c_address VARCHAR(40), c_phone VARCHAR(15), c_acctbal FLOAT, c_nationkey INT)`,
+		`CREATE INDEX ix_c_nation ON customer (c_nationkey)`,
+		`CREATE TABLE supplier (s_suppkey INT PRIMARY KEY, s_name VARCHAR(25), s_nationkey INT)`,
+		`CREATE INDEX ix_s_nation ON supplier (s_nationkey)`,
+	}
+	for _, st := range stmts {
+		if _, err := s.Exec(st); err != nil {
+			return err
+		}
+	}
+	if err := batchInsert(s, "customer", cfg.Customers, 500, func(i int) string {
+		return fmt.Sprintf("(%d, 'Customer#%06d', 'addr %d', '33-%07d', %.2f, %d)",
+			i, i, i, i, rng.Float64()*10000-1000, rng.Intn(cfg.Nations))
+	}); err != nil {
+		return err
+	}
+	return batchInsert(s, "supplier", cfg.Suppliers, 500, func(i int) string {
+		return fmt.Sprintf("(%d, 'Supplier#%06d', %d)", i, i, rng.Intn(cfg.Nations))
+	})
+}
+
+// LoadTPCHOrders creates and fills orders on a server, dated across
+// 1992-1998 (the partitioned-view experiments split on the year).
+func LoadTPCHOrders(s *engine.Server, cfg TPCHConfig) error {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	stmts := []string{
+		`CREATE TABLE orders (o_orderkey INT PRIMARY KEY, o_custkey INT, o_totalprice FLOAT, o_orderdate DATE)`,
+		`CREATE INDEX ix_o_cust ON orders (o_custkey)`,
+	}
+	for _, st := range stmts {
+		if _, err := s.Exec(st); err != nil {
+			return err
+		}
+	}
+	return batchInsert(s, "orders", cfg.Orders, 500, func(i int) string {
+		year := 1992 + rng.Intn(7)
+		month := 1 + rng.Intn(12)
+		day := 1 + rng.Intn(28)
+		return fmt.Sprintf("(%d, %d, %.2f, '%04d-%02d-%02d')",
+			i, rng.Intn(maxInt(cfg.Customers, 1)), rng.Float64()*100000, year, month, day)
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// batchInsert issues INSERT statements in chunks.
+func batchInsert(s *engine.Server, table string, n, chunk int, gen func(i int) string) error {
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		var b strings.Builder
+		b.WriteString("INSERT INTO " + table + " VALUES ")
+		for i := start; i < end; i++ {
+			if i > start {
+				b.WriteString(", ")
+			}
+			b.WriteString(gen(i))
+		}
+		if _, err := s.Exec(b.String()); err != nil {
+			return fmt.Errorf("workload: inserting into %s: %w", table, err)
+		}
+	}
+	return nil
+}
+
+// Topic vocabulary for the document corpus; documents mix one topic's
+// vocabulary with filler so CONTAINS queries have selective answers.
+var topics = map[string][]string{
+	"databases": {"parallel", "database", "query", "optimizer", "transaction", "index", "join", "relational"},
+	"cooking":   {"pasta", "tomato", "oven", "recipe", "garlic", "simmer", "roast", "season"},
+	"running":   {"runner", "marathon", "training", "pace", "sprint", "stride", "race", "endurance"},
+	"weather":   {"storm", "rain", "forecast", "cloud", "wind", "temperature", "front", "humidity"},
+	"music":     {"melody", "rhythm", "guitar", "concert", "harmony", "tempo", "chord", "orchestra"},
+}
+
+var filler = []string{
+	"the", "quick", "report", "covers", "several", "matters", "during", "review",
+	"with", "general", "notes", "about", "status", "items", "planned", "next",
+}
+
+// Document is one generated document.
+type Document struct {
+	ID    int64
+	Topic string
+	Title string
+	Body  string
+}
+
+// GenDocuments produces n documents across the topic vocabulary.
+func GenDocuments(n int, seed int64) []Document {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, 0, len(topics))
+	for t := range topics {
+		names = append(names, t)
+	}
+	// Deterministic order for the map.
+	sortStrings(names)
+	docs := make([]Document, n)
+	for i := range docs {
+		topic := names[rng.Intn(len(names))]
+		vocab := topics[topic]
+		var b strings.Builder
+		words := 30 + rng.Intn(40)
+		for w := 0; w < words; w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			if rng.Float64() < 0.35 {
+				b.WriteString(vocab[rng.Intn(len(vocab))])
+			} else {
+				b.WriteString(filler[rng.Intn(len(filler))])
+			}
+		}
+		docs[i] = Document{
+			ID:    int64(i),
+			Topic: topic,
+			Title: fmt.Sprintf("%s-doc-%04d", topic, i),
+			Body:  b.String(),
+		}
+	}
+	return docs
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// LoadDocuments creates a docs table, fills it and builds a full-text
+// index over the body column.
+func LoadDocuments(s *engine.Server, n int, seed int64) error {
+	if _, err := s.Exec(`CREATE TABLE docs (id INT PRIMARY KEY, topic VARCHAR(16), title VARCHAR(32), body VARCHAR(512))`); err != nil {
+		return err
+	}
+	docs := GenDocuments(n, seed)
+	if err := batchInsert(s, "docs", n, 200, func(i int) string {
+		d := docs[i]
+		return fmt.Sprintf("(%d, '%s', '%s', '%s')", d.ID, d.Topic, d.Title, d.Body)
+	}); err != nil {
+		return err
+	}
+	return s.CreateFullTextIndex("doccat", "docs", "body")
+}
+
+// GenMailbox produces n messages relative to today; roughly a third are
+// replies to earlier messages, and senders cycle through the customer list.
+func GenMailbox(n int, today sqltypes.Value, senders []string, seed int64) []email.Message {
+	rng := rand.New(rand.NewSource(seed))
+	msgs := make([]email.Message, n)
+	for i := range msgs {
+		var reply int64
+		if i > 0 && rng.Float64() < 0.33 {
+			reply = int64(rng.Intn(i) + 1)
+		}
+		msgs[i] = email.Message{
+			MsgID:     int64(i + 1),
+			InReplyTo: reply,
+			Date:      sqltypes.NewDateDays(today.DateDays() - int64(rng.Intn(10))),
+			From:      senders[rng.Intn(len(senders))],
+			To:        "me@local",
+			Subject:   fmt.Sprintf("message %d", i+1),
+			Body:      "body of message",
+		}
+	}
+	return msgs
+}
+
+// SkewedInts returns n values where `hot` fraction of rows share one value
+// (E4's skewed column).
+func SkewedInts(n int, hot float64, seed int64) []rowset.Row {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]rowset.Row, n)
+	for i := range rows {
+		v := int64(7)
+		if rng.Float64() >= hot {
+			v = int64(1000 + rng.Intn(n))
+		}
+		rows[i] = rowset.Row{sqltypes.NewInt(int64(i)), sqltypes.NewInt(v)}
+	}
+	return rows
+}

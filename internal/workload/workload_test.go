@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"testing"
+
+	"dhqp/internal/engine"
+	"dhqp/internal/sqltypes"
+)
+
+func TestLoadTPCH(t *testing.T) {
+	cfg := TPCHConfig{Nations: 5, Customers: 100, Suppliers: 10, Orders: 50, Seed: 1}
+	s := engine.NewServer("s", "tpch")
+	if err := LoadTPCHNation(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadTPCHRemote(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadTPCHOrders(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{"nation": 5, "customer": 100, "supplier": 10, "orders": 50}
+	for table, want := range counts {
+		res, err := s.Query("SELECT COUNT(*) AS n FROM "+table, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", table, err)
+		}
+		if res.Rows[0][0].Int() != want {
+			t.Errorf("%s count = %v, want %d", table, res.Rows[0][0], want)
+		}
+	}
+	// Every customer's nation key references a real nation.
+	res, err := s.Query(`SELECT COUNT(*) AS n FROM customer c WHERE c.c_nationkey >= 5`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 0 {
+		t.Errorf("dangling nation keys: %v", res.Rows[0][0])
+	}
+	// Order dates span 1992-1998.
+	res, err = s.Query(`SELECT COUNT(*) AS n FROM orders WHERE o_orderdate < '1992-01-01' OR o_orderdate > '1999-01-01'`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 0 {
+		t.Errorf("out-of-range order dates: %v", res.Rows[0][0])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := GenDocuments(50, 7)
+	b := GenDocuments(50, 7)
+	for i := range a {
+		if a[i].Body != b[i].Body || a[i].Topic != b[i].Topic {
+			t.Fatalf("doc %d differs across runs with same seed", i)
+		}
+	}
+	c := GenDocuments(50, 8)
+	same := true
+	for i := range a {
+		if a[i].Body != c[i].Body {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestGenDocumentsTopics(t *testing.T) {
+	docs := GenDocuments(200, 3)
+	topics := map[string]int{}
+	for _, d := range docs {
+		topics[d.Topic]++
+	}
+	if len(topics) < 3 {
+		t.Errorf("topic diversity too low: %v", topics)
+	}
+}
+
+func TestLoadDocumentsBuildsIndex(t *testing.T) {
+	s := engine.NewServer("s", "docs")
+	if err := LoadDocuments(s, 100, 5); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(`SELECT COUNT(*) AS n FROM docs WHERE CONTAINS(body, 'database')`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() == 0 {
+		t.Error("no documents match 'database'")
+	}
+	cat, ok := s.FulltextService().Catalog("doccat")
+	if !ok || cat.Len() != 100 {
+		t.Errorf("catalog size = %v", cat)
+	}
+}
+
+func TestGenMailbox(t *testing.T) {
+	today := sqltypes.NewDate(2004, 6, 15)
+	msgs := GenMailbox(100, today, []string{"a@x", "b@y"}, 9)
+	if len(msgs) != 100 {
+		t.Fatalf("messages = %d", len(msgs))
+	}
+	replies := 0
+	for i, m := range msgs {
+		if m.MsgID != int64(i+1) {
+			t.Fatalf("msg %d has id %d", i, m.MsgID)
+		}
+		if m.InReplyTo != 0 {
+			replies++
+			if m.InReplyTo > m.MsgID {
+				t.Errorf("msg %d replies to a later message %d", m.MsgID, m.InReplyTo)
+			}
+		}
+		if m.Date.DateDays() > today.DateDays() {
+			t.Errorf("msg %d dated in the future", m.MsgID)
+		}
+	}
+	if replies == 0 || replies == 100 {
+		t.Errorf("reply mix implausible: %d", replies)
+	}
+}
+
+func TestSkewedInts(t *testing.T) {
+	rows := SkewedInts(1000, 0.9, 4)
+	hot := 0
+	for _, r := range rows {
+		if r[1].Int() == 7 {
+			hot++
+		}
+	}
+	if hot < 850 || hot > 950 {
+		t.Errorf("hot fraction = %d/1000", hot)
+	}
+}
