@@ -557,31 +557,43 @@ func BenchmarkE10_CapabilityPushdown(b *testing.B) {
 // E11 — §4.1.5: federated TPC-C-style scale-out.
 // ---------------------------------------------------------------------
 
+// buildStockFederation assembles the E11 fixture: a head server plus
+// `members` member servers, each holding one range partition of a
+// `totalRows`-row stock table, unioned under the all_stock view. With
+// sleep=true the links delay for real wall-clock time (serial-vs-parallel
+// elapsed-time comparisons); otherwise delays are virtual-only.
+func buildStockFederation(b *testing.B, members, totalRows int, sleep bool) *dhqp.Server {
+	b.Helper()
+	head := dhqp.NewServer("head", "fed")
+	var arms []string
+	perMember := totalRows / members
+	for i := 0; i < members; i++ {
+		lo, hi := i*perMember, (i+1)*perMember
+		m := dhqp.NewServer(fmt.Sprintf("w%d", i), "fed")
+		mustExec(b, m, fmt.Sprintf(
+			`CREATE TABLE stock (s_id INT NOT NULL CHECK (s_id >= %d AND s_id < %d), s_qty INT)`, lo, hi))
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO stock VALUES ")
+		for j := lo; j < hi; j++ {
+			if j > lo {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d)", j, 100)
+		}
+		mustExec(b, m, sb.String())
+		link := dhqp.LAN()
+		link.Sleep = sleep
+		head.AddLinkedServer(fmt.Sprintf("server%d", i+1), dhqp.SQLProvider(m, link), link)
+		arms = append(arms, fmt.Sprintf("SELECT s_id, s_qty FROM server%d.fed.dbo.stock", i+1))
+	}
+	mustExec(b, head, "CREATE VIEW all_stock AS "+strings.Join(arms, " UNION ALL "))
+	return head
+}
+
 func BenchmarkE11_FederationScaleout(b *testing.B) {
 	for _, members := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("Members%d", members), func(b *testing.B) {
-			head := dhqp.NewServer("head", "fed")
-			var arms []string
-			perMember := 4000 / members
-			for i := 0; i < members; i++ {
-				lo, hi := i*perMember, (i+1)*perMember
-				m := dhqp.NewServer(fmt.Sprintf("w%d", i), "fed")
-				mustExec(b, m, fmt.Sprintf(
-					`CREATE TABLE stock (s_id INT NOT NULL CHECK (s_id >= %d AND s_id < %d), s_qty INT)`, lo, hi))
-				var sb strings.Builder
-				sb.WriteString("INSERT INTO stock VALUES ")
-				for j := lo; j < hi; j++ {
-					if j > lo {
-						sb.WriteString(", ")
-					}
-					fmt.Fprintf(&sb, "(%d, %d)", j, 100)
-				}
-				mustExec(b, m, sb.String())
-				link := dhqp.LAN()
-				head.AddLinkedServer(fmt.Sprintf("server%d", i+1), dhqp.SQLProvider(m, link), link)
-				arms = append(arms, fmt.Sprintf("SELECT s_id, s_qty FROM server%d.fed.dbo.stock", i+1))
-			}
-			mustExec(b, head, "CREATE VIEW all_stock AS "+strings.Join(arms, " UNION ALL "))
+			head := buildStockFederation(b, members, 4000, false)
 			// New-order-like transaction: a point read through the view.
 			query := `SELECT s_qty FROM all_stock WHERE s_id = @id`
 			mustQuery(b, head, query, dhqp.Params("id", dhqp.Int(1)))
@@ -590,6 +602,32 @@ func BenchmarkE11_FederationScaleout(b *testing.B) {
 				id := dhqp.Int(int64((i * 37) % 4000))
 				res := mustQuery(b, head, query, dhqp.Params("id", id))
 				if len(res.Rows) != 1 {
+					b.Fatalf("rows = %d", len(res.Rows))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE11_FanOutWallClock compares serial and parallel execution of a
+// whole-view scan with sleeping links: elapsed time is dominated by link
+// round trips, so the parallel exchange should approach the time of the
+// slowest member rather than the sum over all members (~members× speedup).
+func BenchmarkE11_FanOutWallClock(b *testing.B) {
+	const members, totalRows = 4, 2000
+	for _, mode := range []struct {
+		name string
+		dop  int
+	}{{"Serial", 1}, {"Parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			head := buildStockFederation(b, members, totalRows, true)
+			head.SetMaxDOP(mode.dop)
+			query := `SELECT s_id, s_qty FROM all_stock`
+			mustQuery(b, head, query, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := mustQuery(b, head, query, nil)
+				if len(res.Rows) != totalRows {
 					b.Fatalf("rows = %d", len(res.Rows))
 				}
 			}

@@ -528,38 +528,47 @@ func e10() {
 
 // --- E11: federation scale-out ----------------------------------------
 
+// buildStockFed assembles the E11 federation: a head plus member servers
+// each holding one range partition of the stock table under the all_stock
+// view. sleep=true makes the links delay in real time (wall-clock runs).
+func buildStockFed(members, totalRows int, sleep bool) (*dhqp.Server, []*dhqp.Link) {
+	head := dhqp.NewServer("head", "fed")
+	var arms []string
+	var links []*dhqp.Link
+	perMember := totalRows / members
+	for i := 0; i < members; i++ {
+		lo, hi := i*perMember, (i+1)*perMember
+		m := dhqp.NewServer(fmt.Sprintf("w%d", i), "fed")
+		_, err := m.Exec(fmt.Sprintf(
+			`CREATE TABLE stock (s_id INT NOT NULL CHECK (s_id >= %d AND s_id < %d), s_qty INT)`, lo, hi))
+		must(err)
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO stock VALUES ")
+		for j := lo; j < hi; j++ {
+			if j > lo {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, 100)", j)
+		}
+		_, err = m.Exec(sb.String())
+		must(err)
+		link := dhqp.LAN()
+		link.Sleep = sleep
+		must(head.AddLinkedServer(fmt.Sprintf("server%d", i+1), dhqp.SQLProvider(m, link), link))
+		links = append(links, link)
+		arms = append(arms, fmt.Sprintf("SELECT s_id, s_qty FROM server%d.fed.dbo.stock", i+1))
+	}
+	_, err := head.Exec("CREATE VIEW all_stock AS " + strings.Join(arms, " UNION ALL "))
+	must(err)
+	return head, links
+}
+
 func e11() {
 	header("E11", "§4.1.5: federated TPC-C-style scale-out (point transactions)")
 	fmt.Println("workload: point lookups through a distributed partitioned view of 4000 stock rows")
 	fmt.Printf("  %-10s %16s %16s\n", "members", "txn time (avg)", "remote calls/txn")
 	for _, members := range []int{1, 2, 4, 8} {
-		head := dhqp.NewServer("head", "fed")
-		var arms []string
-		var links []*dhqp.Link
-		perMember := 4000 / members
-		for i := 0; i < members; i++ {
-			lo, hi := i*perMember, (i+1)*perMember
-			m := dhqp.NewServer(fmt.Sprintf("w%d", i), "fed")
-			_, err := m.Exec(fmt.Sprintf(
-				`CREATE TABLE stock (s_id INT NOT NULL CHECK (s_id >= %d AND s_id < %d), s_qty INT)`, lo, hi))
-			must(err)
-			var sb strings.Builder
-			sb.WriteString("INSERT INTO stock VALUES ")
-			for j := lo; j < hi; j++ {
-				if j > lo {
-					sb.WriteString(", ")
-				}
-				fmt.Fprintf(&sb, "(%d, 100)", j)
-			}
-			_, err = m.Exec(sb.String())
-			must(err)
-			link := dhqp.LAN()
-			must(head.AddLinkedServer(fmt.Sprintf("server%d", i+1), dhqp.SQLProvider(m, link), link))
-			links = append(links, link)
-			arms = append(arms, fmt.Sprintf("SELECT s_id, s_qty FROM server%d.fed.dbo.stock", i+1))
-		}
-		_, err := head.Exec("CREATE VIEW all_stock AS " + strings.Join(arms, " UNION ALL "))
-		must(err)
+		head, links := buildStockFed(members, 4000, false)
 		query := `SELECT s_qty FROM all_stock WHERE s_id = @id`
 		mustQ(head, query, dhqp.Params("id", dhqp.Int(1)))
 		for _, l := range links {
@@ -579,6 +588,37 @@ func e11() {
 	}
 	fmt.Println("\npaper: SQL Server's federated TPC-C record scaled by partitioning across member servers;")
 	fmt.Println("startup filters keep each transaction on one member, so per-txn cost falls as members grow.")
+
+	fmt.Println("\nfan-out: whole-view scan over 4 members with sleeping links (real elapsed time);")
+	fmt.Println("the parallel exchange overlaps the members' round trips (serial sums them).")
+	fmt.Printf("  %-10s %16s\n", "mode", "elapsed (avg)")
+	const fanRuns = 5
+	var serialAvg, parallelAvg time.Duration
+	for _, mode := range []struct {
+		name string
+		dop  int
+	}{{"serial", 1}, {"parallel", 0}} {
+		head, _ := buildStockFed(4, 2000, true)
+		head.SetMaxDOP(mode.dop)
+		query := `SELECT s_id, s_qty FROM all_stock`
+		mustQ(head, query, nil)
+		start := time.Now()
+		for i := 0; i < fanRuns; i++ {
+			if res := mustQ(head, query, nil); len(res.Rows) != 2000 {
+				panic("fan-out row count")
+			}
+		}
+		avg := time.Since(start) / fanRuns
+		fmt.Printf("  %-10s %16v\n", mode.name, avg.Round(time.Microsecond))
+		if mode.dop == 1 {
+			serialAvg = avg
+		} else {
+			parallelAvg = avg
+		}
+	}
+	if parallelAvg > 0 {
+		fmt.Printf("  speedup: %.1fx\n", float64(serialAvg)/float64(parallelAvg))
+	}
 }
 
 // --- E12: email federation --------------------------------------------

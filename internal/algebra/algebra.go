@@ -151,6 +151,45 @@ func (s *Source) String() string {
 	}
 }
 
+// IsRemoteOp reports whether a physical operator's rows cross a network
+// link: it reaches a linked server or an external service (full-text, mail)
+// rather than the local storage engine. The parallel exchange layer and the
+// cost model both use it to decide when fan-out overlaps link latency.
+func IsRemoteOp(op Operator) bool {
+	switch op := op.(type) {
+	case *TableScan:
+		return op.Src.IsRemote()
+	case *IndexRange:
+		return op.Src.IsRemote()
+	case *RemoteScan:
+		return op.Src.IsRemote()
+	case *RemoteRange:
+		return op.Src.IsRemote()
+	case *RemoteQuery:
+		return op.Server != ""
+	case *RemoteFetch:
+		return op.Src.IsRemote()
+	case *ProviderCommand:
+		return op.Src.IsRemote()
+	default:
+		return false
+	}
+}
+
+// HasRemoteOp reports whether any operator in the subtree is remote (the
+// subtree's execution involves at least one network round trip).
+func HasRemoteOp(n *Node) bool {
+	if IsRemoteOp(n.Op) {
+		return true
+	}
+	for _, k := range n.Kids {
+		if HasRemoteOp(k) {
+			return true
+		}
+	}
+	return false
+}
+
 // OrderCol is one key of an ordering specification (a physical property).
 type OrderCol struct {
 	Col  expr.ColumnID

@@ -38,6 +38,10 @@ const (
 	// autonomous environments we cannot reason about its implementation
 	// (§4.1.3); what we charge for is the traffic.
 	RemoteCPUDiscount = 0.1
+	// ExchangeStartupCost is charged once per remote child of a parallel
+	// exchange (worker scheduling, channel setup), keeping tiny fan-outs
+	// from looking free relative to a single pushed-down query.
+	ExchangeStartupCost = 25.0
 )
 
 // Model computes operator costs. LinkFor resolves the netsim link of a
@@ -119,6 +123,23 @@ func (m *Model) RemoteFetch(server string, keys, width float64) float64 {
 	return calls*m.PerCallLatency(server) +
 		keys*IndexSeekCost*RemoteCPUDiscount +
 		m.TransferCost(server, keys, width)
+}
+
+// ParallelConcat costs a concurrent UNION ALL fan-out over remote children
+// (the exchange operator). The children's link round trips overlap, so the
+// remote charge is the maximum of the remote children's costs rather than
+// their sum; local children still execute on this server's CPU and are
+// summed. A per-child startup term charges the exchange machinery itself.
+func (m *Model) ParallelConcat(remoteKidCosts []float64, localKidCost, outRows float64) float64 {
+	maxRemote := 0.0
+	for _, c := range remoteKidCosts {
+		if c > maxRemote {
+			maxRemote = c
+		}
+	}
+	return localKidCost + maxRemote +
+		float64(len(remoteKidCosts))*ExchangeStartupCost +
+		outRows*OutputRowCost
 }
 
 // Filter charges predicate evaluation over inRows.

@@ -67,6 +67,12 @@ type Server struct {
 	// remote rules (ablation experiments).
 	DisableSpool            bool
 	DisableParameterization bool
+	// DisableRemotePrefetch turns off asynchronous prefetching of remote
+	// rowsets (serial-baseline measurements).
+	DisableRemotePrefetch bool
+
+	// maxDOP caps exchange parallelism; see SetMaxDOP.
+	maxDOP int
 	// OptConfig tunes the optimizer per server.
 	OptConfig opt.Config
 	// Today is the session date for today().
@@ -152,6 +158,23 @@ func (s *Server) MailStore() *email.Store { return s.mailStore }
 
 // LastReport returns the optimizer report of the most recent Query/Plan.
 func (s *Server) LastReport() *opt.Report { return s.lastReport }
+
+// SetMaxDOP caps the degree of parallelism of exchange operators (the
+// parallel UNION ALL fan-out over remote partitioned-view members). 0
+// restores the default — min(number of children, GOMAXPROCS) per exchange —
+// and 1 forces serial execution.
+func (s *Server) SetMaxDOP(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxDOP = n
+}
+
+// MaxDOP reports the configured degree-of-parallelism cap (0 = default).
+func (s *Server) MaxDOP() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxDOP
+}
 
 // AddLinkedServer registers a linked server over an initialized data
 // source (the programmatic equivalent of sp_addlinkedserver; §2.1).

@@ -187,7 +187,10 @@ func (s *Server) runPlan(plan *algebra.Node, cols []schema.Column, params map[st
 	if params == nil {
 		params = map[string]sqltypes.Value{}
 	}
-	ctx := &exec.Context{RT: &runtime{s: s}, Params: params, Today: s.Today}
+	ctx := &exec.Context{
+		RT: &runtime{s: s}, Params: params, Today: s.Today,
+		MaxDOP: s.MaxDOP(), NoPrefetch: s.DisableRemotePrefetch,
+	}
 	out := plan.OutCols()
 	m, err := exec.Run(plan, ctx, out)
 	if err != nil {

@@ -34,10 +34,34 @@ type Context struct {
 	Params map[string]sqltypes.Value
 	// Today is the session date for today().
 	Today sqltypes.Value
+	// MaxDOP caps the degree of parallelism of exchange operators (the
+	// parallel Concat fan-out). 0 means the default,
+	// min(len(children), GOMAXPROCS); 1 disables parallel execution.
+	MaxDOP int
+	// NoPrefetch disables asynchronous prefetching of remote rowsets.
+	NoPrefetch bool
 }
 
 func (c *Context) env(row rowset.Row) *expr.Env {
 	return &expr.Env{Row: row, Params: c.Params, Today: c.Today}
+}
+
+// fork returns a child context with a private parameter map. Parallel
+// exchange children each execute against their own fork so a correlated
+// loop join binding parameters inside one child cannot race a sibling.
+func (c *Context) fork() *Context {
+	f := &Context{RT: c.RT, Today: c.Today, MaxDOP: c.MaxDOP, NoPrefetch: c.NoPrefetch}
+	f.syncParams(c)
+	return f
+}
+
+// syncParams resnapshots the parent's parameter values (called at each
+// exchange Open so re-opens under a parameterized parent see fresh values).
+func (c *Context) syncParams(parent *Context) {
+	c.Params = make(map[string]sqltypes.Value, len(parent.Params))
+	for k, v := range parent.Params {
+		c.Params[k] = v
+	}
 }
 
 // Iterator is one operator's cursor. Open (re)starts execution; Next

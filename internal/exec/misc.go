@@ -249,10 +249,32 @@ type concatIter struct {
 }
 
 func buildConcat(n *algebra.Node, op *algebra.Concat, ctx *Context) (Iterator, error) {
+	// Fan-out goes parallel when at least two children reach across the
+	// network (the partitioned-view case, §4.1.5): their link round trips
+	// are independent and overlap. Purely local concats stay serial — there
+	// is no latency to hide and the serial iterator has no coordination
+	// overhead.
+	remoteKids := 0
+	for _, k := range n.Kids {
+		if algebra.HasRemoteOp(k) {
+			remoteKids++
+		}
+	}
+	parallel := remoteKids >= 2 && ctx.MaxDOP != 1
+
 	kids := make([]Iterator, len(n.Kids))
+	kidCtxs := make([]*Context, len(n.Kids))
 	maps := make([][]int, len(n.Kids))
 	for i, k := range n.Kids {
-		it, err := Build(k, ctx)
+		kctx := ctx
+		if parallel {
+			// Each parallel child executes against a forked context so
+			// correlated parameter binding inside one child cannot race a
+			// sibling's reads.
+			kctx = ctx.fork()
+		}
+		kidCtxs[i] = kctx
+		it, err := Build(k, kctx)
 		if err != nil {
 			return nil, err
 		}
@@ -267,6 +289,9 @@ func buildConcat(n *algebra.Node, op *algebra.Concat, ctx *Context) (Iterator, e
 		}
 		maps[i] = m
 	}
+	if parallel {
+		return newParallelConcat(ctx, kids, kidCtxs, maps), nil
+	}
 	return &concatIter{kids: kids, maps: maps}, nil
 }
 
@@ -277,8 +302,12 @@ func (e colNotFoundError) Error() string { return "exec: concat input column not
 func errColNotFound(id expr.ColumnID) error { return colNotFoundError(id) }
 
 func (c *concatIter) Open() error {
+	// Re-Open after partial consumption: the child at idx is still open and
+	// must be released before restarting from the first child.
+	if err := c.closeCurrent(); err != nil {
+		return err
+	}
 	c.idx = 0
-	c.open = false
 	return nil
 }
 
@@ -295,9 +324,11 @@ func (c *concatIter) Next() (rowset.Row, error) {
 		}
 		r, err := c.kids[c.idx].Next()
 		if err == io.EOF {
-			c.kids[c.idx].Close()
-			c.idx++
 			c.open = false
+			if cerr := c.kids[c.idx].Close(); cerr != nil {
+				return nil, cerr
+			}
+			c.idx++
 			continue
 		}
 		if err != nil {
@@ -312,8 +343,14 @@ func (c *concatIter) Next() (rowset.Row, error) {
 	}
 }
 
-func (c *concatIter) Close() error {
+func (c *concatIter) Close() error { return c.closeCurrent() }
+
+// closeCurrent closes the child that is currently open (at most one in the
+// serial iterator; exhausted children were closed as Next advanced past
+// them), exactly once.
+func (c *concatIter) closeCurrent() error {
 	if c.open && c.idx < len(c.kids) {
+		c.open = false
 		return c.kids[c.idx].Close()
 	}
 	return nil

@@ -1,0 +1,293 @@
+// Parallel exchange layer: the concurrent UNION ALL fan-out and the
+// prefetching remote rowset. The paper's federated scale-out workload
+// (§4.1.5) unions independent member-server scans whose cost is dominated
+// by link latency; driving them concurrently — and streaming each remote
+// rowset ahead of the consumer — makes elapsed time track the slowest
+// member instead of the sum of all members.
+
+package exec
+
+import (
+	"io"
+	"runtime"
+	"sync"
+
+	"dhqp/internal/rowset"
+	"dhqp/internal/schema"
+)
+
+// exchangeBufferPerChild sizes the exchange's row channel: enough slack per
+// worker that producers stay busy while the consumer drains, small enough
+// to bound memory on wide fan-outs.
+const exchangeBufferPerChild = 64
+
+// exchangeMinDOP floors the default worker count. Exchange children are
+// remote by construction and spend most of their time blocked on link round
+// trips rather than burning CPU, so the useful degree of parallelism tracks
+// the fan-out width, not the core count; without the floor a single-core
+// host would serialize a latency-bound fan-out for no benefit.
+const exchangeMinDOP = 8
+
+// parItem is one exchange message: a remapped row or a child's error.
+type parItem struct {
+	row rowset.Row
+	err error
+}
+
+// parallelConcatIter is UNION ALL over concurrent children: a bounded
+// worker pool drives the children, remaps their rows to the output column
+// order, and feeds a shared channel. Row order is interleaved arbitrarily —
+// UNION ALL guarantees a multiset, and the optimizer's sort enforcer sits
+// above the concat when the parent needs an ordering.
+//
+// Lifecycle invariants: every child a worker opens is closed exactly once
+// (deferred in the worker); the first error cancels the siblings, which
+// finish their in-flight call and exit; Open after partial consumption and
+// Close both tear the previous run down completely, so no goroutines leak.
+type parallelConcatIter struct {
+	parent  *Context
+	kids    []Iterator
+	kidCtxs []*Context // forked per child; nil entries share parent
+	maps    [][]int    // per child: output position -> child position
+	dop     int
+
+	ch      chan parItem
+	cancel  chan struct{}
+	running bool
+	err     error // sticky first error
+}
+
+// newParallelConcat assembles the exchange over already-built children.
+func newParallelConcat(parent *Context, kids []Iterator, kidCtxs []*Context, maps [][]int) *parallelConcatIter {
+	dop := parent.MaxDOP
+	if dop <= 0 {
+		dop = runtime.GOMAXPROCS(0)
+		if dop < exchangeMinDOP {
+			dop = exchangeMinDOP
+		}
+	}
+	if dop > len(kids) {
+		dop = len(kids)
+	}
+	if dop < 1 {
+		dop = 1
+	}
+	return &parallelConcatIter{parent: parent, kids: kids, kidCtxs: kidCtxs, maps: maps, dop: dop}
+}
+
+func (p *parallelConcatIter) Open() error {
+	p.stop() // tear down a previous run (re-Open after partial consumption)
+	p.err = nil
+	// Resnapshot parameters: a parameterized parent (loop join) may have
+	// rebound values since the children's contexts were forked.
+	for _, kctx := range p.kidCtxs {
+		if kctx != nil && kctx != p.parent {
+			kctx.syncParams(p.parent)
+		}
+	}
+	p.cancel = make(chan struct{})
+	p.ch = make(chan parItem, p.dop*exchangeBufferPerChild)
+	queue := make(chan int, len(p.kids))
+	for i := range p.kids {
+		queue <- i
+	}
+	close(queue)
+	var wg sync.WaitGroup
+	for w := 0; w < p.dop; w++ {
+		wg.Add(1)
+		go p.worker(queue, p.ch, p.cancel, &wg)
+	}
+	// The channel closes once every worker has exited; Next reads that as
+	// EOF and stop's drain loop terminates on it.
+	go func(ch chan parItem) {
+		wg.Wait()
+		close(ch)
+	}(p.ch)
+	p.running = true
+	return nil
+}
+
+// worker drains child indices from the queue, streaming each child into the
+// exchange channel until the queue empties, a child fails, or the exchange
+// is cancelled.
+func (p *parallelConcatIter) worker(queue chan int, ch chan parItem, cancel chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for idx := range queue {
+		if p.runChild(idx, ch, cancel) {
+			return
+		}
+	}
+}
+
+// runChild opens, streams, and closes one child. It reports whether the
+// worker should stop (cancellation observed or the child errored).
+func (p *parallelConcatIter) runChild(idx int, ch chan parItem, cancel chan struct{}) (stop bool) {
+	select {
+	case <-cancel:
+		return true
+	default:
+	}
+	kid := p.kids[idx]
+	if err := kid.Open(); err != nil {
+		sendItem(ch, cancel, parItem{err: err})
+		return true
+	}
+	defer kid.Close()
+	m := p.maps[idx]
+	for {
+		r, err := kid.Next()
+		if err == io.EOF {
+			return false
+		}
+		if err != nil {
+			sendItem(ch, cancel, parItem{err: err})
+			return true
+		}
+		out := make(rowset.Row, len(m))
+		for j, pos := range m {
+			out[j] = r[pos]
+		}
+		if sendItem(ch, cancel, parItem{row: out}) {
+			return true
+		}
+	}
+}
+
+// sendItem delivers an item unless the exchange is cancelled first.
+func sendItem(ch chan parItem, cancel chan struct{}, it parItem) (cancelled bool) {
+	select {
+	case ch <- it:
+		return false
+	case <-cancel:
+		return true
+	}
+}
+
+func (p *parallelConcatIter) Next() (rowset.Row, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	if !p.running {
+		return nil, io.EOF
+	}
+	it, ok := <-p.ch
+	if !ok {
+		return nil, io.EOF
+	}
+	if it.err != nil {
+		// First-error propagation: remember it, cancel the siblings and
+		// wait for them to wind down before surfacing it.
+		p.err = it.err
+		p.stop()
+		return nil, it.err
+	}
+	return it.row, nil
+}
+
+func (p *parallelConcatIter) Close() error {
+	p.stop()
+	return nil
+}
+
+// stop cancels the workers and drains the channel until they have all
+// exited (the closer goroutine closes it). After stop returns no exchange
+// goroutine is live and every child a worker opened has been closed.
+func (p *parallelConcatIter) stop() {
+	if !p.running {
+		return
+	}
+	close(p.cancel)
+	for range p.ch {
+	}
+	p.running = false
+}
+
+// prefetchDepth is how many rows a remote rowset's producer goroutine
+// buffers ahead of the consumer: two 64-row metered fetch batches, so the
+// next batch's link round trip overlaps the consumer processing the
+// current one (double buffering).
+const prefetchDepth = 128
+
+// prefetchItem is one produced row or the producer's terminal error.
+type prefetchItem struct {
+	row rowset.Row
+	err error
+}
+
+// prefetchRowset overlaps remote link latency with upstream processing: a
+// producer goroutine pulls the underlying rowset (paying the simulated
+// round trips) into a bounded channel while the consumer computes. The
+// producer stops at the first error (io.EOF included) or when Close
+// cancels it; Close then releases the underlying rowset exactly once.
+type prefetchRowset struct {
+	rs     rowset.Rowset
+	cols   []schema.Column
+	ch     chan prefetchItem
+	cancel chan struct{}
+	done   chan struct{}
+	err    error // sticky terminal error
+	closed bool
+}
+
+func newPrefetchRowset(rs rowset.Rowset) *prefetchRowset {
+	p := &prefetchRowset{
+		rs:     rs,
+		cols:   rs.Columns(),
+		ch:     make(chan prefetchItem, prefetchDepth),
+		cancel: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go p.produce()
+	return p
+}
+
+func (p *prefetchRowset) produce() {
+	defer close(p.done)
+	for {
+		r, err := p.rs.Next()
+		select {
+		case p.ch <- prefetchItem{row: r, err: err}:
+		case <-p.cancel:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (p *prefetchRowset) Columns() []schema.Column { return p.cols }
+
+func (p *prefetchRowset) Next() (rowset.Row, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.closed {
+		return nil, io.EOF
+	}
+	it := <-p.ch
+	if it.err != nil {
+		p.err = it.err
+		return nil, it.err
+	}
+	return it.row, nil
+}
+
+func (p *prefetchRowset) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	close(p.cancel)
+	<-p.done
+	return p.rs.Close()
+}
+
+// maybePrefetch wraps rowsets of remote sources with the asynchronous
+// prefetcher; local rowsets pay no round trips and stay synchronous.
+func maybePrefetch(ctx *Context, remote bool, rs rowset.Rowset) rowset.Rowset {
+	if !remote || ctx.NoPrefetch {
+		return rs
+	}
+	return newPrefetchRowset(rs)
+}

@@ -48,7 +48,7 @@ func (s *scanIter) Open() error {
 	if err != nil {
 		return fmt.Errorf("exec: scan %s: %w", s.src, err)
 	}
-	s.rs = rs
+	s.rs = maybePrefetch(s.ctx, s.src.IsRemote(), rs)
 	return nil
 }
 
@@ -135,7 +135,7 @@ func (s *indexRangeIter) Open() error {
 	if err != nil {
 		return fmt.Errorf("exec: index range %s.%s: %w", s.src, s.index, err)
 	}
-	s.rs = rs
+	s.rs = maybePrefetch(s.ctx, s.src.IsRemote(), rs)
 	return nil
 }
 
@@ -209,7 +209,7 @@ func (r *remoteQueryIter) Open() error {
 	if err != nil {
 		return fmt.Errorf("exec: remote query on %s: %w", r.op.Server, err)
 	}
-	r.rs = rs
+	r.rs = maybePrefetch(r.ctx, true, rs)
 	return nil
 }
 
@@ -258,7 +258,7 @@ func (p *providerCommandIter) Open() error {
 	if err != nil {
 		return fmt.Errorf("exec: provider command on %s: %w", p.op.Src.Server, err)
 	}
-	p.rs = rs
+	p.rs = maybePrefetch(p.ctx, p.op.Src.IsRemote(), rs)
 	return nil
 }
 

@@ -38,7 +38,13 @@ func WAN() *Link {
 	return &Link{LatencyPerCall: 40 * time.Millisecond, BytesPerSecond: 2e6}
 }
 
-// Call records one remote round trip shipping the given payload.
+// Call records one remote round trip shipping the given payload. It is safe
+// for concurrent use — the parallel exchange operator drives several remote
+// children over their links at once and all counters are atomics. Note that
+// VirtualTime accumulates the *busy* time of every call: under concurrent
+// callers it is the sum of overlapping delays, an upper bound on (not a
+// measure of) elapsed wall-clock time. Benchmarks comparing serial against
+// parallel execution must use Sleep=true and measure real elapsed time.
 func (l *Link) Call(rows int, bytes int) {
 	if l == nil {
 		return

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -55,6 +56,33 @@ func TestSleepMode(t *testing.T) {
 	l.Call(1, 0)
 	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
 		t.Errorf("Sleep mode did not sleep: %v", elapsed)
+	}
+}
+
+// TestLinkConcurrentCalls hammers one link from many goroutines (as the
+// parallel exchange does) and checks the totals are exact; run with -race.
+func TestLinkConcurrentCalls(t *testing.T) {
+	l := &Link{LatencyPerCall: time.Microsecond, BytesPerSecond: 1e9}
+	const workers, calls = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				l.Call(3, 64)
+			}
+		}()
+	}
+	wg.Wait()
+	s := l.Stats()
+	if s.Calls != workers*calls || s.Rows != workers*calls*3 || s.Bytes != workers*calls*64 {
+		t.Errorf("concurrent stats = %+v", s)
+	}
+	// VirtualTime sums every call's busy time, regardless of overlap.
+	perCall := time.Microsecond + time.Duration(64/1e9*float64(time.Second))
+	if want := time.Duration(workers*calls) * perCall; s.VirtualTime != want {
+		t.Errorf("virtual time = %v, want %v", s.VirtualTime, want)
 	}
 }
 

@@ -189,6 +189,22 @@ func (o *Optimizer) finishCost(p *planned, c *rules.Candidate, grp *memo.Group) 
 		}
 	case *algebra.Concat:
 		self = p.card * 0.1
+		// Parallel exchange: with ≥2 remote children the executor drives
+		// them concurrently, so their costs contribute as a max rather
+		// than a sum — which is what makes the optimizer prefer fan-out
+		// plans over serializing a federated partitioned view.
+		var remoteCosts []float64
+		localCost := 0.0
+		for _, k := range p.kids {
+			if k.hasRemote() {
+				remoteCosts = append(remoteCosts, k.cost)
+			} else {
+				localCost += k.cost
+			}
+		}
+		if len(remoteCosts) >= 2 {
+			total = m.ParallelConcat(remoteCosts, localCost, p.card) + self
+		}
 	case *algebra.Spool:
 		self = m.Spool(childCard(0))
 		rescan = m.SpoolRescan(childCard(0))

@@ -164,6 +164,21 @@ type planned struct {
 	width    float64
 }
 
+// hasRemote reports whether any operator in the planned subtree reaches
+// across a network link (mirrors algebra.HasRemoteOp for the executor's
+// parallel-fan-out decision, so costing and execution agree).
+func (p *planned) hasRemote() bool {
+	if algebra.IsRemoteOp(p.op) {
+		return true
+	}
+	for _, k := range p.kids {
+		if k.hasRemote() {
+			return true
+		}
+	}
+	return false
+}
+
 func (p *planned) toNode() *algebra.Node {
 	kids := make([]*algebra.Node, len(p.kids))
 	for i, k := range p.kids {
