@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"dhqp"
 	"dhqp/internal/rules"
@@ -496,6 +497,81 @@ func BenchmarkE9_Parameterization(b *testing.B) {
 			}
 			b.StopTimer()
 			s := link.Stats()
+			b.ReportMetric(float64(s.Rows)/float64(b.N), "rows-shipped/op")
+			b.ReportMetric(float64(s.Bytes)/float64(b.N), "bytes-shipped/op")
+		})
+	}
+}
+
+// e9BatchFixture builds the batched key-lookup workload: a 200-row local
+// probe table joins a 24000-row remote table on its primary key over a
+// slow, high-latency link (10ms/call, 200 KB/s). At this shape serial
+// per-row parameterized probing still beats shipping the remote table, so
+// disabling batching measures the genuine per-call cost that
+// BatchLoopJoin amortizes. The link is created with virtual delays only;
+// the benchmark flips Sleep on after warming metadata caches.
+func e9BatchFixture(b *testing.B, disableBatch bool) (*dhqp.Server, *dhqp.Link) {
+	b.Helper()
+	const remoteRows = 24000
+	local := dhqp.NewServer("local", "db")
+	remote := dhqp.NewServer("r", "rdb")
+	mustExec(b, remote, `CREATE TABLE big (k INT PRIMARY KEY, payload VARCHAR(64))`)
+	for lo := 0; lo < remoteRows; lo += 4000 {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO big VALUES ")
+		for i := lo; i < lo+4000; i++ {
+			if i > lo {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, 'payload-%060d')", i, i)
+		}
+		mustExec(b, remote, sb.String())
+	}
+	mustExec(b, local, `CREATE TABLE probe (k INT)`)
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO probe VALUES ")
+	for i := 0; i < 200; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d)", (i*97)%remoteRows)
+	}
+	mustExec(b, local, sb.String())
+	link := &dhqp.Link{LatencyPerCall: 10 * time.Millisecond, BytesPerSecond: 200e3}
+	if err := local.AddLinkedServer("r0", dhqp.SQLProvider(remote, link), link); err != nil {
+		b.Fatal(err)
+	}
+	if disableBatch {
+		local.DisableRemoteBatching()
+	}
+	return local, link
+}
+
+func BenchmarkE9_BatchedKeyLookup(b *testing.B) {
+	query := `SELECT b.payload FROM probe p, r0.rdb.dbo.big b WHERE p.k = b.k`
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{
+		{"Batched", false},
+		{"Serial", true},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			local, link := e9BatchFixture(b, variant.disable)
+			res := mustQuery(b, local, query, nil)
+			if len(res.Rows) != 200 {
+				b.Fatalf("rows = %d, want 200", len(res.Rows))
+			}
+			link.Sleep = true // wall-clock from here on
+			link.Reset()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustQuery(b, local, query, nil)
+			}
+			b.StopTimer()
+			link.Sleep = false
+			s := link.Stats()
+			b.ReportMetric(float64(s.Calls)/float64(b.N), "calls/op")
 			b.ReportMetric(float64(s.Rows)/float64(b.N), "rows-shipped/op")
 			b.ReportMetric(float64(s.Bytes)/float64(b.N), "bytes-shipped/op")
 		})

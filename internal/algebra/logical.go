@@ -139,6 +139,38 @@ func (a *Apply) OutCols(kids [][]OutCol) []OutCol {
 	return (&Join{Type: a.Type}).OutCols(kids)
 }
 
+// BatchApply is the batched variant of Apply: instead of re-executing the
+// right child once per left row, the executor buffers up to BatchSize left
+// rows and binds their join-key values into the right child's IN-list
+// parameters in one shot, amortizing per-call link latency across the
+// batch. Pairs are the equi-join columns (left probes, right receives);
+// ParamBase prefixes the generated parameter names b<base>_<pair>_<slot>;
+// Residual is any non-equi join predicate, checked per matched pair.
+type BatchApply struct {
+	Type      JoinType
+	Pairs     []expr.EquiPair
+	ParamBase string
+	BatchSize int
+	Residual  expr.Expr
+}
+
+// OpName implements Operator.
+func (a *BatchApply) OpName() string { return "BatchApply" }
+
+// Logical implements Operator.
+func (a *BatchApply) Logical() bool { return true }
+
+// Digest implements Operator.
+func (a *BatchApply) Digest() string {
+	return fmt.Sprintf("%s pairs=%v base=%s k=%d res=%s",
+		a.Type, a.Pairs, a.ParamBase, a.BatchSize, exprDigest(a.Residual))
+}
+
+// OutCols implements Operator.
+func (a *BatchApply) OutCols(kids [][]OutCol) []OutCol {
+	return (&Join{Type: a.Type}).OutCols(kids)
+}
+
 // GroupBy aggregates over grouping columns.
 type GroupBy struct {
 	GroupCols []OutCol

@@ -343,6 +343,39 @@ func (l *LoopJoin) OutCols(kids [][]OutCol) []OutCol {
 	return (&Join{Type: l.Type}).OutCols(kids)
 }
 
+// BatchLoopJoin is the batched parameterized join (§4.1.2 extended): the
+// executor accumulates up to BatchSize left rows, binds their join-key
+// values into the right child's IN-list parameter slots
+// (<ParamBase>_<pair>_<slot>), executes the right side once per batch, and
+// hash-matches the returned rows back to the buffered left rows. Join
+// semantics (inner/left-outer/semi/anti, duplicate keys, NULL keys) are
+// identical to the serial LoopJoin: the shipped IN-list only prefilters;
+// match decisions happen locally on Pairs plus the On residual.
+type BatchLoopJoin struct {
+	Type      JoinType
+	On        expr.Expr
+	Pairs     []expr.EquiPair
+	ParamBase string
+	BatchSize int
+}
+
+// OpName implements Operator.
+func (b *BatchLoopJoin) OpName() string { return "BatchLoopJoin" }
+
+// Logical implements Operator.
+func (b *BatchLoopJoin) Logical() bool { return false }
+
+// Digest implements Operator.
+func (b *BatchLoopJoin) Digest() string {
+	return fmt.Sprintf("%s on=%s pairs=%v base=%s k=%d",
+		b.Type, exprDigest(b.On), b.Pairs, b.ParamBase, b.BatchSize)
+}
+
+// OutCols implements Operator.
+func (b *BatchLoopJoin) OutCols(kids [][]OutCol) []OutCol {
+	return (&Join{Type: b.Type}).OutCols(kids)
+}
+
 // StreamAgg aggregates input already ordered by the grouping columns.
 type StreamAgg struct {
 	GroupCols []OutCol

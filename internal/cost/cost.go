@@ -42,6 +42,10 @@ const (
 	// exchange (worker scheduling, channel setup), keeping tiny fan-outs
 	// from looking free relative to a single pushed-down query.
 	ExchangeStartupCost = 25.0
+	// DefaultRemoteBatch is the default number of keys per batched remote
+	// call: bookmark-fetch batches and batched key-lookup joins share it,
+	// so one knob governs all batched remote access.
+	DefaultRemoteBatch = 100
 )
 
 // Model computes operator costs. LinkFor resolves the netsim link of a
@@ -115,8 +119,7 @@ func (m *Model) RemoteQuery(server string, remoteWork, outRows, width float64) f
 // RemoteFetch is one bookmark-lookup batch: a round trip per batch plus the
 // fetched rows' transfer.
 func (m *Model) RemoteFetch(server string, keys, width float64) float64 {
-	const batch = 100
-	calls := math.Ceil(keys / batch)
+	calls := math.Ceil(keys / DefaultRemoteBatch)
 	if calls < 1 {
 		calls = 1
 	}
@@ -167,6 +170,24 @@ func (m *Model) LoopJoin(outerRows, innerFirst, innerRescan, outRows float64) fl
 		outerRows = 1
 	}
 	return innerFirst + (outerRows-1)*innerRescan + outRows*LoopJoinCost
+}
+
+// BatchLoopJoin charges the batched parameterized join: the inner (one
+// remote call carrying a batch of keys) executes ceil(outer/batch) times
+// instead of once per outer row — that ratio is exactly the per-call
+// latency amortization batching buys. On top of the remote executions the
+// local side builds a hash table over each batch of outer rows and probes
+// it with every returned inner row (approximated by outRows).
+func (m *Model) BatchLoopJoin(outerRows, batchSize, innerFirst, innerRescan, outRows float64) float64 {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	execs := math.Ceil(outerRows / batchSize)
+	if execs < 1 {
+		execs = 1
+	}
+	return innerFirst + (execs-1)*innerRescan +
+		outerRows*HashBuildCost + outRows*(HashProbeCost+LoopJoinCost)
 }
 
 // Sort charges n·log₂n.

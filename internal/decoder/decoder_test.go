@@ -369,3 +369,35 @@ func TestDecodeUnionAllNotSupported(t *testing.T) {
 		t.Errorf("want ErrNotRemotable for UnionAll, got %v", err)
 	}
 }
+
+// TestDecodeParamInList covers the batched key-lookup shape: an IN list
+// whose members are parameter slots renders in full dialects and is
+// refused (ErrNotRemotable) by profiles without IN-list support, so the
+// optimizer falls back to serial parameterization.
+func TestDecodeParamInList(t *testing.T) {
+	inlist := &expr.InList{E: expr.NewColRef(1, "c_custkey"), List: []expr.Expr{
+		expr.NewParam("b7_0_0"), expr.NewParam("b7_0_1"), expr.NewParam("b7_0_2"),
+	}}
+	n := algebra.NewNode(&algebra.Select{Filter: inlist}, custGet())
+	r, err := Decode(n, fullCaps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.SQL, "IN (@b7_0_0, @b7_0_1, @b7_0_2)") {
+		t.Errorf("SQL = %q", r.SQL)
+	}
+	if len(r.Params) != 3 {
+		t.Errorf("Params = %v, want the three IN slots", r.Params)
+	}
+
+	limited := fullCaps()
+	limited.Profile.InList = false
+	if _, err := Decode(n, limited); err == nil {
+		t.Fatal("IN list decoded under a profile without IN-list support")
+	} else {
+		var nr *ErrNotRemotable
+		if !errors.As(err, &nr) {
+			t.Errorf("want ErrNotRemotable, got %v", err)
+		}
+	}
+}

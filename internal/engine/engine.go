@@ -73,6 +73,12 @@ type Server struct {
 
 	// maxDOP caps exchange parallelism; see SetMaxDOP.
 	maxDOP int
+	// remoteBatchSize overrides the batched-remote-access key count
+	// (0 = cost.DefaultRemoteBatch); see SetRemoteBatchSize.
+	remoteBatchSize int
+	// remoteBatchingOff disables batched parameterized joins entirely;
+	// see DisableRemoteBatching.
+	remoteBatchingOff bool
 	// OptConfig tunes the optimizer per server.
 	OptConfig opt.Config
 	// Today is the session date for today().
@@ -174,6 +180,57 @@ func (s *Server) MaxDOP() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.maxDOP
+}
+
+// SetRemoteBatchSize sets how many outer-row keys a batched remote access
+// (batched key-lookup join, bookmark-fetch batch) ships per call. 0
+// restores the default (cost.DefaultRemoteBatch); any call re-enables
+// batching after DisableRemoteBatching. The batch size is baked into
+// compiled plans, so cached plans are invalidated.
+func (s *Server) SetRemoteBatchSize(k int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k < 0 {
+		k = 0
+	}
+	s.remoteBatchSize = k
+	s.remoteBatchingOff = false
+	s.planCache = map[string]*cachedPlan{}
+}
+
+// RemoteBatchSize reports the effective batched-remote-access key count.
+func (s *Server) RemoteBatchSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.remoteBatchSize > 0 {
+		return s.remoteBatchSize
+	}
+	return cost.DefaultRemoteBatch
+}
+
+// DisableRemoteBatching turns off batched parameterized joins: the
+// optimizer falls back to serial parameterization (one remote call per
+// outer row). Cached plans are invalidated; bookmark fetches keep their
+// default batching, which predates this knob.
+func (s *Server) DisableRemoteBatching() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.remoteBatchingOff = true
+	s.planCache = map[string]*cachedPlan{}
+}
+
+// planBatchSize is the batch size handed to the optimizer: 0 when batching
+// is disabled (the exploration rule declines), the effective size otherwise.
+func (s *Server) planBatchSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.remoteBatchingOff {
+		return 0
+	}
+	if s.remoteBatchSize > 0 {
+		return s.remoteBatchSize
+	}
+	return cost.DefaultRemoteBatch
 }
 
 // AddLinkedServer registers a linked server over an initialized data

@@ -85,6 +85,7 @@ func (s *Server) planSelect(sel *parser.SelectStmt) (*algebra.Node, []schema.Col
 		TableCardFn:             md.TableCardinality,
 		DisableSpool:            s.DisableSpool,
 		DisableParameterization: s.DisableParameterization,
+		RemoteBatchSize:         s.planBatchSize(),
 	}
 	cfg := s.OptConfig
 	if cfg.Model == nil {
@@ -190,6 +191,7 @@ func (s *Server) runPlan(plan *algebra.Node, cols []schema.Column, params map[st
 	ctx := &exec.Context{
 		RT: &runtime{s: s}, Params: params, Today: s.Today,
 		MaxDOP: s.MaxDOP(), NoPrefetch: s.DisableRemotePrefetch,
+		RemoteBatchSize: s.RemoteBatchSize(),
 	}
 	out := plan.OutCols()
 	m, err := exec.Run(plan, ctx, out)

@@ -1,0 +1,272 @@
+package exec
+
+import (
+	"io"
+	"sort"
+	"strings"
+	"testing"
+
+	"dhqp/internal/algebra"
+	"dhqp/internal/expr"
+	"dhqp/internal/rowset"
+	"dhqp/internal/sqltypes"
+)
+
+// countingIter serves fixed rows and tracks its Open/Close lifecycle.
+type countingIter struct {
+	rows   []rowset.Row
+	pos    int
+	opens  int
+	closes int
+	isOpen bool
+}
+
+func (c *countingIter) Open() error {
+	c.opens++
+	c.isOpen = true
+	c.pos = 0
+	return nil
+}
+
+func (c *countingIter) Next() (rowset.Row, error) {
+	if c.pos >= len(c.rows) {
+		return nil, io.EOF
+	}
+	r := c.rows[c.pos]
+	c.pos++
+	return r, nil
+}
+
+func (c *countingIter) Close() error {
+	c.closes++
+	c.isOpen = false
+	return nil
+}
+
+func intRow(vals ...int64) rowset.Row {
+	r := make(rowset.Row, len(vals))
+	for i, v := range vals {
+		r[i] = sqltypes.NewInt(v)
+	}
+	return r
+}
+
+// Re-Open after partial consumption must tear down the in-flight inner
+// side; before the fix the old inner cursor silently lingered until the
+// next outer row re-opened it.
+func TestLoopJoinReOpenClosesInFlightInner(t *testing.T) {
+	left := &countingIter{rows: []rowset.Row{intRow(1), intRow(2)}}
+	right := &countingIter{rows: []rowset.Row{intRow(10), intRow(11)}}
+	ctx := &Context{Params: map[string]sqltypes.Value{}}
+	j := &loopJoinIter{ctx: ctx, typ: algebra.InnerJoin, left: left, right: right, rwidth: 1}
+	if err := j.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if !right.isOpen {
+		t.Fatal("test setup: inner should be mid-stream after one Next")
+	}
+	if err := j.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if right.isOpen {
+		t.Error("re-Open left the in-flight inner side open")
+	}
+	n := 0
+	for {
+		if _, err := j.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Errorf("rows after re-Open = %d, want 4 (2x2 cross)", n)
+	}
+}
+
+// Same lifecycle contract for the batched iterator.
+func TestBatchLoopJoinReOpenClosesInFlightInner(t *testing.T) {
+	outer, inner := batchTestScans()
+	n := algebra.NewNode(&algebra.BatchLoopJoin{
+		Type:      algebra.InnerJoin,
+		Pairs:     []expr.EquiPair{{Left: 80, Right: 90}},
+		ParamBase: "tb",
+		BatchSize: 2,
+	}, outer, inner)
+	ctx := &Context{Params: map[string]sqltypes.Value{}}
+	it, err := Build(n, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := it.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Restart mid-batch and drain: the full result must come back.
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		if _, err := it.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if count != 4 {
+		t.Errorf("rows after mid-batch re-Open = %d, want 4", count)
+	}
+}
+
+// batchTestScans builds const scans with duplicate keys, NULL keys and
+// unmatched keys on both sides:
+//
+//	outer k:  1, 1, 2, NULL, 5   (tags a..e)
+//	inner ik: 1, 1, 3, NULL      (payloads w..z)
+func batchTestScans() (*algebra.Node, *algebra.Node) {
+	c := func(v sqltypes.Value) expr.Expr { return expr.NewConst(v) }
+	i := func(v int64) expr.Expr { return c(sqltypes.NewInt(v)) }
+	s := func(v string) expr.Expr { return c(sqltypes.NewString(v)) }
+	outer := algebra.NewNode(&algebra.ConstScan{
+		Cols: []algebra.OutCol{
+			{ID: 80, Name: "k", Kind: sqltypes.KindInt},
+			{ID: 81, Name: "tag", Kind: sqltypes.KindString},
+		},
+		Rows: [][]expr.Expr{
+			{i(1), s("a")}, {i(1), s("b")}, {i(2), s("c")},
+			{c(sqltypes.Null), s("d")}, {i(5), s("e")},
+		},
+	})
+	inner := algebra.NewNode(&algebra.ConstScan{
+		Cols: []algebra.OutCol{
+			{ID: 90, Name: "ik", Kind: sqltypes.KindInt},
+			{ID: 91, Name: "p", Kind: sqltypes.KindString},
+		},
+		Rows: [][]expr.Expr{
+			{i(1), s("w")}, {i(1), s("x")}, {i(3), s("y")},
+			{c(sqltypes.Null), s("z")},
+		},
+	})
+	return outer, inner
+}
+
+func drainSorted(t *testing.T, it Iterator) []string {
+	t.Helper()
+	var out []string
+	for {
+		r, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.Display()
+		}
+		out = append(out, strings.Join(parts, "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The batched join must produce row-for-row what the serial parameterized
+// join produces — duplicate keys multiply, NULL keys never match but still
+// null-extend (left outer) or survive (anti). The batch size of 2 forces
+// three inner executions over the five outer rows, including one batch
+// whose second slot is a NULL key (padded with an already-shipped key).
+func TestBatchLoopJoinMatchesSerialAllJoinTypes(t *testing.T) {
+	wantRows := map[algebra.JoinType]int{
+		algebra.InnerJoin:     4,
+		algebra.LeftOuterJoin: 7,
+		algebra.SemiJoin:      2,
+		algebra.AntiJoin:      3,
+	}
+	for typ, want := range wantRows {
+		outer, inner := batchTestScans()
+		batched := algebra.NewNode(&algebra.BatchLoopJoin{
+			Type:      typ,
+			Pairs:     []expr.EquiPair{{Left: 80, Right: 90}},
+			ParamBase: "tb",
+			BatchSize: 2,
+		}, outer, inner)
+		serial := algebra.NewNode(&algebra.LoopJoin{
+			Type: typ,
+			On:   expr.NewBinary(expr.OpEq, expr.NewColRef(80, "k"), expr.NewColRef(90, "ik")),
+		}, outer, inner)
+
+		bit, err := Build(batched, &Context{Params: map[string]sqltypes.Value{}})
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		sit, err := Build(serial, &Context{Params: map[string]sqltypes.Value{}})
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		if err := bit.Open(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sit.Open(); err != nil {
+			t.Fatal(err)
+		}
+		got, ref := drainSorted(t, bit), drainSorted(t, sit)
+		if len(got) != want {
+			t.Errorf("%v: batched rows = %d, want %d", typ, len(got), want)
+		}
+		if strings.Join(got, "\n") != strings.Join(ref, "\n") {
+			t.Errorf("%v: batched/serial multisets differ:\nbatched: %v\nserial:  %v", typ, got, ref)
+		}
+	}
+}
+
+// The spool replays only within one parameter binding: a changed binding
+// (the spool sits inside a parameterized apply) must refill from the child.
+func TestSpoolRefillsOnParamChange(t *testing.T) {
+	child := &countingIter{rows: []rowset.Row{intRow(1), intRow(2), intRow(3)}}
+	ctx := &Context{Params: map[string]sqltypes.Value{"k": sqltypes.NewInt(1)}}
+	sp := &spoolIter{ctx: ctx, child: child}
+	drain := func() int {
+		n := 0
+		for {
+			if _, err := sp.Next(); err != nil {
+				return n
+			}
+			n++
+		}
+	}
+	if err := sp.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(); got != 3 {
+		t.Fatalf("first fill = %d rows", got)
+	}
+	// Same binding: replay without touching the child.
+	if err := sp.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if drain(); child.opens != 1 {
+		t.Errorf("replay under unchanged binding re-opened the child (%d opens)", child.opens)
+	}
+	// Changed binding: the buffer is stale; refill.
+	ctx.Params["k"] = sqltypes.NewInt(2)
+	if err := sp.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(); got != 3 {
+		t.Fatalf("refill = %d rows", got)
+	}
+	if child.opens != 2 {
+		t.Errorf("stale binding did not refill the spool (%d opens)", child.opens)
+	}
+}

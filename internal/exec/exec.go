@@ -14,6 +14,7 @@ import (
 	"io"
 
 	"dhqp/internal/algebra"
+	"dhqp/internal/cost"
 	"dhqp/internal/expr"
 	"dhqp/internal/oledb"
 	"dhqp/internal/rowset"
@@ -40,6 +41,18 @@ type Context struct {
 	MaxDOP int
 	// NoPrefetch disables asynchronous prefetching of remote rowsets.
 	NoPrefetch bool
+	// RemoteBatchSize is the number of keys per batched remote call: it
+	// caps how many outer rows a BatchLoopJoin buffers per probe and sizes
+	// remoteFetchIter's bookmark batches. 0 means cost.DefaultRemoteBatch.
+	RemoteBatchSize int
+}
+
+// remoteBatch returns the effective batched-remote-access size.
+func (c *Context) remoteBatch() int {
+	if c.RemoteBatchSize > 0 {
+		return c.RemoteBatchSize
+	}
+	return cost.DefaultRemoteBatch
 }
 
 func (c *Context) env(row rowset.Row) *expr.Env {
@@ -50,7 +63,8 @@ func (c *Context) env(row rowset.Row) *expr.Env {
 // exchange children each execute against their own fork so a correlated
 // loop join binding parameters inside one child cannot race a sibling.
 func (c *Context) fork() *Context {
-	f := &Context{RT: c.RT, Today: c.Today, MaxDOP: c.MaxDOP, NoPrefetch: c.NoPrefetch}
+	f := &Context{RT: c.RT, Today: c.Today, MaxDOP: c.MaxDOP, NoPrefetch: c.NoPrefetch,
+		RemoteBatchSize: c.RemoteBatchSize}
 	f.syncParams(c)
 	return f
 }
@@ -140,6 +154,8 @@ func Build(n *algebra.Node, ctx *Context) (Iterator, error) {
 		return buildMergeJoin(n, op, ctx)
 	case *algebra.LoopJoin:
 		return buildLoopJoin(n, op, ctx)
+	case *algebra.BatchLoopJoin:
+		return buildBatchLoopJoin(n, op, ctx)
 	case *algebra.HashAgg:
 		return buildAgg(n, op.GroupCols, op.Aggs, ctx, false)
 	case *algebra.StreamAgg:
@@ -171,7 +187,7 @@ func Build(n *algebra.Node, ctx *Context) (Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &spoolIter{child: child}, nil
+		return &spoolIter{ctx: ctx, child: child}, nil
 	case *algebra.ConstScan:
 		return buildConstScan(op, ctx)
 	case *algebra.EmptyScan:

@@ -406,6 +406,15 @@ type loopJoinIter struct {
 }
 
 func (l *loopJoinIter) Open() error {
+	// Re-Open after partial consumption: the previous outer row's inner
+	// side may still be mid-stream; tear it down before restarting so the
+	// old cursor (and any remote rowset behind it) is released now rather
+	// than silently lingering until the next outer row re-opens it.
+	if l.innerOpen {
+		if err := l.right.Close(); err != nil {
+			return err
+		}
+	}
 	l.cur, l.innerOpen, l.matched, l.leftDone = nil, false, false, false
 	return l.left.Open()
 }
@@ -485,6 +494,254 @@ func (l *loopJoinIter) Next() (rowset.Row, error) {
 func (l *loopJoinIter) Close() error {
 	err1 := l.left.Close()
 	err2 := l.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func buildBatchLoopJoin(n *algebra.Node, op *algebra.BatchLoopJoin, ctx *Context) (Iterator, error) {
+	left, err := Build(n.Kids[0], ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Build(n.Kids[1], ctx)
+	if err != nil {
+		return nil, err
+	}
+	lcols, rcols := n.Kids[0].OutCols(), n.Kids[1].OutCols()
+	var on expr.Expr
+	if op.On != nil {
+		all := append(append([]algebra.OutCol{}, lcols...), rcols...)
+		on, err = bindExpr(op.On, all)
+		if err != nil {
+			return nil, err
+		}
+	}
+	lpos := make([]int, len(op.Pairs))
+	rpos := make([]int, len(op.Pairs))
+	for i, pr := range op.Pairs {
+		lpos[i] = posOf(lcols, pr.Left)
+		rpos[i] = posOf(rcols, pr.Right)
+		if lpos[i] < 0 || rpos[i] < 0 {
+			return nil, fmt.Errorf("exec: batch loop join pair col%d=col%d not in inputs", pr.Left, pr.Right)
+		}
+	}
+	// The plan was compiled with op.BatchSize parameter slots; the session
+	// knob can only shrink how many outer rows fill them (spare slots are
+	// padded with already-shipped keys), never grow past the slot count.
+	batch := op.BatchSize
+	if b := ctx.remoteBatch(); b < batch {
+		batch = b
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	return &batchLoopJoinIter{
+		ctx: ctx, typ: op.Type, left: left, right: right, on: on,
+		lpos: lpos, rpos: rpos, paramBase: op.ParamBase,
+		slots: op.BatchSize, batch: batch, rwidth: len(rcols),
+	}, nil
+}
+
+// batchLoopJoinIter is the batched parameterized join: it buffers up to
+// `batch` outer rows, binds their join-key values into the inner side's
+// IN-list parameter slots, executes the inner once for the whole batch, and
+// hash-matches the returned rows back to the buffered outer rows. The
+// IN-list the remote sees is only a prefilter — every match decision
+// (equi-key equality, residual predicate, duplicate keys, NULL keys,
+// outer/semi/anti accounting) replays locally, so results are row-for-row
+// what the serial loopJoinIter produces, in outer-major order per batch.
+type batchLoopJoinIter struct {
+	ctx         *Context
+	typ         algebra.JoinType
+	left, right Iterator
+	on          expr.Expr
+	lpos, rpos  []int
+	paramBase   string
+	slots       int // parameter slots compiled into the inner plan
+	batch       int // outer rows buffered per inner execution (≤ slots)
+	rwidth      int
+
+	pending   []rowset.Row // current batch of outer rows
+	out       []rowset.Row // matched output queue for the current batch
+	outPos    int
+	leftDone  bool
+	innerOpen bool
+}
+
+func (b *batchLoopJoinIter) Open() error {
+	// Tear down an in-flight inner before restarting (re-Open after
+	// partial consumption or after a mid-batch error).
+	if b.innerOpen {
+		if err := b.right.Close(); err != nil {
+			return err
+		}
+		b.innerOpen = false
+	}
+	b.pending, b.out = nil, nil
+	b.outPos, b.leftDone = 0, false
+	return b.left.Open()
+}
+
+func (b *batchLoopJoinIter) Next() (rowset.Row, error) {
+	for {
+		if b.outPos < len(b.out) {
+			r := b.out[b.outPos]
+			b.outPos++
+			return r, nil
+		}
+		if b.leftDone {
+			return nil, io.EOF
+		}
+		if err := b.fillBatch(); err != nil {
+			return nil, err
+		}
+		if len(b.pending) == 0 {
+			continue // leftDone is now set; loop exits via EOF
+		}
+		if err := b.probeBatch(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// fillBatch buffers the next run of outer rows.
+func (b *batchLoopJoinIter) fillBatch() error {
+	b.pending = b.pending[:0]
+	for len(b.pending) < b.batch {
+		lrow, err := b.left.Next()
+		if err == io.EOF {
+			b.leftDone = true
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		b.pending = append(b.pending, lrow.Clone())
+	}
+	return nil
+}
+
+// probeBatch executes the inner side once for the buffered outer rows and
+// queues the batch's join output in outer-row order.
+func (b *batchLoopJoinIter) probeBatch() error {
+	// Hash the batch by join key. NULL keys never match (SQL semantics);
+	// their rows skip the probe but still emit for left-outer/anti.
+	index := make(map[string][]int, len(b.pending))
+	firstKeyed := -1
+	for i, row := range b.pending {
+		if key, ok := keyOf(row, b.lpos); ok {
+			index[key] = append(index[key], i)
+			if firstKeyed < 0 {
+				firstKeyed = i
+			}
+		}
+	}
+	matches := make([][]rowset.Row, len(b.pending))
+	matchedFlag := make([]bool, len(b.pending))
+	if firstKeyed >= 0 {
+		if err := b.executeBatch(index, matches, matchedFlag, firstKeyed); err != nil {
+			return err
+		}
+	}
+	// Emit outer-major: each buffered outer row's matches in arrival order.
+	b.out = b.out[:0]
+	b.outPos = 0
+	for i, row := range b.pending {
+		switch b.typ {
+		case algebra.LeftOuterJoin:
+			if len(matches[i]) == 0 {
+				b.out = append(b.out, combineRows(row, nullRow(b.rwidth)))
+			} else {
+				b.out = append(b.out, matches[i]...)
+			}
+		case algebra.SemiJoin:
+			if matchedFlag[i] {
+				b.out = append(b.out, row)
+			}
+		case algebra.AntiJoin:
+			if !matchedFlag[i] {
+				b.out = append(b.out, row)
+			}
+		default:
+			b.out = append(b.out, matches[i]...)
+		}
+	}
+	return nil
+}
+
+// executeBatch binds the batch's keys into the inner plan's parameter
+// slots, drains the inner, and distributes returned rows to the buffered
+// outer rows they match.
+func (b *batchLoopJoinIter) executeBatch(index map[string][]int, matches [][]rowset.Row, matchedFlag []bool, firstKeyed int) error {
+	if b.ctx.Params == nil {
+		b.ctx.Params = map[string]sqltypes.Value{}
+	}
+	// Slot s carries pending[s]'s key columns; unfilled slots repeat an
+	// already-shipped key (duplicate IN-list members are harmless). A
+	// NULL-keyed row's values may ship too — a NULL IN-list member can
+	// never equal anything, so it only wastes a slot.
+	for s := 0; s < b.slots; s++ {
+		src := b.pending[firstKeyed]
+		if s < len(b.pending) {
+			src = b.pending[s]
+		}
+		for j, pos := range b.lpos {
+			b.ctx.Params[fmt.Sprintf("%s_%d_%d", b.paramBase, j, s)] = src[pos]
+		}
+	}
+	if err := b.right.Open(); err != nil {
+		return err
+	}
+	b.innerOpen = true
+	for {
+		rrow, err := b.right.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		key, ok := keyOf(rrow, b.rpos)
+		if !ok {
+			continue
+		}
+		idxs := index[key]
+		if len(idxs) == 0 {
+			// Prefiltered superset (multi-column keys cross-product in the
+			// shipped IN lists): not an actual match.
+			continue
+		}
+		rc := rrow.Clone()
+		for _, i := range idxs {
+			combined := combineRows(b.pending[i], rc)
+			if b.on != nil {
+				ok, err := expr.EvalPredicate(b.on, b.ctx.env(combined))
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			matchedFlag[i] = true
+			switch b.typ {
+			case algebra.SemiJoin, algebra.AntiJoin:
+				// Existence only; no combined rows.
+			default:
+				matches[i] = append(matches[i], combined)
+			}
+		}
+	}
+	b.innerOpen = false
+	return b.right.Close()
+}
+
+func (b *batchLoopJoinIter) Close() error {
+	b.innerOpen = false
+	err1 := b.left.Close()
+	err2 := b.right.Close()
 	if err1 != nil {
 		return err1
 	}

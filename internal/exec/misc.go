@@ -6,6 +6,7 @@ import (
 	"dhqp/internal/algebra"
 	"dhqp/internal/expr"
 	"dhqp/internal/rowset"
+	"dhqp/internal/sqltypes"
 )
 
 // filterIter applies a predicate.
@@ -198,18 +199,40 @@ func (t *topIter) Close() error {
 }
 
 // spoolIter materializes its child once; re-opens replay the buffer
-// without re-executing the child (§4.1.2's spool-over-remote).
+// without re-executing the child (§4.1.2's spool-over-remote). The replay
+// is only valid within one parameter binding: when the spool sits inside a
+// parameterized apply, the subtree's results change with the outer row's
+// bound values, so Open compares the current bindings against the ones the
+// buffer was filled under and refills on any difference. Rescans within
+// one binding (the common inner-loop amplification) still replay.
 type spoolIter struct {
-	child  Iterator
-	buf    *rowset.Materialized
-	filled bool
+	ctx        *Context
+	child      Iterator
+	buf        *rowset.Materialized
+	filled     bool
+	fillParams map[string]sqltypes.Value // param bindings at fill time
+}
+
+// staleBindings reports whether any parameter changed since the fill.
+func (s *spoolIter) staleBindings() bool {
+	if len(s.ctx.Params) != len(s.fillParams) {
+		return true
+	}
+	for k, v := range s.ctx.Params {
+		old, ok := s.fillParams[k]
+		if !ok || !sqltypes.Equal(old, v) {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *spoolIter) Open() error {
-	if s.filled {
+	if s.filled && !s.staleBindings() {
 		s.buf.Reset()
 		return nil
 	}
+	s.filled = false
 	if err := s.child.Open(); err != nil {
 		return err
 	}
@@ -226,6 +249,10 @@ func (s *spoolIter) Open() error {
 	}
 	s.buf = buf
 	s.filled = true
+	s.fillParams = make(map[string]sqltypes.Value, len(s.ctx.Params))
+	for k, v := range s.ctx.Params {
+		s.fillParams[k] = v
+	}
 	// The child's resources are no longer needed.
 	return s.child.Close()
 }

@@ -292,8 +292,6 @@ type remoteFetchIter struct {
 	done    bool
 }
 
-const fetchBatch = 100
-
 func (r *remoteFetchIter) Open() error {
 	r.buf, r.pending, r.bufPos, r.done = nil, nil, 0, false
 	return r.child.Open()
@@ -310,6 +308,9 @@ func (r *remoteFetchIter) Next() (rowset.Row, error) {
 			return nil, io.EOF
 		}
 		// Refill: gather a batch of child rows and fetch their bookmarks.
+		// The batch size is the session's batched-remote-access knob — the
+		// same setting that sizes batched key-lookup joins.
+		fetchBatch := r.ctx.remoteBatch()
 		r.pending = r.pending[:0]
 		for len(r.pending) < fetchBatch {
 			row, err := r.child.Next()

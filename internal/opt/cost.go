@@ -175,6 +175,13 @@ func (o *Optimizer) finishCost(p *planned, c *rules.Candidate, grp *memo.Group) 
 		inner := p.kids[1]
 		self = m.LoopJoin(childCard(0), inner.cost, inner.rescan, p.card)
 		total = p.kids[0].cost + self
+	case *algebra.BatchLoopJoin:
+		if len(p.kids) != 2 {
+			return fmt.Errorf("opt: batch loop join with %d kids", len(p.kids))
+		}
+		inner := p.kids[1]
+		self = m.BatchLoopJoin(childCard(0), float64(op.BatchSize), inner.cost, inner.rescan, p.card)
+		total = p.kids[0].cost + self
 	case *algebra.HashAgg:
 		self = m.Agg(childCard(0), true)
 	case *algebra.StreamAgg:

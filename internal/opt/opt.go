@@ -94,6 +94,7 @@ func (o *Optimizer) Optimize(root *algebra.Node, md memo.Metadata, requiredOrder
 	for p := rules.PhaseTP; p <= o.cfg.MaxPhase; p++ {
 		start := time.Now()
 		o.phase = p
+		o.rctx.Phase = p
 		o.explore(p)
 		m.ClearWinners()
 		w, err := o.optimizeGroup(rootGroup, required)

@@ -6,6 +6,7 @@ import (
 	"dhqp/internal/algebra"
 	"dhqp/internal/expr"
 	"dhqp/internal/memo"
+	"dhqp/internal/oledb"
 )
 
 // SelectMerge collapses stacked selections: Select(Select(x, p1), p2) ≡
@@ -412,6 +413,86 @@ func (*ParameterizeJoin) Apply(e *memo.GroupExpr, ctx *Context) []*memo.XNode {
 	}
 	return []*memo.XNode{{
 		Op:   &algebra.Apply{Type: j.Type, ParamMap: paramMap, Residual: residual},
+		Kids: []memo.XChild{memo.GroupChild(e.Kids[0]), memo.NodeChild(inner)},
+	}}
+}
+
+// BatchParameterizeJoin is the batched refinement of ParameterizeJoin: when
+// the inner side lives entirely on one remote server whose dialect accepts
+// IN lists, up to K outer-row key values ship together as
+// "right.col IN (@b0, …, @bK-1)" in a single remote call, amortizing the
+// per-call link latency that the serial Apply pays once per outer row
+// (§4.1.2–4.1.3: the cost model exists to minimize network traffic). The
+// IN-list is only a prefilter — the BatchLoopJoin executor re-matches
+// returned rows to buffered outer rows locally — so all four join types
+// keep their serial semantics and the rule covers left-outer and anti joins
+// that serial parameterization cannot.
+type BatchParameterizeJoin struct{}
+
+// Name implements ExplorationRule.
+func (*BatchParameterizeJoin) Name() string { return "BatchParameterizeJoin" }
+
+// Promise implements ExplorationRule.
+func (*BatchParameterizeJoin) Promise() int { return 44 }
+
+// MinPhase implements ExplorationRule.
+func (*BatchParameterizeJoin) MinPhase() Phase { return PhaseQuick }
+
+// Apply implements ExplorationRule.
+func (*BatchParameterizeJoin) Apply(e *memo.GroupExpr, ctx *Context) []*memo.XNode {
+	if ctx.DisableParameterization || ctx.RemoteBatchSize < 2 {
+		return nil
+	}
+	j := e.Op.(*algebra.Join)
+	// The inner side must sit wholly on one remote server that can execute
+	// commands with parameters and render IN lists; otherwise the decoder
+	// would refuse the batch predicate and the alternative is dead weight.
+	server, remote := ctx.Memo.Group(e.Kids[1]).Props.SoleServer()
+	if !remote {
+		return nil
+	}
+	caps, ok := ctx.CapsFor(server)
+	if !ok || !caps.SupportsCommand ||
+		caps.SQLSupport == oledb.SQLNone || caps.SQLSupport == oledb.SQLProprietary ||
+		!caps.Profile.InList || !caps.Profile.Params {
+		return nil
+	}
+	leftCols := algebra.ColSetOf(ctx.Memo.Group(e.Kids[0]).Props.OutCols)
+	rightCols := algebra.ColSetOf(ctx.Memo.Group(e.Kids[1]).Props.OutCols)
+	pairs, residual := expr.ExtractEquiJoin(j.On, leftCols, rightCols)
+	if len(pairs) == 0 {
+		return nil
+	}
+	// Per pair: right.col IN (@base_pair_0, …, @base_pair_K-1). With
+	// multi-column keys the conjunction of per-column IN lists is a
+	// superset (cross product) of the batch's keys; exact matching happens
+	// in the executor's hash table over the full key.
+	k := ctx.RemoteBatchSize
+	base := fmt.Sprintf("b%d", e.Group)
+	var innerPred []expr.Expr
+	for pi, pr := range pairs {
+		rname := colName(ctx, e.Kids[1], pr.Right)
+		list := make([]expr.Expr, k)
+		for s := 0; s < k; s++ {
+			list[s] = expr.NewParam(fmt.Sprintf("%s_%d_%d", base, pi, s))
+		}
+		innerPred = append(innerPred, &expr.InList{
+			E:    expr.NewColRef(pr.Right, rname),
+			List: list,
+		})
+	}
+	inner := &memo.XNode{
+		Op:   &algebra.Select{Filter: expr.Conjoin(innerPred)},
+		Kids: []memo.XChild{memo.GroupChild(e.Kids[1])},
+	}
+	return []*memo.XNode{{
+		Op: &algebra.BatchApply{
+			Type:      j.Type,
+			Pairs:     pairs,
+			ParamBase: base,
+			BatchSize: k,
+			Residual:  residual,
+		},
 		Kids: []memo.XChild{memo.GroupChild(e.Kids[0]), memo.NodeChild(inner)},
 	}}
 }

@@ -74,6 +74,14 @@ type Context struct {
 	// DisableParameterization suppresses the parameterization rule
 	// (ablation experiment E9).
 	DisableParameterization bool
+	// RemoteBatchSize is the number of outer-key slots a batched
+	// parameterized join ships per remote call. Values below 2 disable
+	// batched parameterization (serial parameterization still applies).
+	RemoteBatchSize int
+	// Phase is the optimization phase currently running; rules whose
+	// alternatives only make sense against a fully explored search space
+	// (remote join collapse vs. join reorderings) consult it.
+	Phase Phase
 }
 
 // ExplorationRule generates logically equivalent alternatives.
@@ -122,6 +130,7 @@ var explorationRules = []ExplorationRule{
 	&JoinAssociate{},
 	&GroupJoinsByLocality{},
 	&ParameterizeJoin{},
+	&BatchParameterizeJoin{},
 	&SplitAggThroughUnion{},
 }
 
@@ -133,7 +142,7 @@ func ruleMatchesRoot(r ExplorationRule, op algebra.Operator) bool {
 	case *PruneEmptyUnionArms:
 		_, ok := op.(*algebra.UnionAll)
 		return ok
-	case *JoinCommute, *JoinAssociate, *GroupJoinsByLocality, *ParameterizeJoin:
+	case *JoinCommute, *JoinAssociate, *GroupJoinsByLocality, *ParameterizeJoin, *BatchParameterizeJoin:
 		_, ok := op.(*algebra.Join)
 		return ok
 	case *SplitAggThroughUnion:

@@ -28,7 +28,8 @@ func (m *md) CheckDomains(src *algebra.Source, cols []algebra.OutCol) constraint
 func ctxWith(m *memo.Memo) *Context {
 	next := expr.ColumnID(500)
 	return &Context{
-		Memo: m,
+		Memo:  m,
+		Phase: PhaseFull,
 		CapsFor: func(server string) (oledb.Capabilities, bool) {
 			return oledb.Capabilities{
 				SQLSupport: oledb.SQLFull, SupportsCommand: true,

@@ -386,7 +386,7 @@ func (e *Estimator) conjunctSelectivity(c expr.Expr) float64 {
 				if cst, ok := m.(*expr.Const); ok {
 					s += e.eqSelectivity(col, cst.Val)
 				} else {
-					s += DefaultEqSelectivity
+					s += e.paramEqSelectivity(col)
 				}
 			}
 			if v.Negate {
@@ -415,9 +415,10 @@ func (e *Estimator) conjunctSelectivity(c expr.Expr) float64 {
 	if col, op, val, ok := expr.SingleColumnComparison(c); ok {
 		cst, isConst := val.(*expr.Const)
 		if !isConst {
-			// Parameterized: default per operator class.
+			// Parameterized: the value is unknown but the column's NDV
+			// still bounds an equality's selectivity.
 			if op == expr.OpEq {
-				return DefaultEqSelectivity
+				return e.paramEqSelectivity(col)
 			}
 			return DefaultRangeSelectivity
 		}
@@ -446,8 +447,29 @@ func (e *Estimator) conjunctSelectivity(c expr.Expr) float64 {
 			return h.SelectivityRange(cst.Val, sqltypes.Null, true, false)
 		}
 	}
-	// Column-to-column or opaque predicate.
+	// Column-to-column equality estimates like an equi-join: 1/max(NDV).
+	// A WHERE-clause join predicate sitting above a cross join then gets
+	// the same cardinality the equivalent ON-clause join would.
+	if b, ok := c.(*expr.Binary); ok && b.Op == expr.OpEq {
+		if lc, lok := b.L.(*expr.ColRef); lok {
+			if rc, rok := b.R.(*expr.ColRef); rok {
+				return e.JoinSelectivity(lc.ID, rc.ID)
+			}
+		}
+	}
+	// Opaque predicate.
 	return DefaultSelectivity
+}
+
+// paramEqSelectivity estimates "col = @param" without a value: 1/NDV under
+// a uniformity assumption, the same formula JoinSelectivity uses. Batched
+// IN-lists of parameters sum it per member, so a K-slot batch probe
+// estimates K/NDV of the table instead of saturating at the default.
+func (e *Estimator) paramEqSelectivity(col *expr.ColRef) float64 {
+	if h := e.lookup(col); h != nil && h.Distinct > 0 {
+		return 1 / float64(h.Distinct)
+	}
+	return DefaultEqSelectivity
 }
 
 func (e *Estimator) eqSelectivity(col *expr.ColRef, v sqltypes.Value) float64 {

@@ -242,10 +242,27 @@ func TestEstimatorOperators(t *testing.T) {
 	if s := est.Selectivity(not); math.Abs(s-0.5) > 0.06 {
 		t.Errorf("not: %v", s)
 	}
-	// Parameterized comparison falls back to defaults.
+	// Parameterized equality uses 1/NDV under uniformity (the histogram
+	// has 100 distinct values); parameterized ranges fall back to defaults.
 	p := expr.NewBinary(expr.OpEq, col, expr.NewParam("x"))
-	if s := est.Selectivity(p); s != DefaultEqSelectivity {
-		t.Errorf("param: %v", s)
+	if s := est.Selectivity(p); math.Abs(s-0.01) > 1e-9 {
+		t.Errorf("param eq: %v, want 0.01", s)
+	}
+	pr := expr.NewBinary(expr.OpLt, col, expr.NewParam("x"))
+	if s := est.Selectivity(pr); s != DefaultRangeSelectivity {
+		t.Errorf("param range: %v", s)
+	}
+	// A parameterized IN list sums the per-member 1/NDV estimate.
+	pin := &expr.InList{E: col, List: []expr.Expr{
+		expr.NewParam("a"), expr.NewParam("b"), expr.NewParam("c"),
+	}}
+	if s := est.Selectivity(pin); math.Abs(s-0.03) > 1e-9 {
+		t.Errorf("param in: %v, want 0.03", s)
+	}
+	// Without a histogram the flat default applies.
+	noHist := &Estimator{Lookup: func(expr.ColumnID) *Histogram { return nil }}
+	if s := noHist.Selectivity(p); s != DefaultEqSelectivity {
+		t.Errorf("param eq without histogram: %v", s)
 	}
 	if s := est.Selectivity(nil); s != 1 {
 		t.Errorf("nil pred: %v", s)
