@@ -1,5 +1,5 @@
 // Benchmark harness: one benchmark per experiment in DESIGN.md's
-// per-experiment index (E1–E12). Each regenerates the corresponding figure,
+// per-experiment index (E1–E14). Each regenerates the corresponding figure,
 // table or quantified claim of the paper; cmd/benchrunner prints the same
 // measurements as formatted tables, and EXPERIMENTS.md records the
 // paper-vs-measured comparison.
@@ -782,4 +782,63 @@ func BenchmarkOptimizerJoinChain(b *testing.B) {
 			b.ReportMetric(groups, "memo-groups")
 		})
 	}
+}
+
+// ---------------------------------------------------------------------
+// E14 — fault-tolerant remote access: the cost of riding out injected
+// transient faults with retries, and degraded partial-results execution
+// when a member server is down.
+// ---------------------------------------------------------------------
+
+func BenchmarkE14_FaultTolerance(b *testing.B) {
+	const members, totalRows = 4, 2000
+	query := `SELECT s_id, s_qty FROM all_stock`
+	for _, mode := range []struct {
+		name string
+		prob float64
+	}{{"FaultFree", 0}, {"Transient5pct", 0.05}, {"Transient10pct", 0.10}} {
+		b.Run(mode.name, func(b *testing.B) {
+			head := buildStockFederation(b, members, totalRows, false)
+			mustQuery(b, head, query, nil) // warm plan + schema
+			if mode.prob > 0 {
+				for i := 1; i <= members; i++ {
+					head.Meter().Link(fmt.Sprintf("server%d", i)).SetFaults(
+						dhqp.Faults{Seed: int64(i), TransientProb: mode.prob})
+				}
+			}
+			b.ResetTimer()
+			var retries int64
+			for i := 0; i < b.N; i++ {
+				res := mustQuery(b, head, query, nil)
+				if len(res.Rows) != totalRows {
+					b.Fatalf("rows = %d", len(res.Rows))
+				}
+				retries += res.Retries
+			}
+			b.ReportMetric(float64(retries)/float64(b.N), "retries/op")
+		})
+	}
+	b.Run("PartialResults", func(b *testing.B) {
+		head := buildStockFederation(b, members, totalRows, false)
+		head.SetRemoteRetries(2)
+		head.SetRetryBackoff(time.Microsecond)
+		head.SetBreaker(2, time.Hour)
+		head.SetPartialResults(true)
+		mustQuery(b, head, query, nil)
+		head.Meter().Link("server4").SetDown(true)
+		// The first failing query pays the retry ladder and trips the
+		// breaker; every query in the timed loop then fails fast on the
+		// dead member and answers from the survivors.
+		if _, err := head.Query(query, nil); err == nil {
+			b.Fatal("first query against a downed member should fail (breaker not yet open)")
+		}
+		want := totalRows - totalRows/members
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := mustQuery(b, head, query, nil)
+			if len(res.Rows) != want || len(res.Skipped) != 1 {
+				b.Fatalf("rows = %d skipped = %v", len(res.Rows), res.Skipped)
+			}
+		}
+	})
 }

@@ -38,6 +38,12 @@ type Value = sqltypes.Value
 // Link simulates one network connection.
 type Link = netsim.Link
 
+// Faults is a deterministic, seedable fault plan for a Link — transient
+// error rates, fail-after-N, fail-forever, jitter. Install with
+// Link.SetFaults; see Server.SetRemoteRetries / SetBreaker /
+// SetPartialResults / SetQueryTimeout for the matching tolerance knobs.
+type Faults = netsim.Faults
+
 // Message is a mail message for the mail provider.
 type Message = email.Message
 

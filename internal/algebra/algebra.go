@@ -190,6 +190,48 @@ func HasRemoteOp(n *Node) bool {
 	return false
 }
 
+// serverOf names the server a remote operator reaches ("" for local ops).
+func serverOf(op Operator) string {
+	switch op := op.(type) {
+	case *TableScan:
+		return op.Src.Server
+	case *IndexRange:
+		return op.Src.Server
+	case *RemoteScan:
+		return op.Src.Server
+	case *RemoteRange:
+		return op.Src.Server
+	case *RemoteQuery:
+		return op.Server
+	case *RemoteFetch:
+		return op.Src.Server
+	case *ProviderCommand:
+		return op.Src.Server
+	default:
+		return ""
+	}
+}
+
+// RemoteServers lists (deduplicated, in first-visit order) the linked
+// servers a subtree reaches. Partial-failure diagnostics use it to name
+// which fan-out branch — which server — an error came from.
+func RemoteServers(n *Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if s := serverOf(n.Op); s != "" && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	walk(n)
+	return out
+}
+
 // OrderCol is one key of an ordering specification (a physical property).
 type OrderCol struct {
 	Col  expr.ColumnID

@@ -23,6 +23,26 @@ type Participant interface {
 	Abort() error
 }
 
+// NamedParticipant is a Participant that can name itself — typically the
+// linked server whose resource manager it wraps — so coordinator errors
+// identify which member of a distributed transaction failed.
+type NamedParticipant interface {
+	Participant
+	// ParticipantName names the resource manager ("" falls back to the
+	// enlistment index).
+	ParticipantName() string
+}
+
+// nameOf renders a participant's display name for error messages.
+func nameOf(i int, p Participant) string {
+	if np, ok := p.(NamedParticipant); ok {
+		if n := np.ParticipantName(); n != "" {
+			return fmt.Sprintf("participant %d (%s)", i, n)
+		}
+	}
+	return fmt.Sprintf("participant %d", i)
+}
+
 // Outcome is the coordinator's decision for one transaction.
 type Outcome int
 
@@ -95,7 +115,7 @@ func (t *Transaction) Commit() error {
 				_ = t.participants[j].Abort()
 			}
 			t.c.record(OutcomeAborted)
-			return fmt.Errorf("%w: participant %d vetoed: %v", ErrAborted, i, err)
+			return fmt.Errorf("%w: %s vetoed: %v", ErrAborted, nameOf(i, p), err)
 		}
 	}
 	// Phase two: commit. After unanimous prepare, commit must succeed;
@@ -103,7 +123,7 @@ func (t *Transaction) Commit() error {
 	var firstErr error
 	for i, p := range t.participants {
 		if err := p.Commit(); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("dtc: participant %d failed to commit after prepare: %w", i, err)
+			firstErr = fmt.Errorf("dtc: %s failed to commit after prepare: %w", nameOf(i, p), err)
 		}
 	}
 	t.c.record(OutcomeCommitted)
@@ -139,12 +159,17 @@ func (c *Coordinator) Decisions() []Outcome {
 }
 
 // FuncParticipant adapts closures into a Participant (buffered-write
-// resource managers build on it).
+// resource managers build on it). Name, when set, identifies the resource
+// manager — the linked server — in coordinator error messages.
 type FuncParticipant struct {
+	Name      string
 	PrepareFn func() error
 	CommitFn  func() error
 	AbortFn   func() error
 }
+
+// ParticipantName implements NamedParticipant.
+func (f *FuncParticipant) ParticipantName() string { return f.Name }
 
 // Prepare implements Participant.
 func (f *FuncParticipant) Prepare() error {

@@ -2,6 +2,7 @@ package dtc
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -174,5 +175,49 @@ func TestAtomicityProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestMidPrepareAbortNamesServer enlists named participants (the engine
+// enlists partitioned-view members under their linked-server names) and
+// vetoes mid-prepare: every participant — before and after the vetoer —
+// must roll back, nobody commits, and the error names the failed server.
+func TestMidPrepareAbortNamesServer(t *testing.T) {
+	c := New()
+	txn := c.Begin()
+	calls := make([]recorder, 3)
+	names := []string{"server1", "server2", "server3"}
+	for i := range calls {
+		i := i
+		txn.Enlist(&FuncParticipant{
+			Name:      names[i],
+			PrepareFn: func() error { return calls[i].Prepare() },
+			CommitFn:  func() error { return calls[i].Commit() },
+			AbortFn:   func() error { return calls[i].Abort() },
+		})
+	}
+	calls[1].vetoPrepare = true
+	err := txn.Commit()
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("Commit = %v, want ErrAborted", err)
+	}
+	if !strings.Contains(err.Error(), "server2") {
+		t.Errorf("abort error does not name the vetoing server: %v", err)
+	}
+	for i := range calls {
+		if calls[i].committed != 0 {
+			t.Errorf("%s committed after mid-prepare veto", names[i])
+		}
+		if calls[i].aborted != 1 {
+			t.Errorf("%s aborted %d times, want 1", names[i], calls[i].aborted)
+		}
+	}
+	// The participant after the vetoer never prepared but still rolled back.
+	if calls[2].prepared != 0 {
+		t.Errorf("server3 prepared despite earlier veto")
+	}
+	d := c.Decisions()
+	if len(d) != 1 || d[0] != OutcomeAborted {
+		t.Errorf("decisions = %v", d)
 	}
 }

@@ -609,6 +609,7 @@ func (s *Server) insertIntoPartitionedView(viewName, viewText string, cols []str
 		batch := batches[mi]
 		total += int64(len(batch))
 		txn.Enlist(&dtc.FuncParticipant{
+			Name: memberName(member),
 			PrepareFn: func() error {
 				// Validate CHECK constraints before any member applies.
 				checks, err := binder.CheckPredicate(member.def)
@@ -672,6 +673,14 @@ type pvMember struct {
 	server  string
 	def     *schema.Table
 	domains map[int]*constraint.Domain // column ordinal -> CHECK domain
+}
+
+// memberName names a member's server for DTC participant identification.
+func memberName(m pvMember) string {
+	if m.server == "" {
+		return "local"
+	}
+	return m.server
 }
 
 // partitionedViewMembers parses a view's UNION ALL arms into member tables

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"dhqp/internal/algebra"
+	"dhqp/internal/circuit"
 	"dhqp/internal/cost"
 	"dhqp/internal/netsim"
 	"dhqp/internal/oledb"
@@ -79,6 +80,19 @@ type Server struct {
 	// remoteBatchingOff disables batched parameterized joins entirely;
 	// see DisableRemoteBatching.
 	remoteBatchingOff bool
+
+	// Fault-tolerance knobs. All of them are read per execution — never
+	// baked into compiled plans — so changing them does not invalidate the
+	// plan cache.
+	queryTimeout   time.Duration // see SetQueryTimeout
+	partialResults bool          // see SetPartialResults
+	retryAttempts  int           // see SetRemoteRetries (0 = exec default)
+	retryBackoff   time.Duration // see SetRetryBackoff (0 = exec default)
+	// breakers holds one circuit breaker per linked server, created lazily
+	// with the configured threshold/cooldown.
+	breakers         map[string]*circuit.Breaker
+	breakerThreshold int
+	breakerCooldown  time.Duration
 	// OptConfig tunes the optimizer per server.
 	OptConfig opt.Config
 	// Today is the session date for today().
@@ -136,6 +150,9 @@ func NewServer(name, defaultDB string) *Server {
 		histCache:         map[string]*stats.Histogram{},
 		cardCache:         map[string]float64{},
 		planCache:         map[string]*cachedPlan{},
+		breakers:          map[string]*circuit.Breaker{},
+		breakerThreshold:  DefaultBreakerThreshold,
+		breakerCooldown:   DefaultBreakerCooldown,
 	}
 	s.UseRemoteStatistics = true
 	// The search service runs on the same machine: cheap, but still a
@@ -217,6 +234,121 @@ func (s *Server) DisableRemoteBatching() {
 	defer s.mu.Unlock()
 	s.remoteBatchingOff = true
 	s.planCache = map[string]*cachedPlan{}
+}
+
+// Circuit-breaker defaults: a server must fail more than a full default
+// retry ladder (4 attempts) before its breaker trips, and it stays open for
+// a cooldown long enough that a burst of concurrent branches fails fast
+// rather than queueing probes.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 250 * time.Millisecond
+)
+
+// SetQueryTimeout bounds each statement's wall-clock execution. When the
+// deadline passes, remote waits (simulated link sleeps, retry backoffs)
+// abort and the statement fails with a deadline error. 0 disables the
+// deadline. Read per execution, so cached plans honor the new value.
+func (s *Server) SetQueryTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	s.queryTimeout = d
+}
+
+// QueryTimeout reports the per-statement deadline (0 = none).
+func (s *Server) QueryTimeout() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queryTimeout
+}
+
+// SetPartialResults toggles degraded partitioned-view execution: with it
+// on, a UNION ALL fan-out skips members whose circuit breaker is open
+// (instead of failing the query) and reports them in Result.Skipped. Off
+// by default — partial answers must be opted into.
+func (s *Server) SetPartialResults(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.partialResults = on
+}
+
+// PartialResults reports whether degraded partitioned-view execution is on.
+func (s *Server) PartialResults() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.partialResults
+}
+
+// SetRemoteRetries sets the remote-call attempt budget per operation,
+// including the first attempt: 1 disables retries, 0 restores the default
+// (exec.DefaultRetryAttempts).
+func (s *Server) SetRemoteRetries(attempts int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if attempts < 0 {
+		attempts = 0
+	}
+	s.retryAttempts = attempts
+}
+
+// SetRetryBackoff sets the base backoff between retry attempts (doubled
+// per retry, with full jitter). 0 restores the default.
+func (s *Server) SetRetryBackoff(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	s.retryBackoff = d
+}
+
+// SetBreaker reconfigures the per-linked-server circuit breakers: a
+// breaker trips after threshold consecutive transient failures and stays
+// open for cooldown before allowing a half-open probe. Existing breakers
+// are discarded (their streaks reset) so the new configuration applies
+// uniformly.
+func (s *Server) SetBreaker(threshold int, cooldown time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if threshold < 1 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	s.breakerThreshold = threshold
+	s.breakerCooldown = cooldown
+	s.breakers = map[string]*circuit.Breaker{}
+}
+
+// breakerFor returns (creating on demand) the server's circuit breaker.
+// The executor calls it once per remote operation.
+func (s *Server) breakerFor(server string) *circuit.Breaker {
+	if server == "" {
+		return nil
+	}
+	key := strings.ToLower(server)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.breakers[key]
+	if !ok {
+		b = circuit.New(server, s.breakerThreshold, s.breakerCooldown)
+		s.breakers[key] = b
+	}
+	return b
+}
+
+// BreakerState reports a linked server's breaker state (Closed if the
+// server has never failed — the breaker is created on first use).
+func (s *Server) BreakerState(server string) circuit.State {
+	b := s.breakerFor(server)
+	if b == nil {
+		return circuit.Closed
+	}
+	return b.State()
 }
 
 // planBatchSize is the batch size handed to the optimizer: 0 when batching

@@ -93,6 +93,7 @@ func (s *Server) routeViewDML(members []pvMember, where parser.Expr,
 			return 0, err
 		}
 		txn.Enlist(&dtc.FuncParticipant{
+			Name: memberName(m),
 			CommitFn: func() error {
 				n, err := s.applyMemberDML(m, text, params)
 				results[i] = n

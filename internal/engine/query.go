@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -20,6 +21,13 @@ import (
 type Result struct {
 	Cols []schema.Column
 	Rows []rowset.Row
+	// Retries counts remote call attempts that were retried (transient
+	// faults absorbed) while producing this result.
+	Retries int64
+	// Skipped lists linked servers whose partitioned-view members were
+	// skipped under partial-results execution (SetPartialResults). Empty
+	// means the result is complete.
+	Skipped []string
 }
 
 // Display renders the result as text (REPL, examples).
@@ -188,17 +196,31 @@ func (s *Server) runPlan(plan *algebra.Node, cols []schema.Column, params map[st
 	if params == nil {
 		params = map[string]sqltypes.Value{}
 	}
+	// Fault-tolerance settings are read here, per execution, so cached
+	// plans always honor the current knob values.
+	s.mu.Lock()
+	timeout, retryA, retryB, partial := s.queryTimeout, s.retryAttempts, s.retryBackoff, s.partialResults
+	s.mu.Unlock()
+	var qctx context.Context
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		qctx, cancel = context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+	}
+	diags := &exec.Diagnostics{}
 	ctx := &exec.Context{
 		RT: &runtime{s: s}, Params: params, Today: s.Today,
 		MaxDOP: s.MaxDOP(), NoPrefetch: s.DisableRemotePrefetch,
 		RemoteBatchSize: s.RemoteBatchSize(),
+		Ctx:             qctx, RetryAttempts: retryA, RetryBackoff: retryB,
+		BreakerFor: s.breakerFor, PartialResults: partial, Diags: diags,
 	}
 	out := plan.OutCols()
 	m, err := exec.Run(plan, ctx, out)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Cols: cols, Rows: m.Rows()}, nil
+	return &Result{Cols: cols, Rows: m.Rows(), Retries: diags.Retries(), Skipped: diags.Skipped()}, nil
 }
 
 // QuerySQL implements sqlful.Target, making this server usable as a linked

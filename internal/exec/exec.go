@@ -10,10 +10,13 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"dhqp/internal/algebra"
+	"dhqp/internal/circuit"
 	"dhqp/internal/cost"
 	"dhqp/internal/expr"
 	"dhqp/internal/oledb"
@@ -45,6 +48,29 @@ type Context struct {
 	// caps how many outer rows a BatchLoopJoin buffers per probe and sizes
 	// remoteFetchIter's bookmark batches. 0 means cost.DefaultRemoteBatch.
 	RemoteBatchSize int
+
+	// Ctx is the statement's deadline/cancellation context; nil means no
+	// deadline. It threads into remote sessions (oledb.ContextSession) so
+	// in-flight simulated transfers abort instead of sleeping out, and
+	// into retry backoff waits.
+	Ctx context.Context
+	// RetryAttempts is the remote-call attempt budget per operation
+	// (including the first attempt); 0 means DefaultRetryAttempts, 1
+	// disables retries.
+	RetryAttempts int
+	// RetryBackoff is the base backoff between attempts (doubled per
+	// retry with full jitter); 0 means DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// BreakerFor resolves a linked server's circuit breaker; nil (the
+	// function or its result) disables breaking for that server.
+	BreakerFor func(server string) *circuit.Breaker
+	// PartialResults lets a UNION ALL fan-out skip branches whose server's
+	// breaker is open, recording them in Diags, instead of failing the
+	// query (degraded partitioned-view mode).
+	PartialResults bool
+	// Diags accumulates the execution's fault diagnostics (retries,
+	// skipped partitions); nil disables recording.
+	Diags *Diagnostics
 }
 
 // remoteBatch returns the effective batched-remote-access size.
@@ -62,9 +88,13 @@ func (c *Context) env(row rowset.Row) *expr.Env {
 // fork returns a child context with a private parameter map. Parallel
 // exchange children each execute against their own fork so a correlated
 // loop join binding parameters inside one child cannot race a sibling.
+// Fault-tolerance state (deadline, breakers, diagnostics) is shared: those
+// are per-statement, not per-branch, and are themselves concurrency-safe.
 func (c *Context) fork() *Context {
 	f := &Context{RT: c.RT, Today: c.Today, MaxDOP: c.MaxDOP, NoPrefetch: c.NoPrefetch,
-		RemoteBatchSize: c.RemoteBatchSize}
+		RemoteBatchSize: c.RemoteBatchSize,
+		Ctx:             c.Ctx, RetryAttempts: c.RetryAttempts, RetryBackoff: c.RetryBackoff,
+		BreakerFor: c.BreakerFor, PartialResults: c.PartialResults, Diags: c.Diags}
 	f.syncParams(c)
 	return f
 }
@@ -211,6 +241,9 @@ func Run(n *algebra.Node, ctx *Context, outCols []algebra.OutCol) (*rowset.Mater
 	defer it.Close()
 	out := rowset.NewMaterialized(toSchemaCols(outCols), nil)
 	for {
+		if err := ctx.canceled(); err != nil {
+			return nil, err
+		}
 		r, err := it.Next()
 		if err == io.EOF {
 			return out, nil

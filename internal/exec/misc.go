@@ -1,9 +1,12 @@
 package exec
 
 import (
+	"fmt"
 	"io"
+	"strings"
 
 	"dhqp/internal/algebra"
+	"dhqp/internal/circuit"
 	"dhqp/internal/expr"
 	"dhqp/internal/rowset"
 	"dhqp/internal/sqltypes"
@@ -269,10 +272,41 @@ func (s *spoolIter) Close() error { return nil }
 // concatIter is UNION ALL: children in sequence, each remapped to the
 // output column order.
 type concatIter struct {
-	kids []Iterator
-	maps [][]int // per child: output position -> child position
-	idx  int
-	open bool
+	ctx    *Context
+	kids   []Iterator
+	maps   [][]int  // per child: output position -> child position
+	labels []string // per child: server(s) the branch reaches, or "local"
+	idx    int
+	open   bool
+	sent   int // rows emitted from the currently open child
+}
+
+// branchLabels names the server(s) each fan-out branch reaches, so branch
+// failures identify which linked server — which partition — went wrong.
+func branchLabels(kids []*algebra.Node) []string {
+	labels := make([]string, len(kids))
+	for i, k := range kids {
+		if servers := algebra.RemoteServers(k); len(servers) > 0 {
+			labels[i] = strings.Join(servers, "+")
+		} else {
+			labels[i] = "local"
+		}
+	}
+	return labels
+}
+
+// branchErr tags a branch error with the server it came from.
+func branchErr(idx int, label string, err error) error {
+	return fmt.Errorf("exec: concat branch %d [%s]: %w", idx, label, err)
+}
+
+// skippableBranch reports whether a failed branch may be skipped under
+// partial-results execution: the rejection came from an open circuit
+// breaker (the server was known down and never contacted) and the branch
+// has not delivered any rows yet — a partition is either wholly present or
+// wholly skipped, never half-shipped.
+func skippableBranch(ctx *Context, err error, sent int) bool {
+	return ctx.PartialResults && sent == 0 && circuit.IsOpen(err)
 }
 
 func buildConcat(n *algebra.Node, op *algebra.Concat, ctx *Context) (Iterator, error) {
@@ -316,10 +350,11 @@ func buildConcat(n *algebra.Node, op *algebra.Concat, ctx *Context) (Iterator, e
 		}
 		maps[i] = m
 	}
+	labels := branchLabels(n.Kids)
 	if parallel {
-		return newParallelConcat(ctx, kids, kidCtxs, maps), nil
+		return newParallelConcat(ctx, kids, kidCtxs, maps, labels), nil
 	}
-	return &concatIter{kids: kids, maps: maps}, nil
+	return &concatIter{ctx: ctx, kids: kids, maps: maps, labels: labels}, nil
 }
 
 type colNotFoundError expr.ColumnID
@@ -344,8 +379,14 @@ func (c *concatIter) Next() (rowset.Row, error) {
 			return nil, io.EOF
 		}
 		if !c.open {
+			c.sent = 0
 			if err := c.kids[c.idx].Open(); err != nil {
-				return nil, err
+				if skippableBranch(c.ctx, err, c.sent) {
+					c.ctx.Diags.RecordSkip(c.labels[c.idx])
+					c.idx++
+					continue
+				}
+				return nil, branchErr(c.idx, c.labels[c.idx], err)
 			}
 			c.open = true
 		}
@@ -359,8 +400,16 @@ func (c *concatIter) Next() (rowset.Row, error) {
 			continue
 		}
 		if err != nil {
-			return nil, err
+			if skippableBranch(c.ctx, err, c.sent) {
+				c.ctx.Diags.RecordSkip(c.labels[c.idx])
+				c.open = false
+				_ = c.kids[c.idx].Close()
+				c.idx++
+				continue
+			}
+			return nil, branchErr(c.idx, c.labels[c.idx], err)
 		}
+		c.sent++
 		m := c.maps[c.idx]
 		out := make(rowset.Row, len(m))
 		for j, p := range m {

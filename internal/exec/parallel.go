@@ -49,6 +49,7 @@ type parallelConcatIter struct {
 	kids    []Iterator
 	kidCtxs []*Context // forked per child; nil entries share parent
 	maps    [][]int    // per child: output position -> child position
+	labels  []string   // per child: server(s) the branch reaches
 	dop     int
 
 	ch      chan parItem
@@ -58,7 +59,7 @@ type parallelConcatIter struct {
 }
 
 // newParallelConcat assembles the exchange over already-built children.
-func newParallelConcat(parent *Context, kids []Iterator, kidCtxs []*Context, maps [][]int) *parallelConcatIter {
+func newParallelConcat(parent *Context, kids []Iterator, kidCtxs []*Context, maps [][]int, labels []string) *parallelConcatIter {
 	dop := parent.MaxDOP
 	if dop <= 0 {
 		dop = runtime.GOMAXPROCS(0)
@@ -72,7 +73,7 @@ func newParallelConcat(parent *Context, kids []Iterator, kidCtxs []*Context, map
 	if dop < 1 {
 		dop = 1
 	}
-	return &parallelConcatIter{parent: parent, kids: kids, kidCtxs: kidCtxs, maps: maps, dop: dop}
+	return &parallelConcatIter{parent: parent, kids: kids, kidCtxs: kidCtxs, maps: maps, labels: labels, dop: dop}
 }
 
 func (p *parallelConcatIter) Open() error {
@@ -120,7 +121,11 @@ func (p *parallelConcatIter) worker(queue chan int, ch chan parItem, cancel chan
 }
 
 // runChild opens, streams, and closes one child. It reports whether the
-// worker should stop (cancellation observed or the child errored).
+// worker should stop (cancellation observed or the child errored). Branch
+// errors carry the branch's server name so partial-failure diagnostics say
+// which linked server failed; under partial-results execution a branch
+// rejected by an open circuit breaker (before delivering any rows) is
+// skipped — recorded, not fatal — and the worker moves on.
 func (p *parallelConcatIter) runChild(idx int, ch chan parItem, cancel chan struct{}) (stop bool) {
 	select {
 	case <-cancel:
@@ -129,18 +134,27 @@ func (p *parallelConcatIter) runChild(idx int, ch chan parItem, cancel chan stru
 	}
 	kid := p.kids[idx]
 	if err := kid.Open(); err != nil {
-		sendItem(ch, cancel, parItem{err: err})
+		if skippableBranch(p.parent, err, 0) {
+			p.parent.Diags.RecordSkip(p.labels[idx])
+			return false
+		}
+		sendItem(ch, cancel, parItem{err: branchErr(idx, p.labels[idx], err)})
 		return true
 	}
 	defer kid.Close()
 	m := p.maps[idx]
+	sent := 0
 	for {
 		r, err := kid.Next()
 		if err == io.EOF {
 			return false
 		}
 		if err != nil {
-			sendItem(ch, cancel, parItem{err: err})
+			if skippableBranch(p.parent, err, sent) {
+				p.parent.Diags.RecordSkip(p.labels[idx])
+				return false
+			}
+			sendItem(ch, cancel, parItem{err: branchErr(idx, p.labels[idx], err)})
 			return true
 		}
 		out := make(rowset.Row, len(m))
@@ -150,6 +164,7 @@ func (p *parallelConcatIter) runChild(idx int, ch chan parItem, cancel chan stru
 		if sendItem(ch, cancel, parItem{row: out}) {
 			return true
 		}
+		sent++
 	}
 }
 

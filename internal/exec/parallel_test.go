@@ -156,7 +156,7 @@ func TestParallelConcatErrorCancelsSiblings(t *testing.T) {
 	}
 	maps := [][]int{{0}, {0}, {0}, {0}}
 	ctx := &Context{Params: map[string]sqltypes.Value{}, MaxDOP: 4}
-	p := newParallelConcat(ctx, kids, make([]*Context, len(kids)), maps)
+	p := newParallelConcat(ctx, kids, make([]*Context, len(kids)), maps, []string{"local", "local", "local", "local"})
 	if err := p.Open(); err != nil {
 		t.Fatal(err)
 	}
@@ -171,11 +171,11 @@ func TestParallelConcatErrorCancelsSiblings(t *testing.T) {
 			break
 		}
 	}
-	if got != boom {
+	if !errors.Is(got, boom) {
 		t.Fatalf("surfaced error = %v, want boom", got)
 	}
 	// Sticky: later Nexts keep returning the error.
-	if _, err := p.Next(); err != boom {
+	if _, err := p.Next(); !errors.Is(err, boom) {
 		t.Errorf("second Next = %v, want sticky boom", err)
 	}
 	// Every child a worker opened has been closed; the siblings did not run
@@ -199,7 +199,7 @@ func TestParallelConcatOpenCloseNoGoroutineLeak(t *testing.T) {
 	}
 	maps := [][]int{{0}, {0}, {0}, {0}}
 	ctx := &Context{Params: map[string]sqltypes.Value{}}
-	p := newParallelConcat(ctx, kids, make([]*Context, len(kids)), maps)
+	p := newParallelConcat(ctx, kids, make([]*Context, len(kids)), maps, []string{"local", "local", "local", "local"})
 	for i := 0; i < 25; i++ {
 		if err := p.Open(); err != nil {
 			t.Fatal(err)

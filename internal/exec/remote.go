@@ -1,0 +1,306 @@
+// Fault-tolerant remote access: every remote call the executor makes —
+// shipping a statement, opening a rowset, fetching a bookmark batch —
+// passes through a retry-with-backoff loop gated by the server's circuit
+// breaker. Only errors classified transient (oledb.Classify) are retried;
+// retries are idempotent-safe because they re-execute the statement and
+// discard the failed attempt's partial rowset — a broken rowset is never
+// resumed mid-stream.
+
+package exec
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dhqp/internal/circuit"
+	"dhqp/internal/oledb"
+	"dhqp/internal/rowset"
+	"dhqp/internal/schema"
+)
+
+// Retry defaults: four attempts with a sub-millisecond base keep the
+// ladder fast on the simulated links while still surviving double-digit
+// transient fault rates; the cap bounds the exponential growth.
+const (
+	DefaultRetryAttempts = 4
+	DefaultRetryBackoff  = 200 * time.Microsecond
+	maxRetryBackoff      = 20 * time.Millisecond
+)
+
+// Diagnostics accumulates one execution's fault-handling events. Safe for
+// concurrent use — parallel exchange branches record into the shared
+// statement instance.
+type Diagnostics struct {
+	mu      sync.Mutex
+	retries int64
+	skipped []string
+}
+
+// RecordRetry counts one retried remote call attempt.
+func (d *Diagnostics) RecordRetry() {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.retries++
+	d.mu.Unlock()
+}
+
+// RecordSkip records a partition skipped under partial-results execution.
+func (d *Diagnostics) RecordSkip(server string) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	d.skipped = append(d.skipped, server)
+	d.mu.Unlock()
+}
+
+// Retries reports how many remote call attempts were retried.
+func (d *Diagnostics) Retries() int64 {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.retries
+}
+
+// Skipped lists the servers whose partitions were skipped.
+func (d *Diagnostics) Skipped() []string {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.skipped))
+	copy(out, d.skipped)
+	return out
+}
+
+// canceled reports the statement context's error, if it has one.
+func (c *Context) canceled() error {
+	if c.Ctx != nil {
+		return c.Ctx.Err()
+	}
+	return nil
+}
+
+// sessionFor resolves the server's session and, when the statement has a
+// deadline context and the session supports it, binds the context to the
+// session view used for this execution.
+func (c *Context) sessionFor(server string) (oledb.Session, error) {
+	sess, err := c.RT.SessionFor(server)
+	if err != nil {
+		return nil, err
+	}
+	if c.Ctx != nil {
+		if cs, ok := sess.(oledb.ContextSession); ok {
+			sess = cs.WithContext(c.Ctx)
+		}
+	}
+	return sess, nil
+}
+
+// breakerOf resolves the server's circuit breaker (nil = none).
+func (c *Context) breakerOf(server string) *circuit.Breaker {
+	if c.BreakerFor == nil || server == "" {
+		return nil
+	}
+	return c.BreakerFor(server)
+}
+
+func (c *Context) retryAttempts() int {
+	if c.RetryAttempts > 0 {
+		return c.RetryAttempts
+	}
+	return DefaultRetryAttempts
+}
+
+// backoffWait sleeps the exponential-backoff-with-full-jitter delay before
+// retry attempt a (0-based count of completed attempts), honoring the
+// statement context.
+func (c *Context) backoffWait(a int) error {
+	base := c.RetryBackoff
+	if base <= 0 {
+		base = DefaultRetryBackoff
+	}
+	ceil := base << uint(a)
+	if ceil > maxRetryBackoff {
+		ceil = maxRetryBackoff
+	}
+	d := time.Duration(rand.Int63n(int64(ceil) + 1))
+	if d <= 0 {
+		return c.canceled()
+	}
+	if c.Ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.Ctx.Done():
+		return c.Ctx.Err()
+	}
+}
+
+// withRetry runs one remote operation under the server's breaker and the
+// context's retry budget. fn is re-invoked whole on transient failures —
+// never resumed — with exponential backoff between attempts. Transient
+// failures count against the breaker; successes reset it; permanent
+// errors, cancellation and breaker rejections pass through untouched.
+func (c *Context) withRetry(server string, fn func() error) error {
+	attempts := c.retryAttempts()
+	br := c.breakerOf(server)
+	var err error
+	for a := 0; a < attempts; a++ {
+		if cerr := c.canceled(); cerr != nil {
+			return cerr
+		}
+		if br != nil {
+			if berr := br.Allow(); berr != nil {
+				return fmt.Errorf("exec: server %s: %w", server, berr)
+			}
+		}
+		err = fn()
+		if err == nil {
+			if br != nil {
+				br.Success()
+			}
+			return nil
+		}
+		switch oledb.Classify(err) {
+		case oledb.ClassTransient:
+			if br != nil {
+				br.Failure()
+			}
+		case oledb.ClassCancelled, oledb.ClassCircuitOpen:
+			// The caller's own deadline, or a rejection before the server
+			// was reached: no verdict on the server's health. Release any
+			// half-open probe slot Allow handed us so the next caller may
+			// probe.
+			if br != nil {
+				br.ProbeAborted()
+			}
+			return err
+		default:
+			// Permanent error: reached the server and got a logic error —
+			// the server is healthy. Reset its streak.
+			if br != nil {
+				br.Success()
+			}
+			return err
+		}
+		if a < attempts-1 {
+			c.Diags.RecordRetry()
+			if werr := c.backoffWait(a); werr != nil {
+				return werr
+			}
+		}
+	}
+	return fmt.Errorf("exec: server %s: %d attempts exhausted: %w", server, attempts, err)
+}
+
+// retryRowset is a remote rowset with restart-and-discard recovery: when
+// the stream fails with a transient error mid-flight, it closes the broken
+// rowset, re-executes the statement (through the same breaker + retry
+// gate), silently discards the rows already delivered downstream, and
+// resumes. The discipline is sound because the simulated providers are
+// deterministic: re-executing the same statement against the same snapshot
+// returns the same rows in the same order. A replay that comes up short is
+// reported as a permanent error rather than papered over.
+type retryRowset struct {
+	ctx    *Context
+	server string
+	what   string
+	open   func(sess oledb.Session) (rowset.Rowset, error)
+
+	rs        rowset.Rowset
+	cols      []schema.Column
+	delivered int64
+	closed    bool
+}
+
+// openRemoteRowset opens a remote rowset fault-tolerantly. The open
+// closure runs against a fresh context-bound session view on every
+// attempt; the returned rowset recovers from mid-stream transients by
+// re-executing it.
+func openRemoteRowset(ctx *Context, server, what string, open func(sess oledb.Session) (rowset.Rowset, error)) (rowset.Rowset, error) {
+	r := &retryRowset{ctx: ctx, server: server, what: what, open: open}
+	if err := r.reopen(0); err != nil {
+		return nil, err
+	}
+	r.cols = r.rs.Columns()
+	return r, nil
+}
+
+// reopen (re-)executes the statement and fast-forwards past the rows
+// already delivered downstream.
+func (r *retryRowset) reopen(discard int64) error {
+	return r.ctx.withRetry(r.server, func() error {
+		sess, err := r.ctx.sessionFor(r.server)
+		if err != nil {
+			return err
+		}
+		rs, err := r.open(sess)
+		if err != nil {
+			return err
+		}
+		for i := int64(0); i < discard; i++ {
+			if _, err := rs.Next(); err != nil {
+				rs.Close()
+				if err == io.EOF {
+					return fmt.Errorf("exec: %s on %s: replay returned %d rows, %d already delivered (non-deterministic source?)", r.what, r.server, i, discard)
+				}
+				return err
+			}
+		}
+		r.rs = rs
+		return nil
+	})
+}
+
+func (r *retryRowset) Columns() []schema.Column { return r.cols }
+
+func (r *retryRowset) Next() (rowset.Row, error) {
+	for {
+		row, err := r.rs.Next()
+		if err == nil {
+			r.delivered++
+			return row, nil
+		}
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if !oledb.IsTransient(err) {
+			return nil, err
+		}
+		// Transient mid-stream: the broken attempt counts against the
+		// breaker, then the statement re-executes from scratch.
+		if br := r.ctx.breakerOf(r.server); br != nil {
+			br.Failure()
+		}
+		r.ctx.Diags.RecordRetry()
+		r.rs.Close()
+		if rerr := r.reopen(r.delivered); rerr != nil {
+			return nil, fmt.Errorf("exec: %s on %s: %w", r.what, r.server, rerr)
+		}
+	}
+}
+
+func (r *retryRowset) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.rs != nil {
+		return r.rs.Close()
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"dhqp/internal/oledb"
 	"dhqp/internal/rowset"
 	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
 )
 
 // objectName renders the name a provider session expects for a source.
@@ -40,6 +41,16 @@ func (s *scanIter) Open() error {
 		s.rs.Close()
 		s.rs = nil
 	}
+	if s.src.IsRemote() {
+		rs, err := openRemoteRowset(s.ctx, s.src.Server, "scan", func(sess oledb.Session) (rowset.Rowset, error) {
+			return sess.OpenRowset(objectName(s.src))
+		})
+		if err != nil {
+			return fmt.Errorf("exec: scan %s: %w", s.src, err)
+		}
+		s.rs = maybePrefetch(s.ctx, true, rs)
+		return nil
+	}
 	sess, err := s.ctx.RT.SessionFor(s.src.Server)
 	if err != nil {
 		return err
@@ -48,7 +59,7 @@ func (s *scanIter) Open() error {
 	if err != nil {
 		return fmt.Errorf("exec: scan %s: %w", s.src, err)
 	}
-	s.rs = maybePrefetch(s.ctx, s.src.IsRemote(), rs)
+	s.rs = rs
 	return nil
 }
 
@@ -119,10 +130,6 @@ func (s *indexRangeIter) Open() error {
 		s.rs.Close()
 		s.rs = nil
 	}
-	sess, err := s.ctx.RT.SessionFor(s.src.Server)
-	if err != nil {
-		return err
-	}
 	lo, err := s.evalBound(s.lo)
 	if err != nil {
 		return err
@@ -131,11 +138,25 @@ func (s *indexRangeIter) Open() error {
 	if err != nil {
 		return err
 	}
+	if s.src.IsRemote() {
+		rs, err := openRemoteRowset(s.ctx, s.src.Server, "index range", func(sess oledb.Session) (rowset.Rowset, error) {
+			return sess.OpenIndexRange(objectName(s.src), s.index, lo, hi)
+		})
+		if err != nil {
+			return fmt.Errorf("exec: index range %s.%s: %w", s.src, s.index, err)
+		}
+		s.rs = maybePrefetch(s.ctx, true, rs)
+		return nil
+	}
+	sess, err := s.ctx.RT.SessionFor(s.src.Server)
+	if err != nil {
+		return err
+	}
 	rs, err := sess.OpenIndexRange(objectName(s.src), s.index, lo, hi)
 	if err != nil {
 		return fmt.Errorf("exec: index range %s.%s: %w", s.src, s.index, err)
 	}
-	s.rs = maybePrefetch(s.ctx, s.src.IsRemote(), rs)
+	s.rs = rs
 	return nil
 }
 
@@ -193,19 +214,23 @@ func (r *remoteQueryIter) Open() error {
 		r.rs.Close()
 		r.rs = nil
 	}
-	sess, err := r.ctx.RT.SessionFor(r.op.Server)
-	if err != nil {
-		return err
-	}
-	cmd, err := sess.CreateCommand()
-	if err != nil {
-		return fmt.Errorf("exec: remote query on %s: %w", r.op.Server, err)
-	}
-	cmd.SetText(r.op.SQL)
+	// Snapshot the parameter values once: a retry re-executes the same
+	// statement even if a concurrent sibling rebinds shared parameters.
+	params := make(map[string]sqltypes.Value, len(r.ctx.Params))
 	for name, v := range r.ctx.Params {
-		cmd.SetParam(name, v)
+		params[name] = v
 	}
-	rs, err := cmd.Execute()
+	rs, err := openRemoteRowset(r.ctx, r.op.Server, "remote query", func(sess oledb.Session) (rowset.Rowset, error) {
+		cmd, err := sess.CreateCommand()
+		if err != nil {
+			return nil, err
+		}
+		cmd.SetText(r.op.SQL)
+		for name, v := range params {
+			cmd.SetParam(name, v)
+		}
+		return cmd.Execute()
+	})
 	if err != nil {
 		return fmt.Errorf("exec: remote query on %s: %w", r.op.Server, err)
 	}
@@ -242,19 +267,21 @@ func (p *providerCommandIter) Open() error {
 		p.rs.Close()
 		p.rs = nil
 	}
-	sess, err := p.ctx.RT.SessionFor(p.op.Src.Server)
-	if err != nil {
-		return err
-	}
-	cmd, err := sess.CreateCommand()
-	if err != nil {
-		return fmt.Errorf("exec: provider command on %s: %w", p.op.Src.Server, err)
-	}
-	cmd.SetText(p.op.Src.Query)
+	params := make(map[string]sqltypes.Value, len(p.ctx.Params))
 	for name, v := range p.ctx.Params {
-		cmd.SetParam(name, v)
+		params[name] = v
 	}
-	rs, err := cmd.Execute()
+	rs, err := openRemoteRowset(p.ctx, p.op.Src.Server, "provider command", func(sess oledb.Session) (rowset.Rowset, error) {
+		cmd, err := sess.CreateCommand()
+		if err != nil {
+			return nil, err
+		}
+		cmd.SetText(p.op.Src.Query)
+		for name, v := range params {
+			cmd.SetParam(name, v)
+		}
+		return cmd.Execute()
+	})
 	if err != nil {
 		return fmt.Errorf("exec: provider command on %s: %w", p.op.Src.Server, err)
 	}
@@ -335,17 +362,24 @@ func (r *remoteFetchIter) Next() (rowset.Row, error) {
 			}
 			bms[i] = bm
 		}
-		sess, err := r.ctx.RT.SessionFor(r.op.Src.Server)
-		if err != nil {
-			return nil, err
-		}
-		rs, err := sess.FetchByBookmarks(objectName(r.op.Src), bms)
+		// The fetch + drain retries as one unit: nothing from the batch is
+		// delivered until the whole batch has crossed the link, so a
+		// transient failure anywhere in it simply re-fetches the batch.
+		var fetched *rowset.Materialized
+		err := r.ctx.withRetry(r.op.Src.Server, func() error {
+			sess, err := r.ctx.sessionFor(r.op.Src.Server)
+			if err != nil {
+				return err
+			}
+			rs, err := sess.FetchByBookmarks(objectName(r.op.Src), bms)
+			if err != nil {
+				return err
+			}
+			fetched, err = rowset.ReadAll(rs)
+			return err
+		})
 		if err != nil {
 			return nil, fmt.Errorf("exec: remote fetch %s: %w", r.op.Src, err)
-		}
-		fetched, err := rowset.ReadAll(rs)
-		if err != nil {
-			return nil, err
 		}
 		if fetched.Len() != len(r.pending) {
 			return nil, fmt.Errorf("exec: remote fetch returned %d rows for %d bookmarks", fetched.Len(), len(r.pending))

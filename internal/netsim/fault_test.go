@@ -1,0 +1,138 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// callErrs runs n calls against the link and records which ones failed.
+func callErrs(l *Link, n int) []error {
+	out := make([]error, n)
+	for i := range out {
+		out[i] = l.Call(context.Background(), 1, 10)
+	}
+	return out
+}
+
+func TestFaultDeterminism(t *testing.T) {
+	plan := Faults{Seed: 42, TransientProb: 0.3}
+	a := &Link{LatencyPerCall: time.Microsecond}
+	b := &Link{LatencyPerCall: time.Microsecond}
+	a.SetFaults(plan)
+	b.SetFaults(plan)
+	ea, eb := callErrs(a, 200), callErrs(b, 200)
+	faults := 0
+	for i := range ea {
+		if (ea[i] == nil) != (eb[i] == nil) {
+			t.Fatalf("call %d: same seed diverged: %v vs %v", i, ea[i], eb[i])
+		}
+		if ea[i] != nil {
+			faults++
+		}
+	}
+	if faults == 0 || faults == 200 {
+		t.Fatalf("30%% transient plan produced %d/200 faults", faults)
+	}
+	if s := a.Stats(); s.Faults != int64(faults) {
+		t.Errorf("Stats.Faults = %d, want %d", s.Faults, faults)
+	}
+}
+
+func TestFaultTransientMarker(t *testing.T) {
+	l := &Link{}
+	l.SetFaults(Faults{Seed: 1, TransientProb: 1})
+	err := l.Call(context.Background(), 1, 1)
+	if err == nil {
+		t.Fatal("TransientProb=1 call succeeded")
+	}
+	tr, ok := err.(interface{ Transient() bool })
+	if !ok || !tr.Transient() {
+		t.Fatalf("injected fault %v is not marked transient", err)
+	}
+	// A failed round trip ships nothing but still pays its latency.
+	if s := l.Stats(); s.Rows != 0 || s.Bytes != 0 || s.Faults != 1 {
+		t.Errorf("stats after transient = %+v", s)
+	}
+}
+
+func TestFaultFailAfter(t *testing.T) {
+	l := &Link{}
+	l.SetFaults(Faults{FailAfter: 3})
+	for i := 0; i < 3; i++ {
+		if err := l.Call(context.Background(), 1, 1); err != nil {
+			t.Fatalf("call %d before FailAfter failed: %v", i, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		err := l.Call(context.Background(), 1, 1)
+		if !errors.Is(err, ErrDown) {
+			t.Fatalf("call %d after FailAfter = %v, want ErrDown", i, err)
+		}
+	}
+}
+
+func TestFaultDownAndRecovery(t *testing.T) {
+	l := &Link{LatencyPerCall: 50 * time.Millisecond, Sleep: true}
+	l.SetDown(true)
+	start := time.Now()
+	err := l.Call(context.Background(), 1, 1)
+	if !errors.Is(err, ErrDown) {
+		t.Fatalf("downed link error = %v", err)
+	}
+	// Connection refused is fast: a downed link must not pay its latency.
+	if el := time.Since(start); el > 25*time.Millisecond {
+		t.Errorf("downed call took %v, should fail immediately", el)
+	}
+	l.Sleep = false
+	l.SetDown(false)
+	if err := l.Call(context.Background(), 1, 1); err != nil {
+		t.Fatalf("recovered link still failing: %v", err)
+	}
+}
+
+func TestFaultSlowness(t *testing.T) {
+	l := &Link{LatencyPerCall: time.Millisecond}
+	l.SetFaults(Faults{Seed: 7, SlowProb: 1, SlowBy: 9 * time.Millisecond})
+	if err := l.Call(context.Background(), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s := l.Stats(); s.VirtualTime != 10*time.Millisecond {
+		t.Errorf("virtual time with jitter = %v, want 10ms", s.VirtualTime)
+	}
+}
+
+func TestCallCtxCancelInterruptsSleep(t *testing.T) {
+	l := &Link{LatencyPerCall: 10 * time.Second, Sleep: true}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := l.Call(ctx, 1, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Errorf("cancelled call took %v; the sleep was not interrupted", el)
+	}
+	// A context already expired fails before any accounting.
+	l.Reset()
+	if err := l.Call(ctx, 1, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired-ctx call = %v", err)
+	}
+	if s := l.Stats(); s.Calls != 0 {
+		t.Errorf("expired-ctx call was counted: %+v", s)
+	}
+}
+
+func TestClearFaults(t *testing.T) {
+	l := &Link{}
+	l.SetFaults(Faults{TransientProb: 1})
+	if err := l.Call(context.Background(), 1, 1); err == nil {
+		t.Fatal("fault plan not active")
+	}
+	l.ClearFaults()
+	if err := l.Call(context.Background(), 1, 1); err != nil {
+		t.Fatalf("cleared link still failing: %v", err)
+	}
+}

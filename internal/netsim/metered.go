@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"context"
+
 	"dhqp/internal/rowset"
 	"dhqp/internal/schema"
 )
@@ -8,17 +10,26 @@ import (
 // Metered wraps a rowset so that every batch of rows crossing it is charged
 // to the link (one Call per batch, batching to model streaming fetch
 // buffers). Providers wrap the rowsets they return to the DHQP with it.
+// Calls run without a cancellation context; see MeteredCtx.
 func Metered(rs rowset.Rowset, link *Link, batch int) rowset.Rowset {
+	return MeteredCtx(context.Background(), rs, link, batch)
+}
+
+// MeteredCtx is Metered with a context: the per-batch link calls honor the
+// context's cancellation/deadline and surface the link's injected faults as
+// Next errors.
+func MeteredCtx(ctx context.Context, rs rowset.Rowset, link *Link, batch int) rowset.Rowset {
 	if link == nil {
 		return rs
 	}
 	if batch <= 0 {
 		batch = 64
 	}
-	return &meteredRowset{rs: rs, link: link, batch: batch}
+	return &meteredRowset{ctx: ctx, rs: rs, link: link, batch: batch}
 }
 
 type meteredRowset struct {
+	ctx   context.Context
 	rs    rowset.Rowset
 	link  *Link
 	batch int
@@ -32,25 +43,37 @@ func (m *meteredRowset) Columns() []schema.Column { return m.rs.Columns() }
 func (m *meteredRowset) Next() (rowset.Row, error) {
 	r, err := m.rs.Next()
 	if err != nil {
-		m.flush()
+		// End of stream (or upstream failure): the tail batch still has to
+		// cross the link; a failed tail transfer outranks EOF.
+		if ferr := m.flush(); ferr != nil {
+			return nil, ferr
+		}
 		return nil, err
 	}
 	m.pendingRows++
 	m.pendingBytes += r.EncodedSize()
 	if m.pendingRows >= m.batch {
-		m.flush()
+		if err := m.flush(); err != nil {
+			return nil, err
+		}
 	}
 	return r, nil
 }
 
-func (m *meteredRowset) flush() {
+func (m *meteredRowset) flush() error {
 	if m.pendingRows > 0 {
-		m.link.Call(m.pendingRows, m.pendingBytes)
+		rows, bytes := m.pendingRows, m.pendingBytes
 		m.pendingRows, m.pendingBytes = 0, 0
+		return m.link.Call(m.ctx, rows, bytes)
 	}
+	return nil
 }
 
 func (m *meteredRowset) Close() error {
-	m.flush()
-	return m.rs.Close()
+	ferr := m.flush()
+	cerr := m.rs.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
 }

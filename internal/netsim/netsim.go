@@ -6,6 +6,7 @@
 package netsim
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,7 +25,11 @@ type Link struct {
 	calls       atomic.Int64
 	rows        atomic.Int64
 	bytes       atomic.Int64
+	faults      atomic.Int64
 	virtualTime atomic.Int64 // nanoseconds
+
+	// fault holds the installed fault plan (nil = healthy link).
+	fault atomic.Pointer[faultRunner]
 }
 
 // LAN returns a link with typical local-network characteristics, scaled for
@@ -45,21 +50,57 @@ func WAN() *Link {
 // callers it is the sum of overlapping delays, an upper bound on (not a
 // measure of) elapsed wall-clock time. Benchmarks comparing serial against
 // parallel execution must use Sleep=true and measure real elapsed time.
-func (l *Link) Call(rows int, bytes int) {
+//
+// The context interrupts the simulated transfer: a cancelled or expired
+// context aborts the sleep and returns the context's error (classified
+// non-transient — a caller's deadline is not a server fault). An installed
+// fault plan may fail the call instead: a downed link fails immediately
+// without sleeping (connection refused is fast), a transient fault pays the
+// round trip's latency but ships no payload.
+func (l *Link) Call(ctx context.Context, rows int, bytes int) error {
 	if l == nil {
-		return
+		return nil
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	l.calls.Add(1)
+	var extra time.Duration
+	if f := l.fault.Load(); f != nil {
+		v := f.next()
+		if v.down {
+			l.faults.Add(1)
+			return &downError{calls: l.calls.Load()}
+		}
+		extra = v.extra
+		if v.transient {
+			// The failed round trip still took its time.
+			d := l.LatencyPerCall + extra
+			l.virtualTime.Add(int64(d))
+			l.faults.Add(1)
+			if l.Sleep {
+				if err := sleepCtx(ctx, d); err != nil {
+					return err
+				}
+			}
+			return &TransientError{Msg: "transient failure on the wire"}
+		}
+	}
 	l.rows.Add(int64(rows))
 	l.bytes.Add(int64(bytes))
-	d := l.LatencyPerCall
+	d := l.LatencyPerCall + extra
 	if l.BytesPerSecond > 0 {
 		d += time.Duration(float64(bytes) / l.BytesPerSecond * float64(time.Second))
 	}
 	l.virtualTime.Add(int64(d))
 	if l.Sleep && d > 0 {
-		time.Sleep(d)
+		if err := sleepCtx(ctx, d); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // TransferCost returns the virtual time a payload of the given size would
@@ -80,6 +121,7 @@ type Stats struct {
 	Calls       int64
 	Rows        int64
 	Bytes       int64
+	Faults      int64
 	VirtualTime time.Duration
 }
 
@@ -92,11 +134,12 @@ func (l *Link) Stats() Stats {
 		Calls:       l.calls.Load(),
 		Rows:        l.rows.Load(),
 		Bytes:       l.bytes.Load(),
+		Faults:      l.faults.Load(),
 		VirtualTime: time.Duration(l.virtualTime.Load()),
 	}
 }
 
-// Reset zeroes the counters.
+// Reset zeroes the counters (the fault plan, if any, stays installed).
 func (l *Link) Reset() {
 	if l == nil {
 		return
@@ -104,6 +147,7 @@ func (l *Link) Reset() {
 	l.calls.Store(0)
 	l.rows.Store(0)
 	l.bytes.Store(0)
+	l.faults.Store(0)
 	l.virtualTime.Store(0)
 }
 
@@ -142,6 +186,7 @@ func (m *Meter) Total() Stats {
 		t.Calls += s.Calls
 		t.Rows += s.Rows
 		t.Bytes += s.Bytes
+		t.Faults += s.Faults
 		t.VirtualTime += s.VirtualTime
 	}
 	return t

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -8,8 +9,8 @@ import (
 
 func TestLinkAccounting(t *testing.T) {
 	l := &Link{LatencyPerCall: time.Millisecond, BytesPerSecond: 1e6}
-	l.Call(10, 1000)
-	l.Call(5, 500)
+	l.Call(context.Background(), 10, 1000)
+	l.Call(context.Background(), 5, 500)
 	s := l.Stats()
 	if s.Calls != 2 || s.Rows != 15 || s.Bytes != 1500 {
 		t.Errorf("stats = %+v", s)
@@ -36,7 +37,7 @@ func TestTransferCost(t *testing.T) {
 	if nilLink.TransferCost(100) != 0 {
 		t.Error("nil link should cost 0")
 	}
-	nilLink.Call(1, 1) // must not panic
+	nilLink.Call(context.Background(), 1, 1) // must not panic
 	nilLink.Reset()
 	if s := nilLink.Stats(); s.Calls != 0 {
 		t.Error("nil link stats")
@@ -53,7 +54,7 @@ func TestInfiniteBandwidth(t *testing.T) {
 func TestSleepMode(t *testing.T) {
 	l := &Link{LatencyPerCall: 2 * time.Millisecond, Sleep: true}
 	start := time.Now()
-	l.Call(1, 0)
+	l.Call(context.Background(), 1, 0)
 	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
 		t.Errorf("Sleep mode did not sleep: %v", elapsed)
 	}
@@ -70,7 +71,7 @@ func TestLinkConcurrentCalls(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < calls; i++ {
-				l.Call(3, 64)
+				l.Call(context.Background(), 3, 64)
 			}
 		}()
 	}
@@ -92,8 +93,8 @@ func TestMeter(t *testing.T) {
 	b := WAN()
 	m.Register("srvA", a)
 	m.Register("srvB", b)
-	a.Call(10, 100)
-	b.Call(20, 200)
+	a.Call(context.Background(), 10, 100)
+	b.Call(context.Background(), 20, 200)
 	tot := m.Total()
 	if tot.Calls != 2 || tot.Rows != 30 || tot.Bytes != 300 {
 		t.Errorf("total = %+v", tot)

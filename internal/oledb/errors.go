@@ -1,0 +1,80 @@
+package oledb
+
+import (
+	"context"
+	"errors"
+)
+
+// Class buckets remote-access errors for the fault-tolerance layer: the
+// retry policy retries only ClassTransient, the circuit breaker counts only
+// ClassTransient toward tripping, and partial-results execution skips only
+// ClassCircuitOpen branches.
+type Class int
+
+// Error classes.
+const (
+	// ClassPermanent is a logic error — bad SQL, schema mismatch,
+	// unsupported interface. Retrying cannot cure it.
+	ClassPermanent Class = iota
+	// ClassTransient is a fault of the wire or the server — connection
+	// blip, timeout on the link, unreachable host. Retrying may cure it;
+	// repeated occurrences should trip the server's circuit breaker.
+	ClassTransient
+	// ClassCancelled is the caller's own context expiring or being
+	// cancelled. Never retried, never counted against the server.
+	ClassCancelled
+	// ClassCircuitOpen is a call rejected locally by an open circuit
+	// breaker: the server was not contacted at all. Never retried; a
+	// partial-results UNION ALL may skip the branch.
+	ClassCircuitOpen
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassTransient:
+		return "transient"
+	case ClassCancelled:
+		return "cancelled"
+	case ClassCircuitOpen:
+		return "circuit-open"
+	default:
+		return "permanent"
+	}
+}
+
+// transienter is implemented by errors that a retry may cure (netsim's
+// injected faults, and any provider that models flips of the wire).
+type transienter interface {
+	Transient() bool
+}
+
+// circuitOpener is implemented by circuit-breaker rejections. The marker
+// interface keeps oledb free of a dependency on the breaker package.
+type circuitOpener interface {
+	CircuitOpen() bool
+}
+
+// Classify walks the error chain and assigns the outermost recognizable
+// class. Cancellation is checked first: a context error wrapped in a
+// transient transfer failure is still the caller's own deadline.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassPermanent
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ClassCancelled
+	}
+	var co circuitOpener
+	if errors.As(err, &co) && co.CircuitOpen() {
+		return ClassCircuitOpen
+	}
+	var tr transienter
+	if errors.As(err, &tr) && tr.Transient() {
+		return ClassTransient
+	}
+	return ClassPermanent
+}
+
+// IsTransient reports whether the error is worth retrying.
+func IsTransient(err error) bool { return Classify(err) == ClassTransient }

@@ -1,0 +1,59 @@
+package oledb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+type fakeTransient struct{}
+
+func (fakeTransient) Error() string   { return "blip" }
+func (fakeTransient) Transient() bool { return true }
+
+type fakeOpen struct{}
+
+func (fakeOpen) Error() string     { return "breaker open" }
+func (fakeOpen) CircuitOpen() bool { return true }
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"nil", nil, ClassPermanent},
+		{"plain", errors.New("syntax error"), ClassPermanent},
+		{"transient", fakeTransient{}, ClassTransient},
+		{"wrapped transient", fmt.Errorf("exec: scan: %w", fakeTransient{}), ClassTransient},
+		{"circuit open", fakeOpen{}, ClassCircuitOpen},
+		{"wrapped circuit open", fmt.Errorf("branch 2: %w", fakeOpen{}), ClassCircuitOpen},
+		{"cancelled", context.Canceled, ClassCancelled},
+		{"deadline", context.DeadlineExceeded, ClassCancelled},
+		// A deadline surfacing through a transfer failure is still the
+		// caller's own deadline, not the server's fault.
+		{"deadline wrapped in transient", fmt.Errorf("transfer: %w", context.DeadlineExceeded), ClassCancelled},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if !IsTransient(fakeTransient{}) || IsTransient(errors.New("nope")) {
+		t.Error("IsTransient misclassifies")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		ClassPermanent:   "permanent",
+		ClassTransient:   "transient",
+		ClassCancelled:   "cancelled",
+		ClassCircuitOpen: "circuit-open",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package oledb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -154,6 +155,19 @@ type Command interface {
 	Execute() (rowset.Rowset, error)
 	// ExecuteNonQuery runs DML and returns the affected row count.
 	ExecuteNonQuery() (int64, error)
+}
+
+// ContextSession is implemented by sessions whose remote calls honor a
+// per-execution context: the DHQP binds each statement's deadline and
+// cancellation to the session view it uses for that execution, so an
+// in-flight simulated transfer can be aborted instead of slept out. The
+// returned Session shares the underlying connection; only the context
+// differs (sessions are cached per linked server and shared across
+// statements, so the context cannot live on the cached session itself).
+type ContextSession interface {
+	Session
+	// WithContext returns a view of the session bound to ctx.
+	WithContext(ctx context.Context) Session
 }
 
 // TxnSession is implemented by sessions that participate in distributed

@@ -8,6 +8,7 @@
 package sqlful
 
 import (
+	"context"
 	"fmt"
 
 	"dhqp/internal/expr"
@@ -121,13 +122,30 @@ func (p *Provider) CreateSession() (oledb.Session, error) {
 type session struct {
 	p      *Provider
 	native oledb.Session
+	// ctx is the execution context remote transfers honor; nil for the
+	// base (cached) session. Set via WithContext per statement execution.
+	ctx context.Context
+}
+
+// WithContext implements oledb.ContextSession: the returned view shares the
+// connection but binds transfers to ctx.
+func (s *session) WithContext(ctx context.Context) oledb.Session {
+	return &session{p: s.p, native: s.native, ctx: ctx}
+}
+
+// callCtx is the context the session's link calls run under.
+func (s *session) callCtx() context.Context {
+	if s.ctx != nil {
+		return s.ctx
+	}
+	return context.Background()
 }
 
 func (s *session) meter(rs rowset.Rowset, err error) (rowset.Rowset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return netsim.Metered(rs, s.p.link, 64), nil
+	return netsim.MeteredCtx(s.callCtx(), rs, s.p.link, 64), nil
 }
 
 // OpenRowset implements oledb.Session; rows ship across the link.
@@ -153,7 +171,9 @@ func (s *session) TablesInfo() ([]oledb.TableInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.p.link.Call(len(info), len(info)*64)
+	if err := s.p.link.Call(s.callCtx(), len(info), len(info)*64); err != nil {
+		return nil, err
+	}
 	return info, nil
 }
 
@@ -202,12 +222,14 @@ func (c *command) SetParam(name string, v sqltypes.Value) { c.params[name] = v }
 // Execute implements oledb.Command: the statement and parameters cross the
 // link (one call), execute remotely, and the result rows cross back.
 func (c *command) Execute() (rowset.Rowset, error) {
-	c.s.p.link.Call(1, len(c.text)+len(c.params)*16)
+	if err := c.s.p.link.Call(c.s.callCtx(), 1, len(c.text)+len(c.params)*16); err != nil {
+		return nil, fmt.Errorf("sqlful: shipping statement: %w", err)
+	}
 	m, err := c.s.p.target.QuerySQL(c.text, c.params)
 	if err != nil {
 		return nil, fmt.Errorf("sqlful: remote execution failed: %w", err)
 	}
-	return netsim.Metered(m, c.s.p.link, 64), nil
+	return netsim.MeteredCtx(c.s.callCtx(), m, c.s.p.link, 64), nil
 }
 
 // Describe reports the statement's output shape without executing it.
@@ -217,6 +239,8 @@ func (c *command) Describe() ([]schema.Column, error) {
 
 // ExecuteNonQuery implements oledb.Command.
 func (c *command) ExecuteNonQuery() (int64, error) {
-	c.s.p.link.Call(1, len(c.text)+len(c.params)*16)
+	if err := c.s.p.link.Call(c.s.callCtx(), 1, len(c.text)+len(c.params)*16); err != nil {
+		return 0, fmt.Errorf("sqlful: shipping statement: %w", err)
+	}
 	return c.s.p.target.ExecSQL(c.text, c.params)
 }
