@@ -531,6 +531,8 @@ func e9Batched() {
 	type legStats struct {
 		Calls     int64   `json:"calls"`
 		Bytes     int64   `json:"bytes"`
+		Retries   int64   `json:"retries"`
+		Faults    int64   `json:"faults"`
 		VirtualMS float64 `json:"virtual_ms"`
 	}
 	query := `SELECT b.payload FROM probe p, r0.rdb.dbo.big b WHERE p.k = b.k`
@@ -540,9 +542,10 @@ func e9Batched() {
 			panic(fmt.Sprintf("E9 batched: rows = %d, want %d", got, outerRows))
 		}
 		link.Reset()
-		mustQ(local, query, nil)
+		res := mustQ(local, query, nil)
 		s := link.Stats()
 		return legStats{Calls: s.Calls, Bytes: s.Bytes,
+			Retries: res.Retries, Faults: s.Faults,
 			VirtualMS: float64(s.VirtualTime) / float64(time.Millisecond)}
 	}
 	serial := measure(true)
@@ -787,8 +790,17 @@ func e14() {
 	query := `SELECT s_id, s_qty FROM all_stock`
 
 	fmt.Println("workload: whole-view scan of a 4-member federation; every link runs a seeded fault plan")
-	fmt.Printf("  %-16s %16s %14s %8s\n", "transient rate", "elapsed (avg)", "retries/query", "rows")
+	fmt.Printf("  %-16s %16s %14s %14s %8s\n", "transient rate", "elapsed (avg)", "retries/query", "link KB/query", "rows")
 	const runs = 20
+	type sweepPoint struct {
+		TransientProb  float64 `json:"transient_prob"`
+		AvgElapsedMS   float64 `json:"avg_elapsed_ms"`
+		RetriesPerRun  float64 `json:"retries_per_query"`
+		LinkBytesPerRn int64   `json:"link_bytes_per_query"`
+		LinkFaults     int64   `json:"link_faults"`
+		Rows           int     `json:"rows"`
+	}
+	var sweep []sweepPoint
 	for _, prob := range []float64{0, 0.05, 0.10} {
 		head, links := buildStockFed(members, totalRows, false)
 		// Deep retry budget and a patient breaker: this sweep isolates the
@@ -799,8 +811,9 @@ func e14() {
 		mustQ(head, query, nil) // warm plan + schema
 		for i, l := range links {
 			l.SetFaults(dhqp.Faults{Seed: int64(i + 1), TransientProb: prob})
+			l.Reset()
 		}
-		var retries int64
+		var retries, linkBytes int64
 		start := time.Now()
 		for i := 0; i < runs; i++ {
 			res := mustQ(head, query, nil)
@@ -808,12 +821,35 @@ func e14() {
 				panic("fault run lost rows")
 			}
 			retries += res.Retries
+			// Per-statement link attribution from the telemetry layer; summed
+			// over runs it matches the raw link counters.
+			linkBytes += res.Stats.LinkBytes()
 		}
 		elapsed := time.Since(start) / runs
-		fmt.Printf("  %-16s %16v %14.1f %8d\n",
+		var faults int64
+		for _, l := range links {
+			faults += l.Stats().Faults
+		}
+		fmt.Printf("  %-16s %16v %14.1f %14.1f %8d\n",
 			fmt.Sprintf("%.0f%%", prob*100), elapsed.Round(time.Microsecond),
-			float64(retries)/runs, totalRows)
+			float64(retries)/runs, float64(linkBytes)/runs/1024, totalRows)
+		sweep = append(sweep, sweepPoint{
+			TransientProb:  prob,
+			AvgElapsedMS:   float64(elapsed) / float64(time.Millisecond),
+			RetriesPerRun:  float64(retries) / runs,
+			LinkBytesPerRn: linkBytes / runs,
+			LinkFaults:     faults,
+			Rows:           totalRows,
+		})
 	}
+	out, err := json.MarshalIndent(struct {
+		Members int          `json:"members"`
+		Runs    int          `json:"runs"`
+		Sweep   []sweepPoint `json:"sweep"`
+	}{members, runs, sweep}, "", "  ")
+	must(err)
+	must(os.WriteFile("BENCH_E14.json", append(out, '\n'), 0o644))
+	fmt.Println("  wrote BENCH_E14.json")
 
 	fmt.Println("\ndowned member: server4 fails forever; breaker threshold 2, partial results on")
 	head, links := buildStockFed(members, totalRows, false)

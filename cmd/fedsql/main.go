@@ -2,8 +2,13 @@
 // local server plus a configurable number of linked SQL servers, loads a
 // demo dataset, and reads statements from stdin.
 //
-// Meta-commands:
+// Meta-commands and statement forms:
 //
+//	EXPLAIN <select>          show the optimized plan with estimated rows
+//	EXPLAIN ANALYZE <select>  execute and show estimated vs. actual rows,
+//	                          phase timings, remote SQL and link metrics
+//	SELECT * FROM sys.dm_exec_query_stats
+//	                          aggregate per-statement execution statistics
 //	\plan <select>   show the optimized physical plan instead of executing
 //	\traffic         show per-link traffic counters
 //	\servers         list linked servers and their capabilities
@@ -19,6 +24,11 @@ import (
 	"strings"
 
 	"dhqp"
+	"dhqp/internal/algebra"
+	"dhqp/internal/opt"
+	"dhqp/internal/rowset"
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
 	"dhqp/internal/workload"
 )
 
@@ -66,7 +76,10 @@ func main() {
 		case line == `\q` || line == "exit" || line == "quit":
 			return
 		case line == `\help`:
-			fmt.Println(`\plan <select>  show physical plan;  \traffic  link counters;  \servers  linked servers;  \q  quit`)
+			fmt.Println(`EXPLAIN <select>          optimized plan with estimated rows + optimizer report
+EXPLAIN ANALYZE <select>  execute; estimated vs actual rows, phases, remote SQL, link metrics
+SELECT * FROM sys.dm_exec_query_stats   aggregate per-statement statistics
+\plan <select>  show physical plan;  \traffic  link counters;  \servers  linked servers;  \q  quit`)
 		case line == `\traffic`:
 			for i, l := range links {
 				s := l.Stats()
@@ -80,23 +93,56 @@ func main() {
 					name, caps.ProviderName, caps.QueryLanguage, caps.SQLSupport)
 			}
 		case strings.HasPrefix(line, `\plan `):
-			plan, _, report, err := local.Plan(strings.TrimPrefix(line, `\plan `))
-			if err != nil {
-				fmt.Println("error:", err)
-				continue
-			}
-			fmt.Print(plan.String())
-			fmt.Printf("phase=%q cost=%.0f groups=%d exprs=%d\n",
-				report.PhaseReached, report.FinalCost, report.Groups, report.Exprs)
+			explain(local, strings.TrimPrefix(line, `\plan `))
 		default:
 			runStatement(local, line)
 		}
 	}
 }
 
+// explain compiles without executing and prints the plan with the
+// optimizer's estimated rows plus the optimization report.
+func explain(local *dhqp.Server, sql string) {
+	plan, _, report, err := local.Plan(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(plan.RenderAnnotated(estAnnot))
+	printReport(report)
+}
+
+// printReport shows the optimizer's search diagnostics (phase reached,
+// final cost, memo size, rules fired).
+func printReport(report *opt.Report) {
+	fmt.Printf("phase=%q cost=%.0f groups=%d exprs=%d rules fired=%d\n",
+		report.PhaseReached, report.FinalCost, report.Groups, report.Exprs, report.RulesFired)
+}
+
+// estAnnot renders a node's estimated-cardinality suffix for EXPLAIN.
+func estAnnot(n *algebra.Node) string {
+	if n.Est == nil {
+		return ""
+	}
+	return fmt.Sprintf("[est=%.0f cost=%.0f]", n.Est.Rows, n.Est.Cost)
+}
+
 func runStatement(local *dhqp.Server, line string) {
 	upper := strings.ToUpper(line)
-	if strings.HasPrefix(upper, "SELECT") {
+	switch {
+	case strings.HasPrefix(upper, "EXPLAIN ANALYZE "):
+		ea, err := local.ExplainAnalyze(strings.TrimSpace(line[len("EXPLAIN ANALYZE"):]), nil)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(ea.String())
+		printReport(local.LastReport())
+	case strings.HasPrefix(upper, "EXPLAIN "):
+		explain(local, strings.TrimSpace(line[len("EXPLAIN"):]))
+	case strings.HasPrefix(upper, "SELECT") && strings.Contains(upper, "DM_EXEC_QUERY_STATS"):
+		fmt.Print(queryStatsResult(local).Display())
+	case strings.HasPrefix(upper, "SELECT"):
 		res, err := local.Query(line, nil)
 		if err != nil {
 			fmt.Println("error:", err)
@@ -104,14 +150,44 @@ func runStatement(local *dhqp.Server, line string) {
 		}
 		fmt.Print(res.Display())
 		fmt.Printf("(%d rows)\n", len(res.Rows))
-		return
+	default:
+		n, err := local.Exec(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("ok (%d rows affected)\n", n)
 	}
-	n, err := local.Exec(line)
-	if err != nil {
-		fmt.Println("error:", err)
-		return
+}
+
+// queryStatsResult renders the server's query-stats registry as a result
+// set, mirroring SELECT * FROM sys.dm_exec_query_stats.
+func queryStatsResult(local *dhqp.Server) *dhqp.Result {
+	res := &dhqp.Result{Cols: []schema.Column{
+		{Name: "query_text", Kind: sqltypes.KindString},
+		{Name: "execution_count", Kind: sqltypes.KindInt},
+		{Name: "total_rows", Kind: sqltypes.KindInt},
+		{Name: "last_rows", Kind: sqltypes.KindInt},
+		{Name: "total_elapsed_ms", Kind: sqltypes.KindFloat},
+		{Name: "last_elapsed_ms", Kind: sqltypes.KindFloat},
+		{Name: "total_link_bytes", Kind: sqltypes.KindInt},
+		{Name: "total_link_calls", Kind: sqltypes.KindInt},
+		{Name: "total_retries", Kind: sqltypes.KindInt},
+	}}
+	for _, r := range local.QueryStats() {
+		res.Rows = append(res.Rows, rowset.Row{
+			sqltypes.NewString(r.QueryText),
+			sqltypes.NewInt(r.ExecutionCount),
+			sqltypes.NewInt(r.TotalRows),
+			sqltypes.NewInt(r.LastRows),
+			sqltypes.NewFloat(float64(r.TotalElapsed.Microseconds()) / 1000),
+			sqltypes.NewFloat(float64(r.LastElapsed.Microseconds()) / 1000),
+			sqltypes.NewInt(r.TotalLinkBytes),
+			sqltypes.NewInt(r.TotalLinkCalls),
+			sqltypes.NewInt(r.TotalRetries),
+		})
 	}
-	fmt.Printf("ok (%d rows affected)\n", n)
+	return res
 }
 
 func fatal(err error) {

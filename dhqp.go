@@ -24,6 +24,7 @@ import (
 	"dhqp/internal/providers/simplep"
 	"dhqp/internal/providers/sqlful"
 	"dhqp/internal/sqltypes"
+	"dhqp/internal/telemetry"
 )
 
 // Server is one engine instance; see engine.Server for the full API.
@@ -49,6 +50,21 @@ type Message = email.Message
 
 // Capabilities is an OLE DB provider capability set.
 type Capabilities = oledb.Capabilities
+
+// Explain is Server.ExplainAnalyze's report: the physical plan annotated
+// with estimated vs. actual rows per operator, pipeline phase spans, decoded
+// remote statements, and per-linked-server network metrics.
+type Explain = telemetry.Explain
+
+// QueryStats summarizes one statement execution (Result.Stats).
+type QueryStats = telemetry.QueryStats
+
+// QueryStatRow is one Server.QueryStats() registry row — aggregate
+// statistics per cached plan, like sys.dm_exec_query_stats.
+type QueryStatRow = telemetry.QueryStatRow
+
+// LinkStats is one linked server's network accounting for one execution.
+type LinkStats = telemetry.LinkStats
 
 // NewServer creates an engine instance with one default database.
 func NewServer(name, defaultDB string) *Server { return engine.NewServer(name, defaultDB) }

@@ -59,11 +59,25 @@ type Operator interface {
 	OutCols(kids [][]OutCol) []OutCol
 }
 
+// Est carries the optimizer's estimates for a plan node: the expected
+// output cardinality and the cumulative cost of the subtree. The optimizer
+// fills it when extracting the winning plan; trees built before optimization
+// (binder output) leave it nil. EXPLAIN ANALYZE renders it against the
+// actual counters.
+type Est struct {
+	// Rows is the estimated output cardinality.
+	Rows float64
+	// Cost is the estimated cumulative cost of the subtree.
+	Cost float64
+}
+
 // Node is an operator tree node (used by the binder before Memo insertion
 // and by the final extracted plan).
 type Node struct {
 	Op   Operator
 	Kids []*Node
+	// Est is the optimizer's estimate annotation (nil on unoptimized trees).
+	Est *Est
 }
 
 // NewNode builds a node.
@@ -81,11 +95,20 @@ func (n *Node) OutCols() []OutCol {
 // String renders an indented plan tree.
 func (n *Node) String() string {
 	var b strings.Builder
-	n.render(&b, 0)
+	n.render(&b, 0, nil)
 	return b.String()
 }
 
-func (n *Node) render(b *strings.Builder, depth int) {
+// RenderAnnotated renders the plan tree with a per-node annotation suffix
+// (EXPLAIN ANALYZE's estimated-vs-actual columns). annot may return "" to
+// leave a line bare.
+func (n *Node) RenderAnnotated(annot func(*Node) string) string {
+	var b strings.Builder
+	n.render(&b, 0, annot)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, depth int, annot func(*Node) string) {
 	b.WriteString(strings.Repeat("  ", depth))
 	b.WriteString(n.Op.OpName())
 	if d := n.Op.Digest(); d != "" {
@@ -93,9 +116,15 @@ func (n *Node) render(b *strings.Builder, depth int) {
 		b.WriteString(d)
 		b.WriteString(")")
 	}
+	if annot != nil {
+		if a := annot(n); a != "" {
+			b.WriteString("  ")
+			b.WriteString(a)
+		}
+	}
 	b.WriteString("\n")
 	for _, k := range n.Kids {
-		k.render(b, depth+1)
+		k.render(b, depth+1, annot)
 	}
 }
 

@@ -322,7 +322,9 @@ func (s *Server) querySelect(sel *parser.SelectStmt, params map[string]sqltypes.
 	if err != nil {
 		return nil, err
 	}
-	return s.runPlan(plan, cols, params)
+	// INSERT ... SELECT has no standalone statement text; an empty key keeps
+	// it out of the query-stats registry.
+	return s.runPlan("", plan, cols, params, false, nil)
 }
 
 // bindStandaloneExpr binds a scalar AST with no columns in scope.

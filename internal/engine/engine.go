@@ -30,6 +30,7 @@ import (
 	"dhqp/internal/sqltypes"
 	"dhqp/internal/stats"
 	"dhqp/internal/storage"
+	"dhqp/internal/telemetry"
 )
 
 // Server is one engine instance.
@@ -108,6 +109,11 @@ type Server struct {
 	// DisablePlanCache forces re-optimization on every Query.
 	DisablePlanCache bool
 
+	// collectStats gates per-operator runtime counters on Query (see
+	// SetCollectStats); queryStats is the dm_exec_query_stats-style registry.
+	collectStats bool
+	queryStats   *telemetry.Registry
+
 	lastReport *opt.Report
 }
 
@@ -150,6 +156,7 @@ func NewServer(name, defaultDB string) *Server {
 		histCache:         map[string]*stats.Histogram{},
 		cardCache:         map[string]float64{},
 		planCache:         map[string]*cachedPlan{},
+		queryStats:        telemetry.NewRegistry(),
 		breakers:          map[string]*circuit.Breaker{},
 		breakerThreshold:  DefaultBreakerThreshold,
 		breakerCooldown:   DefaultBreakerCooldown,
@@ -181,6 +188,58 @@ func (s *Server) MailStore() *email.Store { return s.mailStore }
 
 // LastReport returns the optimizer report of the most recent Query/Plan.
 func (s *Server) LastReport() *opt.Report { return s.lastReport }
+
+// SetCollectStats toggles per-operator runtime statistics on Query (the
+// analogue of SET STATISTICS PROFILE ON): with it on, every iterator is
+// wrapped in an instrumented shim and Result.Stats carries phase spans. Off
+// by default — the hot path stays shim-free; cheap per-statement metrics
+// (rows, elapsed, link traffic, retries) are collected either way.
+// ExplainAnalyze always collects, regardless of this knob.
+func (s *Server) SetCollectStats(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.collectStats = on
+}
+
+// CollectStats reports whether per-operator statistics collection is on.
+func (s *Server) CollectStats() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.collectStats
+}
+
+// QueryStats snapshots the server's aggregate per-statement statistics —
+// the reproduction's sys.dm_exec_query_stats: one row per cached plan
+// (statement text), aggregating execution count, rows, elapsed time, link
+// traffic and retries across executions.
+func (s *Server) QueryStats() []telemetry.QueryStatRow {
+	return s.queryStats.Rows()
+}
+
+// ResetQueryStats clears the aggregate statistics registry.
+func (s *Server) ResetQueryStats() {
+	s.queryStats.Reset()
+}
+
+// breakerTrips snapshots every existing breaker's cumulative trip count,
+// keyed by the linked server's display name. Executions diff two snapshots
+// to attribute trips to a statement.
+func (s *Server) breakerTrips() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.breakers) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(s.breakers))
+	for key, b := range s.breakers {
+		name := key
+		if l, ok := s.linked[key]; ok {
+			name = l.name
+		}
+		out[name] = b.Trips()
+	}
+	return out
+}
 
 // SetMaxDOP caps the degree of parallelism of exchange operators (the
 // parallel UNION ALL fan-out over remote partitioned-view members). 0

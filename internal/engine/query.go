@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"dhqp/internal/algebra"
 	"dhqp/internal/binder"
 	"dhqp/internal/exec"
+	"dhqp/internal/netsim"
 	"dhqp/internal/oledb"
 	"dhqp/internal/opt"
 	"dhqp/internal/parser"
@@ -15,6 +17,7 @@ import (
 	"dhqp/internal/rules"
 	"dhqp/internal/schema"
 	"dhqp/internal/sqltypes"
+	"dhqp/internal/telemetry"
 )
 
 // Result is a query result set.
@@ -25,29 +28,54 @@ type Result struct {
 	// faults absorbed) while producing this result.
 	Retries int64
 	// Skipped lists linked servers whose partitioned-view members were
-	// skipped under partial-results execution (SetPartialResults). Empty
-	// means the result is complete.
+	// skipped under partial-results execution (SetPartialResults), sorted
+	// and deduplicated. Empty means the result is complete.
 	Skipped []string
+	// Stats summarizes the execution (rows, elapsed, per-link traffic,
+	// retries; phase spans when stats collection is on). Populated on every
+	// Query; the same summary aggregates into Server.QueryStats().
+	Stats *telemetry.QueryStats
 }
 
-// Display renders the result as text (REPL, examples).
+// Display renders the result as text (REPL, examples), padding each cell to
+// its column's width so the table reads in aligned columns.
 func (r *Result) Display() string {
-	var b strings.Builder
+	widths := make([]int, len(r.Cols))
 	for i, c := range r.Cols {
-		if i > 0 {
-			b.WriteString(" | ")
-		}
-		b.WriteString(c.Name)
+		widths[i] = len(c.Name)
 	}
-	b.WriteString("\n")
-	for _, row := range r.Rows {
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
 		for i, v := range row {
+			cells[ri][i] = v.Display()
+			if i < len(widths) && len(cells[ri][i]) > widths[i] {
+				widths[i] = len(cells[ri][i])
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for i, v := range vals {
 			if i > 0 {
 				b.WriteString(" | ")
 			}
-			b.WriteString(v.Display())
+			if i < len(vals)-1 && i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], v)
+			} else {
+				// The last column is left unpadded: no trailing spaces.
+				b.WriteString(v)
+			}
 		}
 		b.WriteString("\n")
+	}
+	header := make([]string, len(r.Cols))
+	for i, c := range r.Cols {
+		header[i] = c.Name
+	}
+	writeRow(header)
+	for _, row := range cells {
+		writeRow(row)
 	}
 	return b.String()
 }
@@ -55,7 +83,15 @@ func (r *Result) Display() string {
 // Plan compiles a SELECT into a physical plan (without executing it); it
 // returns the plan, the result columns and the optimizer report.
 func (s *Server) Plan(sql string) (*algebra.Node, []schema.Column, *opt.Report, error) {
+	return s.planSQL(sql, nil)
+}
+
+// planSQL compiles a SELECT, recording compile-phase spans (parse, bind,
+// optimize, decode) into the collector when one is supplied.
+func (s *Server) planSQL(sql string, col *telemetry.Collector) (*algebra.Node, []schema.Column, *opt.Report, error) {
+	start := time.Now()
 	st, err := parser.Parse(sql)
+	col.RecordSpan("parse", time.Since(start))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -63,12 +99,18 @@ func (s *Server) Plan(sql string) (*algebra.Node, []schema.Column, *opt.Report, 
 	if !ok {
 		return nil, nil, nil, fmt.Errorf("engine: Plan expects a SELECT, got %T", st)
 	}
-	return s.planSelect(sel)
+	return s.planSelectWith(sel, col)
 }
 
 func (s *Server) planSelect(sel *parser.SelectStmt) (*algebra.Node, []schema.Column, *opt.Report, error) {
+	return s.planSelectWith(sel, nil)
+}
+
+func (s *Server) planSelectWith(sel *parser.SelectStmt, col *telemetry.Collector) (*algebra.Node, []schema.Column, *opt.Report, error) {
+	start := time.Now()
 	b := binder.New(&catalog{s: s})
 	bound, err := b.BindSelect(sel)
+	col.RecordSpan("bind", time.Since(start))
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -100,10 +142,17 @@ func (s *Server) planSelect(sel *parser.SelectStmt) (*algebra.Node, []schema.Col
 		cfg.Model = s.costModel()
 	}
 	optimizer := opt.New(cfg, rctx)
+	start = time.Now()
 	plan, report, err := optimizer.Optimize(bound.Root, md, bound.RequiredOrder)
+	col.RecordSpan("optimize", time.Since(start))
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("engine: optimizing: %w", err)
 	}
+	// Decode: record the remote statement texts the plan will ship (what
+	// SQL Server Profiler would show as the remote events of this query).
+	start = time.Now()
+	col.CaptureRemoteSQL(plan)
+	col.RecordSpan("decode", time.Since(start))
 	s.lastReport = report
 	cols := make([]schema.Column, len(bound.ResultCols))
 	for i, c := range bound.ResultCols {
@@ -172,15 +221,22 @@ func (rt *runtime) SessionFor(server string) (oledb.Session, error) {
 // parameterized access paths re-evaluate per run), so one cached plan
 // serves every parameter value.
 func (s *Server) Query(sql string, params map[string]sqltypes.Value) (*Result, error) {
+	var col *telemetry.Collector
+	if s.CollectStats() {
+		col = telemetry.NewCollector()
+	}
 	if !s.DisablePlanCache {
 		s.mu.Lock()
 		cached, ok := s.planCache[sql]
 		s.mu.Unlock()
 		if ok {
-			return s.runPlan(cached.plan, cached.cols, params)
+			// Cache hit: no compile spans, but the decoded remote texts are
+			// a plan property, so collection still reports them.
+			col.CaptureRemoteSQL(cached.plan)
+			return s.runPlan(sql, cached.plan, cached.cols, params, true, col)
 		}
 	}
-	plan, cols, _, err := s.Plan(sql)
+	plan, cols, _, err := s.planSQL(sql, col)
 	if err != nil {
 		return nil, err
 	}
@@ -189,10 +245,37 @@ func (s *Server) Query(sql string, params map[string]sqltypes.Value) (*Result, e
 		s.planCache[sql] = &cachedPlan{plan: plan, cols: cols}
 		s.mu.Unlock()
 	}
-	return s.runPlan(plan, cols, params)
+	return s.runPlan(sql, plan, cols, params, false, col)
 }
 
-func (s *Server) runPlan(plan *algebra.Node, cols []schema.Column, params map[string]sqltypes.Value) (*Result, error) {
+// ExplainAnalyze compiles and executes a SELECT with full statistics
+// collection — regardless of SetCollectStats — and returns the physical plan
+// annotated with estimated vs. actual rows per operator, pipeline phase
+// spans, decoded remote statements and per-linked-server network metrics
+// (the reproduction of an actual execution plan / SET STATISTICS PROFILE).
+// The statement really executes; its summary aggregates into QueryStats()
+// like any other execution, but the plan cache is bypassed so the report
+// always reflects a fresh compilation.
+func (s *Server) ExplainAnalyze(sql string, params map[string]sqltypes.Value) (*telemetry.Explain, error) {
+	col := telemetry.NewCollector()
+	plan, cols, _, err := s.planSQL(sql, col)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.runPlan(sql, plan, cols, params, false, col)
+	if err != nil {
+		return nil, err
+	}
+	return &telemetry.Explain{
+		Plan:      plan,
+		Ops:       col.Ops(),
+		Stats:     res.Stats,
+		RemoteSQL: col.RemoteSQL(),
+		Skipped:   res.Skipped,
+	}, nil
+}
+
+func (s *Server) runPlan(queryText string, plan *algebra.Node, cols []schema.Column, params map[string]sqltypes.Value, cacheHit bool, col *telemetry.Collector) (*Result, error) {
 	if params == nil {
 		params = map[string]sqltypes.Value{}
 	}
@@ -201,12 +284,17 @@ func (s *Server) runPlan(plan *algebra.Node, cols []schema.Column, params map[st
 	s.mu.Lock()
 	timeout, retryA, retryB, partial := s.queryTimeout, s.retryAttempts, s.retryBackoff, s.partialResults
 	s.mu.Unlock()
-	var qctx context.Context
+	// Per-statement link attribution rides the statement context into every
+	// netsim call this execution makes: links are shared across concurrent
+	// statements, but each statement observes only its own calls.
+	tracker := telemetry.NewLinkTracker(s.meter.NameOf)
+	qctx := netsim.WithObserver(context.Background(), tracker)
 	if timeout > 0 {
 		var cancel context.CancelFunc
-		qctx, cancel = context.WithTimeout(context.Background(), timeout)
+		qctx, cancel = context.WithTimeout(qctx, timeout)
 		defer cancel()
 	}
+	tripsBefore := s.breakerTrips()
 	diags := &exec.Diagnostics{}
 	ctx := &exec.Context{
 		RT: &runtime{s: s}, Params: params, Today: s.Today,
@@ -214,13 +302,33 @@ func (s *Server) runPlan(plan *algebra.Node, cols []schema.Column, params map[st
 		RemoteBatchSize: s.RemoteBatchSize(),
 		Ctx:             qctx, RetryAttempts: retryA, RetryBackoff: retryB,
 		BreakerFor: s.breakerFor, PartialResults: partial, Diags: diags,
+		Stats: col,
 	}
 	out := plan.OutCols()
+	start := time.Now()
 	m, err := exec.Run(plan, ctx, out)
+	elapsed := time.Since(start)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Cols: cols, Rows: m.Rows(), Retries: diags.Retries(), Skipped: diags.Skipped()}, nil
+	col.RecordSpan("execute", elapsed)
+	tracker.AddRetries(diags.RetriesByServer())
+	for server, after := range s.breakerTrips() {
+		if d := after - tripsBefore[server]; d > 0 {
+			tracker.AddBreakerTrips(server, d)
+		}
+	}
+	qs := &telemetry.QueryStats{
+		QueryText:    queryText,
+		PlanCacheHit: cacheHit,
+		Rows:         int64(len(m.Rows())),
+		Elapsed:      elapsed,
+		Links:        tracker.Snapshot(),
+		Retries:      diags.Retries(),
+		Spans:        col.Spans(),
+	}
+	s.queryStats.Record(qs)
+	return &Result{Cols: cols, Rows: m.Rows(), Retries: diags.Retries(), Skipped: diags.Skipped(), Stats: qs}, nil
 }
 
 // QuerySQL implements sqlful.Target, making this server usable as a linked

@@ -1,0 +1,42 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDiagnosticsSkippedDedupeSort: a server skipped by several fan-out
+// branches reports once, and the list comes back sorted.
+func TestDiagnosticsSkippedDedupeSort(t *testing.T) {
+	d := &Diagnostics{}
+	for _, s := range []string{"server3", "server1", "server3", "server2", "server1"} {
+		d.RecordSkip(s)
+	}
+	want := []string{"server1", "server2", "server3"}
+	if got := d.Skipped(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Skipped = %v, want %v", got, want)
+	}
+}
+
+func TestDiagnosticsRetriesByServer(t *testing.T) {
+	d := &Diagnostics{}
+	d.RecordRetry("a")
+	d.RecordRetry("a")
+	d.RecordRetry("b")
+	if d.Retries() != 3 {
+		t.Errorf("Retries = %d", d.Retries())
+	}
+	want := map[string]int64{"a": 2, "b": 1}
+	if got := d.RetriesByServer(); !reflect.DeepEqual(got, want) {
+		t.Errorf("RetriesByServer = %v, want %v", got, want)
+	}
+}
+
+func TestDiagnosticsNilSafe(t *testing.T) {
+	var d *Diagnostics
+	d.RecordRetry("x")
+	d.RecordSkip("y")
+	if d.Retries() != 0 || d.Skipped() != nil || d.RetriesByServer() != nil {
+		t.Error("nil Diagnostics returned data")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"dhqp/internal/oledb"
 	"dhqp/internal/rowset"
 	"dhqp/internal/sqltypes"
+	"dhqp/internal/telemetry"
 )
 
 // Runtime resolves provider sessions; the engine implements it. Server ""
@@ -71,6 +72,11 @@ type Context struct {
 	// Diags accumulates the execution's fault diagnostics (retries,
 	// skipped partitions); nil disables recording.
 	Diags *Diagnostics
+	// Stats, when non-nil, makes Build wrap every iterator in an
+	// instrumented shim recording per-operator actual rows, Open/Next
+	// calls, and wall time (EXPLAIN ANALYZE / SET STATISTICS PROFILE).
+	// Nil keeps the hot path shim-free.
+	Stats *telemetry.Collector
 }
 
 // remoteBatch returns the effective batched-remote-access size.
@@ -94,7 +100,8 @@ func (c *Context) fork() *Context {
 	f := &Context{RT: c.RT, Today: c.Today, MaxDOP: c.MaxDOP, NoPrefetch: c.NoPrefetch,
 		RemoteBatchSize: c.RemoteBatchSize,
 		Ctx:             c.Ctx, RetryAttempts: c.RetryAttempts, RetryBackoff: c.RetryBackoff,
-		BreakerFor: c.BreakerFor, PartialResults: c.PartialResults, Diags: c.Diags}
+		BreakerFor: c.BreakerFor, PartialResults: c.PartialResults, Diags: c.Diags,
+		Stats: c.Stats}
 	f.syncParams(c)
 	return f
 }
@@ -116,8 +123,21 @@ type Iterator interface {
 	Close() error
 }
 
-// Build compiles a physical plan into an iterator tree.
+// Build compiles a physical plan into an iterator tree. With stats
+// collection on (ctx.Stats non-nil) every operator's iterator is wrapped in
+// an instrumented shim; the recursion goes through Build, so the whole tree
+// is shimmed uniformly, including exchange children built under forked
+// contexts.
 func Build(n *algebra.Node, ctx *Context) (Iterator, error) {
+	it, err := buildOp(n, ctx)
+	if err != nil || ctx.Stats == nil {
+		return it, err
+	}
+	return &statsIter{child: it, stats: ctx.Stats.OpStats(n)}, nil
+}
+
+// buildOp dispatches one operator to its iterator constructor.
+func buildOp(n *algebra.Node, ctx *Context) (Iterator, error) {
 	switch op := n.Op.(type) {
 	case *algebra.TableScan:
 		return newScan(ctx, op.Src, len(op.Cols)), nil

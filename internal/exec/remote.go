@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -34,18 +35,23 @@ const (
 // concurrent use — parallel exchange branches record into the shared
 // statement instance.
 type Diagnostics struct {
-	mu      sync.Mutex
-	retries int64
-	skipped []string
+	mu        sync.Mutex
+	retries   int64
+	retriesBy map[string]int64
+	skipped   []string
 }
 
-// RecordRetry counts one retried remote call attempt.
-func (d *Diagnostics) RecordRetry() {
+// RecordRetry counts one retried remote call attempt against a server.
+func (d *Diagnostics) RecordRetry(server string) {
 	if d == nil {
 		return
 	}
 	d.mu.Lock()
 	d.retries++
+	if d.retriesBy == nil {
+		d.retriesBy = map[string]int64{}
+	}
+	d.retriesBy[server]++
 	d.mu.Unlock()
 }
 
@@ -69,15 +75,43 @@ func (d *Diagnostics) Retries() int64 {
 	return d.retries
 }
 
-// Skipped lists the servers whose partitions were skipped.
+// RetriesByServer returns the per-server retry counts (a copy).
+func (d *Diagnostics) RetriesByServer() map[string]int64 {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.retriesBy) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(d.retriesBy))
+	for k, v := range d.retriesBy {
+		out[k] = v
+	}
+	return out
+}
+
+// Skipped lists the servers whose partitions were skipped, deduplicated and
+// sorted (a server can be skipped by several fan-out branches).
 func (d *Diagnostics) Skipped() []string {
 	if d == nil {
 		return nil
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	out := make([]string, len(d.skipped))
-	copy(out, d.skipped)
+	if len(d.skipped) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(d.skipped))
+	out := make([]string, 0, len(d.skipped))
+	for _, s := range d.skipped {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
 	return out
 }
 
@@ -198,7 +232,7 @@ func (c *Context) withRetry(server string, fn func() error) error {
 			return err
 		}
 		if a < attempts-1 {
-			c.Diags.RecordRetry()
+			c.Diags.RecordRetry(server)
 			if werr := c.backoffWait(a); werr != nil {
 				return werr
 			}
@@ -286,7 +320,7 @@ func (r *retryRowset) Next() (rowset.Row, error) {
 		if br := r.ctx.breakerOf(r.server); br != nil {
 			br.Failure()
 		}
-		r.ctx.Diags.RecordRetry()
+		r.ctx.Diags.RecordRetry(r.server)
 		r.rs.Close()
 		if rerr := r.reopen(r.delivered); rerr != nil {
 			return nil, fmt.Errorf("exec: %s on %s: %w", r.what, r.server, rerr)

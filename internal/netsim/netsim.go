@@ -43,6 +43,36 @@ func WAN() *Link {
 	return &Link{LatencyPerCall: 40 * time.Millisecond, BytesPerSecond: 2e6}
 }
 
+// CallObserver receives a copy of every Link.Call accounting event made
+// under a context carrying it (WithObserver). The telemetry layer uses it
+// for exact per-statement link attribution: links are shared by concurrent
+// statements, but each statement's calls run under its own context.
+type CallObserver interface {
+	// ObserveCall mirrors one Call's effect on the link counters: calls
+	// always increment; fault=true means a faulted round trip (no payload),
+	// otherwise rows/bytes crossed the link.
+	ObserveCall(l *Link, rows, bytes int, fault bool)
+}
+
+type observerKey struct{}
+
+// WithObserver returns a context whose Link.Calls also report to obs.
+func WithObserver(ctx context.Context, obs CallObserver) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, observerKey{}, obs)
+}
+
+// observerOf extracts the context's call observer (nil if none).
+func observerOf(ctx context.Context) CallObserver {
+	if ctx == nil {
+		return nil
+	}
+	obs, _ := ctx.Value(observerKey{}).(CallObserver)
+	return obs
+}
+
 // Call records one remote round trip shipping the given payload. It is safe
 // for concurrent use — the parallel exchange operator drives several remote
 // children over their links at once and all counters are atomics. Note that
@@ -66,12 +96,16 @@ func (l *Link) Call(ctx context.Context, rows int, bytes int) error {
 			return err
 		}
 	}
+	obs := observerOf(ctx)
 	l.calls.Add(1)
 	var extra time.Duration
 	if f := l.fault.Load(); f != nil {
 		v := f.next()
 		if v.down {
 			l.faults.Add(1)
+			if obs != nil {
+				obs.ObserveCall(l, 0, 0, true)
+			}
 			return &downError{calls: l.calls.Load()}
 		}
 		extra = v.extra
@@ -80,6 +114,9 @@ func (l *Link) Call(ctx context.Context, rows int, bytes int) error {
 			d := l.LatencyPerCall + extra
 			l.virtualTime.Add(int64(d))
 			l.faults.Add(1)
+			if obs != nil {
+				obs.ObserveCall(l, 0, 0, true)
+			}
 			if l.Sleep {
 				if err := sleepCtx(ctx, d); err != nil {
 					return err
@@ -90,6 +127,9 @@ func (l *Link) Call(ctx context.Context, rows int, bytes int) error {
 	}
 	l.rows.Add(int64(rows))
 	l.bytes.Add(int64(bytes))
+	if obs != nil {
+		obs.ObserveCall(l, rows, bytes, false)
+	}
 	d := l.LatencyPerCall + extra
 	if l.BytesPerSecond > 0 {
 		d += time.Duration(float64(bytes) / l.BytesPerSecond * float64(time.Second))
@@ -174,6 +214,20 @@ func (m *Meter) Link(name string) *Link {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.links[name]
+}
+
+// NameOf reverse-resolves a link to its registered server name ("" when the
+// link is not registered). Registered links are few, so the linear scan is
+// fine; the telemetry tracker caches the result per link anyway.
+func (m *Meter) NameOf(l *Link) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, x := range m.links {
+		if x == l {
+			return name
+		}
+	}
+	return ""
 }
 
 // Total sums all links' stats.

@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+type recordingObserver struct {
+	calls, rows, bytes, faults int64
+}
+
+func (r *recordingObserver) ObserveCall(l *Link, rows, bytes int, fault bool) {
+	r.calls++
+	if fault {
+		r.faults++
+		return
+	}
+	r.rows += int64(rows)
+	r.bytes += int64(bytes)
+}
+
+// TestObserverMirrorsLinkCounters: an observer carried by the context sees
+// exactly what the link's own counters record — success and fault paths.
+func TestObserverMirrorsLinkCounters(t *testing.T) {
+	l := &Link{LatencyPerCall: time.Millisecond}
+	obs := &recordingObserver{}
+	ctx := WithObserver(context.Background(), obs)
+	l.Call(ctx, 10, 1000)
+	l.Call(ctx, 5, 500)
+	l.SetFaults(Faults{TransientProb: 1})
+	if err := l.Call(ctx, 3, 300); err == nil {
+		t.Fatal("forced transient fault did not fail")
+	}
+	s := l.Stats()
+	if obs.calls != s.Calls || obs.rows != s.Rows || obs.bytes != s.Bytes || obs.faults != s.Faults {
+		t.Errorf("observer %+v vs link %+v", *obs, s)
+	}
+	if obs.rows != 15 || obs.bytes != 1500 || obs.faults != 1 {
+		t.Errorf("observer = %+v", *obs)
+	}
+}
+
+// TestObserverScopedToContext: calls under a plain context stay invisible to
+// the observer — that is what keeps concurrent statements' accounting apart.
+func TestObserverScopedToContext(t *testing.T) {
+	l := &Link{}
+	obs := &recordingObserver{}
+	l.Call(WithObserver(context.Background(), obs), 1, 10)
+	l.Call(context.Background(), 7, 70)
+	if obs.calls != 1 || obs.rows != 1 {
+		t.Errorf("observer saw unscoped traffic: %+v", *obs)
+	}
+	if s := l.Stats(); s.Calls != 2 || s.Rows != 8 {
+		t.Errorf("link totals = %+v", s)
+	}
+}
+
+func TestMeterNameOf(t *testing.T) {
+	m := NewMeter()
+	l := &Link{}
+	m.Register("srv", l)
+	if got := m.NameOf(l); got != "srv" {
+		t.Errorf("NameOf = %q", got)
+	}
+	if got := m.NameOf(&Link{}); got != "" {
+		t.Errorf("NameOf(unregistered) = %q", got)
+	}
+}

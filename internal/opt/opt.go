@@ -52,7 +52,10 @@ type Report struct {
 	PhaseTimes   []time.Duration
 	Groups       int
 	Exprs        int
-	FinalCost    float64
+	// RulesFired counts exploration-rule applications that produced at
+	// least one alternative (the EXPLAIN "rules fired" diagnostic).
+	RulesFired int
+	FinalCost  float64
 	// RootCard is the optimizer's output-cardinality estimate for the
 	// query (experiment E4 compares it against actual row counts).
 	RootCard float64
@@ -60,11 +63,12 @@ type Report struct {
 
 // Optimizer drives one statement's optimization.
 type Optimizer struct {
-	cfg   Config
-	memo  *memo.Memo
-	rctx  *rules.Context
-	model *cost.Model
-	phase rules.Phase
+	cfg        Config
+	memo       *memo.Memo
+	rctx       *rules.Context
+	model      *cost.Model
+	phase      rules.Phase
+	rulesFired int
 }
 
 // New builds an optimizer over a populated rules.Context (whose Memo field
@@ -117,6 +121,7 @@ func (o *Optimizer) Optimize(root *algebra.Node, md memo.Metadata, requiredOrder
 	}
 	report.Groups = len(m.Groups)
 	report.Exprs = m.ExprCount()
+	report.RulesFired = o.rulesFired
 	report.FinalCost = best.Cost
 	report.RootCard = m.Group(rootGroup).Props.Cardinality
 	return best.Plan.(*planned).toNode(), report, nil
@@ -142,7 +147,11 @@ func (o *Optimizer) explore(phase rules.Phase) {
 					continue
 				}
 				for _, r := range rules.Guidance(e.Op, phase) {
-					for _, x := range r.Apply(e, o.rctx) {
+					xs := r.Apply(e, o.rctx)
+					if len(xs) > 0 {
+						o.rulesFired++
+					}
+					for _, x := range xs {
 						o.memo.InsertX(x, e.Group)
 					}
 				}
@@ -185,7 +194,11 @@ func (p *planned) toNode() *algebra.Node {
 	for i, k := range p.kids {
 		kids[i] = k.toNode()
 	}
-	return algebra.NewNode(p.op, kids...)
+	n := algebra.NewNode(p.op, kids...)
+	// Annotate the extracted plan with the winner's estimates so EXPLAIN
+	// ANALYZE can show estimated vs. actual rows per operator.
+	n.Est = &algebra.Est{Rows: p.card, Cost: p.cost}
+	return n
 }
 
 // optimizeGroup finds the cheapest plan for (group, required) with winner

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+
+	"dhqp/internal/netsim"
+)
+
+// LinkStats is one linked server's network accounting for one execution:
+// the traffic that actually crossed its link plus the fault-handling events
+// (retries absorbed by the retry ladder, circuit-breaker trips) attributed
+// to the server.
+type LinkStats struct {
+	Server  string
+	Calls   int64
+	Rows    int64
+	Bytes   int64
+	Faults  int64
+	Retries int64
+	// BreakerTrips counts closed→open transitions of the server's circuit
+	// breaker during this execution.
+	BreakerTrips int64
+}
+
+// LinkTracker accumulates per-server link metrics for one execution. It
+// implements netsim.CallObserver: the engine threads it through the
+// statement context (netsim.WithObserver), so every Link.Call the
+// statement's remote operations make — and only those — lands here, keeping
+// concurrent statements' accounting separate even though they share links.
+type LinkTracker struct {
+	nameOf func(*netsim.Link) string
+
+	mu    sync.Mutex
+	names map[*netsim.Link]string
+	stats map[string]*LinkStats
+}
+
+// NewLinkTracker returns a tracker resolving link pointers to server names
+// with nameOf (typically netsim.Meter.NameOf). A nil nameOf, or a lookup
+// miss, files traffic under "?".
+func NewLinkTracker(nameOf func(*netsim.Link) string) *LinkTracker {
+	return &LinkTracker{
+		nameOf: nameOf,
+		names:  map[*netsim.Link]string{},
+		stats:  map[string]*LinkStats{},
+	}
+}
+
+// ObserveCall implements netsim.CallObserver.
+func (t *LinkTracker) ObserveCall(l *netsim.Link, rows, bytes int, fault bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	name, ok := t.names[l]
+	if !ok {
+		if t.nameOf != nil {
+			name = t.nameOf(l)
+		}
+		if name == "" {
+			name = "?"
+		}
+		t.names[l] = name
+	}
+	s := t.entryLocked(name)
+	s.Calls++
+	if fault {
+		s.Faults++
+	} else {
+		s.Rows += int64(rows)
+		s.Bytes += int64(bytes)
+	}
+}
+
+// entryLocked returns (creating on demand) the named server's stats.
+// Callers hold t.mu.
+func (t *LinkTracker) entryLocked(server string) *LinkStats {
+	s, ok := t.stats[server]
+	if !ok {
+		s = &LinkStats{Server: server}
+		t.stats[server] = s
+	}
+	return s
+}
+
+// AddRetries merges the executor's per-server retried-attempt counts.
+func (t *LinkTracker) AddRetries(byServer map[string]int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for server, n := range byServer {
+		t.entryLocked(server).Retries += n
+	}
+}
+
+// AddBreakerTrips attributes circuit-breaker trips to a server.
+func (t *LinkTracker) AddBreakerTrips(server string, n int64) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.entryLocked(server).BreakerTrips += n
+	t.mu.Unlock()
+}
+
+// Snapshot returns the accumulated per-server stats sorted by server name.
+func (t *LinkTracker) Snapshot() []LinkStats {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]LinkStats, 0, len(t.stats))
+	for _, s := range t.stats {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Server < out[j].Server })
+	return out
+}

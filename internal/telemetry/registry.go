@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// QueryStats summarizes one statement execution; the engine attaches it to
+// every Result and feeds it into the Registry. The cheap fields (rows,
+// elapsed, link traffic, retries) are always populated; Spans is non-empty
+// only when stats collection was on for the execution.
+type QueryStats struct {
+	// QueryText is the statement text (the registry key).
+	QueryText string
+	// PlanCacheHit reports whether a cached plan served the execution.
+	PlanCacheHit bool
+	// Rows is the result-set size.
+	Rows int64
+	// Elapsed is the execution wall time (compile excluded on cache hits,
+	// included on the compiling execution — same as dm_exec_query_stats'
+	// worker time attribution).
+	Elapsed time.Duration
+	// Links is the per-linked-server traffic of this execution.
+	Links []LinkStats
+	// Retries is the total retried remote-call attempts.
+	Retries int64
+	// Spans holds the pipeline phase timings when collection was on.
+	Spans []Span
+}
+
+// LinkBytes sums bytes shipped across all links.
+func (q *QueryStats) LinkBytes() int64 {
+	if q == nil {
+		return 0
+	}
+	var n int64
+	for _, l := range q.Links {
+		n += l.Bytes
+	}
+	return n
+}
+
+// LinkCalls sums remote round trips across all links.
+func (q *QueryStats) LinkCalls() int64 {
+	if q == nil {
+		return 0
+	}
+	var n int64
+	for _, l := range q.Links {
+		n += l.Calls
+	}
+	return n
+}
+
+// QueryStatRow is one registry entry: aggregate statistics for every
+// execution of one cached plan, keyed by statement text the way
+// sys.dm_exec_query_stats keys by (sql_handle, plan_handle).
+type QueryStatRow struct {
+	QueryText      string
+	ExecutionCount int64
+	TotalRows      int64
+	LastRows       int64
+	TotalElapsed   time.Duration
+	LastElapsed    time.Duration
+	TotalLinkBytes int64
+	LastLinkBytes  int64
+	TotalLinkCalls int64
+	TotalRetries   int64
+}
+
+// Registry is the DMV-style aggregate store behind Server.QueryStats(). It
+// is safe for concurrent use: executions on different goroutines aggregate
+// under one mutex.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]*QueryStatRow
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: map[string]*QueryStatRow{}} }
+
+// Record folds one execution's summary into its statement's aggregate row.
+func (r *Registry) Record(qs *QueryStats) {
+	if r == nil || qs == nil || qs.QueryText == "" {
+		return
+	}
+	bytes, calls := qs.LinkBytes(), qs.LinkCalls()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	row, ok := r.m[qs.QueryText]
+	if !ok {
+		row = &QueryStatRow{QueryText: qs.QueryText}
+		r.m[qs.QueryText] = row
+	}
+	row.ExecutionCount++
+	row.TotalRows += qs.Rows
+	row.LastRows = qs.Rows
+	row.TotalElapsed += qs.Elapsed
+	row.LastElapsed = qs.Elapsed
+	row.TotalLinkBytes += bytes
+	row.LastLinkBytes = bytes
+	row.TotalLinkCalls += calls
+	row.TotalRetries += qs.Retries
+}
+
+// Rows snapshots the registry sorted by descending execution count, ties by
+// query text (a stable order for tests and the REPL).
+func (r *Registry) Rows() []QueryStatRow {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]QueryStatRow, 0, len(r.m))
+	for _, row := range r.m {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ExecutionCount != out[j].ExecutionCount {
+			return out[i].ExecutionCount > out[j].ExecutionCount
+		}
+		return out[i].QueryText < out[j].QueryText
+	})
+	return out
+}
+
+// Reset clears the registry (DBCC FREEPROCCACHE, as it were).
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.m = map[string]*QueryStatRow{}
+	r.mu.Unlock()
+}

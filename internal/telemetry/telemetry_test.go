@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dhqp/internal/algebra"
+	"dhqp/internal/netsim"
+)
+
+func TestOpStatsCounters(t *testing.T) {
+	var s OpStats
+	s.RecordOpen(time.Millisecond)
+	s.RecordNext(time.Millisecond, true)
+	s.RecordNext(time.Millisecond, true)
+	s.RecordNext(time.Millisecond, false) // EOF
+	if s.Opens() != 1 || s.Nexts() != 3 || s.ActualRows() != 2 {
+		t.Errorf("opens/nexts/rows = %d/%d/%d", s.Opens(), s.Nexts(), s.ActualRows())
+	}
+	if s.WallTime() != 4*time.Millisecond {
+		t.Errorf("wall = %v", s.WallTime())
+	}
+}
+
+func TestCollectorNilSafety(t *testing.T) {
+	var c *Collector
+	// Every read/record on a nil collector is a no-op, not a panic.
+	c.RecordSpan("x", time.Second)
+	c.RecordRemoteSQL("s", "q")
+	c.CaptureRemoteSQL(nil)
+	if c.Spans() != nil || c.RemoteSQL() != nil || c.Ops() != nil || c.Lookup(nil) != nil {
+		t.Error("nil collector returned data")
+	}
+}
+
+func TestCollectorOpStatsIdentity(t *testing.T) {
+	c := NewCollector()
+	n := algebra.NewNode(&algebra.EmptyScan{})
+	a, b := c.OpStats(n), c.OpStats(n)
+	if a != b {
+		t.Error("OpStats not stable per node")
+	}
+	if c.Lookup(n) != a {
+		t.Error("Lookup disagrees with OpStats")
+	}
+}
+
+func TestLinkTrackerAttribution(t *testing.T) {
+	la, lb := &netsim.Link{}, &netsim.Link{}
+	names := map[*netsim.Link]string{la: "beta", lb: "alpha"}
+	tr := NewLinkTracker(func(l *netsim.Link) string { return names[l] })
+	tr.ObserveCall(la, 10, 100, false)
+	tr.ObserveCall(la, 0, 0, true) // fault: call counted, no payload
+	tr.ObserveCall(lb, 5, 50, false)
+	tr.AddRetries(map[string]int64{"beta": 2})
+	tr.AddBreakerTrips("alpha", 1)
+	snap := tr.Snapshot()
+	if len(snap) != 2 || snap[0].Server != "alpha" || snap[1].Server != "beta" {
+		t.Fatalf("snapshot order: %+v", snap)
+	}
+	if b := snap[1]; b.Calls != 2 || b.Rows != 10 || b.Bytes != 100 || b.Faults != 1 || b.Retries != 2 {
+		t.Errorf("beta = %+v", b)
+	}
+	if a := snap[0]; a.Calls != 1 || a.BreakerTrips != 1 {
+		t.Errorf("alpha = %+v", a)
+	}
+}
+
+func TestLinkTrackerUnresolvedName(t *testing.T) {
+	tr := NewLinkTracker(nil)
+	tr.ObserveCall(&netsim.Link{}, 1, 1, false)
+	snap := tr.Snapshot()
+	if len(snap) != 1 || snap[0].Server != "?" {
+		t.Errorf("unresolved link filed under %+v", snap)
+	}
+}
+
+func TestRegistryAggregation(t *testing.T) {
+	r := NewRegistry()
+	r.Record(&QueryStats{QueryText: "q1", Rows: 10, Elapsed: time.Millisecond,
+		Links: []LinkStats{{Server: "s", Calls: 2, Bytes: 100}}, Retries: 1})
+	r.Record(&QueryStats{QueryText: "q1", Rows: 20, Elapsed: time.Millisecond,
+		Links: []LinkStats{{Server: "s", Calls: 4, Bytes: 300}}})
+	r.Record(&QueryStats{QueryText: "q2", Rows: 1})
+	r.Record(&QueryStats{QueryText: ""}) // unnamed executions stay out
+	rows := r.Rows()
+	if len(rows) != 2 || rows[0].QueryText != "q1" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	q1 := rows[0]
+	if q1.ExecutionCount != 2 || q1.TotalRows != 30 || q1.LastRows != 20 {
+		t.Errorf("q1 = %+v", q1)
+	}
+	if q1.TotalLinkBytes != 400 || q1.LastLinkBytes != 300 || q1.TotalLinkCalls != 6 || q1.TotalRetries != 1 {
+		t.Errorf("q1 link aggregates = %+v", q1)
+	}
+	r.Reset()
+	if len(r.Rows()) != 0 {
+		t.Error("Reset left rows")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(&QueryStats{QueryText: "q", Rows: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if rows := r.Rows(); rows[0].ExecutionCount != 800 {
+		t.Errorf("count = %d, want 800", rows[0].ExecutionCount)
+	}
+}
+
+func TestCaptureRemoteSQL(t *testing.T) {
+	c := NewCollector()
+	inner := algebra.NewNode(&algebra.RemoteQuery{Server: "r0", SQL: "SELECT 1"})
+	root := algebra.NewNode(&algebra.EmptyScan{}, inner)
+	c.CaptureRemoteSQL(root)
+	got := c.RemoteSQL()
+	if len(got) != 1 || got[0].Server != "r0" || got[0].Text != "SELECT 1" {
+		t.Errorf("remote SQL = %+v", got)
+	}
+}
