@@ -1,6 +1,6 @@
 // benchrunner regenerates every table and figure of the paper's evaluation
 // as formatted text: one section per experiment in DESIGN.md's index
-// (E1–E14). Absolute numbers come from the simulator; the shapes — who
+// (E1–E15). Absolute numbers come from the simulator; the shapes — who
 // wins, by what factor, where crossovers fall — are the reproduction
 // target recorded in EXPERIMENTS.md.
 package main
@@ -10,7 +10,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"dhqp"
@@ -47,6 +49,7 @@ func main() {
 	run("E12", e12)
 	run("E13", e13)
 	run("E14", e14)
+	run("E15", e15)
 }
 
 func header(id, title string) {
@@ -867,4 +870,117 @@ func e14() {
 		len(res.Rows), totalRows, res.Skipped, time.Since(start).Round(time.Microsecond))
 	fmt.Println("\nretries absorb transient faults with row-identical results; a dead member costs one")
 	fmt.Println("tripped breaker and, in degraded mode, its partition — never the whole query.")
+}
+
+// --- E15: concurrent clients through the serving layer -----------------
+
+// e15point is one concurrency level's throughput/latency summary in
+// BENCH_E15.json.
+type e15point struct {
+	Clients          int     `json:"clients"`
+	QueriesPerClient int     `json:"queries_per_client"`
+	Busy             int     `json:"busy_rejections"`
+	QPS              float64 `json:"qps"`
+	P50MS            float64 `json:"p50_ms"`
+	P99MS            float64 `json:"p99_ms"`
+}
+
+// percentile reads the p-th percentile from sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func e15() {
+	header("E15", "serving layer: concurrent client sessions over TCP")
+	const members, totalRows = 3, 1200
+	head, _ := buildStockFed(members, totalRows, true)
+	srv := dhqp.Serve(head, dhqp.ServeOptions{MaxConcurrent: 8})
+	addr, err := srv.Listen("127.0.0.1:0")
+	must(err)
+	defer srv.Close()
+	query := `SELECT s_qty FROM all_stock WHERE s_id = @id`
+	mustQ(head, query, dhqp.Params("id", dhqp.Int(1))) // warm plan + remote schemas
+
+	fmt.Println("workload: point lookups through a 3-member partitioned view, 8 admission slots,")
+	fmt.Println("each client one TCP session issuing 30 queries back to back")
+	fmt.Printf("  %-10s %10s %12s %12s %8s\n", "clients", "QPS", "p50", "p99", "busy")
+	var points []e15point
+	for _, clients := range []int{4, 16} {
+		const perClient = 30
+		lats := make(chan time.Duration, clients*perClient)
+		busyC := make(chan int, clients)
+		var wg sync.WaitGroup
+		barrier := make(chan struct{})
+		conns := make([]*dhqp.Client, clients)
+		for i := range conns {
+			conns[i], err = dhqp.Dial(addr.String())
+			must(err)
+		}
+		start := time.Now()
+		for i, c := range conns {
+			wg.Add(1)
+			go func(i int, c *dhqp.Client) {
+				defer wg.Done()
+				<-barrier
+				busy := 0
+				for j := 0; j < perClient; j++ {
+					id := int64((i*perClient + j*37) % totalRows)
+					t0 := time.Now()
+					_, err := c.Query(query, dhqp.Params("id", dhqp.Int(id)))
+					if err != nil {
+						if dhqp.IsBusy(err) {
+							busy++
+							continue
+						}
+						panic(err)
+					}
+					lats <- time.Since(t0)
+				}
+				busyC <- busy
+			}(i, c)
+		}
+		close(barrier)
+		wg.Wait()
+		elapsed := time.Since(start)
+		close(lats)
+		close(busyC)
+		var sorted []time.Duration
+		for d := range lats {
+			sorted = append(sorted, d)
+		}
+		busy := 0
+		for b := range busyC {
+			busy += b
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		qps := float64(len(sorted)) / elapsed.Seconds()
+		p50, p99 := percentile(sorted, 0.50), percentile(sorted, 0.99)
+		fmt.Printf("  %-10d %10.0f %12v %12v %8d\n",
+			clients, qps, p50.Round(time.Microsecond), p99.Round(time.Microsecond), busy)
+		points = append(points, e15point{
+			Clients:          clients,
+			QueriesPerClient: perClient,
+			Busy:             busy,
+			QPS:              qps,
+			P50MS:            float64(p50) / float64(time.Millisecond),
+			P99MS:            float64(p99) / float64(time.Millisecond),
+		})
+		for _, c := range conns {
+			must(c.Close())
+		}
+	}
+	out, err := json.MarshalIndent(struct {
+		Members       int        `json:"members"`
+		MaxConcurrent int        `json:"max_concurrent"`
+		Levels        []e15point `json:"levels"`
+	}{members, 8, points}, "", "  ")
+	must(err)
+	must(os.WriteFile("BENCH_E15.json", append(out, '\n'), 0o644))
+	fmt.Println("  wrote BENCH_E15.json")
+	fmt.Println("\nbeyond the 8 admission slots, added clients queue rather than oversubscribe the")
+	fmt.Println("engine: QPS holds near its plateau while p99 absorbs the queueing delay.")
 }

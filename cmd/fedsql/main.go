@@ -2,6 +2,12 @@
 // local server plus a configurable number of linked SQL servers, loads a
 // demo dataset, and reads statements from stdin.
 //
+// It also fronts the network serving layer:
+//
+//	fedsql --listen 127.0.0.1:4333   serve the federation over TCP; drains
+//	                                 gracefully on SIGTERM/SIGINT (exit 0)
+//	fedsql --connect 127.0.0.1:4333  REPL as a network client session
+//
 // Meta-commands and statement forms:
 //
 //	EXPLAIN <select>          show the optimized plan with estimated rows
@@ -9,9 +15,13 @@
 //	                          phase timings, remote SQL and link metrics
 //	SELECT * FROM sys.dm_exec_query_stats
 //	                          aggregate per-statement execution statistics
+//	SELECT * FROM sys.dm_exec_sessions | dm_exec_requests
+//	                          serving-layer sessions and in-flight requests
+//	KILL <session_id>         cancel another session's statement (connect mode)
 //	\plan <select>   show the optimized physical plan instead of executing
 //	\traffic         show per-link traffic counters
 //	\servers         list linked servers and their capabilities
+//	\info            serving-layer occupancy (connect mode)
 //	\help            this text
 //	\q               quit
 package main
@@ -21,21 +31,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"dhqp"
 	"dhqp/internal/algebra"
 	"dhqp/internal/opt"
-	"dhqp/internal/rowset"
-	"dhqp/internal/schema"
-	"dhqp/internal/sqltypes"
+	"dhqp/internal/server"
 	"dhqp/internal/workload"
 )
 
 func main() {
 	remotes := flag.Int("remotes", 1, "number of linked SQL servers")
 	demo := flag.Bool("demo", true, "load the TPC-H demo dataset")
+	listen := flag.String("listen", "", "serve the federation over TCP on this address instead of a local REPL")
+	connect := flag.String("connect", "", "connect the REPL to a serving fedsql at this address (no local engine)")
 	flag.Parse()
+
+	if *connect != "" {
+		runClient(*connect)
+		return
+	}
 
 	local := dhqp.NewServer("local", "appdb")
 	var links []*dhqp.Link
@@ -57,6 +74,14 @@ func main() {
 		if err := workload.LoadTPCHNation(local, workload.SmallTPCH()); err != nil {
 			fatal(err)
 		}
+	}
+
+	if *listen != "" {
+		runServer(local, *listen)
+		return
+	}
+
+	if *demo {
 		fmt.Println("demo data loaded: nation (local); customer, supplier (remote0)")
 		fmt.Println(`try: SELECT c.c_name FROM remote0.tpch10g.dbo.customer c, nation n WHERE c.c_nationkey = n.n_nationkey AND n.n_name = 'nation03'`)
 	}
@@ -79,6 +104,7 @@ func main() {
 			fmt.Println(`EXPLAIN <select>          optimized plan with estimated rows + optimizer report
 EXPLAIN ANALYZE <select>  execute; estimated vs actual rows, phases, remote SQL, link metrics
 SELECT * FROM sys.dm_exec_query_stats   aggregate per-statement statistics
+SELECT * FROM sys.dm_exec_cached_plans  plan-cache occupancy and hit/miss/eviction counters
 \plan <select>  show physical plan;  \traffic  link counters;  \servers  linked servers;  \q  quit`)
 		case line == `\traffic`:
 			for i, l := range links {
@@ -96,6 +122,76 @@ SELECT * FROM sys.dm_exec_query_stats   aggregate per-statement statistics
 			explain(local, strings.TrimPrefix(line, `\plan `))
 		default:
 			runStatement(local, line)
+		}
+	}
+}
+
+// runServer serves the federation over TCP until SIGTERM/SIGINT, then
+// drains gracefully: no new sessions, in-flight statements finish under the
+// drain deadline, stragglers are cancelled, and the process exits 0.
+func runServer(local *dhqp.Server, addr string) {
+	srv := dhqp.Serve(local, dhqp.ServeOptions{})
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fedsql: serving on %s (connect with: fedsql --connect %s)\n", bound, bound)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	s := <-sig
+	fmt.Printf("fedsql: %v received, draining\n", s)
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("fedsql: drained, bye")
+}
+
+// runClient is the REPL in network-client mode: every statement — SELECT,
+// DML, KILL, the DMVs — ships to the serving fedsql as one session.
+func runClient(addr string) {
+	c, err := dhqp.Dial(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	fmt.Printf("fedsql: connected to %s as session %d\n", c.ServerName(), c.SessionID())
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("fedsql> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || line == "exit" || line == "quit":
+			return
+		case line == `\help`:
+			fmt.Println(`any SQL statement runs on the server, including the DMVs
+SELECT * FROM sys.dm_exec_sessions | dm_exec_requests | dm_exec_query_stats | dm_exec_cached_plans
+KILL <session_id>  cancel that session's statement;  \info  occupancy;  \q  quit`)
+		case line == `\info`:
+			info, err := c.ServerInfo()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("server=%s sessions=%d running=%d queued=%d slots=%d draining=%v\n",
+				info.Server, info.Sessions, info.Running, info.Queued, info.MaxConcurrent, info.Draining)
+		default:
+			res, err := c.Query(line, nil)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if len(res.Cols) > 0 {
+				fmt.Print(res.Display())
+				fmt.Printf("(%d rows)\n", len(res.Rows))
+			} else {
+				fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
+			}
 		}
 	}
 }
@@ -141,7 +237,10 @@ func runStatement(local *dhqp.Server, line string) {
 	case strings.HasPrefix(upper, "EXPLAIN "):
 		explain(local, strings.TrimSpace(line[len("EXPLAIN"):]))
 	case strings.HasPrefix(upper, "SELECT") && strings.Contains(upper, "DM_EXEC_QUERY_STATS"):
-		fmt.Print(queryStatsResult(local).Display())
+		// Same rendering the serving layer uses for its DMV.
+		fmt.Print(server.QueryStatsResult(local).Display())
+	case strings.HasPrefix(upper, "SELECT") && strings.Contains(upper, "DM_EXEC_CACHED_PLANS"):
+		fmt.Print(server.PlanCacheResult(local).Display())
 	case strings.HasPrefix(upper, "SELECT"):
 		res, err := local.Query(line, nil)
 		if err != nil {
@@ -158,36 +257,6 @@ func runStatement(local *dhqp.Server, line string) {
 		}
 		fmt.Printf("ok (%d rows affected)\n", n)
 	}
-}
-
-// queryStatsResult renders the server's query-stats registry as a result
-// set, mirroring SELECT * FROM sys.dm_exec_query_stats.
-func queryStatsResult(local *dhqp.Server) *dhqp.Result {
-	res := &dhqp.Result{Cols: []schema.Column{
-		{Name: "query_text", Kind: sqltypes.KindString},
-		{Name: "execution_count", Kind: sqltypes.KindInt},
-		{Name: "total_rows", Kind: sqltypes.KindInt},
-		{Name: "last_rows", Kind: sqltypes.KindInt},
-		{Name: "total_elapsed_ms", Kind: sqltypes.KindFloat},
-		{Name: "last_elapsed_ms", Kind: sqltypes.KindFloat},
-		{Name: "total_link_bytes", Kind: sqltypes.KindInt},
-		{Name: "total_link_calls", Kind: sqltypes.KindInt},
-		{Name: "total_retries", Kind: sqltypes.KindInt},
-	}}
-	for _, r := range local.QueryStats() {
-		res.Rows = append(res.Rows, rowset.Row{
-			sqltypes.NewString(r.QueryText),
-			sqltypes.NewInt(r.ExecutionCount),
-			sqltypes.NewInt(r.TotalRows),
-			sqltypes.NewInt(r.LastRows),
-			sqltypes.NewFloat(float64(r.TotalElapsed.Microseconds()) / 1000),
-			sqltypes.NewFloat(float64(r.LastElapsed.Microseconds()) / 1000),
-			sqltypes.NewInt(r.TotalLinkBytes),
-			sqltypes.NewInt(r.TotalLinkCalls),
-			sqltypes.NewInt(r.TotalRetries),
-		})
-	}
-	return res
 }
 
 func fatal(err error) {

@@ -23,6 +23,7 @@ import (
 	"dhqp/internal/providers/fulltext"
 	"dhqp/internal/providers/simplep"
 	"dhqp/internal/providers/sqlful"
+	"dhqp/internal/server"
 	"dhqp/internal/sqltypes"
 	"dhqp/internal/telemetry"
 )
@@ -68,6 +69,34 @@ type LinkStats = telemetry.LinkStats
 
 // NewServer creates an engine instance with one default database.
 func NewServer(name, defaultDB string) *Server { return engine.NewServer(name, defaultDB) }
+
+// TCPServer is the network serving layer: sessions over a length-prefixed
+// frame protocol, admission control, KILL, graceful drain.
+type TCPServer = server.Server
+
+// ServeOptions tunes the serving layer (concurrent-query slots, queue
+// depth, timeouts); the zero value picks every default.
+type ServeOptions = server.Options
+
+// Client is one session against a Serve endpoint.
+type Client = server.Client
+
+// ServerInfo is a point-in-time serving-layer occupancy snapshot.
+type ServerInfo = server.ServerInfo
+
+// Serve wraps an engine in a TCP serving layer; call Listen on the result
+// to bind an address and start accepting sessions.
+func Serve(s *Server, opt ServeOptions) *TCPServer { return server.New(s, opt) }
+
+// Dial opens a client session against a serving endpoint.
+func Dial(addr string) (*Client, error) { return server.Dial(addr) }
+
+// IsBusy reports whether an error is the serving layer's typed
+// admission-control rejection (retryable load shedding).
+func IsBusy(err error) bool { return server.IsBusy(err) }
+
+// IsKilled reports whether a statement died to a peer session's KILL.
+func IsKilled(err error) bool { return server.IsKilled(err) }
 
 // LAN returns a local-network link (1 ms per call, ~100 MB/s).
 func LAN() *Link { return netsim.LAN() }

@@ -348,7 +348,10 @@ func (md *metadata) Histogram(col expr.ColumnID) *stats.Histogram {
 	if cs.src.Server == "" {
 		rs, err = s.nativeSess.ColumnHistogram(cs.src.Catalog+"."+cs.src.Table, cs.name)
 	} else {
-		if !s.UseRemoteStatistics {
+		s.mu.Lock()
+		useRemote := s.UseRemoteStatistics
+		s.mu.Unlock()
+		if !useRemote {
 			return nil
 		}
 		l, lerr := s.linkedFor(cs.src.Server)

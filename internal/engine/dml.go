@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -170,7 +171,7 @@ func (s *Server) invalidateLocal() {
 func (s *Server) invalidatePlans() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.planCache = map[string]*cachedPlan{}
+	s.planCache.Clear()
 }
 
 func (s *Server) execProc(st *parser.ExecStmt) error {
@@ -296,7 +297,7 @@ func (s *Server) insertRows(st *parser.InsertStmt, params map[string]sqltypes.Va
 		}
 		return res.Rows, nil
 	}
-	env := &expr.Env{Params: params, Today: s.Today}
+	env := &expr.Env{Params: params, Today: s.today()}
 	var rows []rowset.Row
 	for _, astRow := range st.Rows {
 		row := make(rowset.Row, len(astRow))
@@ -324,7 +325,7 @@ func (s *Server) querySelect(sel *parser.SelectStmt, params map[string]sqltypes.
 	}
 	// INSERT ... SELECT has no standalone statement text; an empty key keeps
 	// it out of the query-stats registry.
-	return s.runPlan("", plan, cols, params, false, nil)
+	return s.runPlan(context.Background(), "", plan, cols, params, false, nil)
 }
 
 // bindStandaloneExpr binds a scalar AST with no columns in scope.
@@ -435,7 +436,7 @@ func (s *Server) execUpdate(st *parser.UpdateStmt, params map[string]sqltypes.Va
 		if err != nil {
 			return 0, err
 		}
-		env := &expr.Env{Row: r, Params: params, Today: s.Today}
+		env := &expr.Env{Row: r, Params: params, Today: s.today()}
 		if where != nil {
 			ok, err := expr.EvalPredicate(where, env)
 			if err != nil {
@@ -500,7 +501,7 @@ func (s *Server) execDelete(st *parser.DeleteStmt, params map[string]sqltypes.Va
 			return 0, err
 		}
 		if where != nil {
-			env := &expr.Env{Row: r, Params: params, Today: s.Today}
+			env := &expr.Env{Row: r, Params: params, Today: s.today()}
 			ok, err := expr.EvalPredicate(where, env)
 			if err != nil {
 				return 0, err

@@ -20,6 +20,7 @@ import (
 	"dhqp/internal/algebra"
 	"dhqp/internal/circuit"
 	"dhqp/internal/cost"
+	"dhqp/internal/lru"
 	"dhqp/internal/netsim"
 	"dhqp/internal/oledb"
 	"dhqp/internal/opt"
@@ -104,8 +105,15 @@ type Server struct {
 
 	// planCache memoizes compiled plans by statement text; parameters bind
 	// at execution, so cached plans serve any parameter values. DDL and
-	// linked-server changes invalidate it.
-	planCache map[string]*cachedPlan
+	// linked-server changes invalidate it. The cache is a capped LRU —
+	// ad-hoc statement traffic from network clients would otherwise grow it
+	// without bound — sized by SetPlanCacheCapacity.
+	planCache *lru.Cache[string, *cachedPlan]
+	// planCacheHits/Misses/Evictions count cache outcomes (PlanCacheStats);
+	// guarded by mu.
+	planCacheHits      int64
+	planCacheMisses    int64
+	planCacheEvictions int64
 	// DisablePlanCache forces re-optimization on every Query.
 	DisablePlanCache bool
 
@@ -155,7 +163,7 @@ func NewServer(name, defaultDB string) *Server {
 		Today:             sqltypes.NewDate(2004, 6, 15),
 		histCache:         map[string]*stats.Histogram{},
 		cardCache:         map[string]float64{},
-		planCache:         map[string]*cachedPlan{},
+		planCache:         lru.New[string, *cachedPlan](DefaultPlanCacheCapacity),
 		queryStats:        telemetry.NewRegistry(),
 		breakers:          map[string]*circuit.Breaker{},
 		breakerThreshold:  DefaultBreakerThreshold,
@@ -169,6 +177,63 @@ func NewServer(name, defaultDB string) *Server {
 	sess, _ := s.nativeProv.CreateSession()
 	s.nativeSess = sess
 	return s
+}
+
+// DefaultPlanCacheCapacity bounds the compiled-plan cache: large enough
+// that a steady application workload never evicts, small enough that a
+// flood of distinct ad-hoc statements cannot grow memory without bound.
+const DefaultPlanCacheCapacity = 256
+
+// PlanCacheStats is a snapshot of the plan cache's occupancy and outcome
+// counters since server start (Server.PlanCacheStats).
+type PlanCacheStats struct {
+	Capacity  int
+	Size      int
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// SetPlanCacheCapacity resizes the compiled-plan cache, evicting least-
+// recently-used plans if it shrinks below its occupancy. n < 1 restores
+// DefaultPlanCacheCapacity. Safe to call concurrently with Query.
+func (s *Server) SetPlanCacheCapacity(n int) {
+	if n < 1 {
+		n = DefaultPlanCacheCapacity
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.planCacheEvictions += int64(s.planCache.Resize(n))
+}
+
+// PlanCacheStats snapshots the plan cache counters: hits and misses of
+// Query's cache probe, and evictions forced by the capacity bound. A
+// non-zero eviction count under a fixed workload means the cache is
+// undersized for the statement population.
+func (s *Server) PlanCacheStats() PlanCacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return PlanCacheStats{
+		Capacity:  s.planCache.Cap(),
+		Size:      s.planCache.Len(),
+		Hits:      s.planCacheHits,
+		Misses:    s.planCacheMisses,
+		Evictions: s.planCacheEvictions,
+	}
+}
+
+// SetQueryStatsCapacity bounds how many distinct statements the query-stats
+// registry aggregates before evicting least-recently-executed rows; see
+// telemetry.Registry. n < 1 restores the registry default.
+func (s *Server) SetQueryStatsCapacity(n int) {
+	s.queryStats.SetCapacity(n)
+}
+
+// QueryStatsEvicted reports how many aggregate rows the registry has
+// evicted under its capacity bound — non-zero means QueryStats() is a
+// partial view of the statement population.
+func (s *Server) QueryStatsEvicted() int64 {
+	return s.queryStats.Evicted()
 }
 
 // Name returns the server name.
@@ -187,7 +252,27 @@ func (s *Server) FulltextService() *fulltext.Service { return s.ftService }
 func (s *Server) MailStore() *email.Store { return s.mailStore }
 
 // LastReport returns the optimizer report of the most recent Query/Plan.
-func (s *Server) LastReport() *opt.Report { return s.lastReport }
+func (s *Server) LastReport() *opt.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastReport
+}
+
+// today snapshots the session date under the engine mutex (expression
+// environments read it per statement; SetToday may flip it concurrently).
+func (s *Server) today() sqltypes.Value {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Today
+}
+
+// SetToday sets the session date for today(), synchronized with concurrent
+// queries (single-threaded setup code may assign the Today field directly).
+func (s *Server) SetToday(v sqltypes.Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Today = v
+}
 
 // SetCollectStats toggles per-operator runtime statistics on Query (the
 // analogue of SET STATISTICS PROFILE ON): with it on, every iterator is
@@ -271,7 +356,7 @@ func (s *Server) SetRemoteBatchSize(k int) {
 	}
 	s.remoteBatchSize = k
 	s.remoteBatchingOff = false
-	s.planCache = map[string]*cachedPlan{}
+	s.planCache.Clear()
 }
 
 // RemoteBatchSize reports the effective batched-remote-access key count.
@@ -292,7 +377,7 @@ func (s *Server) DisableRemoteBatching() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.remoteBatchingOff = true
-	s.planCache = map[string]*cachedPlan{}
+	s.planCache.Clear()
 }
 
 // Circuit-breaker defaults: a server must fail more than a full default
@@ -434,7 +519,7 @@ func (s *Server) AddLinkedServer(name string, ds oledb.DataSource, link *netsim.
 		return fmt.Errorf("engine: linked server %q already exists", name)
 	}
 	s.linked[key] = &linkedServer{name: name, ds: ds, caps: ds.Capabilities(), link: link}
-	s.planCache = map[string]*cachedPlan{}
+	s.planCache.Clear()
 	if link != nil {
 		s.meter.Register(name, link)
 	}

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dhqp/internal/sqltypes"
+)
+
+// TestKnobFlipsDuringConcurrentQueries is the knob-audit regression: every
+// runtime Set* knob flips continuously while query goroutines run, and the
+// race detector must stay quiet. Query paths may only read knob state
+// through mutex-guarded snapshots; a bare field read here is a -race
+// failure, not a flake.
+func TestKnobFlipsDuringConcurrentQueries(t *testing.T) {
+	local, _, _ := linkTwo(t)
+	queries := []string{
+		`SELECT COUNT(*) AS n FROM nation`,
+		`SELECT c_name FROM remote0.salesdb.dbo.customer WHERE c_id = 7`,
+		`SELECT n.n_name, COUNT(*) AS c FROM remote0.salesdb.dbo.customer cu, nation n
+			WHERE cu.c_nation = n.n_id GROUP BY n.n_name`,
+	}
+	for _, sql := range queries {
+		q(t, local, sql)
+	}
+	stop := make(chan struct{})
+	var flipper sync.WaitGroup
+	flipper.Add(1)
+	go func() {
+		defer flipper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			local.SetMaxDOP(i % 3)
+			local.SetRemoteBatchSize(50 + i%50)
+			local.SetQueryTimeout(time.Duration(i%2) * time.Minute)
+			local.SetPartialResults(i%2 == 0)
+			local.SetCollectStats(i%2 == 1)
+			local.SetRemoteRetries(1 + i%3)
+			local.SetRetryBackoff(time.Duration(i%3) * time.Millisecond)
+			local.SetBreaker(5+i%5, time.Second)
+			local.SetPlanCacheCapacity(2 + i%8)
+			local.SetQueryStatsCapacity(2 + i%8)
+			local.SetToday(sqltypes.NewDateDays(int64(19000 + i%100)))
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				sql := queries[(g+i)%len(queries)]
+				if _, err := local.Query(sql, nil); err != nil {
+					errs <- fmt.Errorf("goroutine %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	flipper.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// The tiny plan-cache capacities above must have evicted plans; the
+	// counters are how operators see that happening.
+	if st := local.PlanCacheStats(); st.Size > st.Capacity {
+		t.Errorf("plan cache size %d exceeds capacity %d", st.Size, st.Capacity)
+	}
+}

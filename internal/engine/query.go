@@ -114,6 +114,12 @@ func (s *Server) planSelectWith(sel *parser.SelectStmt, col *telemetry.Collector
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	// Snapshot the planning knobs under the engine mutex: admin sessions
+	// may flip them while other sessions compile.
+	s.mu.Lock()
+	disableSpool, disableParam := s.DisableSpool, s.DisableParameterization
+	optCfg := s.OptConfig
+	s.mu.Unlock()
 	md := s.newMetadata(bound.Root)
 	rctx := &rules.Context{
 		CapsFor: func(server string) (oledb.Capabilities, bool) {
@@ -133,11 +139,11 @@ func (s *Server) planSelectWith(sel *parser.SelectStmt, col *telemetry.Collector
 			return rules.FulltextIndexInfo{Server: ftServerName, Catalog: cat}, true
 		},
 		TableCardFn:             md.TableCardinality,
-		DisableSpool:            s.DisableSpool,
-		DisableParameterization: s.DisableParameterization,
+		DisableSpool:            disableSpool,
+		DisableParameterization: disableParam,
 		RemoteBatchSize:         s.planBatchSize(),
 	}
-	cfg := s.OptConfig
+	cfg := optCfg
 	if cfg.Model == nil {
 		cfg.Model = s.costModel()
 	}
@@ -153,7 +159,9 @@ func (s *Server) planSelectWith(sel *parser.SelectStmt, col *telemetry.Collector
 	start = time.Now()
 	col.CaptureRemoteSQL(plan)
 	col.RecordSpan("decode", time.Since(start))
+	s.mu.Lock()
 	s.lastReport = report
+	s.mu.Unlock()
 	cols := make([]schema.Column, len(bound.ResultCols))
 	for i, c := range bound.ResultCols {
 		cols[i] = schema.Column{Name: c.Name, Kind: c.Kind, Nullable: true}
@@ -221,31 +229,50 @@ func (rt *runtime) SessionFor(server string) (oledb.Session, error) {
 // parameterized access paths re-evaluate per run), so one cached plan
 // serves every parameter value.
 func (s *Server) Query(sql string, params map[string]sqltypes.Value) (*Result, error) {
+	return s.QueryContext(context.Background(), sql, params)
+}
+
+// QueryContext is Query under a caller-supplied context: cancelling it (or
+// its deadline passing) aborts the statement mid-execution with a
+// cancelled-class error — remote transfers, retry backoffs and the row loop
+// all observe it. The serving layer threads each network session's query
+// context through here, which is what makes client-initiated cancel and
+// KILL work. A configured SetQueryTimeout still applies on top.
+func (s *Server) QueryContext(ctx context.Context, sql string, params map[string]sqltypes.Value) (*Result, error) {
 	var col *telemetry.Collector
 	if s.CollectStats() {
 		col = telemetry.NewCollector()
 	}
-	if !s.DisablePlanCache {
-		s.mu.Lock()
-		cached, ok := s.planCache[sql]
-		s.mu.Unlock()
-		if ok {
-			// Cache hit: no compile spans, but the decoded remote texts are
-			// a plan property, so collection still reports them.
-			col.CaptureRemoteSQL(cached.plan)
-			return s.runPlan(sql, cached.plan, cached.cols, params, true, col)
+	s.mu.Lock()
+	disableCache := s.DisablePlanCache
+	var cached *cachedPlan
+	if !disableCache {
+		if c, ok := s.planCache.Get(sql); ok {
+			s.planCacheHits++
+			cached = c
+		} else {
+			s.planCacheMisses++
 		}
+	}
+	s.mu.Unlock()
+	if cached != nil {
+		// Cache hit: no compile spans, but the decoded remote texts are
+		// a plan property, so collection still reports them.
+		col.CaptureRemoteSQL(cached.plan)
+		return s.runPlan(ctx, sql, cached.plan, cached.cols, params, true, col)
 	}
 	plan, cols, _, err := s.planSQL(sql, col)
 	if err != nil {
 		return nil, err
 	}
-	if !s.DisablePlanCache {
+	if !disableCache {
 		s.mu.Lock()
-		s.planCache[sql] = &cachedPlan{plan: plan, cols: cols}
+		if s.planCache.Put(sql, &cachedPlan{plan: plan, cols: cols}) {
+			s.planCacheEvictions++
+		}
 		s.mu.Unlock()
 	}
-	return s.runPlan(sql, plan, cols, params, false, col)
+	return s.runPlan(ctx, sql, plan, cols, params, false, col)
 }
 
 // ExplainAnalyze compiles and executes a SELECT with full statistics
@@ -262,7 +289,7 @@ func (s *Server) ExplainAnalyze(sql string, params map[string]sqltypes.Value) (*
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.runPlan(sql, plan, cols, params, false, col)
+	res, err := s.runPlan(context.Background(), sql, plan, cols, params, false, col)
 	if err != nil {
 		return nil, err
 	}
@@ -275,20 +302,25 @@ func (s *Server) ExplainAnalyze(sql string, params map[string]sqltypes.Value) (*
 	}, nil
 }
 
-func (s *Server) runPlan(queryText string, plan *algebra.Node, cols []schema.Column, params map[string]sqltypes.Value, cacheHit bool, col *telemetry.Collector) (*Result, error) {
+func (s *Server) runPlan(base context.Context, queryText string, plan *algebra.Node, cols []schema.Column, params map[string]sqltypes.Value, cacheHit bool, col *telemetry.Collector) (*Result, error) {
 	if params == nil {
 		params = map[string]sqltypes.Value{}
 	}
-	// Fault-tolerance settings are read here, per execution, so cached
-	// plans always honor the current knob values.
+	if base == nil {
+		base = context.Background()
+	}
+	// Execution knobs are read here under the engine mutex, per execution,
+	// so cached plans always honor the current values and admin-session
+	// flips never race a running statement.
 	s.mu.Lock()
 	timeout, retryA, retryB, partial := s.queryTimeout, s.retryAttempts, s.retryBackoff, s.partialResults
+	today, noPrefetch := s.Today, s.DisableRemotePrefetch
 	s.mu.Unlock()
 	// Per-statement link attribution rides the statement context into every
 	// netsim call this execution makes: links are shared across concurrent
 	// statements, but each statement observes only its own calls.
 	tracker := telemetry.NewLinkTracker(s.meter.NameOf)
-	qctx := netsim.WithObserver(context.Background(), tracker)
+	qctx := netsim.WithObserver(base, tracker)
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		qctx, cancel = context.WithTimeout(qctx, timeout)
@@ -297,8 +329,8 @@ func (s *Server) runPlan(queryText string, plan *algebra.Node, cols []schema.Col
 	tripsBefore := s.breakerTrips()
 	diags := &exec.Diagnostics{}
 	ctx := &exec.Context{
-		RT: &runtime{s: s}, Params: params, Today: s.Today,
-		MaxDOP: s.MaxDOP(), NoPrefetch: s.DisableRemotePrefetch,
+		RT: &runtime{s: s}, Params: params, Today: today,
+		MaxDOP: s.MaxDOP(), NoPrefetch: noPrefetch,
 		RemoteBatchSize: s.RemoteBatchSize(),
 		Ctx:             qctx, RetryAttempts: retryA, RetryBackoff: retryB,
 		BreakerFor: s.breakerFor, PartialResults: partial, Diags: diags,

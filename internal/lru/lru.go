@@ -1,0 +1,131 @@
+// Package lru implements the small bounded most-recently-used cache shared
+// by the engine's plan cache and the telemetry query-stats registry. Both
+// caches are keyed by ad-hoc statement text, which an open network endpoint
+// turns into an unbounded, attacker-controlled key space — capping them is
+// what keeps a busy server's memory flat under ad-hoc traffic.
+//
+// The cache is not self-synchronizing: callers already serialize access
+// under their own mutex (the engine mutex, the registry mutex), so adding a
+// second lock here would only invite lock-order bugs.
+package lru
+
+import "container/list"
+
+// Cache is a fixed-capacity map with least-recently-used eviction. The zero
+// value is not usable; call New.
+type Cache[K comparable, V any] struct {
+	cap   int
+	order *list.List // front = most recently used; values are *entry[K, V]
+	items map[K]*list.Element
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns an empty cache evicting beyond capacity; capacity < 1 is
+// treated as 1 (a cache that cannot hold anything is never what a caller
+// wants).
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[K, V]{cap: capacity, order: list.New(), items: map[K]*list.Element{}}
+}
+
+// Get returns the value under key, marking it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Peek returns the value under key without touching recency.
+func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value under key, marking it most recently
+// used. When the insert grows the cache past capacity the least-recently-
+// used entry is evicted; evicted reports whether that happened (replacing
+// an existing key never evicts).
+func (c *Cache[K, V]) Put(key K, val V) (evicted bool) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[K, V]).val = val
+		c.order.MoveToFront(el)
+		return false
+	}
+	c.items[key] = c.order.PushFront(&entry[K, V]{key: key, val: val})
+	if c.order.Len() <= c.cap {
+		return false
+	}
+	c.evictOldest()
+	return true
+}
+
+// evictOldest drops the least-recently-used entry.
+func (c *Cache[K, V]) evictOldest() {
+	el := c.order.Back()
+	if el == nil {
+		return
+	}
+	c.order.Remove(el)
+	delete(c.items, el.Value.(*entry[K, V]).key)
+}
+
+// Remove deletes the entry under key, reporting whether it existed.
+func (c *Cache[K, V]) Remove(key K) bool {
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.items, key)
+	return true
+}
+
+// Resize changes the capacity, evicting least-recently-used entries until
+// the cache fits. It returns how many entries were evicted.
+func (c *Cache[K, V]) Resize(capacity int) int {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.cap = capacity
+	n := 0
+	for c.order.Len() > c.cap {
+		c.evictOldest()
+		n++
+	}
+	return n
+}
+
+// Clear empties the cache (capacity unchanged).
+func (c *Cache[K, V]) Clear() {
+	c.order.Init()
+	c.items = map[K]*list.Element{}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache[K, V]) Len() int { return c.order.Len() }
+
+// Cap reports the capacity.
+func (c *Cache[K, V]) Cap() int { return c.cap }
+
+// Each calls f for every entry from most to least recently used, stopping
+// early when f returns false.
+func (c *Cache[K, V]) Each(f func(key K, val V) bool) {
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[K, V])
+		if !f(e.key, e.val) {
+			return
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package lru
+
+import "testing"
+
+func TestPutGetEvict(t *testing.T) {
+	c := New[string, int](2)
+	if ev := c.Put("a", 1); ev {
+		t.Fatal("insert under capacity evicted")
+	}
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	if ev := c.Put("c", 3); !ev {
+		t.Fatal("insert past capacity did not evict")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("expected b evicted (LRU)")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently-used a evicted instead")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestReplaceDoesNotEvict(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if ev := c.Put("a", 10); ev {
+		t.Fatal("replacing an existing key evicted")
+	}
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("a = %d, want 10", v)
+	}
+}
+
+func TestPeekDoesNotTouchRecency(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Peek("a") // does not refresh "a"
+	c.Put("c", 3)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("Peek refreshed recency")
+	}
+}
+
+func TestRemoveResizeClear(t *testing.T) {
+	c := New[int, int](4)
+	for i := 0; i < 4; i++ {
+		c.Put(i, i)
+	}
+	if !c.Remove(2) || c.Remove(2) {
+		t.Fatal("Remove existence reporting wrong")
+	}
+	if n := c.Resize(1); n != 2 {
+		t.Fatalf("Resize evicted %d, want 2", n)
+	}
+	if c.Len() != 1 || c.Cap() != 1 {
+		t.Fatalf("after resize: len=%d cap=%d", c.Len(), c.Cap())
+	}
+	if _, ok := c.Get(3); !ok {
+		t.Fatal("resize evicted the most recently used entry")
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatal("Clear left entries")
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	c := New[int, int](0)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	if c.Len() != 1 {
+		t.Fatalf("capacity clamp: len=%d, want 1", c.Len())
+	}
+}
+
+func TestEach(t *testing.T) {
+	c := New[int, int](3)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Put(3, 3)
+	c.Get(1) // order now 1, 3, 2
+	var got []int
+	c.Each(func(k, _ int) bool { got = append(got, k); return true })
+	want := []int{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Each order = %v, want %v", got, want)
+		}
+	}
+}

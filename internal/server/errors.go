@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+	"errors"
+)
+
+// BusyError is the typed admission-control rejection: every concurrent-
+// query slot is taken and the statement could not be queued (queue full) or
+// waited out its queue timeout. Clients should treat it as retryable
+// load-shedding — back off and resubmit — never as a statement failure.
+type BusyError struct {
+	// Reason distinguishes "queue full" from "queue timeout".
+	Reason string
+}
+
+// Error implements error.
+func (e *BusyError) Error() string { return "server busy: " + e.Reason }
+
+// Busy marks the error for IsBusy.
+func (e *BusyError) Busy() bool { return true }
+
+// IsBusy reports whether the error is an admission-control rejection,
+// either the server-side value or its wire-rehydrated client form.
+func IsBusy(err error) bool {
+	var b interface{ Busy() bool }
+	return errors.As(err, &b) && b.Busy()
+}
+
+// QueryError is a statement failure rehydrated from an error frame on the
+// client side. Code carries the wire error code.
+type QueryError struct {
+	Code string
+	Msg  string
+}
+
+// Error implements error.
+func (e *QueryError) Error() string { return e.Code + ": " + e.Msg }
+
+// Busy marks admission rejections so IsBusy works on rehydrated errors.
+func (e *QueryError) Busy() bool { return e.Code == CodeBusy }
+
+// Unwrap maps cancellation-class codes onto context.Canceled so the
+// client-side error chain classifies the same way a local execution would:
+// oledb.Classify sees a killed or cancelled statement as ClassCancelled.
+func (e *QueryError) Unwrap() error {
+	if e.Code == CodeCancelled || e.Code == CodeKilled {
+		return context.Canceled
+	}
+	return nil
+}
+
+// IsKilled reports whether the statement died to another session's KILL.
+func IsKilled(err error) bool {
+	var q *QueryError
+	return errors.As(err, &q) && q.Code == CodeKilled
+}
+
+// IsCancelledClass reports whether the statement died to cancellation of
+// any flavor — its own cancel, a KILL, or a deadline.
+func IsCancelledClass(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

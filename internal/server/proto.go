@@ -1,0 +1,270 @@
+// Package server implements the network serving layer: a TCP endpoint that
+// exposes one engine.Server to remote clients over a length-prefixed JSON
+// frame protocol, with per-connection sessions, admission control over a
+// bounded pool of concurrent-query slots, client-initiated cancellation,
+// KILL <session_id> from any peer session, and graceful drain on Close.
+//
+// The paper's DHQP lives inside a server product — SQL Server accepts
+// concurrent client sessions, each issuing distributed queries. This
+// package is that missing outermost layer of Figure 1: everything below it
+// (parser, optimizer, executor, providers) is the library the rest of the
+// repository built; here it becomes a service with explicit session and
+// request lifecycles.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dhqp/internal/rowset"
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+)
+
+// Frame types. A session speaks strictly request/response — the only frame
+// a client may send while a query of its own is in flight is "cancel"; the
+// server never pushes unsolicited frames.
+const (
+	// Client → server.
+	FrameHello  = "hello"  // open a session
+	FrameQuery  = "query"  // execute one statement (SELECT, DML, KILL, DMV)
+	FrameCancel = "cancel" // abort the session's in-flight statement
+	FrameInfo   = "info"   // request a ServerInfo snapshot
+	FrameBye    = "bye"    // close the session cleanly
+
+	// Server → client.
+	FrameWelcome = "welcome" // session established (carries SessionID)
+	FrameCols    = "cols"    // result-set shape; row batches follow
+	FrameRows    = "rows"    // one batch of rows
+	FrameDone    = "done"    // statement finished (row count / rows affected)
+	FrameError   = "error"   // statement or protocol failure (typed Code)
+)
+
+// Error codes carried by error frames; the client rehydrates them into
+// typed errors (BusyError, QueryError).
+const (
+	CodeBusy      = "SERVER_BUSY"    // admission rejected: slots full, queue full or queue timeout
+	CodeCancelled = "CANCELLED"      // the session's own cancel aborted the statement
+	CodeKilled    = "KILLED"         // another session's KILL aborted the statement
+	CodeShutdown  = "SHUTTING_DOWN"  // server draining; no new statements
+	CodeQuery     = "QUERY_ERROR"    // the engine rejected or failed the statement
+	CodeProtocol  = "PROTOCOL_ERROR" // malformed or out-of-order frame
+)
+
+// MaxFrameBytes bounds a single frame (both directions). Row batches are
+// far smaller; the bound exists so a corrupt or hostile length prefix
+// cannot make the peer allocate without limit.
+const MaxFrameBytes = 16 << 20
+
+// Frame is the single wire message shape; Type selects which fields are
+// meaningful. JSON keeps the protocol debuggable (`nc` + eyeballs) — the
+// length prefix, not the payload encoding, is what makes framing robust.
+type Frame struct {
+	Type      string `json:"type"`
+	SessionID int64  `json:"session_id,omitempty"`
+	QueryID   int64  `json:"query_id,omitempty"`
+
+	// Query request.
+	SQL    string               `json:"sql,omitempty"`
+	Params map[string]WireValue `json:"params,omitempty"`
+
+	// Result stream.
+	Cols      []WireCol     `json:"cols,omitempty"`
+	Rows      [][]WireValue `json:"rows,omitempty"`
+	RowCount  int64         `json:"row_count,omitempty"` // done: result rows (SELECT) or rows affected (DML)
+	ElapsedUS int64         `json:"elapsed_us,omitempty"`
+	Retries   int64         `json:"retries,omitempty"`
+	Skipped   []string      `json:"skipped,omitempty"`
+
+	// Error frames.
+	Code string `json:"code,omitempty"`
+	Msg  string `json:"msg,omitempty"`
+
+	// Welcome / info.
+	Server string      `json:"server,omitempty"`
+	Info   *ServerInfo `json:"info,omitempty"`
+}
+
+// ServerInfo is the server-info frame payload: a point-in-time snapshot of
+// the serving layer's occupancy.
+type ServerInfo struct {
+	Server        string `json:"server"`
+	Sessions      int    `json:"sessions"`
+	Running       int    `json:"running"`
+	Queued        int    `json:"queued"`
+	MaxConcurrent int    `json:"max_concurrent"`
+	Draining      bool   `json:"draining"`
+}
+
+// WireCol is one result column.
+type WireCol struct {
+	Name string `json:"name"`
+	Kind uint8  `json:"kind"`
+}
+
+// WireValue is one SQL value on the wire. K is a one-letter kind tag; an
+// empty K is SQL NULL, so NULL costs two bytes of payload.
+type WireValue struct {
+	K string  `json:"k,omitempty"` // "", "b", "i", "f", "s", "d"
+	I int64   `json:"i,omitempty"` // bool (0/1), int, date (days since epoch)
+	F float64 `json:"f,omitempty"`
+	S string  `json:"s,omitempty"`
+}
+
+// encodeValue converts an engine value for the wire.
+func encodeValue(v sqltypes.Value) WireValue {
+	switch v.Kind() {
+	case sqltypes.KindBool:
+		var i int64
+		if v.Bool() {
+			i = 1
+		}
+		return WireValue{K: "b", I: i}
+	case sqltypes.KindInt:
+		return WireValue{K: "i", I: v.Int()}
+	case sqltypes.KindFloat:
+		return WireValue{K: "f", F: v.Float()}
+	case sqltypes.KindString:
+		return WireValue{K: "s", S: v.Str()}
+	case sqltypes.KindDate:
+		return WireValue{K: "d", I: v.DateDays()}
+	default:
+		return WireValue{}
+	}
+}
+
+// decodeValue converts a wire value back to an engine value.
+func decodeValue(w WireValue) (sqltypes.Value, error) {
+	switch w.K {
+	case "":
+		return sqltypes.Null, nil
+	case "b":
+		return sqltypes.NewBool(w.I != 0), nil
+	case "i":
+		return sqltypes.NewInt(w.I), nil
+	case "f":
+		return sqltypes.NewFloat(w.F), nil
+	case "s":
+		return sqltypes.NewString(w.S), nil
+	case "d":
+		return sqltypes.NewDateDays(w.I), nil
+	default:
+		return sqltypes.Null, fmt.Errorf("server: unknown wire value kind %q", w.K)
+	}
+}
+
+// encodeRow converts one result row.
+func encodeRow(r rowset.Row) []WireValue {
+	out := make([]WireValue, len(r))
+	for i, v := range r {
+		out[i] = encodeValue(v)
+	}
+	return out
+}
+
+// decodeRows converts row batches back into engine rows.
+func decodeRows(batch [][]WireValue) ([]rowset.Row, error) {
+	out := make([]rowset.Row, len(batch))
+	for i, wr := range batch {
+		row := make(rowset.Row, len(wr))
+		for j, wv := range wr {
+			v, err := decodeValue(wv)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// encodeCols converts a result-set shape.
+func encodeCols(cols []schema.Column) []WireCol {
+	out := make([]WireCol, len(cols))
+	for i, c := range cols {
+		out[i] = WireCol{Name: c.Name, Kind: uint8(c.Kind)}
+	}
+	return out
+}
+
+// decodeCols converts a wire shape back to schema columns.
+func decodeCols(cols []WireCol) []schema.Column {
+	out := make([]schema.Column, len(cols))
+	for i, c := range cols {
+		out[i] = schema.Column{Name: c.Name, Kind: sqltypes.Kind(c.Kind), Nullable: true}
+	}
+	return out
+}
+
+// encodeParams converts query parameters for the wire.
+func encodeParams(params map[string]sqltypes.Value) map[string]WireValue {
+	if len(params) == 0 {
+		return nil
+	}
+	out := make(map[string]WireValue, len(params))
+	for k, v := range params {
+		out[k] = encodeValue(v)
+	}
+	return out
+}
+
+// decodeParams converts wire parameters back.
+func decodeParams(params map[string]WireValue) (map[string]sqltypes.Value, error) {
+	if len(params) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]sqltypes.Value, len(params))
+	for k, w := range params {
+		v, err := decodeValue(w)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// WriteFrame marshals and writes one length-prefixed frame. Callers
+// serialize writes per connection themselves (sessions hold a write mutex:
+// a streaming result and a concurrent error reply must not interleave).
+func WriteFrame(w io.Writer, f *Frame) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("server: encoding %s frame: %w", f.Type, err)
+	}
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("server: %s frame of %d bytes exceeds the %d-byte frame bound", f.Type, len(payload), MaxFrameBytes)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r *bufio.Reader) (*Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("server: frame length %d exceeds the %d-byte frame bound", n, MaxFrameBytes)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	f := &Frame{}
+	if err := json.Unmarshal(payload, f); err != nil {
+		return nil, fmt.Errorf("server: decoding frame: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dhqp/internal/sqltypes"
+)
+
+// TestFrameRoundTrip pushes a representative frame through the wire format.
+func TestFrameRoundTrip(t *testing.T) {
+	in := &Frame{
+		Type:    FrameRows,
+		QueryID: 7,
+		Rows: [][]WireValue{
+			{encodeValue(sqltypes.NewInt(42)), encodeValue(sqltypes.NewString("hi"))},
+			{encodeValue(sqltypes.Null), encodeValue(sqltypes.NewFloat(2.5))},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+// TestValueRoundTrip covers every value kind through encode/decode.
+func TestValueRoundTrip(t *testing.T) {
+	values := []sqltypes.Value{
+		sqltypes.Null,
+		sqltypes.NewBool(true),
+		sqltypes.NewBool(false),
+		sqltypes.NewInt(-12345),
+		sqltypes.NewFloat(3.75),
+		sqltypes.NewString("o'hare\n"),
+		sqltypes.NewDateDays(19876),
+	}
+	for _, v := range values {
+		got, err := decodeValue(encodeValue(v))
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if got.Kind() != v.Kind() || got.Display() != v.Display() {
+			t.Errorf("round trip %v: got %v", v.Display(), got.Display())
+		}
+	}
+	if _, err := decodeValue(WireValue{K: "z"}); err == nil {
+		t.Error("unknown kind tag decoded without error")
+	}
+}
+
+// TestFrameBound rejects oversized frames in both directions.
+func TestFrameBound(t *testing.T) {
+	big := &Frame{Type: FrameQuery, SQL: strings.Repeat("x", MaxFrameBytes)}
+	if err := WriteFrame(&bytes.Buffer{}, big); err == nil {
+		t.Error("oversized frame written without error")
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameBytes+1)
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(hdr[:]))); err == nil {
+		t.Error("oversized length prefix read without error")
+	}
+}
+
+// TestClassifyStatement routes KILL, DMVs, SELECT and DML correctly.
+func TestClassifyStatement(t *testing.T) {
+	cases := []struct {
+		sql  string
+		kind statementKind
+		id   int64
+	}{
+		{"KILL 12", stmtKill, 12},
+		{"  kill 3 ", stmtKill, 3},
+		{"KILL abc", stmtExec, 0}, // malformed KILL falls through to the engine's parser
+		{"SELECT * FROM sys.dm_exec_sessions", stmtDMVSessions, 0},
+		{"select * from sys.dm_exec_requests", stmtDMVRequests, 0},
+		{"SELECT * FROM sys.dm_exec_query_stats", stmtDMVQueryStats, 0},
+		{"SELECT * FROM sys.dm_exec_cached_plans", stmtDMVPlanCache, 0},
+		{"SELECT 1 FROM t", stmtSelect, 0},
+		{"INSERT INTO t VALUES (1)", stmtExec, 0},
+	}
+	for _, c := range cases {
+		kind, id := classifyStatement(c.sql)
+		if kind != c.kind || id != c.id {
+			t.Errorf("classify(%q) = (%v, %d), want (%v, %d)", c.sql, kind, id, c.kind, c.id)
+		}
+	}
+}

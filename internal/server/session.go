@@ -1,0 +1,438 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"dhqp/internal/engine"
+	"dhqp/internal/oledb"
+	"dhqp/internal/rowset"
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+)
+
+// session is one authenticated connection. Its read loop stays free while a
+// statement runs in its own goroutine, which is what makes cancel frames
+// (and KILL from peers) deliverable mid-query; at most one statement is in
+// flight per session, enforced by beginStatement.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	id   int64
+
+	// writeMu serializes outbound frames: a streaming result and an
+	// asynchronous error (janitor, KILL of an idle session) must not
+	// interleave bytes.
+	writeMu sync.Mutex
+	bw      *bufio.Writer
+
+	mu         sync.Mutex
+	login      time.Time
+	lastActive time.Time
+	stmtCount  int64
+	// In-flight statement state (active == one statement running or queued).
+	active     bool
+	state      string // "queued" then "running"
+	sql        string
+	queryID    int64
+	started    time.Time
+	cancel     context.CancelFunc
+	cancelCode string // set by the first canceller; decides the error code
+	cancelMsg  string
+}
+
+// touch records traffic for the idle janitor.
+func (sess *session) touch() {
+	sess.mu.Lock()
+	sess.lastActive = time.Now()
+	sess.mu.Unlock()
+}
+
+// idleSince reports whether the session has been statement-free and
+// traffic-free since the cutoff.
+func (sess *session) idleSince(cutoff time.Time) bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return !sess.active && sess.lastActive.Before(cutoff)
+}
+
+// writeFrame sends one frame under the session's write mutex.
+func (sess *session) writeFrame(f *Frame) error {
+	sess.writeMu.Lock()
+	defer sess.writeMu.Unlock()
+	if err := WriteFrame(sess.bw, f); err != nil {
+		return err
+	}
+	return sess.bw.Flush()
+}
+
+// sendError sends an error frame (best effort — the peer may be gone).
+func (sess *session) sendError(qid int64, code, msg string) {
+	_ = sess.writeFrame(&Frame{Type: FrameError, QueryID: qid, Code: code, Msg: msg})
+}
+
+// beginStatement claims the session's single in-flight statement slot.
+func (sess *session) beginStatement(sql string, qid int64, cancel context.CancelFunc) bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.active {
+		return false
+	}
+	sess.active = true
+	sess.state = "queued"
+	sess.sql = sql
+	sess.queryID = qid
+	sess.started = time.Now()
+	sess.cancel = cancel
+	sess.cancelCode = ""
+	sess.cancelMsg = ""
+	sess.stmtCount++
+	return true
+}
+
+// markRunning flips the statement from queued (waiting on admission) to
+// running (holding a slot).
+func (sess *session) markRunning() {
+	sess.mu.Lock()
+	sess.state = "running"
+	sess.mu.Unlock()
+}
+
+// cancelRunning cancels the in-flight statement (queued statements abort
+// out of the admission wait too) and records why, so the error frame can
+// carry CANCELLED vs KILLED vs SHUTTING_DOWN. The first canceller's reason
+// wins. Reports whether there was a statement to cancel.
+func (sess *session) cancelRunning(code, msg string) bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if !sess.active || sess.cancel == nil {
+		return false
+	}
+	if sess.cancelCode == "" {
+		sess.cancelCode = code
+		sess.cancelMsg = msg
+	}
+	sess.cancel()
+	return true
+}
+
+// cancelReason reads the recorded cancellation cause ("" if none).
+func (sess *session) cancelReason() (string, string) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.cancelCode, sess.cancelMsg
+}
+
+// endStatement releases the in-flight slot.
+func (sess *session) endStatement() {
+	sess.mu.Lock()
+	if sess.cancel != nil {
+		sess.cancel()
+	}
+	sess.active = false
+	sess.state = ""
+	sess.sql = ""
+	sess.queryID = 0
+	sess.cancel = nil
+	sess.lastActive = time.Now()
+	sess.mu.Unlock()
+}
+
+// handleConn runs one session: handshake, register, then the frame loop.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	now := time.Now()
+	sess := &session{srv: s, conn: conn, bw: bufio.NewWriter(conn), login: now, lastActive: now}
+	br := bufio.NewReader(conn)
+	// The handshake runs under a read deadline so half-open connections
+	// cannot pin a serving goroutine forever.
+	_ = conn.SetReadDeadline(now.Add(s.opt.HandshakeTimeout))
+	f, err := ReadFrame(br)
+	if err != nil {
+		return
+	}
+	if f.Type != FrameHello {
+		sess.sendError(0, CodeProtocol, fmt.Sprintf("expected hello, got %q", f.Type))
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	id, ok := s.register(sess)
+	if !ok {
+		sess.sendError(0, CodeShutdown, "server shutting down")
+		return
+	}
+	defer s.unregister(id)
+	// A vanished client must not strand its statement holding a slot.
+	defer sess.cancelRunning(CodeCancelled, "session closed")
+	if err := sess.writeFrame(&Frame{Type: FrameWelcome, SessionID: id, Server: s.eng.Name()}); err != nil {
+		return
+	}
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			return
+		}
+		sess.touch()
+		switch f.Type {
+		case FrameQuery:
+			qctx, cancel := context.WithCancel(context.Background())
+			if !sess.beginStatement(f.SQL, f.QueryID, cancel) {
+				cancel()
+				sess.sendError(f.QueryID, CodeProtocol, "a statement is already in flight on this session")
+				continue
+			}
+			s.wg.Add(1)
+			go s.runStatement(sess, f, qctx)
+		case FrameCancel:
+			sess.cancelRunning(CodeCancelled, "cancelled by client")
+		case FrameInfo:
+			info := s.Info()
+			_ = sess.writeFrame(&Frame{Type: FrameInfo, Info: &info})
+		case FrameBye:
+			return
+		default:
+			sess.sendError(f.QueryID, CodeProtocol, fmt.Sprintf("unexpected %q frame", f.Type))
+		}
+	}
+}
+
+// runStatement executes one statement frame and streams its outcome. KILL
+// and DMV statements bypass admission — observability and the ability to
+// shoot a runaway query must keep working on a saturated server.
+func (s *Server) runStatement(sess *session, f *Frame, qctx context.Context) {
+	defer s.wg.Done()
+	defer sess.endStatement()
+	qid := f.QueryID
+	params, perr := decodeParams(f.Params)
+	if perr != nil {
+		sess.sendError(qid, CodeProtocol, perr.Error())
+		return
+	}
+	kind, killID := classifyStatement(f.SQL)
+	if kind == stmtKill || kind == stmtDMVSessions || kind == stmtDMVRequests ||
+		kind == stmtDMVQueryStats || kind == stmtDMVPlanCache {
+		// No admission wait for these; they are running the moment they start.
+		sess.markRunning()
+	}
+	switch kind {
+	case stmtKill:
+		if err := s.kill(killID, sess.id); err != nil {
+			sess.sendError(qid, CodeQuery, err.Error())
+			return
+		}
+		_ = sess.writeFrame(&Frame{Type: FrameDone, QueryID: qid})
+		return
+	case stmtDMVSessions:
+		_ = sess.streamResult(qid, s.sessionsDMV(), 0)
+		return
+	case stmtDMVRequests:
+		_ = sess.streamResult(qid, s.requestsDMV(), 0)
+		return
+	case stmtDMVQueryStats:
+		_ = sess.streamResult(qid, QueryStatsResult(s.eng), 0)
+		return
+	case stmtDMVPlanCache:
+		_ = sess.streamResult(qid, PlanCacheResult(s.eng), 0)
+		return
+	}
+	// Engine statements pass admission control.
+	if err := s.admit(qctx); err != nil {
+		sess.sendStatementError(qid, err)
+		return
+	}
+	sess.markRunning()
+	s.running.Add(1)
+	start := time.Now()
+	var res *engine.Result
+	var affected int64
+	var err error
+	if kind == stmtSelect {
+		res, err = s.eng.QueryContext(qctx, f.SQL, params)
+	} else {
+		// DML runs to completion; the engine's write path is not
+		// context-aware, so cancellation takes effect at statement
+		// boundaries only (documented in DESIGN.md).
+		affected, err = s.eng.ExecParams(f.SQL, params)
+	}
+	elapsed := time.Since(start)
+	s.running.Add(-1)
+	s.release()
+	if err != nil {
+		sess.sendStatementError(qid, err)
+		return
+	}
+	if res != nil {
+		_ = sess.streamResult(qid, res, elapsed)
+		return
+	}
+	_ = sess.writeFrame(&Frame{Type: FrameDone, QueryID: qid, RowCount: affected, ElapsedUS: elapsed.Microseconds()})
+}
+
+// sendStatementError maps an execution error onto a typed error frame.
+func (sess *session) sendStatementError(qid int64, err error) {
+	code, msg := CodeQuery, err.Error()
+	var qe *QueryError
+	switch {
+	case IsBusy(err):
+		code = CodeBusy
+	case errors.As(err, &qe):
+		// Typed errors minted server-side (shutdown during admission).
+		code, msg = qe.Code, qe.Msg
+	case oledb.Classify(err) == oledb.ClassCancelled:
+		// The statement died to its context. The recorded cancel reason
+		// distinguishes the client's own cancel from a peer's KILL and
+		// from drain; absent one (engine-side query timeout), it stays
+		// CANCELLED with the engine's message.
+		code = CodeCancelled
+		if c, m := sess.cancelReason(); c != "" {
+			code, msg = c, m
+		}
+	}
+	sess.sendError(qid, code, msg)
+}
+
+// streamResult sends cols, row batches, then done for one result set.
+func (sess *session) streamResult(qid int64, res *engine.Result, elapsed time.Duration) error {
+	if err := sess.writeFrame(&Frame{Type: FrameCols, QueryID: qid, Cols: encodeCols(res.Cols)}); err != nil {
+		return err
+	}
+	batch := sess.srv.opt.RowBatch
+	for i := 0; i < len(res.Rows); i += batch {
+		j := min(i+batch, len(res.Rows))
+		rows := make([][]WireValue, 0, j-i)
+		for _, r := range res.Rows[i:j] {
+			rows = append(rows, encodeRow(r))
+		}
+		if err := sess.writeFrame(&Frame{Type: FrameRows, QueryID: qid, Rows: rows}); err != nil {
+			return err
+		}
+	}
+	return sess.writeFrame(&Frame{
+		Type:      FrameDone,
+		QueryID:   qid,
+		RowCount:  int64(len(res.Rows)),
+		ElapsedUS: elapsed.Microseconds(),
+		Retries:   res.Retries,
+		Skipped:   res.Skipped,
+	})
+}
+
+// sessionsDMV renders sys.dm_exec_sessions from the session registry.
+func (s *Server) sessionsDMV() *engine.Result {
+	res := &engine.Result{Cols: []schema.Column{
+		{Name: "session_id", Kind: sqltypes.KindInt},
+		{Name: "login_time", Kind: sqltypes.KindString},
+		{Name: "status", Kind: sqltypes.KindString},
+		{Name: "statement_count", Kind: sqltypes.KindInt},
+		{Name: "last_request", Kind: sqltypes.KindString},
+	}}
+	sessions := s.snapshotSessions()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		status := "sleeping"
+		if sess.active {
+			status = sess.state
+		}
+		res.Rows = append(res.Rows, rowset.Row{
+			sqltypes.NewInt(sess.id),
+			sqltypes.NewString(sess.login.Format(time.RFC3339)),
+			sqltypes.NewString(status),
+			sqltypes.NewInt(sess.stmtCount),
+			sqltypes.NewString(sess.lastActive.Format(time.RFC3339)),
+		})
+		sess.mu.Unlock()
+	}
+	return res
+}
+
+// requestsDMV renders sys.dm_exec_requests: one row per in-flight
+// statement, queued or running.
+func (s *Server) requestsDMV() *engine.Result {
+	res := &engine.Result{Cols: []schema.Column{
+		{Name: "session_id", Kind: sqltypes.KindInt},
+		{Name: "query_id", Kind: sqltypes.KindInt},
+		{Name: "status", Kind: sqltypes.KindString},
+		{Name: "elapsed_ms", Kind: sqltypes.KindFloat},
+		{Name: "sql_text", Kind: sqltypes.KindString},
+	}}
+	sessions := s.snapshotSessions()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	now := time.Now()
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		if sess.active {
+			res.Rows = append(res.Rows, rowset.Row{
+				sqltypes.NewInt(sess.id),
+				sqltypes.NewInt(sess.queryID),
+				sqltypes.NewString(sess.state),
+				sqltypes.NewFloat(float64(now.Sub(sess.started).Microseconds()) / 1000),
+				sqltypes.NewString(sess.sql),
+			})
+		}
+		sess.mu.Unlock()
+	}
+	return res
+}
+
+// QueryStatsResult renders the engine's query-stats registry as a result
+// set, mirroring SELECT * FROM sys.dm_exec_query_stats. Exported so fedsql
+// serves the identical shape in embedded mode.
+func QueryStatsResult(eng *engine.Server) *engine.Result {
+	res := &engine.Result{Cols: []schema.Column{
+		{Name: "query_text", Kind: sqltypes.KindString},
+		{Name: "execution_count", Kind: sqltypes.KindInt},
+		{Name: "total_rows", Kind: sqltypes.KindInt},
+		{Name: "last_rows", Kind: sqltypes.KindInt},
+		{Name: "total_elapsed_ms", Kind: sqltypes.KindFloat},
+		{Name: "last_elapsed_ms", Kind: sqltypes.KindFloat},
+		{Name: "total_link_bytes", Kind: sqltypes.KindInt},
+		{Name: "total_link_calls", Kind: sqltypes.KindInt},
+		{Name: "total_retries", Kind: sqltypes.KindInt},
+	}}
+	for _, r := range eng.QueryStats() {
+		res.Rows = append(res.Rows, rowset.Row{
+			sqltypes.NewString(r.QueryText),
+			sqltypes.NewInt(r.ExecutionCount),
+			sqltypes.NewInt(r.TotalRows),
+			sqltypes.NewInt(r.LastRows),
+			sqltypes.NewFloat(float64(r.TotalElapsed.Microseconds()) / 1000),
+			sqltypes.NewFloat(float64(r.LastElapsed.Microseconds()) / 1000),
+			sqltypes.NewInt(r.TotalLinkBytes),
+			sqltypes.NewInt(r.TotalLinkCalls),
+			sqltypes.NewInt(r.TotalRetries),
+		})
+	}
+	return res
+}
+
+// PlanCacheResult renders sys.dm_exec_cached_plans-style counters for the
+// bounded plan cache and query-stats registry.
+func PlanCacheResult(eng *engine.Server) *engine.Result {
+	st := eng.PlanCacheStats()
+	return &engine.Result{
+		Cols: []schema.Column{
+			{Name: "capacity", Kind: sqltypes.KindInt},
+			{Name: "size", Kind: sqltypes.KindInt},
+			{Name: "hits", Kind: sqltypes.KindInt},
+			{Name: "misses", Kind: sqltypes.KindInt},
+			{Name: "evictions", Kind: sqltypes.KindInt},
+			{Name: "query_stats_evicted", Kind: sqltypes.KindInt},
+		},
+		Rows: []rowset.Row{{
+			sqltypes.NewInt(int64(st.Capacity)),
+			sqltypes.NewInt(int64(st.Size)),
+			sqltypes.NewInt(st.Hits),
+			sqltypes.NewInt(st.Misses),
+			sqltypes.NewInt(st.Evictions),
+			sqltypes.NewInt(eng.QueryStatsEvicted()),
+		}},
+	}
+}

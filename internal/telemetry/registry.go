@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"dhqp/internal/lru"
 )
 
 // QueryStats summarizes one statement execution; the engine attaches it to
@@ -69,16 +71,52 @@ type QueryStatRow struct {
 	TotalRetries   int64
 }
 
+// DefaultRegistryCapacity bounds how many distinct statements a registry
+// aggregates. Like the plan cache, the key space is ad-hoc statement text;
+// a network endpoint must not let it grow without bound.
+const DefaultRegistryCapacity = 512
+
 // Registry is the DMV-style aggregate store behind Server.QueryStats(). It
 // is safe for concurrent use: executions on different goroutines aggregate
-// under one mutex.
+// under one mutex. Distinct statements are capped (SetCapacity): when a new
+// statement arrives at capacity, the least-recently-executed row is evicted
+// and the evicted count rises — consumers can tell aggregates are partial.
 type Registry struct {
-	mu sync.Mutex
-	m  map[string]*QueryStatRow
+	mu      sync.Mutex
+	m       *lru.Cache[string, *QueryStatRow]
+	evicted int64
 }
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{m: map[string]*QueryStatRow{}} }
+// NewRegistry returns an empty registry with the default capacity.
+func NewRegistry() *Registry {
+	return &Registry{m: lru.New[string, *QueryStatRow](DefaultRegistryCapacity)}
+}
+
+// SetCapacity bounds the number of distinct statements, evicting least-
+// recently-executed rows if the registry shrinks below its occupancy.
+// n < 1 restores DefaultRegistryCapacity.
+func (r *Registry) SetCapacity(n int) {
+	if r == nil {
+		return
+	}
+	if n < 1 {
+		n = DefaultRegistryCapacity
+	}
+	r.mu.Lock()
+	r.evicted += int64(r.m.Resize(n))
+	r.mu.Unlock()
+}
+
+// Evicted reports how many aggregate rows the capacity bound has dropped
+// since the last Reset. Non-zero means Rows() is a partial view.
+func (r *Registry) Evicted() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evicted
+}
 
 // Record folds one execution's summary into its statement's aggregate row.
 func (r *Registry) Record(qs *QueryStats) {
@@ -88,10 +126,12 @@ func (r *Registry) Record(qs *QueryStats) {
 	bytes, calls := qs.LinkBytes(), qs.LinkCalls()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	row, ok := r.m[qs.QueryText]
+	row, ok := r.m.Get(qs.QueryText)
 	if !ok {
 		row = &QueryStatRow{QueryText: qs.QueryText}
-		r.m[qs.QueryText] = row
+		if r.m.Put(qs.QueryText, row) {
+			r.evicted++
+		}
 	}
 	row.ExecutionCount++
 	row.TotalRows += qs.Rows
@@ -112,10 +152,11 @@ func (r *Registry) Rows() []QueryStatRow {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]QueryStatRow, 0, len(r.m))
-	for _, row := range r.m {
+	out := make([]QueryStatRow, 0, r.m.Len())
+	r.m.Each(func(_ string, row *QueryStatRow) bool {
 		out = append(out, *row)
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].ExecutionCount != out[j].ExecutionCount {
 			return out[i].ExecutionCount > out[j].ExecutionCount
@@ -125,12 +166,14 @@ func (r *Registry) Rows() []QueryStatRow {
 	return out
 }
 
-// Reset clears the registry (DBCC FREEPROCCACHE, as it were).
+// Reset clears the registry and its evicted count (DBCC FREEPROCCACHE, as
+// it were); the capacity stays as configured.
 func (r *Registry) Reset() {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	r.m = map[string]*QueryStatRow{}
+	r.m.Clear()
+	r.evicted = 0
 	r.mu.Unlock()
 }
