@@ -1,5 +1,5 @@
 // Benchmark harness: one benchmark per experiment in DESIGN.md's
-// per-experiment index (E1–E14). Each regenerates the corresponding figure,
+// per-experiment index (E1–E16). Each regenerates the corresponding figure,
 // table or quantified claim of the paper; cmd/benchrunner prints the same
 // measurements as formatted tables, and EXPERIMENTS.md records the
 // paper-vs-measured comparison.
@@ -781,6 +781,66 @@ func BenchmarkOptimizerJoinChain(b *testing.B) {
 			}
 			b.ReportMetric(groups, "memo-groups")
 		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E16 — vectorized batch execution: the local operator pipeline driven
+// row-at-a-time vs in 1024-row column batches. cmd/benchrunner runs the
+// full 1M-row version and records BENCH_E16.json; this benchmark keeps the
+// same plan shapes at a size CI can afford.
+// ---------------------------------------------------------------------
+
+func e16Fixture(b *testing.B) *dhqp.Server {
+	b.Helper()
+	s := dhqp.NewServer("local", "stardb")
+	if err := workload.LoadFactDim(s, "stardb", workload.FactDimConfig{
+		FactRows: 200_000, DimRows: 200, Seed: 7,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkE16_VectorizedPipeline(b *testing.B) {
+	const factRows = 200_000
+	cases := []struct {
+		name, query string
+	}{
+		{"ScanFilter", `SELECT f_val FROM fact WHERE f_val < 2500`},
+		{"ScanJoinAgg", `SELECT d.d_name, COUNT(*) AS n, SUM(f.f_val) AS sv
+			FROM fact f, dim d WHERE f.f_dim = d.d_id AND f.f_val < 5000 GROUP BY d.d_name`},
+	}
+	modes := []struct {
+		name  string
+		apply func(s *dhqp.Server)
+	}{
+		{"Vectorized", func(s *dhqp.Server) { s.SetBatchSize(0) }},
+		{"RowAtATime", func(s *dhqp.Server) { s.DisableVectorized() }},
+	}
+	for _, c := range cases {
+		for _, m := range modes {
+			b.Run(c.name+"/"+m.name, func(b *testing.B) {
+				s := e16Fixture(b)
+				m.apply(s)
+				want := len(mustQuery(b, s, c.query, nil).Rows) // warm plan cache
+				b.ReportAllocs()
+				b.ResetTimer()
+				var elapsed time.Duration
+				for i := 0; i < b.N; i++ {
+					start := time.Now()
+					res := mustQuery(b, s, c.query, nil)
+					elapsed += time.Since(start)
+					if len(res.Rows) != want {
+						b.Fatalf("rows = %d, want %d", len(res.Rows), want)
+					}
+				}
+				b.StopTimer()
+				if elapsed > 0 {
+					b.ReportMetric(float64(factRows)*float64(b.N)/elapsed.Seconds(), "fact-rows/sec")
+				}
+			})
+		}
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"dhqp/internal/providers/email"
 	"dhqp/internal/providers/fulltext"
 	"dhqp/internal/providers/native"
+	"dhqp/internal/rowset"
 	"dhqp/internal/schema"
 	"dhqp/internal/sqltypes"
 	"dhqp/internal/stats"
@@ -82,6 +83,13 @@ type Server struct {
 	// remoteBatchingOff disables batched parameterized joins entirely;
 	// see DisableRemoteBatching.
 	remoteBatchingOff bool
+	// batchSize overrides the vectorized execution batch row count
+	// (0 = rowset.DefaultBatchSize) and vectorizedOff forces row-at-a-time
+	// execution; see SetBatchSize / DisableVectorized. Both are read per
+	// execution — never baked into compiled plans — so changing them does
+	// not invalidate the plan cache.
+	batchSize     int
+	vectorizedOff bool
 
 	// Fault-tolerance knobs. All of them are read per execution — never
 	// baked into compiled plans — so changing them does not invalidate the
@@ -378,6 +386,46 @@ func (s *Server) DisableRemoteBatching() {
 	defer s.mu.Unlock()
 	s.remoteBatchingOff = true
 	s.planCache.Clear()
+}
+
+// SetBatchSize sets the vectorized execution batch row count — how many
+// rows flow between local operators per NextBatch call. 0 restores
+// rowset.DefaultBatchSize; values above rowset.MaxBatchSize clamp down.
+// Any call re-enables vectorized execution after DisableVectorized. The
+// size is read per execution, never baked into compiled plans, so cached
+// plans honor the new value immediately and the plan cache stays warm.
+func (s *Server) SetBatchSize(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	s.batchSize = n
+	s.vectorizedOff = false
+}
+
+// BatchSize reports the effective vectorized batch row count.
+func (s *Server) BatchSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return rowset.ClampBatchSize(s.batchSize)
+}
+
+// DisableVectorized forces row-at-a-time execution (the pre-vectorized
+// engine): operators exchange single rows and the batch kernels are
+// bypassed. Read per execution, so it takes effect on the next statement
+// without invalidating cached plans; SetBatchSize re-enables.
+func (s *Server) DisableVectorized() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vectorizedOff = true
+}
+
+// VectorizedEnabled reports whether batch execution is on.
+func (s *Server) VectorizedEnabled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.vectorizedOff
 }
 
 // Circuit-breaker defaults: a server must fail more than a full default

@@ -38,6 +38,11 @@ func TestKnobFlipsDuringConcurrentQueries(t *testing.T) {
 			}
 			local.SetMaxDOP(i % 3)
 			local.SetRemoteBatchSize(50 + i%50)
+			if i%2 == 0 {
+				local.SetBatchSize(1 + i%2048)
+			} else {
+				local.DisableVectorized()
+			}
 			local.SetQueryTimeout(time.Duration(i%2) * time.Minute)
 			local.SetPartialResults(i%2 == 0)
 			local.SetCollectStats(i%2 == 1)

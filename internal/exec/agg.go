@@ -143,6 +143,32 @@ type hashAggIter struct {
 	args  []expr.Expr
 
 	out *rowset.Materialized
+
+	// Scratch reused across rows and executions: the key encoder makes
+	// every existing-group probe an allocation-free m[string(key)] lookup,
+	// and the Env serves every accumulated row instead of one each.
+	kenc keyEnc
+	venv *expr.Env
+	in   *rowset.Batch
+}
+
+// aggGroup is one group's key values and accumulator bank.
+type aggGroup struct {
+	key  rowset.Row
+	accs []*accumulator
+}
+
+func (h *hashAggIter) newGroup(r rowset.Row) *aggGroup {
+	g := &aggGroup{accs: make([]*accumulator, len(h.specs))}
+	for i, s := range h.specs {
+		g.accs[i] = newAccumulator(s)
+	}
+	gk := make(rowset.Row, len(h.gpos))
+	for i, p := range h.gpos {
+		gk[i] = r[p]
+	}
+	g.key = gk
+	return g
 }
 
 func (h *hashAggIter) Open() error {
@@ -150,57 +176,72 @@ func (h *hashAggIter) Open() error {
 	if err := h.child.Open(); err != nil {
 		return err
 	}
-	type groupState struct {
-		key  rowset.Row
-		accs []*accumulator
+	if h.venv == nil {
+		h.venv = &expr.Env{}
 	}
-	groups := map[string]*groupState{}
+	h.venv.Params, h.venv.Today = h.ctx.Params, h.ctx.Today
+	groups := map[string]*aggGroup{}
 	var order []string
 	scalar := len(h.gpos) == 0
-	for {
-		r, err := h.child.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		key := ""
+	addRow := func(r rowset.Row) error {
+		// encodeAll (unlike join keys) hashes NULLs like any value: a NULL
+		// grouping key forms its own group. The scalar case uses the empty
+		// key. string(kb) on a lookup does not allocate; only a genuinely
+		// new group pays the string copy.
+		var kb []byte
 		if !scalar {
-			var b []byte
-			for _, p := range h.gpos {
-				hv := r[p].Hash()
-				for i := 0; i < 8; i++ {
-					b = append(b, byte(hv>>(8*i)))
-				}
-			}
-			key = string(b)
+			kb = h.kenc.encodeAll(r, h.gpos)
 		}
-		g, ok := groups[key]
-		if !ok {
-			g = &groupState{accs: make([]*accumulator, len(h.specs))}
-			for i, s := range h.specs {
-				g.accs[i] = newAccumulator(s)
-			}
-			gk := make(rowset.Row, len(h.gpos))
-			for i, p := range h.gpos {
-				gk[i] = r[p]
-			}
-			g.key = gk
+		g := groups[string(kb)]
+		if g == nil {
+			g = h.newGroup(r)
+			key := string(kb)
 			groups[key] = g
 			order = append(order, key)
 		}
-		if err := h.accumulate(g.accs, r); err != nil {
-			return err
+		return h.accumulate(g.accs, r)
+	}
+	if h.ctx.vectorized() {
+		// Batch-drain the child: the per-row costs left are the hash probe
+		// and the accumulator updates themselves.
+		bchild := asBatchIterator(h.child)
+		if h.in == nil {
+			h.in = rowset.NewBatch(h.ctx.batchSize())
+		}
+		var rbuf rowset.Row
+		for {
+			err := bchild.NextBatch(h.in)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			n := h.in.Len()
+			for i := 0; i < n; i++ {
+				rbuf = h.in.RowAt(i, rbuf)
+				if err := addRow(rbuf); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		for {
+			r, err := h.child.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			if err := addRow(r); err != nil {
+				return err
+			}
 		}
 	}
 	if scalar && len(groups) == 0 {
 		// Scalar aggregate over empty input yields one row.
-		g := &groupState{accs: make([]*accumulator, len(h.specs))}
-		for i, s := range h.specs {
-			g.accs[i] = newAccumulator(s)
-		}
-		groups[""] = g
+		groups[""] = h.newGroup(nil)
 		order = append(order, "")
 	}
 	out := rowset.NewMaterialized(nil, nil)
@@ -225,7 +266,8 @@ func (h *hashAggIter) Open() error {
 func sortStable(keys []string) { _ = sort.SearchStrings }
 
 func (h *hashAggIter) accumulate(accs []*accumulator, r rowset.Row) error {
-	env := h.ctx.env(r)
+	env := h.venv
+	env.Row = r
 	for i, a := range accs {
 		if h.args[i] == nil {
 			if err := a.add(sqltypes.NewInt(1), true); err != nil {
@@ -249,6 +291,14 @@ func (h *hashAggIter) Next() (rowset.Row, error) {
 		return nil, io.EOF
 	}
 	return h.out.Next()
+}
+
+// NextBatch drains the materialized group rows batch-at-a-time.
+func (h *hashAggIter) NextBatch(b *rowset.Batch) error {
+	if h.out == nil {
+		return io.EOF
+	}
+	return h.out.NextBatch(b)
 }
 
 func (h *hashAggIter) Close() error {

@@ -49,6 +49,14 @@ type Context struct {
 	// caps how many outer rows a BatchLoopJoin buffers per probe and sizes
 	// remoteFetchIter's bookmark batches. 0 means cost.DefaultRemoteBatch.
 	RemoteBatchSize int
+	// BatchSize is the vectorized execution batch row count; 0 means
+	// rowset.DefaultBatchSize and values above rowset.MaxBatchSize clamp
+	// down. Read per execution (never baked into compiled plans).
+	BatchSize int
+	// NoVectorized forces row-at-a-time execution: Run drives the iterator
+	// tree through Next instead of NextBatch, and batch-capable operators
+	// keep their internal row paths.
+	NoVectorized bool
 
 	// Ctx is the statement's deadline/cancellation context; nil means no
 	// deadline. It threads into remote sessions (oledb.ContextSession) so
@@ -87,6 +95,12 @@ func (c *Context) remoteBatch() int {
 	return cost.DefaultRemoteBatch
 }
 
+// batchSize returns the effective vectorized batch row count.
+func (c *Context) batchSize() int { return rowset.ClampBatchSize(c.BatchSize) }
+
+// vectorized reports whether batch execution is enabled for this statement.
+func (c *Context) vectorized() bool { return !c.NoVectorized }
+
 func (c *Context) env(row rowset.Row) *expr.Env {
 	return &expr.Env{Row: row, Params: c.Params, Today: c.Today}
 }
@@ -99,7 +113,8 @@ func (c *Context) env(row rowset.Row) *expr.Env {
 func (c *Context) fork() *Context {
 	f := &Context{RT: c.RT, Today: c.Today, MaxDOP: c.MaxDOP, NoPrefetch: c.NoPrefetch,
 		RemoteBatchSize: c.RemoteBatchSize,
-		Ctx:             c.Ctx, RetryAttempts: c.RetryAttempts, RetryBackoff: c.RetryBackoff,
+		BatchSize:       c.BatchSize, NoVectorized: c.NoVectorized,
+		Ctx: c.Ctx, RetryAttempts: c.RetryAttempts, RetryBackoff: c.RetryBackoff,
 		BreakerFor: c.BreakerFor, PartialResults: c.PartialResults, Diags: c.Diags,
 		Stats: c.Stats}
 	f.syncParams(c)
@@ -260,6 +275,25 @@ func Run(n *algebra.Node, ctx *Context, outCols []algebra.OutCol) (*rowset.Mater
 	}
 	defer it.Close()
 	out := rowset.NewMaterialized(toSchemaCols(outCols), nil)
+	if ctx.vectorized() {
+		// Batch drain: one NextBatch call and one cancellation check per
+		// batch instead of per row.
+		bi := asBatchIterator(it)
+		b := rowset.NewBatch(ctx.batchSize())
+		for {
+			if err := ctx.canceled(); err != nil {
+				return nil, err
+			}
+			err := bi.NextBatch(b)
+			if err == io.EOF {
+				return out, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			out.AppendBatch(b)
+		}
+	}
 	for {
 		if err := ctx.canceled(); err != nil {
 			return nil, err

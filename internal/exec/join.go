@@ -71,31 +71,97 @@ type hashJoinIter struct {
 	lwidth      int
 	rwidth      int
 
-	table   map[string][]rowset.Row
+	// The bucket values are pointers so appending to an existing bucket
+	// never re-assigns the map entry: probes and grows both go through
+	// m[string(key)] lookups, which the compiler keeps allocation-free, and
+	// only genuinely new keys pay the string copy.
+	table   map[string]*[]rowset.Row
+	kenc    keyEnc
 	cur     rowset.Row // current left row
 	matches []rowset.Row
 	midx    int
 	matched bool
+
+	// Vectorized-path state.
+	bleft    BatchIterator
+	in       *rowset.Batch // probe-side input batch
+	inPos    int           // next live row in `in`
+	leftDone bool
+	buildBuf *rowset.Batch // build-side drain batch
+	curBuf   rowset.Row    // gather scratch backing cur
+	combBuf  rowset.Row    // combined-row scratch
+	nullR    rowset.Row    // cached all-NULL right row for outer joins
+	venv     *expr.Env
+}
+
+// insert adds one build-side row to the hash table (cloned: build rows must
+// survive their source batch or rowset buffer).
+func (h *hashJoinIter) insert(r rowset.Row) {
+	kb, ok := h.kenc.encode(r, h.rpos)
+	if !ok {
+		return // NULL keys never join
+	}
+	if rows := h.table[string(kb)]; rows != nil {
+		*rows = append(*rows, r.Clone())
+		return
+	}
+	rows := []rowset.Row{r.Clone()}
+	h.table[string(kb)] = &rows
+}
+
+// probe points h.matches at the bucket for the current left row's key.
+func (h *hashJoinIter) probe(l rowset.Row) {
+	h.matches = nil
+	if kb, ok := h.kenc.encode(l, h.lpos); ok {
+		if rows := h.table[string(kb)]; rows != nil {
+			h.matches = *rows
+		}
+	}
 }
 
 func (h *hashJoinIter) Open() error {
 	if err := h.right.Open(); err != nil {
 		return err
 	}
-	h.table = map[string][]rowset.Row{}
-	for {
-		r, err := h.right.Next()
-		if err == io.EOF {
-			break
+	h.table = map[string]*[]rowset.Row{}
+	if h.ctx.vectorized() {
+		// Batch-drain the build side: one NextBatch per ~batchSize rows.
+		bright := asBatchIterator(h.right)
+		if h.buildBuf == nil {
+			h.buildBuf = rowset.NewBatch(h.ctx.batchSize())
 		}
-		if err != nil {
-			return err
+		var rbuf rowset.Row
+		for {
+			err := bright.NextBatch(h.buildBuf)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			n := h.buildBuf.Len()
+			for i := 0; i < n; i++ {
+				rbuf = h.buildBuf.RowAt(i, rbuf)
+				h.insert(rbuf)
+			}
 		}
-		if key, ok := keyOf(r, h.rpos); ok {
-			h.table[key] = append(h.table[key], r.Clone())
+	} else {
+		for {
+			r, err := h.right.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			h.insert(r)
 		}
 	}
 	h.cur, h.matches, h.midx = nil, nil, 0
+	h.inPos, h.leftDone = 0, false
+	if h.in != nil {
+		h.in.Reset(0)
+	}
 	return h.left.Open()
 }
 
@@ -155,11 +221,108 @@ func (h *hashJoinIter) Next() (rowset.Row, error) {
 		h.cur = l.Clone()
 		h.matched = false
 		h.midx = 0
-		if key, ok := keyOf(l, h.lpos); ok {
-			h.matches = h.table[key]
-		} else {
-			h.matches = nil
+		h.probe(l)
+	}
+}
+
+// NextBatch is the vectorized probe: it gathers left rows from an input
+// batch and emits join output rows into the caller's batch until it fills.
+// Match lists that span output batches carry over via the same
+// cur/matches/midx state the row path uses, so all four join types behave
+// identically to the row-at-a-time state machine.
+func (h *hashJoinIter) NextBatch(b *rowset.Batch) error {
+	if h.bleft == nil {
+		h.bleft = asBatchIterator(h.left)
+		h.in = rowset.NewBatch(h.ctx.batchSize())
+		h.venv = &expr.Env{}
+	}
+	h.venv.Params, h.venv.Today = h.ctx.Params, h.ctx.Today
+	outW := h.lwidth + h.rwidth
+	if h.typ == algebra.SemiJoin || h.typ == algebra.AntiJoin {
+		outW = h.lwidth
+	}
+	b.Reset(outW)
+	for {
+		// Emit pending matches for the current left row.
+		for h.cur != nil && h.midx < len(h.matches) {
+			if b.Full() {
+				return nil
+			}
+			rrow := h.matches[h.midx]
+			h.midx++
+			comb := append(append(h.combBuf[:0], h.cur...), rrow...)
+			h.combBuf = comb
+			if h.residual != nil {
+				h.venv.Row = comb
+				ok, err := expr.EvalPredicate(h.residual, h.venv)
+				h.venv.Row = nil
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			h.matched = true
+			switch h.typ {
+			case algebra.SemiJoin:
+				h.matches = nil // one match suffices
+				b.AppendRow(h.cur)
+			case algebra.AntiJoin:
+				h.matches = nil // matched: left row is dropped below
+			default:
+				b.AppendRow(comb)
+			}
 		}
+		// Finish the current left row for outer/anti semantics.
+		if h.cur != nil {
+			switch h.typ {
+			case algebra.LeftOuterJoin:
+				if !h.matched {
+					if b.Full() {
+						return nil
+					}
+					if h.nullR == nil {
+						h.nullR = nullRow(h.rwidth)
+					}
+					comb := append(append(h.combBuf[:0], h.cur...), h.nullR...)
+					h.combBuf = comb
+					b.AppendRow(comb)
+				}
+			case algebra.AntiJoin:
+				if !h.matched {
+					if b.Full() {
+						return nil
+					}
+					b.AppendRow(h.cur)
+				}
+			}
+			h.cur = nil
+		}
+		// Advance to the next left row, refilling the input batch as needed.
+		for h.inPos >= h.in.Len() {
+			if h.leftDone {
+				if b.NumRows() == 0 {
+					return io.EOF
+				}
+				return nil
+			}
+			err := h.bleft.NextBatch(h.in)
+			if err == io.EOF {
+				h.leftDone = true
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			h.inPos = 0
+		}
+		h.curBuf = h.in.RowAt(h.inPos, h.curBuf)
+		h.inPos++
+		h.cur = h.curBuf
+		h.matched = false
+		h.midx = 0
+		h.probe(h.cur)
 	}
 }
 

@@ -17,9 +17,45 @@ type filterIter struct {
 	ctx   *Context
 	child Iterator
 	pred  expr.Expr
+
+	// Vectorized-path scratch, allocated once per iterator.
+	bchild BatchIterator
+	venv   *expr.Env
+	selBuf []int
+	rowBuf rowset.Row
 }
 
 func (f *filterIter) Open() error { return f.child.Open() }
+
+// NextBatch evaluates the predicate over whole batches: the vector kernel
+// produces the surviving selection, and rejected rows cost nothing downstream
+// (the selection narrows; values never move). Fully-filtered batches are
+// skipped here so the parent never sees an empty non-EOF fill.
+func (f *filterIter) NextBatch(b *rowset.Batch) error {
+	if f.bchild == nil {
+		f.bchild = asBatchIterator(f.child)
+		f.venv = &expr.Env{}
+	}
+	// Refresh per call: exchange forks rebuild the Params map between opens.
+	f.venv.Params, f.venv.Today = f.ctx.Params, f.ctx.Today
+	for {
+		if err := f.bchild.NextBatch(b); err != nil {
+			return err
+		}
+		if cap(f.rowBuf) < b.Width() {
+			f.rowBuf = make(rowset.Row, b.Width())
+		}
+		sel, err := expr.FilterSel(f.pred, f.venv, b.Cols(), b.Indices(), f.selBuf[:0], f.rowBuf[:b.Width()])
+		if err != nil {
+			return err
+		}
+		f.selBuf = sel
+		if len(sel) > 0 {
+			b.SetSelection(sel)
+			return nil
+		}
+	}
+}
 
 func (f *filterIter) Next() (rowset.Row, error) {
 	for {
@@ -79,9 +115,43 @@ type computeIter struct {
 	ctx   *Context
 	child Iterator
 	exprs []expr.Expr
+
+	// Vectorized-path scratch.
+	bchild BatchIterator
+	in     *rowset.Batch
+	venv   *expr.Env
+	rowBuf rowset.Row
 }
 
 func (c *computeIter) Open() error { return c.child.Open() }
+
+// NextBatch projects a whole input batch per call: each output expression
+// evaluates densely into its output column, so the result batch needs no
+// selection vector and the per-row Env/row allocations of the row path
+// disappear entirely.
+func (c *computeIter) NextBatch(b *rowset.Batch) error {
+	if c.bchild == nil {
+		c.bchild = asBatchIterator(c.child)
+		c.in = rowset.NewBatch(b.CapRows())
+		c.venv = &expr.Env{}
+	}
+	c.venv.Params, c.venv.Today = c.ctx.Params, c.ctx.Today
+	if err := c.bchild.NextBatch(c.in); err != nil {
+		return err
+	}
+	sel := c.in.Indices()
+	if cap(c.rowBuf) < c.in.Width() {
+		c.rowBuf = make(rowset.Row, c.in.Width())
+	}
+	b.Reset(len(c.exprs))
+	for i, e := range c.exprs {
+		if err := expr.EvalVec(e, c.venv, c.in.Cols(), sel, b.Col(i)[:len(sel)], c.rowBuf[:c.in.Width()]); err != nil {
+			return err
+		}
+	}
+	b.SetNumRows(len(sel))
+	return nil
+}
 
 func (c *computeIter) Next() (rowset.Row, error) {
 	r, err := c.child.Next()

@@ -77,6 +77,20 @@ func (s *scanIter) Next() (rowset.Row, error) {
 	return r, nil
 }
 
+// NextBatch fills a column batch straight from the underlying rowset (the
+// storage engine's table scan fills it without per-row interface calls) and
+// projects it down to the plan's scan width.
+func (s *scanIter) NextBatch(b *rowset.Batch) error {
+	if s.rs == nil {
+		return io.EOF
+	}
+	if err := rowset.FillBatch(s.rs, b); err != nil {
+		return err
+	}
+	b.Truncate(s.width)
+	return nil
+}
+
 func (s *scanIter) Close() error {
 	if s.rs != nil {
 		err := s.rs.Close()
@@ -188,6 +202,18 @@ func (s *indexRangeIter) Next() (rowset.Row, error) {
 		r = r[:s.width]
 	}
 	return r, nil
+}
+
+// NextBatch mirrors scanIter's batch path for index-range access.
+func (s *indexRangeIter) NextBatch(b *rowset.Batch) error {
+	if s.rs == nil {
+		return io.EOF
+	}
+	if err := rowset.FillBatch(s.rs, b); err != nil {
+		return err
+	}
+	b.Truncate(s.width)
+	return nil
 }
 
 func (s *indexRangeIter) Close() error {

@@ -19,8 +19,9 @@ import (
 // a failed attempt's rows before they reach this shim, so ActualRows is
 // exactly what the parent consumed.
 type statsIter struct {
-	child Iterator
-	stats *telemetry.OpStats
+	child  Iterator
+	stats  *telemetry.OpStats
+	bchild BatchIterator // lazily cached batch view of child
 }
 
 func (s *statsIter) Open() error {
@@ -35,6 +36,24 @@ func (s *statsIter) Next() (rowset.Row, error) {
 	r, err := s.child.Next()
 	s.stats.RecordNext(time.Since(start), err == nil)
 	return r, err
+}
+
+// NextBatch keeps an instrumented tree batch-native: one wall-clock sample
+// and one counter update per batch instead of per row, so SetCollectStats
+// costs a fraction of what the per-row shim did, while ActualRows remains
+// exactly the rows the parent consumed.
+func (s *statsIter) NextBatch(b *rowset.Batch) error {
+	if s.bchild == nil {
+		s.bchild = asBatchIterator(s.child)
+	}
+	start := time.Now()
+	err := s.bchild.NextBatch(b)
+	n := 0
+	if err == nil {
+		n = b.Len()
+	}
+	s.stats.RecordNextBatch(time.Since(start), n)
+	return err
 }
 
 func (s *statsIter) Close() error { return s.child.Close() }

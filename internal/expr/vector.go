@@ -1,0 +1,210 @@
+// Vectorized expression kernels. The tree-walking Eval pays an interface
+// dispatch per node per row plus an Env per row; these kernels evaluate one
+// expression over a whole column batch, with direct loops for the shapes
+// that dominate query predicates (column-vs-constant comparisons, IS NULL,
+// conjunctions) and a shared-Env gather fallback for everything else. The
+// fallback is still far cheaper than the row path: the Env and the row
+// buffer are allocated once per batch, not once per row.
+
+package expr
+
+import (
+	"dhqp/internal/sqltypes"
+)
+
+// cmpSatisfied reports whether Compare's result c satisfies op.
+func cmpSatisfied(op Op, c int) bool {
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// leafVal resolves an expression that does not depend on the current row
+// (Const, Param) to its value; ok is false for row-dependent expressions.
+func leafVal(e Expr, env *Env) (sqltypes.Value, bool, error) {
+	switch t := e.(type) {
+	case *Const:
+		return t.Val, true, nil
+	case *Param:
+		v, err := t.Eval(env)
+		return v, true, err
+	}
+	return sqltypes.Null, false, nil
+}
+
+// boundCol returns the column position of a bound ColRef, or -1.
+func boundCol(e Expr) int {
+	if cr, ok := e.(*ColRef); ok && cr.pos >= 0 {
+		return cr.pos
+	}
+	return -1
+}
+
+// FilterSel appends to dst the members of sel whose rows satisfy pred
+// under SQL WHERE semantics (TRUE admits; FALSE and NULL reject), and
+// returns dst. sel lists physical row indices into cols; dst must not
+// alias sel unless it is sel's own prefix (in-place conjunct chaining
+// writes dst[k] with k ≤ the read position, which is safe). rowBuf is a
+// caller-owned scratch row at least as wide as cols, used only on the
+// fallback path.
+func FilterSel(pred Expr, env *Env, cols [][]sqltypes.Value, sel []int, dst []int, rowBuf []sqltypes.Value) ([]int, error) {
+	switch p := pred.(type) {
+	case *Binary:
+		if p.Op == OpAnd {
+			// Conjunction: filter by the left conjunct, then narrow that
+			// result by the right — each conjunct scans only survivors.
+			// Kleene semantics collapse to this because WHERE rejects both
+			// FALSE and NULL.
+			mid, err := FilterSel(p.L, env, cols, sel, dst, rowBuf)
+			if err != nil {
+				return dst, err
+			}
+			return FilterSel(p.R, env, cols, mid, mid[:0], rowBuf)
+		}
+		if p.Op.IsComparison() {
+			if out, ok, err := filterCompare(p, env, cols, sel, dst); ok || err != nil {
+				return out, err
+			}
+		}
+	case *IsNull:
+		if pos := boundCol(p.E); pos >= 0 {
+			col := cols[pos]
+			for _, idx := range sel {
+				if col[idx].IsNull() != p.Negate {
+					dst = append(dst, idx)
+				}
+			}
+			return dst, nil
+		}
+	}
+	// Fallback: gather each candidate row and run the interpreter with a
+	// reused Env.
+	saved := env.Row
+	defer func() { env.Row = saved }()
+	width := len(cols)
+	for _, idx := range sel {
+		for j := 0; j < width; j++ {
+			rowBuf[j] = cols[j][idx]
+		}
+		env.Row = rowBuf[:width]
+		ok, err := EvalPredicate(pred, env)
+		if err != nil {
+			return dst, err
+		}
+		if ok {
+			dst = append(dst, idx)
+		}
+	}
+	return dst, nil
+}
+
+// filterCompare handles comparison predicates whose operands are bound
+// column references or row-independent leaves. ok is false when the shape
+// does not match and the caller must fall back.
+func filterCompare(p *Binary, env *Env, cols [][]sqltypes.Value, sel []int, dst []int) ([]int, bool, error) {
+	lpos, rpos := boundCol(p.L), boundCol(p.R)
+	switch {
+	case lpos >= 0 && rpos >= 0:
+		lc, rc := cols[lpos], cols[rpos]
+		for _, idx := range sel {
+			l, r := lc[idx], rc[idx]
+			if l.IsNull() || r.IsNull() {
+				continue
+			}
+			if cmpSatisfied(p.Op, sqltypes.Compare(l, r)) {
+				dst = append(dst, idx)
+			}
+		}
+		return dst, true, nil
+	case lpos >= 0:
+		rv, isLeaf, err := leafVal(p.R, env)
+		if err != nil || !isLeaf {
+			return dst, isLeaf, err
+		}
+		if rv.IsNull() {
+			return dst, true, nil // col op NULL rejects every row
+		}
+		col := cols[lpos]
+		for _, idx := range sel {
+			v := col[idx]
+			if v.IsNull() {
+				continue
+			}
+			if cmpSatisfied(p.Op, sqltypes.Compare(v, rv)) {
+				dst = append(dst, idx)
+			}
+		}
+		return dst, true, nil
+	case rpos >= 0:
+		lv, isLeaf, err := leafVal(p.L, env)
+		if err != nil || !isLeaf {
+			return dst, isLeaf, err
+		}
+		if lv.IsNull() {
+			return dst, true, nil
+		}
+		col := cols[rpos]
+		for _, idx := range sel {
+			v := col[idx]
+			if v.IsNull() {
+				continue
+			}
+			if cmpSatisfied(p.Op, sqltypes.Compare(lv, v)) {
+				dst = append(dst, idx)
+			}
+		}
+		return dst, true, nil
+	}
+	return dst, false, nil
+}
+
+// EvalVec evaluates e once per selected row, writing results densely:
+// out[k] receives the k-th selected row's value. Direct loops serve bound
+// column references (a copy) and row-independent leaves (a broadcast);
+// other shapes gather into rowBuf and run the interpreter with a reused
+// Env. out must hold len(sel) values.
+func EvalVec(e Expr, env *Env, cols [][]sqltypes.Value, sel []int, out []sqltypes.Value, rowBuf []sqltypes.Value) error {
+	if pos := boundCol(e); pos >= 0 {
+		col := cols[pos]
+		for k, idx := range sel {
+			out[k] = col[idx]
+		}
+		return nil
+	}
+	if v, isLeaf, err := leafVal(e, env); isLeaf || err != nil {
+		if err != nil {
+			return err
+		}
+		for k := range sel {
+			out[k] = v
+		}
+		return nil
+	}
+	saved := env.Row
+	defer func() { env.Row = saved }()
+	width := len(cols)
+	for k, idx := range sel {
+		for j := 0; j < width; j++ {
+			rowBuf[j] = cols[j][idx]
+		}
+		env.Row = rowBuf[:width]
+		v, err := e.Eval(env)
+		if err != nil {
+			return err
+		}
+		out[k] = v
+	}
+	return nil
+}

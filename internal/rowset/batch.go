@@ -1,0 +1,231 @@
+// Column batches: the vectorized execution engine's unit of data flow.
+// Instead of pulling one Row per call, batch-capable operators exchange a
+// Batch — per-column value vectors plus an optional selection vector — so
+// the per-row costs of the Volcano protocol (an interface call, an
+// environment allocation, a telemetry sample) amortize over up to
+// MaxBatchSize rows at a time.
+package rowset
+
+import (
+	"io"
+
+	"dhqp/internal/sqltypes"
+)
+
+// Batch sizing. DefaultBatchSize balances cache residency against
+// amortization; MaxBatchSize caps memory per operator regardless of the
+// session knob.
+const (
+	DefaultBatchSize = 1024
+	MaxBatchSize     = 4096
+)
+
+// ClampBatchSize normalizes a batch-size knob value: 0 (or negative) means
+// DefaultBatchSize, and values beyond MaxBatchSize clamp down.
+func ClampBatchSize(n int) int {
+	if n <= 0 {
+		return DefaultBatchSize
+	}
+	if n > MaxBatchSize {
+		return MaxBatchSize
+	}
+	return n
+}
+
+// Batch is a column-major block of rows. cols[j][i] is row i's value for
+// column j; rows 0..n-1 are physically present. When useSel is set, only
+// the physical row indices listed in sel (strictly increasing) are live —
+// filters "delete" rows by shrinking the selection instead of moving
+// values.
+//
+// Like Row, a Batch handed up by NextBatch is only valid until the next
+// NextBatch call on the same iterator; consumers that retain values must
+// copy them out.
+type Batch struct {
+	cols    [][]sqltypes.Value
+	n       int // physical row count
+	capRows int
+	sel     []int
+	useSel  bool
+	ident   []int // cached identity selection, grown lazily
+}
+
+// NewBatch returns an empty batch holding up to capRows rows per fill.
+func NewBatch(capRows int) *Batch {
+	return &Batch{capRows: ClampBatchSize(capRows)}
+}
+
+// CapRows reports how many rows a single fill may hold.
+func (b *Batch) CapRows() int { return b.capRows }
+
+// Width reports the column count.
+func (b *Batch) Width() int { return len(b.cols) }
+
+// NumRows reports the physical row count, ignoring any selection.
+func (b *Batch) NumRows() int { return b.n }
+
+// Len reports the live row count (the selection's length when one is set).
+func (b *Batch) Len() int {
+	if b.useSel {
+		return len(b.sel)
+	}
+	return b.n
+}
+
+// Reset clears the batch to zero rows with the given width. width 0 defers
+// the shape to the first AppendRow (generic adapters over children whose
+// width is unknown until a row arrives).
+func (b *Batch) Reset(width int) {
+	b.n = 0
+	b.useSel = false
+	b.sel = b.sel[:0]
+	b.setWidth(width)
+}
+
+func (b *Batch) setWidth(width int) {
+	for len(b.cols) < width {
+		b.cols = append(b.cols, make([]sqltypes.Value, b.capRows))
+	}
+	b.cols = b.cols[:width]
+	for j := range b.cols {
+		if len(b.cols[j]) < b.capRows {
+			b.cols[j] = make([]sqltypes.Value, b.capRows)
+		}
+	}
+}
+
+// Truncate drops columns beyond width (projection of a wider provider
+// rowset down to the plan's scan width — O(1), no value movement).
+func (b *Batch) Truncate(width int) {
+	if width > 0 && width < len(b.cols) {
+		b.cols = b.cols[:width]
+	}
+}
+
+// Col returns column j's full physical vector (capRows long); rows beyond
+// NumRows hold stale values. Producers write through it then SetNumRows.
+func (b *Batch) Col(j int) []sqltypes.Value { return b.cols[j] }
+
+// Cols returns the column vectors (the expression kernels' input form).
+func (b *Batch) Cols() [][]sqltypes.Value { return b.cols }
+
+// SetNumRows declares the physical row count after direct column writes.
+func (b *Batch) SetNumRows(n int) { b.n = n }
+
+// AppendRow copies r into the batch as the next physical row. On a
+// width-0 batch the first row fixes the width.
+func (b *Batch) AppendRow(r Row) {
+	if len(b.cols) == 0 && len(r) > 0 {
+		b.setWidth(len(r))
+	}
+	for j := range b.cols {
+		b.cols[j][b.n] = r[j]
+	}
+	b.n++
+}
+
+// Full reports whether the batch has reached its physical capacity.
+func (b *Batch) Full() bool { return b.n >= b.capRows }
+
+// Indices returns the live physical row indices in order: the selection
+// when one is set, otherwise a cached identity slice 0..n-1.
+func (b *Batch) Indices() []int {
+	if b.useSel {
+		return b.sel
+	}
+	for len(b.ident) < b.n {
+		b.ident = append(b.ident, len(b.ident))
+	}
+	return b.ident[:b.n]
+}
+
+// SetSelection installs sel (copied into the batch's own buffer) as the
+// live-row set. Filters call this with the indices that passed.
+func (b *Batch) SetSelection(sel []int) {
+	b.sel = append(b.sel[:0], sel...)
+	b.useSel = true
+}
+
+// RowAt gathers live row i (0 ≤ i < Len) into buf, returning buf resized.
+// The values alias the batch's vectors only by copy, so buf stays valid
+// across refills.
+func (b *Batch) RowAt(i int, buf Row) Row {
+	idx := i
+	if b.useSel {
+		idx = b.sel[i]
+	}
+	if cap(buf) < len(b.cols) {
+		buf = make(Row, len(b.cols))
+	}
+	buf = buf[:len(b.cols)]
+	for j := range b.cols {
+		buf[j] = b.cols[j][idx]
+	}
+	return buf
+}
+
+// BatchReader is implemented by rowsets that can fill a batch directly
+// (the storage engine's table scan, Materialized buffers). NextBatch fills
+// b with up to b.CapRows() rows and returns io.EOF only when no rows
+// remain (an empty fill).
+type BatchReader interface {
+	NextBatch(b *Batch) error
+}
+
+// FillBatch fills b from rs — directly when rs is a BatchReader, otherwise
+// by pulling rows one at a time. Returns io.EOF when rs is exhausted and
+// nothing was filled.
+func FillBatch(rs Rowset, b *Batch) error {
+	if br, ok := rs.(BatchReader); ok {
+		return br.NextBatch(b)
+	}
+	b.Reset(0)
+	for !b.Full() {
+		r, err := rs.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		b.AppendRow(r)
+	}
+	if b.NumRows() == 0 {
+		return io.EOF
+	}
+	return nil
+}
+
+// NextBatch implements BatchReader: Materialized buffers (spool replays,
+// remote result sets, aggregate outputs) refill batches without the
+// per-row Next round trip.
+func (m *Materialized) NextBatch(b *Batch) error {
+	if m.pos >= len(m.rows) {
+		return io.EOF
+	}
+	b.Reset(0)
+	for !b.Full() && m.pos < len(m.rows) {
+		b.AppendRow(m.rows[m.pos])
+		m.pos++
+	}
+	return nil
+}
+
+// AppendBatch appends the batch's live rows, copied, to the rowset. One
+// backing array serves the whole batch (a fraction of the allocations of
+// per-row Append).
+func (m *Materialized) AppendBatch(b *Batch) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	w := b.Width()
+	vals := make([]sqltypes.Value, n*w)
+	for k, idx := range b.Indices() {
+		base := k * w
+		for j := 0; j < w; j++ {
+			vals[base+j] = b.cols[j][idx]
+		}
+		m.rows = append(m.rows, Row(vals[base:base+w:base+w]))
+	}
+}

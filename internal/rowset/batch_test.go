@@ -1,0 +1,136 @@
+package rowset
+
+import (
+	"io"
+	"testing"
+
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+)
+
+func TestBatchAppendAndSelection(t *testing.T) {
+	b := NewBatch(4)
+	b.Reset(2)
+	for i := int64(0); i < 4; i++ {
+		b.AppendRow(intRow(i, i*10))
+	}
+	if !b.Full() || b.Len() != 4 || b.NumRows() != 4 || b.Width() != 2 {
+		t.Fatalf("after fill: full=%v len=%d n=%d w=%d", b.Full(), b.Len(), b.NumRows(), b.Width())
+	}
+	if got := b.Indices(); len(got) != 4 || got[0] != 0 || got[3] != 3 {
+		t.Fatalf("identity indices = %v", got)
+	}
+	b.SetSelection([]int{1, 3})
+	if b.Len() != 2 || b.NumRows() != 4 {
+		t.Fatalf("after selection: len=%d n=%d", b.Len(), b.NumRows())
+	}
+	r := b.RowAt(1, nil)
+	if r[0].Int() != 3 || r[1].Int() != 30 {
+		t.Fatalf("RowAt(1) = %v", r)
+	}
+	// Narrowing the selection again must not resurrect dropped rows.
+	b.SetSelection([]int{3})
+	if b.Len() != 1 || b.RowAt(0, nil)[0].Int() != 3 {
+		t.Fatalf("second selection: len=%d row=%v", b.Len(), b.RowAt(0, nil))
+	}
+}
+
+func TestBatchWidthFromFirstRow(t *testing.T) {
+	b := NewBatch(8)
+	b.Reset(0)
+	b.AppendRow(intRow(7, 8, 9))
+	if b.Width() != 3 || b.Len() != 1 {
+		t.Fatalf("width=%d len=%d", b.Width(), b.Len())
+	}
+	b.Truncate(2)
+	if b.Width() != 2 {
+		t.Fatalf("after truncate width=%d", b.Width())
+	}
+	// Reset restores the requested width and clears the selection.
+	b.SetSelection([]int{0})
+	b.Reset(1)
+	if b.Width() != 1 || b.Len() != 0 {
+		t.Fatalf("after reset width=%d len=%d", b.Width(), b.Len())
+	}
+}
+
+func TestClampBatchSize(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultBatchSize}, {-5, DefaultBatchSize},
+		{1, 1}, {3, 3}, {4096, 4096}, {9999, MaxBatchSize},
+	} {
+		if got := ClampBatchSize(tc.in); got != tc.want {
+			t.Errorf("ClampBatchSize(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFillBatchAndMaterializedRoundTrip(t *testing.T) {
+	cols := []schema.Column{{Name: "a", Kind: sqltypes.KindInt}, {Name: "b", Kind: sqltypes.KindInt}}
+	var rows []Row
+	for i := int64(0); i < 10; i++ {
+		rows = append(rows, intRow(i, 100+i))
+	}
+	src := NewMaterialized(cols, rows)
+	out := NewMaterialized(cols, nil)
+	b := NewBatch(3)
+	total := 0
+	for {
+		err := FillBatch(src, b)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += b.Len()
+		out.AppendBatch(b)
+	}
+	if total != 10 || out.Len() != 10 {
+		t.Fatalf("round-tripped %d rows, materialized %d, want 10", total, out.Len())
+	}
+	for i, r := range out.Rows() {
+		if r[0].Int() != int64(i) || r[1].Int() != int64(100+i) {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+}
+
+// funcRowset has no BatchReader, forcing FillBatch's pull path.
+func TestFillBatchPullPath(t *testing.T) {
+	i := int64(0)
+	f := &Func{
+		Cols: []schema.Column{{Name: "x", Kind: sqltypes.KindInt}},
+		NextFn: func() (Row, error) {
+			if i >= 5 {
+				return nil, io.EOF
+			}
+			i++
+			return intRow(i), nil
+		},
+	}
+	b := NewBatch(8)
+	if err := FillBatch(f, b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 5 {
+		t.Fatalf("len = %d, want 5", b.Len())
+	}
+	if err := FillBatch(f, b); err != io.EOF {
+		t.Fatalf("second fill err = %v, want io.EOF", err)
+	}
+}
+
+func TestAppendBatchHonorsSelection(t *testing.T) {
+	b := NewBatch(4)
+	b.Reset(1)
+	for i := int64(0); i < 4; i++ {
+		b.AppendRow(intRow(i))
+	}
+	b.SetSelection([]int{0, 2})
+	m := NewMaterialized(nil, nil)
+	m.AppendBatch(b)
+	if m.Len() != 2 || m.Rows()[0][0].Int() != 0 || m.Rows()[1][0].Int() != 2 {
+		t.Fatalf("AppendBatch rows = %v", m.Rows())
+	}
+}

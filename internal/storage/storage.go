@@ -253,6 +253,23 @@ func (s *tableScan) Next() (rowset.Row, error) {
 
 func (s *tableScan) Close() error { return nil }
 
+// NextBatch implements rowset.BatchReader: the vectorized scan path fills
+// a whole column batch per call, skipping deleted slots, instead of paying
+// an interface call per row.
+func (s *tableScan) NextBatch(b *rowset.Batch) error {
+	b.Reset(len(s.cols))
+	for !b.Full() && s.pos+1 < len(s.rows) {
+		s.pos++
+		if s.rows[s.pos] != nil {
+			b.AppendRow(s.rows[s.pos])
+		}
+	}
+	if b.NumRows() == 0 {
+		return errEOF
+	}
+	return nil
+}
+
 // Bookmark implements rowset.Bookmarked.
 func (s *tableScan) Bookmark() int64 { return int64(s.pos) }
 

@@ -52,6 +52,16 @@ func (s *OpStats) RecordNext(d time.Duration, emitted bool) {
 	s.wallNS.Add(int64(d))
 }
 
+// RecordNextBatch counts one vectorized NextBatch call, its inclusive wall
+// time, and the rows the batch delivered. One call replaces up to a
+// batch-size worth of RecordNext calls while keeping ActualRows exact: a
+// fill of n rows adds exactly n, and an EOF or error fill adds none.
+func (s *OpStats) RecordNextBatch(d time.Duration, rows int) {
+	s.nexts.Add(1)
+	s.rows.Add(int64(rows))
+	s.wallNS.Add(int64(d))
+}
+
 // Opens reports how many times the operator was (re-)opened.
 func (s *OpStats) Opens() int64 { return s.opens.Load() }
 

@@ -98,6 +98,62 @@ func LoadTPCHOrders(s *engine.Server, cfg TPCHConfig) error {
 	})
 }
 
+// FactDimConfig scales the local star-shaped load the vectorized-execution
+// experiment (E16) scans: one wide fact table joined to a small dimension.
+type FactDimConfig struct {
+	FactRows int
+	DimRows  int
+	Seed     int64
+}
+
+// LoadFactDim creates and fills fact(f_id, f_dim, f_val, f_cat) and
+// dim(d_id, d_name) on a server. The fact rows bypass the SQL layer and
+// insert straight into the storage engine — at E16's row counts (1M+),
+// parsing INSERT literals would dominate setup time.
+func LoadFactDim(s *engine.Server, dbName string, cfg FactDimConfig) error {
+	stmts := []string{
+		`CREATE TABLE fact (f_id INT PRIMARY KEY, f_dim INT, f_val INT, f_cat INT)`,
+		`CREATE TABLE dim (d_id INT PRIMARY KEY, d_name VARCHAR(20))`,
+	}
+	for _, st := range stmts {
+		if _, err := s.Exec(st); err != nil {
+			return err
+		}
+	}
+	var b strings.Builder
+	b.WriteString("INSERT INTO dim VALUES ")
+	for i := 0; i < cfg.DimRows; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, 'dim%04d')", i, i)
+	}
+	if _, err := s.Exec(b.String()); err != nil {
+		return err
+	}
+	db, ok := s.Store().Database(dbName)
+	if !ok {
+		return fmt.Errorf("workload: database %s not found", dbName)
+	}
+	fact, ok := db.Table("fact")
+	if !ok {
+		return fmt.Errorf("workload: table fact not found")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.FactRows; i++ {
+		r := rowset.Row{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(int64(rng.Intn(maxInt(cfg.DimRows, 1)))),
+			sqltypes.NewInt(int64(rng.Intn(10000))),
+			sqltypes.NewInt(int64(rng.Intn(50))),
+		}
+		if _, err := fact.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a
