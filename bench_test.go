@@ -808,6 +808,7 @@ func BenchmarkE16_VectorizedPipeline(b *testing.B) {
 		name, query string
 	}{
 		{"ScanFilter", `SELECT f_val FROM fact WHERE f_val < 2500`},
+		{"ScanFilterFloat", `SELECT f_fv FROM fact WHERE f_fv < 2500.0`},
 		{"ScanJoinAgg", `SELECT d.d_name, COUNT(*) AS n, SUM(f.f_val) AS sv
 			FROM fact f, dim d WHERE f.f_dim = d.d_id AND f.f_val < 5000 GROUP BY d.d_name`},
 	}
@@ -815,7 +816,8 @@ func BenchmarkE16_VectorizedPipeline(b *testing.B) {
 		name  string
 		apply func(s *dhqp.Server)
 	}{
-		{"Vectorized", func(s *dhqp.Server) { s.SetBatchSize(0) }},
+		{"Typed", func(s *dhqp.Server) { s.SetBatchSize(0); s.EnableTypedVectors() }},
+		{"Generic", func(s *dhqp.Server) { s.SetBatchSize(0); s.DisableTypedVectors() }},
 		{"RowAtATime", func(s *dhqp.Server) { s.DisableVectorized() }},
 	}
 	for _, c := range cases {

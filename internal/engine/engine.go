@@ -90,6 +90,10 @@ type Server struct {
 	// not invalidate the plan cache.
 	batchSize     int
 	vectorizedOff bool
+	// typedVectorsOff forces generic boxed column vectors inside batch
+	// execution (typed int64/float64/string payloads off); see
+	// DisableTypedVectors. Read per execution, never baked into plans.
+	typedVectorsOff bool
 
 	// Fault-tolerance knobs. All of them are read per execution — never
 	// baked into compiled plans — so changing them does not invalidate the
@@ -426,6 +430,32 @@ func (s *Server) VectorizedEnabled() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return !s.vectorizedOff
+}
+
+// DisableTypedVectors forces batch columns into generic boxed mode: batch
+// execution still runs, but the unboxed int64/float64/string payloads,
+// validity bitmaps, and specialized kernels are bypassed (the typed-vs-
+// generic differential-testing and benchmarking axis). Read per execution,
+// so it takes effect on the next statement without invalidating cached
+// plans.
+func (s *Server) DisableTypedVectors() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.typedVectorsOff = true
+}
+
+// EnableTypedVectors restores typed column vectors (the default).
+func (s *Server) EnableTypedVectors() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.typedVectorsOff = false
+}
+
+// TypedVectorsEnabled reports whether typed column vectors are on.
+func (s *Server) TypedVectorsEnabled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.typedVectorsOff
 }
 
 // Circuit-breaker defaults: a server must fail more than a full default

@@ -43,6 +43,11 @@ func TestKnobFlipsDuringConcurrentQueries(t *testing.T) {
 			} else {
 				local.DisableVectorized()
 			}
+			if i%3 == 0 {
+				local.DisableTypedVectors()
+			} else {
+				local.EnableTypedVectors()
+			}
 			local.SetQueryTimeout(time.Duration(i%2) * time.Minute)
 			local.SetPartialResults(i%2 == 0)
 			local.SetCollectStats(i%2 == 1)

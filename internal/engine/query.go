@@ -315,7 +315,7 @@ func (s *Server) runPlan(base context.Context, queryText string, plan *algebra.N
 	s.mu.Lock()
 	timeout, retryA, retryB, partial := s.queryTimeout, s.retryAttempts, s.retryBackoff, s.partialResults
 	today, noPrefetch := s.Today, s.DisableRemotePrefetch
-	batchSize, noVectorized := s.batchSize, s.vectorizedOff
+	batchSize, noVectorized, noTyped := s.batchSize, s.vectorizedOff, s.typedVectorsOff
 	s.mu.Unlock()
 	// Per-statement link attribution rides the statement context into every
 	// netsim call this execution makes: links are shared across concurrent
@@ -333,7 +333,7 @@ func (s *Server) runPlan(base context.Context, queryText string, plan *algebra.N
 		RT: &runtime{s: s}, Params: params, Today: today,
 		MaxDOP: s.MaxDOP(), NoPrefetch: noPrefetch,
 		RemoteBatchSize: s.RemoteBatchSize(),
-		BatchSize:       batchSize, NoVectorized: noVectorized,
+		BatchSize:       batchSize, NoVectorized: noVectorized, NoTypedVectors: noTyped,
 		Ctx: qctx, RetryAttempts: retryA, RetryBackoff: retryB,
 		BreakerFor: s.breakerFor, PartialResults: partial, Diags: diags,
 		Stats: col,

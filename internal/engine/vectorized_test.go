@@ -23,6 +23,24 @@ func vecServer(t *testing.T) *Server {
 	s.MustExec(`INSERT INTO t2 VALUES
 		(0, 100), (2, 200), (2, 201), (4, 400), (NULL, 999), (6, 600), (12, 120)`)
 	s.MustExec(`CREATE TABLE t0 (z INT)`)
+	// t3 is the typed-vector torture table: every payload kind the Vec
+	// representation specializes (int64, float64, string, date, bool), with
+	// roughly half the cells NULL so validity-bitmap paths and NULL-skip
+	// aggregate semantics get exercised on every query.
+	s.MustExec(`CREATE TABLE t3 (i INT, f FLOAT, s VARCHAR(16), d DATE, bt BIT)`)
+	s.MustExec(`INSERT INTO t3 VALUES
+		(1, 1.5, 'aa', '2024-01-01', 1),
+		(NULL, 2.5, NULL, '2024-01-02', 0),
+		(3, NULL, 'cc', NULL, NULL),
+		(4, 4.0, 'dd', '2024-01-04', 1),
+		(NULL, NULL, NULL, NULL, NULL),
+		(6, 1.5, 'aa', '2024-01-01', 0),
+		(7, -7.25, 'gg', '2023-12-31', NULL),
+		(NULL, 2.5, 'hh', NULL, 1),
+		(9, NULL, NULL, '2024-01-09', 0),
+		(3, 3.0, 'cc', '2024-01-03', NULL),
+		(11, 11.5, 'kk', '2024-01-11', 1),
+		(NULL, 1.5, 'aa', '2024-01-01', NULL)`)
 	return s
 }
 
@@ -52,15 +70,34 @@ func TestVectorizedRowEquivalence(t *testing.T) {
 		`SELECT TOP 4 a, s FROM t1 ORDER BY a DESC, s`,
 		`SELECT s FROM t1 ORDER BY s`,
 		`SELECT t2.v, COUNT(*) AS n FROM t1, t2 WHERE t1.a = t2.k GROUP BY t2.v ORDER BY t2.v`,
+		// Mixed-kind / NULL-heavy shapes over t3: float filters, cross-kind
+		// compares, typed arithmetic, date compares, aggregates over float
+		// and NULL grouping keys, UNION ALL mixing kinds, TOP N with ties.
+		`SELECT i, f FROM t3 WHERE f > 2.0`,
+		`SELECT i, s FROM t3 WHERE f = i`,
+		`SELECT i + 1 AS i1, f * 2.0 AS f2, i + f AS mixed FROM t3`,
+		`SELECT s, d FROM t3 WHERE d >= '2024-01-02'`,
+		`SELECT i FROM t3 WHERE bt = 1`,
+		`SELECT s FROM t3 WHERE f IS NULL OR i IS NULL`,
+		`SELECT f, COUNT(*) AS n, SUM(i) AS si, AVG(f) AS af FROM t3 GROUP BY f`,
+		`SELECT d, MIN(i) AS mi, MAX(f) AS mf FROM t3 GROUP BY d`,
+		`SELECT a AS x FROM t1 UNION ALL SELECT i FROM t3`,
+		`SELECT TOP 5 i, f, s FROM t3 ORDER BY f DESC, i`,
+		`SELECT TOP 3 s FROM t3 ORDER BY s`,
+		`SELECT t3.s, t2.v FROM t3, t2 WHERE t3.i = t2.k`,
+		`SELECT COUNT(*) AS n, SUM(f) AS sf, MIN(d) AS md FROM t3`,
 	}
 	modes := []struct {
 		name  string
 		apply func()
 	}{
 		{"row", func() { s.DisableVectorized() }},
-		{"vec-1", func() { s.SetBatchSize(1) }},
-		{"vec-3", func() { s.SetBatchSize(3) }},
-		{"vec-1024", func() { s.SetBatchSize(1024) }},
+		{"vec-1", func() { s.EnableTypedVectors(); s.SetBatchSize(1) }},
+		{"vec-3", func() { s.EnableTypedVectors(); s.SetBatchSize(3) }},
+		{"vec-1024", func() { s.EnableTypedVectors(); s.SetBatchSize(1024) }},
+		{"gen-1", func() { s.DisableTypedVectors(); s.SetBatchSize(1) }},
+		{"gen-3", func() { s.DisableTypedVectors(); s.SetBatchSize(3) }},
+		{"gen-1024", func() { s.DisableTypedVectors(); s.SetBatchSize(1024) }},
 	}
 	for qi, sql := range queries {
 		var reference []string
@@ -91,6 +128,7 @@ func TestVectorizedRowEquivalence(t *testing.T) {
 		}
 	}
 	s.SetBatchSize(0) // restore defaults
+	s.EnableTypedVectors()
 }
 
 // TestVectorizedKnobFlipMidQuery flips SetBatchSize/DisableVectorized
@@ -114,9 +152,14 @@ func TestVectorizedKnobFlipMidQuery(t *testing.T) {
 				return
 			default:
 			}
-			if i%3 == 0 {
+			switch i % 4 {
+			case 0:
 				s.DisableVectorized()
-			} else {
+			case 1:
+				s.DisableTypedVectors()
+			case 2:
+				s.EnableTypedVectors()
+			default:
 				s.SetBatchSize(1 + i%2048)
 			}
 		}

@@ -73,6 +73,53 @@ func (a *accumulator) add(v sqltypes.Value, isStar bool) error {
 	return nil
 }
 
+// addVec accumulates element idx of a batch column without boxing it.
+// Generic columns fall back to the boxed path; typed columns feed SUM/AVG
+// straight from the flat payload. Semantics (NULL skip, DISTINCT hashing,
+// kind errors) match add exactly — hashVecAt is defined to produce the
+// same hash Value.Hash would.
+func (a *accumulator) addVec(vec *rowset.Vec, idx int) error {
+	if !vec.IsTyped() {
+		return a.add(vec.Gen()[idx], false)
+	}
+	if !vec.Valid(idx) {
+		return nil // aggregates skip NULLs
+	}
+	if a.distinct {
+		h, _ := hashVecAt(vec, idx)
+		if a.seen[h] {
+			return nil
+		}
+		a.seen[h] = true
+	}
+	a.count++
+	switch a.fn {
+	case algebra.AggCount:
+	case algebra.AggSum, algebra.AggAvg:
+		switch vec.Kind() {
+		case sqltypes.KindInt, sqltypes.KindBool:
+			i := vec.Int64s()[idx]
+			a.sumI += i
+			a.sumF += float64(i)
+		case sqltypes.KindFloat:
+			a.isF = true
+			a.sumF += vec.Float64s()[idx]
+		default:
+			return fmt.Errorf("exec: SUM/AVG over %s", vec.Kind())
+		}
+	case algebra.AggMin:
+		if v := vec.Value(idx); !a.any || sqltypes.Compare(v, a.min) < 0 {
+			a.min = v
+		}
+	case algebra.AggMax:
+		if v := vec.Value(idx); !a.any || sqltypes.Compare(v, a.max) > 0 {
+			a.max = v
+		}
+	}
+	a.any = true
+	return nil
+}
+
 func (a *accumulator) result() sqltypes.Value {
 	switch a.fn {
 	case algebra.AggCount:
@@ -202,11 +249,25 @@ func (h *hashAggIter) Open() error {
 		return h.accumulate(g.accs, r)
 	}
 	if h.ctx.vectorized() {
-		// Batch-drain the child: the per-row costs left are the hash probe
-		// and the accumulator updates themselves.
+		// Batch-drain the child: group keys hash straight off the batch
+		// columns (typed payloads or boxed values alike) and plain column
+		// aggregate arguments accumulate via addVec without building a row.
+		// A row is gathered only when a new group needs its key values or a
+		// computed argument needs a full Env.
 		bchild := asBatchIterator(h.child)
 		if h.in == nil {
-			h.in = rowset.NewBatch(h.ctx.batchSize())
+			h.in = h.ctx.newBatch()
+		}
+		argPos := make([]int, len(h.args))
+		anyComplex := false
+		for i, a := range h.args {
+			argPos[i] = -1
+			if a != nil {
+				argPos[i] = expr.BoundColPos(a)
+				if argPos[i] < 0 {
+					anyComplex = true
+				}
+			}
 		}
 		var rbuf rowset.Row
 		for {
@@ -217,10 +278,25 @@ func (h *hashAggIter) Open() error {
 			if err != nil {
 				return err
 			}
+			cols := h.in.Cols()
 			n := h.in.Len()
 			for i := 0; i < n; i++ {
-				rbuf = h.in.RowAt(i, rbuf)
-				if err := addRow(rbuf); err != nil {
+				idx := h.in.PhysIdx(i)
+				var kb []byte
+				if !scalar {
+					kb = h.kenc.encodeAllVec(cols, idx, h.gpos)
+				}
+				g := groups[string(kb)]
+				if g == nil || anyComplex {
+					rbuf = h.in.RowAt(i, rbuf)
+				}
+				if g == nil {
+					g = h.newGroup(rbuf)
+					key := string(kb)
+					groups[key] = g
+					order = append(order, key)
+				}
+				if err := h.accumulateVec(g.accs, cols, idx, argPos, rbuf); err != nil {
 					return err
 				}
 			}
@@ -275,6 +351,36 @@ func (h *hashAggIter) accumulate(accs []*accumulator, r rowset.Row) error {
 			}
 			continue
 		}
+		v, err := h.args[i].Eval(env)
+		if err != nil {
+			return err
+		}
+		if err := a.add(v, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// accumulateVec is accumulate for the batch path: plain column arguments
+// read their value straight from the batch column at physical index idx;
+// computed arguments evaluate against row (gathered by the caller).
+func (h *hashAggIter) accumulateVec(accs []*accumulator, cols []rowset.Vec, idx int, argPos []int, row rowset.Row) error {
+	for i, a := range accs {
+		if h.args[i] == nil {
+			if err := a.add(sqltypes.NewInt(1), true); err != nil {
+				return err
+			}
+			continue
+		}
+		if p := argPos[i]; p >= 0 {
+			if err := a.addVec(&cols[p], idx); err != nil {
+				return err
+			}
+			continue
+		}
+		env := h.venv
+		env.Row = row
 		v, err := h.args[i].Eval(env)
 		if err != nil {
 			return err

@@ -57,6 +57,11 @@ type Context struct {
 	// tree through Next instead of NextBatch, and batch-capable operators
 	// keep their internal row paths.
 	NoVectorized bool
+	// NoTypedVectors keeps batch columns in generic boxed form: scans fill
+	// []sqltypes.Value columns and the typed filter/arithmetic/hash-key
+	// kernels stand down. Vectorized execution still runs — this isolates
+	// the typed-column layer for differential testing.
+	NoTypedVectors bool
 
 	// Ctx is the statement's deadline/cancellation context; nil means no
 	// deadline. It threads into remote sessions (oledb.ContextSession) so
@@ -101,6 +106,24 @@ func (c *Context) batchSize() int { return rowset.ClampBatchSize(c.BatchSize) }
 // vectorized reports whether batch execution is enabled for this statement.
 func (c *Context) vectorized() bool { return !c.NoVectorized }
 
+// newBatch allocates a batch sized and typed per this statement's knobs;
+// every operator-owned scratch batch must come through here so the
+// DisableTypedVectors knob reaches each fill site.
+func (c *Context) newBatch() *rowset.Batch {
+	b := rowset.NewBatch(c.batchSize())
+	b.SetTypedEnabled(!c.NoTypedVectors)
+	return b
+}
+
+// newBatchLike allocates a scratch batch matching an existing batch's
+// capacity and typed flag (operators sizing their input buffer off the
+// caller-provided output batch).
+func newBatchLike(b *rowset.Batch) *rowset.Batch {
+	nb := rowset.NewBatch(b.CapRows())
+	nb.SetTypedEnabled(b.TypedEnabled())
+	return nb
+}
+
 func (c *Context) env(row rowset.Row) *expr.Env {
 	return &expr.Env{Row: row, Params: c.Params, Today: c.Today}
 }
@@ -113,7 +136,7 @@ func (c *Context) env(row rowset.Row) *expr.Env {
 func (c *Context) fork() *Context {
 	f := &Context{RT: c.RT, Today: c.Today, MaxDOP: c.MaxDOP, NoPrefetch: c.NoPrefetch,
 		RemoteBatchSize: c.RemoteBatchSize,
-		BatchSize:       c.BatchSize, NoVectorized: c.NoVectorized,
+		BatchSize:       c.BatchSize, NoVectorized: c.NoVectorized, NoTypedVectors: c.NoTypedVectors,
 		Ctx: c.Ctx, RetryAttempts: c.RetryAttempts, RetryBackoff: c.RetryBackoff,
 		BreakerFor: c.BreakerFor, PartialResults: c.PartialResults, Diags: c.Diags,
 		Stats: c.Stats}
@@ -244,7 +267,7 @@ func buildOp(n *algebra.Node, ctx *Context) (Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &topIter{child: child, n: op.N, ordinals: ords, desc: descs}, nil
+		return &topIter{ctx: ctx, child: child, n: op.N, ordinals: ords, desc: descs}, nil
 	case *algebra.Concat:
 		return buildConcat(n, op, ctx)
 	case *algebra.Spool:
@@ -279,7 +302,7 @@ func Run(n *algebra.Node, ctx *Context, outCols []algebra.OutCol) (*rowset.Mater
 		// Batch drain: one NextBatch call and one cancellation check per
 		// batch instead of per row.
 		bi := asBatchIterator(it)
-		b := rowset.NewBatch(ctx.batchSize())
+		b := ctx.newBatch()
 		for {
 			if err := ctx.canceled(); err != nil {
 				return nil, err

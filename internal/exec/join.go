@@ -94,13 +94,18 @@ type hashJoinIter struct {
 	venv     *expr.Env
 }
 
-// insert adds one build-side row to the hash table (cloned: build rows must
-// survive their source batch or rowset buffer).
+// insert adds one build-side row to the hash table.
 func (h *hashJoinIter) insert(r rowset.Row) {
 	kb, ok := h.kenc.encode(r, h.rpos)
 	if !ok {
 		return // NULL keys never join
 	}
+	h.insertKeyed(kb, r)
+}
+
+// insertKeyed adds one build-side row under a precomputed key (cloned:
+// build rows must survive their source batch or rowset buffer).
+func (h *hashJoinIter) insertKeyed(kb []byte, r rowset.Row) {
 	if rows := h.table[string(kb)]; rows != nil {
 		*rows = append(*rows, r.Clone())
 		return
@@ -119,16 +124,29 @@ func (h *hashJoinIter) probe(l rowset.Row) {
 	}
 }
 
+// probeVec is probe hashing straight off the probe batch's columns at
+// physical index idx — typed payloads never box for key building.
+func (h *hashJoinIter) probeVec(cols []rowset.Vec, idx int) {
+	h.matches = nil
+	if kb, ok := h.kenc.encodeVec(cols, idx, h.lpos); ok {
+		if rows := h.table[string(kb)]; rows != nil {
+			h.matches = *rows
+		}
+	}
+}
+
 func (h *hashJoinIter) Open() error {
 	if err := h.right.Open(); err != nil {
 		return err
 	}
 	h.table = map[string]*[]rowset.Row{}
 	if h.ctx.vectorized() {
-		// Batch-drain the build side: one NextBatch per ~batchSize rows.
+		// Batch-drain the build side: keys hash straight off the batch
+		// columns, and the row is gathered only after its key is known to
+		// be non-NULL (NULL-keyed rows never enter the table).
 		bright := asBatchIterator(h.right)
 		if h.buildBuf == nil {
-			h.buildBuf = rowset.NewBatch(h.ctx.batchSize())
+			h.buildBuf = h.ctx.newBatch()
 		}
 		var rbuf rowset.Row
 		for {
@@ -139,10 +157,16 @@ func (h *hashJoinIter) Open() error {
 			if err != nil {
 				return err
 			}
+			cols := h.buildBuf.Cols()
 			n := h.buildBuf.Len()
 			for i := 0; i < n; i++ {
+				idx := h.buildBuf.PhysIdx(i)
+				kb, ok := h.kenc.encodeVec(cols, idx, h.rpos)
+				if !ok {
+					continue // NULL keys never join
+				}
 				rbuf = h.buildBuf.RowAt(i, rbuf)
-				h.insert(rbuf)
+				h.insertKeyed(kb, rbuf)
 			}
 		}
 	} else {
@@ -233,7 +257,7 @@ func (h *hashJoinIter) Next() (rowset.Row, error) {
 func (h *hashJoinIter) NextBatch(b *rowset.Batch) error {
 	if h.bleft == nil {
 		h.bleft = asBatchIterator(h.left)
-		h.in = rowset.NewBatch(h.ctx.batchSize())
+		h.in = h.ctx.newBatch()
 		h.venv = &expr.Env{}
 	}
 	h.venv.Params, h.venv.Today = h.ctx.Params, h.ctx.Today
@@ -317,12 +341,13 @@ func (h *hashJoinIter) NextBatch(b *rowset.Batch) error {
 			}
 			h.inPos = 0
 		}
+		idx := h.in.PhysIdx(h.inPos)
 		h.curBuf = h.in.RowAt(h.inPos, h.curBuf)
 		h.inPos++
 		h.cur = h.curBuf
 		h.matched = false
 		h.midx = 0
-		h.probe(h.cur)
+		h.probeVec(h.in.Cols(), idx)
 	}
 }
 

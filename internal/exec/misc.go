@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"dhqp/internal/algebra"
@@ -132,7 +133,7 @@ func (c *computeIter) Open() error { return c.child.Open() }
 func (c *computeIter) NextBatch(b *rowset.Batch) error {
 	if c.bchild == nil {
 		c.bchild = asBatchIterator(c.child)
-		c.in = rowset.NewBatch(b.CapRows())
+		c.in = newBatchLike(b)
 		c.venv = &expr.Env{}
 	}
 	c.venv.Params, c.venv.Today = c.ctx.Params, c.ctx.Today
@@ -145,7 +146,7 @@ func (c *computeIter) NextBatch(b *rowset.Batch) error {
 	}
 	b.Reset(len(c.exprs))
 	for i, e := range c.exprs {
-		if err := expr.EvalVec(e, c.venv, c.in.Cols(), sel, b.Col(i)[:len(sel)], c.rowBuf[:c.in.Width()]); err != nil {
+		if err := expr.EvalVec(e, c.venv, c.in.Cols(), sel, b.Col(i), b.CapRows(), b.TypedEnabled(), c.rowBuf[:c.in.Width()]); err != nil {
 			return err
 		}
 	}
@@ -213,38 +214,148 @@ func (s *sortIter) Close() error {
 	return s.child.Close()
 }
 
-// topIter returns the first N rows under an ordering (sorting when an
-// ordering is specified; pass-through limit otherwise).
+// topIter returns the first N rows under an ordering (bounded top-N when
+// an ordering is specified; pass-through limit otherwise). The ordered
+// case keeps a max-heap of the best N rows seen so far — O(rows·log N)
+// time and O(N) memory instead of materializing and sorting the whole
+// input — with arrival sequence as the final tiebreak, so ties resolve
+// exactly as the stable full sort they replace did.
 type topIter struct {
+	ctx      *Context
 	child    Iterator
 	n        int64
 	ordinals []int
 	desc     []bool
-	buf      *rowset.Materialized
-	emitted  int64
+
+	heap    []topEntry
+	out     []rowset.Row // heap contents sorted ascending, ready to emit
+	pos     int
+	emitted int64
+	bchild  BatchIterator // streaming-limit batch path
+	scratch *rowset.Batch // ordered-case batch drain scratch
+	rowBuf  rowset.Row
+	seq     int64
+}
+
+type topEntry struct {
+	row rowset.Row
+	seq int64
+}
+
+// topLess is the total order the heap maintains: ordering columns first
+// (descending keys inverted), arrival sequence last. "Keep the N smallest
+// under this order" is exactly "stable sort, take the first N".
+func (t *topIter) topLess(a, b topEntry) bool {
+	for k, ord := range t.ordinals {
+		c := sqltypes.Compare(a.row[ord], b.row[ord])
+		if t.desc[k] {
+			c = -c
+		}
+		if c != 0 {
+			return c < 0
+		}
+	}
+	return a.seq < b.seq
+}
+
+func (t *topIter) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !t.topLess(t.heap[p], t.heap[i]) {
+			return
+		}
+		t.heap[p], t.heap[i] = t.heap[i], t.heap[p]
+		i = p
+	}
+}
+
+func (t *topIter) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && t.topLess(t.heap[big], t.heap[l]) {
+			big = l
+		}
+		if r < n && t.topLess(t.heap[big], t.heap[r]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		t.heap[i], t.heap[big] = t.heap[big], t.heap[i]
+		i = big
+	}
+}
+
+// offer considers one row for the heap. The row is cloned only when it
+// survives, so rejected rows (the vast majority on large inputs) cost a
+// comparison and nothing else.
+func (t *topIter) offer(r rowset.Row) {
+	e := topEntry{row: r, seq: t.seq}
+	t.seq++
+	if t.n <= 0 {
+		return
+	}
+	if int64(len(t.heap)) < t.n {
+		e.row = r.Clone()
+		t.heap = append(t.heap, e)
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	if t.topLess(e, t.heap[0]) {
+		e.row = r.Clone()
+		t.heap[0] = e
+		t.siftDown(0)
+	}
 }
 
 func (t *topIter) Open() error {
-	t.buf, t.emitted = nil, 0
+	t.heap, t.out, t.pos, t.emitted, t.bchild, t.seq = t.heap[:0], nil, 0, 0, nil, 0
 	if err := t.child.Open(); err != nil {
 		return err
 	}
 	if len(t.ordinals) == 0 {
 		return nil // streaming limit
 	}
-	buf := rowset.NewMaterialized(nil, nil)
-	for {
-		r, err := t.child.Next()
-		if err == io.EOF {
-			break
+	// Drain the child through the heap. The full input still executes (the
+	// limit does not short-circuit an ordered child — every row is a
+	// candidate), but only the current top N are retained.
+	if t.ctx != nil && t.ctx.vectorized() {
+		bi := asBatchIterator(t.child)
+		if t.scratch == nil {
+			t.scratch = t.ctx.newBatch()
 		}
-		if err != nil {
-			return err
+		for {
+			err := bi.NextBatch(t.scratch)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			for i := 0; i < t.scratch.NumRows(); i++ {
+				t.rowBuf = t.scratch.RowAt(i, t.rowBuf)
+				t.offer(t.rowBuf)
+			}
 		}
-		buf.Append(r)
+	} else {
+		for {
+			r, err := t.child.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			t.offer(r)
+		}
 	}
-	buf.Sort(t.ordinals, t.desc)
-	t.buf = buf
+	sort.Slice(t.heap, func(i, j int) bool { return t.topLess(t.heap[i], t.heap[j]) })
+	t.out = make([]rowset.Row, len(t.heap))
+	for i, e := range t.heap {
+		t.out[i] = e.row
+	}
 	return nil
 }
 
@@ -252,13 +363,16 @@ func (t *topIter) Next() (rowset.Row, error) {
 	if t.emitted >= t.n {
 		return nil, io.EOF
 	}
-	var r rowset.Row
-	var err error
-	if t.buf != nil {
-		r, err = t.buf.Next()
-	} else {
-		r, err = t.child.Next()
+	if len(t.ordinals) > 0 {
+		if t.pos >= len(t.out) {
+			return nil, io.EOF
+		}
+		r := t.out[t.pos]
+		t.pos++
+		t.emitted++
+		return r, nil
 	}
+	r, err := t.child.Next()
 	if err != nil {
 		return nil, err
 	}
@@ -266,8 +380,43 @@ func (t *topIter) Next() (rowset.Row, error) {
 	return r, nil
 }
 
+// NextBatch serves the ordered result from the retained top-N rows, or —
+// for the streaming limit — pulls child batches and truncates the last
+// one in place to the remaining quota.
+func (t *topIter) NextBatch(b *rowset.Batch) error {
+	if t.emitted >= t.n {
+		return io.EOF
+	}
+	if len(t.ordinals) > 0 {
+		if t.pos >= len(t.out) {
+			return io.EOF
+		}
+		b.Reset(len(t.out[t.pos]))
+		for t.pos < len(t.out) && t.emitted < t.n && !b.Full() {
+			b.AppendRow(t.out[t.pos])
+			t.pos++
+			t.emitted++
+		}
+		if b.NumRows() == 0 {
+			return io.EOF
+		}
+		return nil
+	}
+	if t.bchild == nil {
+		t.bchild = asBatchIterator(t.child)
+	}
+	if err := t.bchild.NextBatch(b); err != nil {
+		return err
+	}
+	if rem := t.n - t.emitted; int64(b.NumRows()) > rem {
+		b.TruncateRows(int(rem))
+	}
+	t.emitted += int64(b.NumRows())
+	return nil
+}
+
 func (t *topIter) Close() error {
-	t.buf = nil
+	t.heap, t.out, t.pos, t.bchild = t.heap[:0], nil, 0, nil
 	return t.child.Close()
 }
 

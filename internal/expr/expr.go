@@ -137,6 +137,14 @@ func (o Op) String() string { return opNames[o] }
 // IsComparison reports whether the operator is a comparison.
 func (o Op) IsComparison() bool { return o >= OpEq && o <= OpGe }
 
+// IsArith reports whether the operator is arithmetic (+ - * / %).
+func (o Op) IsArith() bool { return o >= OpAdd && o <= OpMod }
+
+// errDivZero and errModZero are the arithmetic kernels' errors, spelled
+// identically to evalArith's so vectorized and row execution fail alike.
+func errDivZero() error { return fmt.Errorf("expr: division by zero") }
+func errModZero() error { return fmt.Errorf("expr: modulo by zero") }
+
 // Negate returns the comparison with swapped operand order (a op b ==
 // b op.Negate a), used when normalizing predicates.
 func (o Op) Commute() Op {
@@ -350,12 +358,12 @@ func evalArith(op Op, l, r sqltypes.Value) (sqltypes.Value, error) {
 			return sqltypes.NewInt(a * b), nil
 		case OpDiv:
 			if b == 0 {
-				return sqltypes.Null, fmt.Errorf("expr: division by zero")
+				return sqltypes.Null, errDivZero()
 			}
 			return sqltypes.NewInt(a / b), nil
 		case OpMod:
 			if b == 0 {
-				return sqltypes.Null, fmt.Errorf("expr: modulo by zero")
+				return sqltypes.Null, errModZero()
 			}
 			return sqltypes.NewInt(a % b), nil
 		}
@@ -374,12 +382,12 @@ func evalArith(op Op, l, r sqltypes.Value) (sqltypes.Value, error) {
 		return sqltypes.NewFloat(lf * rf), nil
 	case OpDiv:
 		if rf == 0 {
-			return sqltypes.Null, fmt.Errorf("expr: division by zero")
+			return sqltypes.Null, errDivZero()
 		}
 		return sqltypes.NewFloat(lf / rf), nil
 	case OpMod:
 		if rf == 0 {
-			return sqltypes.Null, fmt.Errorf("expr: modulo by zero")
+			return sqltypes.Null, errModZero()
 		}
 		return sqltypes.NewFloat(float64(int64(lf) % int64(rf))), nil
 	}

@@ -1,9 +1,11 @@
 // Column batches: the vectorized execution engine's unit of data flow.
 // Instead of pulling one Row per call, batch-capable operators exchange a
-// Batch — per-column value vectors plus an optional selection vector — so
+// Batch — per-column Vec vectors plus an optional selection vector — so
 // the per-row costs of the Volcano protocol (an interface call, an
 // environment allocation, a telemetry sample) amortize over up to
-// MaxBatchSize rows at a time.
+// MaxBatchSize rows at a time. Columns are typed (flat int64/float64/string
+// payloads with validity bitmaps, see Vec) when the producer knows the
+// column kinds and the session allows it, generic boxed vectors otherwise.
 package rowset
 
 import (
@@ -32,9 +34,9 @@ func ClampBatchSize(n int) int {
 	return n
 }
 
-// Batch is a column-major block of rows. cols[j][i] is row i's value for
-// column j; rows 0..n-1 are physically present. When useSel is set, only
-// the physical row indices listed in sel (strictly increasing) are live —
+// Batch is a column-major block of rows. cols[j] is column j's vector;
+// rows 0..n-1 are physically present. When useSel is set, only the
+// physical row indices listed in sel (strictly increasing) are live —
 // filters "delete" rows by shrinking the selection instead of moving
 // values.
 //
@@ -42,12 +44,13 @@ func ClampBatchSize(n int) int {
 // NextBatch call on the same iterator; consumers that retain values must
 // copy them out.
 type Batch struct {
-	cols    [][]sqltypes.Value
+	cols    []Vec
 	n       int // physical row count
 	capRows int
 	sel     []int
 	useSel  bool
 	ident   []int // cached identity selection, grown lazily
+	noTyped bool  // session knob: force generic columns on ResetTyped
 }
 
 // NewBatch returns an empty batch holding up to capRows rows per fill.
@@ -72,26 +75,62 @@ func (b *Batch) Len() int {
 	return b.n
 }
 
-// Reset clears the batch to zero rows with the given width. width 0 defers
-// the shape to the first AppendRow (generic adapters over children whose
-// width is unknown until a row arrives).
+// SetTypedEnabled toggles typed columns for this batch; when disabled,
+// ResetTyped degrades to generic boxed columns (the DisableTypedVectors
+// knob's differential-testing path). The flag persists across resets.
+func (b *Batch) SetTypedEnabled(on bool) { b.noTyped = !on }
+
+// TypedEnabled reports whether ResetTyped will produce typed columns.
+func (b *Batch) TypedEnabled() bool { return !b.noTyped }
+
+// Reset clears the batch to zero rows with the given width, all columns in
+// generic (boxed) mode. width 0 defers the shape to the first AppendRow
+// (generic adapters over children whose width is unknown until a row
+// arrives).
 func (b *Batch) Reset(width int) {
 	b.n = 0
 	b.useSel = false
 	b.sel = b.sel[:0]
 	b.setWidth(width)
+	for j := range b.cols {
+		b.cols[j].resetGeneric(b.capRows)
+	}
 }
 
-func (b *Batch) setWidth(width int) {
-	for len(b.cols) < width {
-		b.cols = append(b.cols, make([]sqltypes.Value, b.capRows))
+// ResetTyped clears the batch to zero rows with one column per entry of
+// kinds, each column typed to its kind (a sqltypes.KindNull entry stays
+// generic — the producer doesn't know that column's type). When typed
+// columns are disabled on this batch every column is generic, exactly as
+// Reset(len(kinds)).
+func (b *Batch) ResetTyped(kinds []sqltypes.Kind) {
+	if b.noTyped {
+		b.Reset(len(kinds))
+		return
 	}
-	b.cols = b.cols[:width]
+	b.n = 0
+	b.useSel = false
+	b.sel = b.sel[:0]
+	b.setWidth(len(kinds))
 	for j := range b.cols {
-		if len(b.cols[j]) < b.capRows {
-			b.cols[j] = make([]sqltypes.Value, b.capRows)
+		if kinds[j] == sqltypes.KindNull {
+			b.cols[j].resetGeneric(b.capRows)
+		} else {
+			b.cols[j].resetTyped(kinds[j], b.capRows)
 		}
 	}
+}
+
+// setWidth resizes the column set, recovering previously allocated column
+// vectors (and their payload buffers) from the slice's spare capacity so
+// Reset/refill cycles do not reallocate.
+func (b *Batch) setWidth(width int) {
+	if cap(b.cols) >= width {
+		b.cols = b.cols[:width]
+		return
+	}
+	grown := make([]Vec, width)
+	copy(grown, b.cols[:cap(b.cols)])
+	b.cols = grown
 }
 
 // Truncate drops columns beyond width (projection of a wider provider
@@ -102,26 +141,70 @@ func (b *Batch) Truncate(width int) {
 	}
 }
 
-// Col returns column j's full physical vector (capRows long); rows beyond
-// NumRows hold stale values. Producers write through it then SetNumRows.
-func (b *Batch) Col(j int) []sqltypes.Value { return b.cols[j] }
+// TruncateRows keeps only the first m live rows (Top-N's LIMIT short-cut).
+func (b *Batch) TruncateRows(m int) {
+	if m < 0 || m >= b.Len() {
+		return
+	}
+	if b.useSel {
+		b.sel = b.sel[:m]
+	} else {
+		b.n = m
+	}
+}
+
+// Col returns column j's vector. Producers write through it (SetValue /
+// typed setters) then SetNumRows.
+func (b *Batch) Col(j int) *Vec { return &b.cols[j] }
 
 // Cols returns the column vectors (the expression kernels' input form).
-func (b *Batch) Cols() [][]sqltypes.Value { return b.cols }
+func (b *Batch) Cols() []Vec { return b.cols }
 
 // SetNumRows declares the physical row count after direct column writes.
 func (b *Batch) SetNumRows(n int) { b.n = n }
 
 // AppendRow copies r into the batch as the next physical row. On a
-// width-0 batch the first row fixes the width.
+// width-0 batch the first row fixes the width (generic columns).
 func (b *Batch) AppendRow(r Row) {
 	if len(b.cols) == 0 && len(r) > 0 {
 		b.setWidth(len(r))
+		for j := range b.cols {
+			b.cols[j].resetGeneric(b.capRows)
+		}
 	}
 	for j := range b.cols {
-		b.cols[j][b.n] = r[j]
+		b.cols[j].SetValue(b.n, r[j])
 	}
 	b.n++
+}
+
+// FillRows loads row-major rows (at most CapRows of them) into the batch
+// column-major, columns typed per kinds. The per-column kind dispatch
+// hoists out of the row loop, so a million-row scan pays it once per
+// column per batch instead of once per value — the bulk fill path for
+// storage scans over schema-typed tables.
+func (b *Batch) FillRows(kinds []sqltypes.Kind, rows []Row) {
+	b.ResetTyped(kinds)
+	for j := range b.cols {
+		b.cols[j].fillFromRows(rows, j)
+	}
+	b.n = len(rows)
+}
+
+// FillCols loads rows [off, off+k) of a columnar image — one full-table
+// Vec per column — into the batch. Typed source columns transfer by
+// payload copy (no per-value conversion); when typed columns are disabled
+// on this batch the copy boxes instead, so the differential path sees
+// identical values.
+func (b *Batch) FillCols(src []Vec, off, k int) {
+	b.n = 0
+	b.useSel = false
+	b.sel = b.sel[:0]
+	b.setWidth(len(src))
+	for j := range b.cols {
+		b.cols[j].copyRange(&src[j], off, k, b.capRows, b.noTyped)
+	}
+	b.n = k
 }
 
 // Full reports whether the batch has reached its physical capacity.
@@ -137,6 +220,14 @@ func (b *Batch) Indices() []int {
 		b.ident = append(b.ident, len(b.ident))
 	}
 	return b.ident[:b.n]
+}
+
+// PhysIdx maps live row i (0 ≤ i < Len) to its physical index.
+func (b *Batch) PhysIdx(i int) int {
+	if b.useSel {
+		return b.sel[i]
+	}
+	return i
 }
 
 // SetSelection installs sel (copied into the batch's own buffer) as the
@@ -159,7 +250,7 @@ func (b *Batch) RowAt(i int, buf Row) Row {
 	}
 	buf = buf[:len(b.cols)]
 	for j := range b.cols {
-		buf[j] = b.cols[j][idx]
+		buf[j] = b.cols[j].Value(idx)
 	}
 	return buf
 }
@@ -221,11 +312,12 @@ func (m *Materialized) AppendBatch(b *Batch) {
 	}
 	w := b.Width()
 	vals := make([]sqltypes.Value, n*w)
-	for k, idx := range b.Indices() {
+	idxs := b.Indices()
+	for j := 0; j < w; j++ {
+		b.cols[j].boxInto(vals[j:], w, idxs)
+	}
+	for k := 0; k < n; k++ {
 		base := k * w
-		for j := 0; j < w; j++ {
-			vals[base+j] = b.cols[j][idx]
-		}
 		m.rows = append(m.rows, Row(vals[base:base+w:base+w]))
 	}
 }

@@ -1,0 +1,422 @@
+// Typed column vectors: the unboxed representation behind Batch columns.
+// A Vec stores one column either generically (a []sqltypes.Value slice, the
+// PR 6 layout) or typed — a flat payload slice of the column's native Go
+// type plus a validity bitmap — so hot kernels (filter comparisons, hash-key
+// encoding, aggregate accumulation) run over machine words without Kind
+// dispatch or Value struct copies. Values cross back into boxed form only at
+// boundaries: row-based providers, remote decode, the sort/spool adapter.
+package rowset
+
+import "dhqp/internal/sqltypes"
+
+// Vec is one column of a Batch. Its storage mode is keyed off kind:
+//
+//   - kind == sqltypes.KindNull: generic mode — gen[i] holds boxed Values
+//     (any mix of kinds, NULL included). This is the universal fallback.
+//   - kind ∈ {Int, Bool, Date}: typed mode — i64[i] holds the payload
+//     (bool as 0/1, date as days since epoch); the kind tag preserves the
+//     exact SQL type for re-boxing.
+//   - kind == Float: typed mode over f64.
+//   - kind == String: typed mode over str.
+//
+// In typed mode NULLs live in the validity bitmap: bit i set means row i is
+// non-NULL. hasNulls lets all-valid columns (the common case for key and
+// fact columns) skip per-element bitmap checks entirely.
+type Vec struct {
+	kind     sqltypes.Kind
+	i64      []int64
+	f64      []float64
+	str      []string
+	valid    []uint64
+	hasNulls bool
+	gen      []sqltypes.Value
+}
+
+// Kind reports the column's storage kind; sqltypes.KindNull means generic
+// (boxed) mode, otherwise the exact SQL kind of every non-NULL element.
+func (v *Vec) Kind() sqltypes.Kind { return v.kind }
+
+// IsTyped reports whether the column is in typed (unboxed) mode.
+func (v *Vec) IsTyped() bool { return v.kind != sqltypes.KindNull }
+
+// HasNulls reports whether any NULL has been written since the last reset.
+// False guarantees every element is valid, so kernels may skip Valid calls.
+// In generic mode it is conservatively true (boxed NULLs are not tracked).
+func (v *Vec) HasNulls() bool {
+	if v.kind == sqltypes.KindNull {
+		return true
+	}
+	return v.hasNulls
+}
+
+// Int64s returns the typed int64 payload (kinds Int, Bool, Date). Elements
+// at invalid (NULL) positions are unspecified.
+func (v *Vec) Int64s() []int64 { return v.i64 }
+
+// Float64s returns the typed float64 payload (kind Float).
+func (v *Vec) Float64s() []float64 { return v.f64 }
+
+// Strings returns the typed string payload (kind String).
+func (v *Vec) Strings() []string { return v.str }
+
+// Gen returns the generic boxed payload (generic mode only).
+func (v *Vec) Gen() []sqltypes.Value { return v.gen }
+
+// Valid reports whether element i is non-NULL.
+func (v *Vec) Valid(i int) bool {
+	if v.kind == sqltypes.KindNull {
+		return !v.gen[i].IsNull()
+	}
+	if !v.hasNulls {
+		return true
+	}
+	return v.valid[uint(i)>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// SetNull marks element i NULL (typed mode; in generic mode it stores a
+// boxed NULL).
+func (v *Vec) SetNull(i int) {
+	if v.kind == sqltypes.KindNull {
+		v.gen[i] = sqltypes.Null
+		return
+	}
+	v.valid[uint(i)>>6] &^= 1 << (uint(i) & 63)
+	v.hasNulls = true
+}
+
+// SetInt64 stores a valid int-family payload at i (kinds Int, Bool, Date).
+// The producer must have reset the vec typed; the validity bit is already
+// set after a reset, so the hot path touches only the payload slice.
+func (v *Vec) SetInt64(i int, x int64) { v.i64[i] = x }
+
+// SetFloat64 stores a valid float payload at i.
+func (v *Vec) SetFloat64(i int, x float64) { v.f64[i] = x }
+
+// SetString stores a valid string payload at i.
+func (v *Vec) SetString(i int, s string) { v.str[i] = s }
+
+// Value boxes element i back into sqltypes.Value form.
+func (v *Vec) Value(i int) sqltypes.Value {
+	switch v.kind {
+	case sqltypes.KindNull:
+		return v.gen[i]
+	case sqltypes.KindInt:
+		if !v.Valid(i) {
+			return sqltypes.Null
+		}
+		return sqltypes.NewInt(v.i64[i])
+	case sqltypes.KindBool:
+		if !v.Valid(i) {
+			return sqltypes.Null
+		}
+		return sqltypes.NewBool(v.i64[i] != 0)
+	case sqltypes.KindDate:
+		if !v.Valid(i) {
+			return sqltypes.Null
+		}
+		return sqltypes.NewDateDays(v.i64[i])
+	case sqltypes.KindFloat:
+		if !v.Valid(i) {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(v.f64[i])
+	case sqltypes.KindString:
+		if !v.Valid(i) {
+			return sqltypes.Null
+		}
+		return sqltypes.NewString(v.str[i])
+	default:
+		return sqltypes.Null
+	}
+}
+
+// SetValue stores a boxed value at i: a typed write when the kind matches
+// the column's typed kind (or the value is NULL), a generic write in generic
+// mode, and otherwise a degrade — the column converts itself to generic mode
+// by boxing the prefix 0..i-1 before storing. Degrading assumes a sequential
+// producer (indices written in order), which holds for every fill path.
+func (v *Vec) SetValue(i int, val sqltypes.Value) {
+	if v.kind == sqltypes.KindNull {
+		v.gen[i] = val
+		return
+	}
+	if val.IsNull() {
+		v.SetNull(i)
+		return
+	}
+	if val.Kind() == v.kind {
+		switch v.kind {
+		case sqltypes.KindInt, sqltypes.KindBool, sqltypes.KindDate:
+			x, _ := val.AsInt()
+			v.i64[i] = x
+		case sqltypes.KindFloat:
+			v.f64[i] = val.Float()
+		case sqltypes.KindString:
+			v.str[i] = val.Str()
+		}
+		if v.hasNulls {
+			v.valid[uint(i)>>6] |= 1 << (uint(i) & 63)
+		}
+		return
+	}
+	v.degrade(i)
+	v.gen[i] = val
+}
+
+// fillFromRows writes column j of each row into the vec, with the kind
+// dispatch hoisted out of the row loop — the storage scan's fill path. A
+// value whose kind mismatches a typed column degrades the vec and finishes
+// the fill boxed, exactly as sequential SetValue calls would. Indices are
+// written fresh after a reset, so exact-kind writes touch only the payload
+// slice (their validity bits are still set from the reset).
+func (v *Vec) fillFromRows(rows []Row, j int) {
+	switch v.kind {
+	case sqltypes.KindNull:
+		g := v.gen
+		for i, r := range rows {
+			g[i] = r[j]
+		}
+	case sqltypes.KindFloat:
+		f := v.f64
+		for i := 0; i < len(rows); i++ {
+			val := &rows[i][j]
+			if val.Kind() == sqltypes.KindFloat {
+				f[i] = val.RawFloat()
+				continue
+			}
+			if val.IsNull() {
+				v.SetNull(i)
+				continue
+			}
+			v.fillSlow(rows, i, j)
+			return
+		}
+	case sqltypes.KindString:
+		strs := v.str
+		for i := 0; i < len(rows); i++ {
+			val := &rows[i][j]
+			if val.Kind() == sqltypes.KindString {
+				strs[i] = val.RawStr()
+				continue
+			}
+			if val.IsNull() {
+				v.SetNull(i)
+				continue
+			}
+			v.fillSlow(rows, i, j)
+			return
+		}
+	default: // Int, Bool, Date share the int64 payload
+		k := v.kind
+		xs := v.i64
+		for i := 0; i < len(rows); i++ {
+			val := &rows[i][j]
+			if val.Kind() == k {
+				xs[i] = val.RawInt()
+				continue
+			}
+			if val.IsNull() {
+				v.SetNull(i)
+				continue
+			}
+			v.fillSlow(rows, i, j)
+			return
+		}
+	}
+}
+
+// fillSlow finishes a fill through SetValue from position i on (the first
+// kind-mismatched element degrades the column to generic mode).
+func (v *Vec) fillSlow(rows []Row, i, j int) {
+	for ; i < len(rows); i++ {
+		v.SetValue(i, rows[i][j])
+	}
+}
+
+// boxInto boxes the elements at idxs into dst[0], dst[stride],
+// dst[2*stride], ... — the batch→row materialization inner loop with the
+// kind dispatch hoisted out of the element loop. dst's zero value is
+// already NULL, so invalid positions are simply skipped.
+func (v *Vec) boxInto(dst []sqltypes.Value, stride int, idxs []int) {
+	switch v.kind {
+	case sqltypes.KindNull:
+		g := v.gen
+		for k, idx := range idxs {
+			dst[k*stride] = g[idx]
+		}
+	case sqltypes.KindInt:
+		xs := v.i64
+		for k, idx := range idxs {
+			if v.hasNulls && !v.Valid(idx) {
+				continue
+			}
+			dst[k*stride] = sqltypes.NewInt(xs[idx])
+		}
+	case sqltypes.KindBool:
+		xs := v.i64
+		for k, idx := range idxs {
+			if v.hasNulls && !v.Valid(idx) {
+				continue
+			}
+			dst[k*stride] = sqltypes.NewBool(xs[idx] != 0)
+		}
+	case sqltypes.KindDate:
+		xs := v.i64
+		for k, idx := range idxs {
+			if v.hasNulls && !v.Valid(idx) {
+				continue
+			}
+			dst[k*stride] = sqltypes.NewDateDays(xs[idx])
+		}
+	case sqltypes.KindFloat:
+		fs := v.f64
+		for k, idx := range idxs {
+			if v.hasNulls && !v.Valid(idx) {
+				continue
+			}
+			dst[k*stride] = sqltypes.NewFloat(fs[idx])
+		}
+	case sqltypes.KindString:
+		ss := v.str
+		for k, idx := range idxs {
+			if v.hasNulls && !v.Valid(idx) {
+				continue
+			}
+			dst[k*stride] = sqltypes.NewString(ss[idx])
+		}
+	}
+}
+
+// BuildColVec builds a full-length typed vector over column j of rows —
+// the storage engine's columnar-image constructor. The vector is sized to
+// len(rows) exactly; a kind-mismatched value degrades it to generic just
+// like a batch fill would.
+func BuildColVec(kind sqltypes.Kind, rows []Row, j int) Vec {
+	var v Vec
+	v.ResetTyped(kind, len(rows))
+	v.fillFromRows(rows, j)
+	return v
+}
+
+// copyRange refills v (capacity capRows) with elements [off, off+k) of
+// src — the columnar-image scan path, where filling a batch is a payload
+// memcpy instead of a per-value conversion. When boxed is set the copy
+// boxes into generic mode regardless of src's representation (the
+// DisableTypedVectors differential path).
+func (v *Vec) copyRange(src *Vec, off, k, capRows int, boxed bool) {
+	if src.kind == sqltypes.KindNull || boxed {
+		v.resetGeneric(capRows)
+		for i := 0; i < k; i++ {
+			v.gen[i] = src.Value(off + i)
+		}
+		return
+	}
+	v.resetTyped(src.kind, capRows)
+	switch src.kind {
+	case sqltypes.KindFloat:
+		copy(v.f64[:k], src.f64[off:off+k])
+	case sqltypes.KindString:
+		copy(v.str[:k], src.str[off:off+k])
+	default:
+		copy(v.i64[:k], src.i64[off:off+k])
+	}
+	if !src.hasNulls {
+		return
+	}
+	if off&63 == 0 {
+		// Word-aligned offset: the validity words transfer directly.
+		copy(v.valid, src.valid[off>>6:])
+		v.hasNulls = true
+		return
+	}
+	for i := 0; i < k; i++ {
+		if !src.Valid(off + i) {
+			v.SetNull(i)
+		}
+	}
+}
+
+// typedCap reports the capacity of the active typed payload.
+func (v *Vec) typedCap() int {
+	switch v.kind {
+	case sqltypes.KindFloat:
+		return len(v.f64)
+	case sqltypes.KindString:
+		return len(v.str)
+	default:
+		return len(v.i64)
+	}
+}
+
+// degrade converts a typed column to generic mode, boxing the first n
+// elements (the sequentially written prefix).
+func (v *Vec) degrade(n int) {
+	capRows := v.typedCap()
+	if cap(v.gen) < capRows {
+		v.gen = make([]sqltypes.Value, capRows)
+	}
+	v.gen = v.gen[:capRows]
+	for j := 0; j < n; j++ {
+		v.gen[j] = v.Value(j)
+	}
+	v.kind = sqltypes.KindNull
+	v.hasNulls = false
+}
+
+// ResetGeneric prepares the column for a generic fill of up to capRows rows
+// (the expression kernels reset their output columns directly).
+func (v *Vec) ResetGeneric(capRows int) { v.resetGeneric(capRows) }
+
+// ResetTyped prepares the column for a typed fill of up to capRows rows of
+// the given kind; kind sqltypes.KindNull resets generic instead.
+func (v *Vec) ResetTyped(kind sqltypes.Kind, capRows int) {
+	if kind == sqltypes.KindNull {
+		v.resetGeneric(capRows)
+		return
+	}
+	v.resetTyped(kind, capRows)
+}
+
+// resetGeneric prepares the column for a generic fill of up to capRows rows,
+// reusing the boxed buffer when it is large enough.
+func (v *Vec) resetGeneric(capRows int) {
+	v.kind = sqltypes.KindNull
+	v.hasNulls = false
+	if cap(v.gen) < capRows {
+		v.gen = make([]sqltypes.Value, capRows)
+	}
+	v.gen = v.gen[:capRows]
+}
+
+// resetTyped prepares the column for a typed fill of up to capRows rows of
+// the given kind, reusing payload and bitmap buffers across fills. All
+// validity bits start set (every row valid until SetNull).
+func (v *Vec) resetTyped(kind sqltypes.Kind, capRows int) {
+	v.kind = kind
+	v.hasNulls = false
+	words := (capRows + 63) / 64
+	if cap(v.valid) < words {
+		v.valid = make([]uint64, words)
+	}
+	v.valid = v.valid[:words]
+	for i := range v.valid {
+		v.valid[i] = ^uint64(0)
+	}
+	switch kind {
+	case sqltypes.KindFloat:
+		if cap(v.f64) < capRows {
+			v.f64 = make([]float64, capRows)
+		}
+		v.f64 = v.f64[:capRows]
+	case sqltypes.KindString:
+		if cap(v.str) < capRows {
+			v.str = make([]string, capRows)
+		}
+		v.str = v.str[:capRows]
+	default:
+		if cap(v.i64) < capRows {
+			v.i64 = make([]int64, capRows)
+		}
+		v.i64 = v.i64[:capRows]
+	}
+}

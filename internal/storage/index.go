@@ -142,10 +142,11 @@ func (ix *Index) Len() int {
 }
 
 type rangeScan struct {
-	cols []schema.Column
-	rows []rowset.Row
-	bms  []int64
-	pos  int
+	cols  []schema.Column
+	rows  []rowset.Row
+	bms   []int64
+	pos   int
+	kinds []sqltypes.Kind
 }
 
 func (s *rangeScan) Columns() []schema.Column { return s.cols }
@@ -159,6 +160,37 @@ func (s *rangeScan) Next() (rowset.Row, error) {
 }
 
 func (s *rangeScan) Close() error { return nil }
+
+// columnKinds maps declared schema column kinds into the batch-reset form.
+// Insert coerces stored values to these kinds, so typed columns built from
+// them always receive their exact kind and never degrade.
+func columnKinds(cols []schema.Column) []sqltypes.Kind {
+	kinds := make([]sqltypes.Kind, len(cols))
+	for i, c := range cols {
+		kinds[i] = c.Kind
+	}
+	return kinds
+}
+
+// NextBatch implements rowset.BatchReader: index range scans fill typed
+// column batches the same way table scans do (the range snapshot already
+// excluded deleted slots).
+func (s *rangeScan) NextBatch(b *rowset.Batch) error {
+	if s.kinds == nil {
+		s.kinds = columnKinds(s.cols)
+	}
+	start := s.pos + 1
+	if start >= len(s.rows) {
+		return errEOF
+	}
+	end := start + b.CapRows()
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	b.FillRows(s.kinds, s.rows[start:end])
+	s.pos = end - 1
+	return nil
+}
 
 // Bookmark implements rowset.Bookmarked.
 func (s *rangeScan) Bookmark() int64 { return s.bms[s.pos] }

@@ -133,7 +133,55 @@ type Table struct {
 	def     *schema.Table
 	rows    []rowset.Row // slot = bookmark; nil = deleted
 	live    int
+	version int64 // bumped by every Insert/Delete/Update; invalidates img
 	indexes []*Index
+
+	// img caches the table's columnar image — one full-length typed Vec
+	// per column — keyed by the version it was built from. Typed batch
+	// scans fill from it by payload copy; any DML invalidates it by
+	// bumping version. Guarded by imgMu, not mu, so a cache probe never
+	// contends with row access.
+	imgMu sync.Mutex
+	img   *tableImage
+}
+
+// tableImage is a columnar snapshot of a table's live rows: column j of
+// live row i is cols[j] element i, and bms[i] is that row's bookmark.
+type tableImage struct {
+	version int64
+	n       int
+	bms     []int64
+	cols    []rowset.Vec
+}
+
+// imageFor returns the columnar image matching version, building it from
+// the scan snapshot (and caching it) when the cached one is stale. snap
+// rows are immutable once stored, so the build needs no table lock.
+func (t *Table) imageFor(version int64, snap []rowset.Row) *tableImage {
+	t.imgMu.Lock()
+	if t.img != nil && t.img.version == version {
+		img := t.img
+		t.imgMu.Unlock()
+		return img
+	}
+	t.imgMu.Unlock()
+	img := &tableImage{version: version}
+	live := make([]rowset.Row, 0, len(snap))
+	for slot, r := range snap {
+		if r != nil {
+			live = append(live, r)
+			img.bms = append(img.bms, int64(slot))
+		}
+	}
+	img.n = len(live)
+	img.cols = make([]rowset.Vec, len(t.def.Columns))
+	for j, c := range t.def.Columns {
+		img.cols[j] = rowset.BuildColVec(c.Kind, live, j)
+	}
+	t.imgMu.Lock()
+	t.img = img
+	t.imgMu.Unlock()
+	return img
 }
 
 // Def returns the schema descriptor.
@@ -167,6 +215,7 @@ func (t *Table) Insert(r rowset.Row) (int64, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.version++
 	bm := int64(len(t.rows))
 	stored := r.Clone()
 	t.rows = append(t.rows, stored)
@@ -184,6 +233,7 @@ func (t *Table) Delete(bm int64) error {
 	if bm < 0 || bm >= int64(len(t.rows)) || t.rows[bm] == nil {
 		return fmt.Errorf("storage: %s: bad bookmark %d", t.def.Name, bm)
 	}
+	t.version++
 	old := t.rows[bm]
 	t.rows[bm] = nil
 	t.live--
@@ -203,6 +253,7 @@ func (t *Table) Update(bm int64, r rowset.Row) error {
 	if bm < 0 || bm >= int64(len(t.rows)) || t.rows[bm] == nil {
 		return fmt.Errorf("storage: %s: bad bookmark %d", t.def.Name, bm)
 	}
+	t.version++
 	old := t.rows[bm]
 	stored := r.Clone()
 	t.rows[bm] = stored
@@ -223,20 +274,40 @@ func (t *Table) Fetch(bm int64) (rowset.Row, error) {
 	return t.rows[bm], nil
 }
 
+// scanSnapPool recycles scan-snapshot slot buffers across queries: a scan
+// of a million-row table snapshots a multi-megabyte pointer slice, and
+// allocating one per query is pure GC churn. Closed scans return their
+// buffer here; Scan reuses it for the next snapshot of similar size.
+var scanSnapPool = sync.Pool{New: func() any { return new(scanSnap) }}
+
+type scanSnap struct{ rows []rowset.Row }
+
 // Scan returns a full-table rowset snapshot. The rowset carries bookmarks.
 func (t *Table) Scan() rowset.Bookmarked {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	// Snapshot slot references; rows are immutable once stored.
-	rows := make([]rowset.Row, len(t.rows))
+	snap := scanSnapPool.Get().(*scanSnap)
+	if cap(snap.rows) < len(t.rows) {
+		snap.rows = make([]rowset.Row, len(t.rows))
+	}
+	rows := snap.rows[:len(t.rows)]
 	copy(rows, t.rows)
-	return &tableScan{cols: t.def.Columns, rows: rows, pos: -1}
+	return &tableScan{cols: t.def.Columns, rows: rows, snap: snap, pos: -1, table: t, version: t.version}
 }
 
 type tableScan struct {
-	cols []schema.Column
-	rows []rowset.Row
-	pos  int
+	cols    []schema.Column
+	rows    []rowset.Row
+	snap    *scanSnap // pooled snapshot buffer backing rows; returned on Close
+	pos     int
+	kinds   []sqltypes.Kind
+	scratch []rowset.Row // non-nil row pointers gathered per batch fill
+
+	table   *Table // for the columnar-image fast path
+	version int64  // table version the snapshot was taken at
+	img     *tableImage
+	ipos    int // live-row cursor into img
 }
 
 func (s *tableScan) Columns() []schema.Column { return s.cols }
@@ -251,22 +322,58 @@ func (s *tableScan) Next() (rowset.Row, error) {
 	return nil, errEOF
 }
 
-func (s *tableScan) Close() error { return nil }
+// Close releases the snapshot buffer back to the pool. Stale slot
+// pointers are left in place — the next Scan overwrites them, and the
+// runtime empties the pool each GC cycle, so they pin rows only briefly.
+func (s *tableScan) Close() error {
+	if s.snap != nil {
+		s.snap.rows = s.rows[:0]
+		scanSnapPool.Put(s.snap)
+		s.snap = nil
+		s.rows = nil
+	}
+	return nil
+}
 
 // NextBatch implements rowset.BatchReader: the vectorized scan path fills
 // a whole column batch per call, skipping deleted slots, instead of paying
-// an interface call per row.
+// an interface call per row. Columns are typed to the table's declared
+// kinds — Insert coerces stored values to those kinds, so every non-NULL
+// value lands in a flat payload slot with no degrade.
 func (s *tableScan) NextBatch(b *rowset.Batch) error {
-	b.Reset(len(s.cols))
-	for !b.Full() && s.pos+1 < len(s.rows) {
+	if b.TypedEnabled() && s.table != nil {
+		// Columnar-image path: the typed column vectors for the whole
+		// table are cached per version, so each batch is a payload copy.
+		if s.img == nil {
+			s.img = s.table.imageFor(s.version, s.rows)
+		}
+		if s.ipos >= s.img.n {
+			return errEOF
+		}
+		k := b.CapRows()
+		if rem := s.img.n - s.ipos; k > rem {
+			k = rem
+		}
+		b.FillCols(s.img.cols, s.ipos, k)
+		s.ipos += k
+		s.pos = int(s.img.bms[s.ipos-1])
+		return nil
+	}
+	if s.kinds == nil {
+		s.kinds = columnKinds(s.cols)
+	}
+	live := s.scratch[:0]
+	for len(live) < b.CapRows() && s.pos+1 < len(s.rows) {
 		s.pos++
-		if s.rows[s.pos] != nil {
-			b.AppendRow(s.rows[s.pos])
+		if r := s.rows[s.pos]; r != nil {
+			live = append(live, r)
 		}
 	}
-	if b.NumRows() == 0 {
+	s.scratch = live
+	if len(live) == 0 {
 		return errEOF
 	}
+	b.FillRows(s.kinds, live)
 	return nil
 }
 

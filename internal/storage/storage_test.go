@@ -380,3 +380,95 @@ func TestIndexConsistencyProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// drainTyped batch-scans the table with typed columns enabled and returns
+// the boxed rows, exercising the columnar-image fast path.
+func drainTyped(t *testing.T, tbl *Table) []rowset.Row {
+	t.Helper()
+	rs := tbl.Scan()
+	defer rs.Close()
+	b := rowset.NewBatch(4) // small batches force unaligned validity copies
+	var out []rowset.Row
+	for {
+		err := rs.(rowset.BatchReader).NextBatch(b)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < b.Len(); i++ {
+			out = append(out, b.RowAt(i, nil))
+		}
+	}
+}
+
+func TestColumnarImageInvalidation(t *testing.T) {
+	tbl := testTable(t)
+	for i := int64(0); i < 10; i++ {
+		if _, err := tbl.Insert(row(i, "n", i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := drainTyped(t, tbl)
+	if len(got) != 10 {
+		t.Fatalf("typed scan rows = %d, want 10", len(got))
+	}
+
+	// DML between scans must invalidate the cached image.
+	if _, err := tbl.Insert(rowset.Row{sqltypes.NewInt(100), sqltypes.Null, sqltypes.Null}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Update(3, row(3, "updated", 999)); err != nil {
+		t.Fatal(err)
+	}
+	got = drainTyped(t, tbl)
+	if len(got) != 10 {
+		t.Fatalf("typed scan rows after DML = %d, want 10", len(got))
+	}
+	byID := map[int64]rowset.Row{}
+	for _, r := range got {
+		byID[r[0].Int()] = r
+	}
+	if _, ok := byID[0]; ok {
+		t.Fatalf("deleted row 0 still visible: %v", got)
+	}
+	if r := byID[3]; r[1].Str() != "updated" || r[2].Int() != 999 {
+		t.Fatalf("update not visible in typed scan: %v", r)
+	}
+	if r := byID[100]; !r[1].IsNull() || !r[2].IsNull() {
+		t.Fatalf("NULLs lost in typed scan: %v", r)
+	}
+
+	// A generic-mode batch over the same table must see identical rows.
+	rs := tbl.Scan()
+	defer rs.Close()
+	gb := rowset.NewBatch(4)
+	gb.SetTypedEnabled(false)
+	var gen []rowset.Row
+	for {
+		err := rs.(rowset.BatchReader).NextBatch(gb)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < gb.Len(); i++ {
+			gen = append(gen, gb.RowAt(i, nil))
+		}
+	}
+	if len(gen) != len(got) {
+		t.Fatalf("generic scan rows = %d, typed = %d", len(gen), len(got))
+	}
+	for i := range gen {
+		for j := range gen[i] {
+			if sqltypes.Compare(gen[i][j], got[i][j]) != 0 {
+				t.Fatalf("row %d col %d: generic %v != typed %v", i, j, gen[i][j], got[i][j])
+			}
+		}
+	}
+}

@@ -106,13 +106,15 @@ type FactDimConfig struct {
 	Seed     int64
 }
 
-// LoadFactDim creates and fills fact(f_id, f_dim, f_val, f_cat) and
+// LoadFactDim creates and fills fact(f_id, f_dim, f_val, f_cat, f_fv) and
 // dim(d_id, d_name) on a server. The fact rows bypass the SQL layer and
 // insert straight into the storage engine — at E16's row counts (1M+),
-// parsing INSERT literals would dominate setup time.
+// parsing INSERT literals would dominate setup time. f_fv is a FLOAT
+// measure so the typed-vector benchmarks cover float kernels, not just
+// int64.
 func LoadFactDim(s *engine.Server, dbName string, cfg FactDimConfig) error {
 	stmts := []string{
-		`CREATE TABLE fact (f_id INT PRIMARY KEY, f_dim INT, f_val INT, f_cat INT)`,
+		`CREATE TABLE fact (f_id INT PRIMARY KEY, f_dim INT, f_val INT, f_cat INT, f_fv FLOAT)`,
 		`CREATE TABLE dim (d_id INT PRIMARY KEY, d_name VARCHAR(20))`,
 	}
 	for _, st := range stmts {
@@ -146,6 +148,7 @@ func LoadFactDim(s *engine.Server, dbName string, cfg FactDimConfig) error {
 			sqltypes.NewInt(int64(rng.Intn(maxInt(cfg.DimRows, 1)))),
 			sqltypes.NewInt(int64(rng.Intn(10000))),
 			sqltypes.NewInt(int64(rng.Intn(50))),
+			sqltypes.NewFloat(rng.Float64() * 10000),
 		}
 		if _, err := fact.Insert(r); err != nil {
 			return err
