@@ -47,6 +47,7 @@ func main() {
 	demo := flag.Bool("demo", true, "load the TPC-H demo dataset")
 	listen := flag.String("listen", "", "serve the federation over TCP on this address instead of a local REPL")
 	connect := flag.String("connect", "", "connect the REPL to a serving fedsql at this address (no local engine)")
+	walDir := flag.String("wal-dir", "", "attach a write-ahead log under this directory: commits become durable and any state the log holds is recovered at startup")
 	flag.Parse()
 
 	if *connect != "" {
@@ -55,6 +56,27 @@ func main() {
 	}
 
 	local := dhqp.NewServer("local", "appdb")
+	if *walDir != "" {
+		info, err := local.SetWALDir(*walDir)
+		if err != nil {
+			fatal(err)
+		}
+		if info.Tables > 0 || info.Rows > 0 {
+			// Recovered state replaces the demo dataset.
+			*demo = false
+			fmt.Printf("recovered: %d tables, %d rows, %d committed txns (torn bytes discarded: %d)\n",
+				info.Tables, info.Rows, info.Txns, info.TornBytes)
+		}
+		// Without a coordinator to consult after a restart, prepared-but-
+		// undecided distributed transactions presume abort (their row locks
+		// would otherwise block writers forever).
+		for _, id := range info.InDoubt {
+			if err := local.ResolveInDoubt(id, false); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("in-doubt txn %d: presumed abort\n", id)
+		}
+	}
 	var links []*dhqp.Link
 	for i := 0; i < *remotes; i++ {
 		name := fmt.Sprintf("remote%d", i)

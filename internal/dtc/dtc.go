@@ -119,15 +119,18 @@ func (t *Transaction) Commit() error {
 		}
 	}
 	// Phase two: commit. After unanimous prepare, commit must succeed;
-	// participant errors here indicate a broken contract and surface.
-	var firstErr error
+	// participant errors here indicate a broken contract and surface. All
+	// failures are reported, each naming its participant — an operator
+	// resolving a heuristic outcome needs the full set, not the first.
+	var commitErrs []error
 	for i, p := range t.participants {
-		if err := p.Commit(); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("dtc: %s failed to commit after prepare: %w", nameOf(i, p), err)
+		if err := p.Commit(); err != nil {
+			commitErrs = append(commitErrs,
+				fmt.Errorf("dtc: %s failed to commit after prepare: %w", nameOf(i, p), err))
 		}
 	}
 	t.c.record(OutcomeCommitted)
-	return firstErr
+	return errors.Join(commitErrs...)
 }
 
 // Abort rolls back all participants.

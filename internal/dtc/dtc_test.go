@@ -138,6 +138,27 @@ func TestCommitFailureAfterPrepareSurfaces(t *testing.T) {
 	}
 }
 
+func TestCommitFailuresNameEveryParticipant(t *testing.T) {
+	c := New()
+	txn := c.Begin()
+	txn.Enlist(&FuncParticipant{Name: "alpha", CommitFn: func() error { return errors.New("net down") }})
+	txn.Enlist(&FuncParticipant{Name: "beta"})
+	txn.Enlist(&FuncParticipant{Name: "gamma", CommitFn: func() error { return errors.New("disk died") }})
+	err := txn.Commit()
+	if err == nil {
+		t.Fatal("expected joined commit errors")
+	}
+	msg := err.Error()
+	for _, want := range []string{"alpha", "gamma", "net down", "disk died"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "beta") {
+		t.Errorf("error %q blames the healthy participant", msg)
+	}
+}
+
 func TestOutcomeString(t *testing.T) {
 	if OutcomeCommitted.String() != "committed" || OutcomeAborted.String() != "aborted" {
 		t.Error("outcome strings")

@@ -84,6 +84,71 @@ func (f *failingCommand) ExecuteNonQuery() (int64, error) {
 
 // TestRemoteFailureSurfacesCleanly: a remote command failure must surface
 // as a query error, never a panic, and must not poison later queries.
+// TestSnapshotConsistentReadsDuringWrites pins the engine-level snapshot
+// guarantee: every statement reads at one commit sequence number, so a
+// SELECT racing a multi-row UPDATE sees either the whole old image or the
+// whole new one — never a mix. A torn read here would show two tag groups.
+func TestSnapshotConsistentReadsDuringWrites(t *testing.T) {
+	s := NewServer("local", "appdb")
+	s.MustExec(`CREATE TABLE flock (id int, tag varchar(4), PRIMARY KEY (id))`)
+	var ins strings.Builder
+	ins.WriteString(`INSERT INTO flock VALUES `)
+	const rows = 50
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			ins.WriteString(", ")
+		}
+		fmt.Fprintf(&ins, "(%d, 'a')", i)
+	}
+	s.MustExec(ins.String())
+
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		tags := []string{"b", "a"}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.Exec(fmt.Sprintf(`UPDATE flock SET tag = '%s'`, tags[i%2])); err != nil {
+				errs <- fmt.Errorf("writer: %w", err)
+				return
+			}
+		}
+	}()
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			for i := 0; i < 100; i++ {
+				res, err := s.Query(`SELECT tag, COUNT(*) AS n FROM flock GROUP BY tag`, nil)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %w", g, err)
+					return
+				}
+				if len(res.Rows) != 1 || res.Rows[0][1].Int() != rows {
+					errs <- fmt.Errorf("reader %d: torn snapshot — %d tag groups (want one group of %d)",
+						g, len(res.Rows), rows)
+					return
+				}
+			}
+		}(g)
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
 func TestRemoteFailureSurfacesCleanly(t *testing.T) {
 	local := NewServer("local", "db")
 	remote := NewServer("r", "rdb")

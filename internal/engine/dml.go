@@ -276,16 +276,40 @@ func (s *Server) execInsert(st *parser.InsertStmt, params map[string]sqltypes.Va
 	if err != nil {
 		return 0, err
 	}
-	sess := s.nativeSess.(*native.Session)
-	n := int64(0)
+	// One transaction per statement: either every row inserts or none do,
+	// and the commit is durable when a WAL is attached.
+	sess, err := s.txnSession()
+	if err != nil {
+		return 0, err
+	}
 	for _, r := range ordered {
 		if _, err := sess.Insert(t.Def().Catalog+"."+t.Def().Name, r); err != nil {
-			return n, err
+			_ = sess.Abort()
+			return 0, err
 		}
-		n++
+	}
+	if err := sess.Commit(); err != nil {
+		return 0, err
 	}
 	s.invalidateLocal()
-	return n, nil
+	return int64(len(ordered)), nil
+}
+
+// txnSession opens a fresh native session with a transaction begun —
+// statement-scoped DML buffers into it and commits atomically. The
+// transaction's snapshot also serves the statement's own reads, so an
+// UPDATE's scan and its writes observe one consistent image (a concurrent
+// autocommit writer surfaces as storage.ErrWriteConflict at commit).
+func (s *Server) txnSession() (*native.Session, error) {
+	sess, err := s.nativeProv.CreateSession()
+	if err != nil {
+		return nil, err
+	}
+	ns := sess.(*native.Session)
+	if err := ns.Begin(); err != nil {
+		return nil, err
+	}
+	return ns, nil
 }
 
 // insertRows evaluates VALUES rows or runs the INSERT's SELECT.
@@ -421,25 +445,38 @@ func (s *Server) execUpdate(st *parser.UpdateStmt, params map[string]sqltypes.Va
 	if err != nil {
 		return 0, err
 	}
-	sess := s.nativeSess.(*native.Session)
+	// The statement's scan and its writes share one transaction snapshot:
+	// rows qualify against a consistent image, writes buffer, and commit
+	// applies all-or-nothing (first-writer-wins on conflict).
+	sess, err := s.txnSession()
+	if err != nil {
+		return 0, err
+	}
 	type change struct {
 		bm  int64
 		row rowset.Row
 	}
 	var changes []change
-	sc := t.Scan()
+	rs, err := sess.OpenRowset(def.Catalog + "." + def.Name)
+	if err != nil {
+		_ = sess.Abort()
+		return 0, err
+	}
+	sc := rs.(rowset.Bookmarked)
 	for {
 		r, err := sc.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			_ = sess.Abort()
 			return 0, err
 		}
 		env := &expr.Env{Row: r, Params: params, Today: s.today()}
 		if where != nil {
 			ok, err := expr.EvalPredicate(where, env)
 			if err != nil {
+				_ = sess.Abort()
 				return 0, err
 			}
 			if !ok {
@@ -451,6 +488,7 @@ func (s *Server) execUpdate(st *parser.UpdateStmt, params map[string]sqltypes.Va
 			ord := def.ColumnIndex(sc2.Column)
 			v, err := setExprs[i].Eval(env)
 			if err != nil {
+				_ = sess.Abort()
 				return 0, err
 			}
 			newRow[ord] = v
@@ -460,8 +498,12 @@ func (s *Server) execUpdate(st *parser.UpdateStmt, params map[string]sqltypes.Va
 	sc.Close()
 	for _, ch := range changes {
 		if err := sess.Update(def.Catalog+"."+def.Name, ch.bm, ch.row); err != nil {
+			_ = sess.Abort()
 			return 0, err
 		}
+	}
+	if err := sess.Commit(); err != nil {
+		return 0, err
 	}
 	s.invalidateLocal()
 	return int64(len(changes)), nil
@@ -490,20 +532,31 @@ func (s *Server) execDelete(st *parser.DeleteStmt, params map[string]sqltypes.Va
 	if err != nil {
 		return 0, err
 	}
+	sess, err := s.txnSession()
+	if err != nil {
+		return 0, err
+	}
 	var bms []int64
-	sc := t.Scan()
+	rs, err := sess.OpenRowset(def.Catalog + "." + def.Name)
+	if err != nil {
+		_ = sess.Abort()
+		return 0, err
+	}
+	sc := rs.(rowset.Bookmarked)
 	for {
 		r, err := sc.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			_ = sess.Abort()
 			return 0, err
 		}
 		if where != nil {
 			env := &expr.Env{Row: r, Params: params, Today: s.today()}
 			ok, err := expr.EvalPredicate(where, env)
 			if err != nil {
+				_ = sess.Abort()
 				return 0, err
 			}
 			if !ok {
@@ -514,9 +567,13 @@ func (s *Server) execDelete(st *parser.DeleteStmt, params map[string]sqltypes.Va
 	}
 	sc.Close()
 	for _, bm := range bms {
-		if err := t.Delete(bm); err != nil {
+		if err := sess.Delete(def.Catalog+"."+def.Name, bm); err != nil {
+			_ = sess.Abort()
 			return 0, err
 		}
+	}
+	if err := sess.Commit(); err != nil {
+		return 0, err
 	}
 	s.invalidateLocal()
 	return int64(len(bms)), nil
@@ -611,27 +668,71 @@ func (s *Server) insertIntoPartitionedView(viewName, viewText string, cols []str
 		member := m
 		batch := batches[mi]
 		total += int64(len(batch))
-		txn.Enlist(&dtc.FuncParticipant{
-			Name: memberName(member),
-			PrepareFn: func() error {
-				// Validate CHECK constraints before any member applies.
-				checks, err := binder.CheckPredicate(member.def)
-				if err != nil {
-					return err
-				}
-				for _, r := range batch {
-					for _, c := range checks {
-						ok, err := expr.EvalPredicate(c.Pred, &expr.Env{Row: r})
-						if err != nil {
-							return err
-						}
-						if !ok {
-							return fmt.Errorf("CHECK %s fails for %s", c.Text, r)
-						}
+		validate := func() error {
+			// Validate CHECK constraints before any member applies.
+			checks, err := binder.CheckPredicate(member.def)
+			if err != nil {
+				return err
+			}
+			for _, r := range batch {
+				for _, c := range checks {
+					ok, err := expr.EvalPredicate(c.Pred, &expr.Env{Row: r})
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return fmt.Errorf("CHECK %s fails for %s", c.Text, r)
 					}
 				}
-				return nil
-			},
+			}
+			return nil
+		}
+		if member.server == "" {
+			// The local storage engine is a real resource manager: phase
+			// one buffers the batch into a transaction and durably logs a
+			// prepare record (with a WAL attached, a crash between prepare
+			// and the coordinator's decision recovers the transaction as
+			// in-doubt with its row locks held), so phase two cannot fail.
+			var ns *native.Session
+			txn.Enlist(&dtc.FuncParticipant{
+				Name: memberName(member),
+				PrepareFn: func() error {
+					if err := validate(); err != nil {
+						return err
+					}
+					sess, err := s.txnSession()
+					if err != nil {
+						return err
+					}
+					ns = sess
+					name := member.def.Catalog + "." + member.def.Name
+					for _, r := range batch {
+						if _, err := ns.Insert(name, r); err != nil {
+							_ = ns.Abort()
+							ns = nil
+							return err
+						}
+					}
+					return ns.Prepare()
+				},
+				CommitFn: func() error {
+					if ns == nil {
+						return fmt.Errorf("local participant committed without prepare")
+					}
+					return ns.Commit()
+				},
+				AbortFn: func() error {
+					if ns == nil {
+						return nil
+					}
+					return ns.Abort()
+				},
+			})
+			continue
+		}
+		txn.Enlist(&dtc.FuncParticipant{
+			Name:      memberName(member),
+			PrepareFn: validate,
 			CommitFn: func() error {
 				return s.applyMemberInsert(member, batch)
 			},
@@ -644,17 +745,9 @@ func (s *Server) insertIntoPartitionedView(viewName, viewText string, cols []str
 	return total, nil
 }
 
-// applyMemberInsert inserts a batch into one member (local or remote).
+// applyMemberInsert forwards a batch to a remote member as a VALUES
+// insert (local members commit through their own prepared transaction).
 func (s *Server) applyMemberInsert(m pvMember, batch []rowset.Row) error {
-	if m.server == "" {
-		sess := s.nativeSess.(*native.Session)
-		for _, r := range batch {
-			if _, err := sess.Insert(m.def.Catalog+"."+m.def.Name, r); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
 	var b strings.Builder
 	b.WriteString("INSERT INTO " + m.def.Catalog + ".dbo." + m.def.Name + " VALUES ")
 	for i, r := range batch {

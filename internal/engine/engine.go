@@ -13,6 +13,8 @@ package engine
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -456,6 +458,63 @@ func (s *Server) TypedVectorsEnabled() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return !s.typedVectorsOff
+}
+
+// SetDurability sets the local storage engine's commit durability:
+// DurabilityFull (log + fsync per commit, the default), DurabilityAsync
+// (log without fsync), or DurabilityOff (memory only). It only matters
+// while a WAL is attached (SetWALDir); read per write, so flipping it
+// takes effect on the next statement.
+func (s *Server) SetDurability(d storage.Durability) {
+	s.store.SetDurability(d)
+}
+
+// Durability reports the configured commit durability level.
+func (s *Server) Durability() storage.Durability {
+	return s.store.Durability()
+}
+
+// SetWALDir attaches a write-ahead log at dir/wal.log, recovering any
+// durable state the log holds (committed transactions replay; torn tails
+// are discarded; prepared-but-unresolved distributed transactions surface
+// in RecoveryInfo.InDoubt and hold their row locks until ResolveInDoubt).
+// If the engine already has tables and the log is empty, the current
+// image is checkpointed into it. An empty dir detaches the log (the
+// engine keeps running in memory only) and returns nil info.
+func (s *Server) SetWALDir(dir string) (*storage.RecoveryInfo, error) {
+	if dir == "" {
+		return nil, s.store.DetachWAL()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	b, err := storage.OpenFileBackend(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		return nil, err
+	}
+	info, err := s.store.AttachWAL(b)
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	// Recovery may have created catalog objects and loaded rows.
+	s.invalidatePlans()
+	s.invalidateLocal()
+	return info, nil
+}
+
+// InDoubt lists prepared-but-unresolved distributed transactions restored
+// by WAL recovery; their row locks block writers until resolved.
+func (s *Server) InDoubt() []uint64 { return s.store.InDoubt() }
+
+// ResolveInDoubt commits or aborts a recovered in-doubt transaction (the
+// operator-facing outcome report the DTC would otherwise deliver).
+func (s *Server) ResolveInDoubt(id uint64, commit bool) error {
+	if err := s.store.ResolveInDoubt(id, commit); err != nil {
+		return err
+	}
+	s.invalidateLocal()
+	return nil
 }
 
 // Circuit-breaker defaults: a server must fail more than a full default

@@ -2,11 +2,14 @@ package engine
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 
 	"dhqp/internal/sqltypes"
+	"dhqp/internal/storage"
 )
 
 // TestKnobFlipsDuringConcurrentQueries is the knob-audit regression: every
@@ -86,4 +89,92 @@ func TestKnobFlipsDuringConcurrentQueries(t *testing.T) {
 	if st := local.PlanCacheStats(); st.Size > st.Capacity {
 		t.Errorf("plan cache size %d exceeds capacity %d", st.Size, st.Capacity)
 	}
+}
+
+// TestDurabilityKnobFlipsDuringWrites extends the knob audit to the
+// durability layer: SetDurability cycles through all three levels and the
+// WAL detaches/attaches fresh directories while reader and writer
+// goroutines run. The race detector must stay quiet, and no write may
+// fail — the logging gate flips atomically, never half-configured.
+func TestDurabilityKnobFlipsDuringWrites(t *testing.T) {
+	local, _, _ := linkTwo(t)
+	local.MustExec(`CREATE TABLE knob_scratch (id int, v varchar(20), PRIMARY KEY (id))`)
+	walRoot := t.TempDir()
+	stop := make(chan struct{})
+	var flipper sync.WaitGroup
+	flipper.Add(1)
+	go func() {
+		defer flipper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			local.SetDurability(storage.Durability(i % 3))
+			if i%5 == 0 {
+				if _, err := local.SetWALDir(""); err != nil {
+					errsOnce(t, "detach", err)
+					return
+				}
+				dir := filepath.Join(walRoot, fmt.Sprintf("w%d", i))
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					errsOnce(t, "mkdir", err)
+					return
+				}
+				if _, err := local.SetWALDir(dir); err != nil {
+					errsOnce(t, "attach", err)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				id := g*1000 + i
+				if _, err := local.Exec(fmt.Sprintf(
+					`INSERT INTO knob_scratch VALUES (%d, 'w%d')`, id, id)); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := local.Query(`SELECT COUNT(*) AS n FROM knob_scratch`, nil); err != nil {
+					errs <- fmt.Errorf("reader %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	flipper.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Every write must have landed exactly once regardless of knob state.
+	res := q(t, local, `SELECT COUNT(*) AS n FROM knob_scratch`)
+	if n := res.Rows[0][0].Int(); n != 60 {
+		t.Errorf("scratch table has %d rows, want 60", n)
+	}
+	if _, err := local.SetWALDir(""); err != nil {
+		t.Fatalf("final detach: %v", err)
+	}
+}
+
+// errsOnce reports a flipper-goroutine failure without racing t.
+func errsOnce(t *testing.T, what string, err error) {
+	t.Errorf("%s: %v", what, err)
 }

@@ -13,6 +13,7 @@ import (
 	"dhqp/internal/oledb"
 	"dhqp/internal/opt"
 	"dhqp/internal/parser"
+	"dhqp/internal/providers/native"
 	"dhqp/internal/rowset"
 	"dhqp/internal/rules"
 	"dhqp/internal/schema"
@@ -197,6 +198,11 @@ func (s *Server) capsFor(server string) (oledb.Capabilities, bool) {
 // runtime implements exec.Runtime.
 type runtime struct {
 	s *Server
+	// local, when set, is the statement's snapshot-pinned view of the
+	// native provider: every local access this execution makes observes
+	// the same commit sequence number, so concurrent writers never tear
+	// a statement's reads.
+	local oledb.Session
 }
 
 // SessionFor implements exec.Runtime.
@@ -204,6 +210,9 @@ func (rt *runtime) SessionFor(server string) (oledb.Session, error) {
 	s := rt.s
 	switch server {
 	case "":
+		if rt.local != nil {
+			return rt.local, nil
+		}
 		return s.nativeSess, nil
 	case ftServerName:
 		prov := ftProviderOf(s)
@@ -329,8 +338,14 @@ func (s *Server) runPlan(base context.Context, queryText string, plan *algebra.N
 	}
 	tripsBefore := s.breakerTrips()
 	diags := &exec.Diagnostics{}
+	// Pin the statement to a snapshot: local scans, index ranges and
+	// bookmark fetches all read as of one commit sequence number
+	// (snapshot isolation for readers; writers never block them).
+	snap := s.store.AcquireSnapshot()
+	defer snap.Release()
+	localView := s.nativeSess.(*native.Session).AtSnapshot(snap.CSN())
 	ctx := &exec.Context{
-		RT: &runtime{s: s}, Params: params, Today: today,
+		RT: &runtime{s: s, local: localView}, Params: params, Today: today,
 		MaxDOP: s.MaxDOP(), NoPrefetch: noPrefetch,
 		RemoteBatchSize: s.RemoteBatchSize(),
 		BatchSize:       batchSize, NoVectorized: noVectorized, NoTypedVectors: noTyped,

@@ -61,13 +61,75 @@ func (p *Provider) Capabilities() oledb.Capabilities {
 
 // CreateSession implements oledb.DataSource.
 func (p *Provider) CreateSession() (oledb.Session, error) {
-	return &Session{p: p}, nil
+	return &Session{p: p, csn: storage.Latest}, nil
 }
 
 // Session is a native session. It also enforces CHECK constraints on DML
 // performed through it.
+//
+// A session reads at a commit sequence number: storage.Latest by default,
+// a pinned snapshot after AtSnapshot, or — while a transaction is open —
+// the transaction's own snapshot. Writes inside an open transaction are
+// buffered until Commit (oledb.TxnSession); outside one they autocommit.
 type Session struct {
-	p *Provider
+	p   *Provider
+	csn uint64
+	tx  *storage.Txn
+}
+
+// AtSnapshot returns a read view of the session pinned at csn: rowset,
+// index-range, and bookmark-fetch opens all observe the table images as of
+// that commit sequence number, regardless of later writers. The view
+// shares the provider; the receiving session is unchanged.
+func (s *Session) AtSnapshot(csn uint64) *Session {
+	return &Session{p: s.p, csn: csn}
+}
+
+// readCSN is the commit sequence number reads observe right now.
+func (s *Session) readCSN() uint64 {
+	if s.tx != nil {
+		return s.tx.SnapshotCSN()
+	}
+	return s.csn
+}
+
+// Begin implements oledb.TxnSession: subsequent Insert/Update/Delete
+// calls buffer into a storage transaction, and reads observe its snapshot.
+func (s *Session) Begin() error {
+	if s.tx != nil {
+		return fmt.Errorf("native: transaction already open")
+	}
+	s.tx = s.p.eng.Begin()
+	return nil
+}
+
+// Prepare implements oledb.TxnSession (phase one): validates and durably
+// logs the buffered work so Commit cannot fail.
+func (s *Session) Prepare() error {
+	if s.tx == nil {
+		return fmt.Errorf("native: no open transaction")
+	}
+	return s.tx.Prepare()
+}
+
+// Commit implements oledb.TxnSession.
+func (s *Session) Commit() error {
+	if s.tx == nil {
+		return fmt.Errorf("native: no open transaction")
+	}
+	err := s.tx.Commit()
+	s.tx = nil
+	return err
+}
+
+// Abort implements oledb.TxnSession.
+func (s *Session) Abort() error {
+	if s.tx == nil {
+		return fmt.Errorf("native: no open transaction")
+	}
+	err := s.tx.Abort()
+	s.tx = nil
+	return err
 }
 
 // resolve splits "catalog.table" (or bare "table") and finds the table.
@@ -95,7 +157,7 @@ func (s *Session) OpenRowset(table string) (rowset.Rowset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return t.Scan(), nil
+	return t.ScanAt(s.readCSN()), nil
 }
 
 // CreateCommand implements oledb.Session; the bare storage engine has no
@@ -127,9 +189,10 @@ func (s *Session) OpenIndexRange(table, index string, lo, hi oledb.Bound) (rowse
 	if !ok {
 		return nil, fmt.Errorf("native: index %q not found on %q", index, table)
 	}
-	return ix.Range(
+	return ix.RangeAt(
 		storage.Bound{Key: lo.Key, Inclusive: lo.Inclusive},
 		storage.Bound{Key: hi.Key, Inclusive: hi.Inclusive},
+		s.readCSN(),
 	), nil
 }
 
@@ -140,8 +203,9 @@ func (s *Session) FetchByBookmarks(table string, bms []int64) (rowset.Rowset, er
 		return nil, err
 	}
 	rows := make([]rowset.Row, 0, len(bms))
+	csn := s.readCSN()
 	for _, bm := range bms {
-		r, err := t.Fetch(bm)
+		r, err := t.FetchAt(bm, csn)
 		if err != nil {
 			return nil, err
 		}
@@ -173,8 +237,18 @@ func (s *Session) ColumnHistogram(table, column string) (rowset.Rowset, error) {
 	return h.ToRowset(), nil
 }
 
-// Close implements oledb.Session.
-func (s *Session) Close() error { return nil }
+// Close implements oledb.Session, aborting any transaction left open.
+func (s *Session) Close() error {
+	if s.tx != nil {
+		err := s.tx.Abort()
+		s.tx = nil
+		return err
+	}
+	return nil
+}
+
+// The native session participates in DTC-coordinated transactions.
+var _ oledb.TxnSession = (*Session)(nil)
 
 // Insert validates CHECK constraints and inserts a row (used by the DML
 // layer; not part of the minimal OLE DB surface).
@@ -190,6 +264,10 @@ func (s *Session) Insert(table string, r rowset.Row) (int64, error) {
 	if err := s.enforceChecks(t.Def(), r); err != nil {
 		return 0, err
 	}
+	if s.tx != nil {
+		// Buffered: the bookmark is assigned at commit.
+		return -1, s.tx.Insert(t, r)
+	}
 	return t.Insert(r)
 }
 
@@ -198,6 +276,9 @@ func (s *Session) Delete(table string, bm int64) error {
 	t, err := s.resolve(table)
 	if err != nil {
 		return err
+	}
+	if s.tx != nil {
+		return s.tx.Delete(t, bm)
 	}
 	return t.Delete(bm)
 }
@@ -214,6 +295,9 @@ func (s *Session) Update(table string, bm int64, r rowset.Row) error {
 	}
 	if err := s.enforceChecks(t.Def(), r); err != nil {
 		return err
+	}
+	if s.tx != nil {
+		return s.tx.Update(t, bm, r)
 	}
 	return t.Update(bm, r)
 }

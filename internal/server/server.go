@@ -94,6 +94,12 @@ type Server struct {
 	slots   chan struct{}
 	queued  atomic.Int64
 	running atomic.Int64
+	// writers counts in-flight DML/DDL statements from admission until
+	// their outcome frame is on the wire. Unlike SELECTs they are not
+	// context-cancellable mid-commit, and a commit may already be durable
+	// in the WAL — drain waits them out and keeps their connections open
+	// so the client receives the acknowledgement for work that happened.
+	writers atomic.Int64
 
 	// wg tracks the accept loop, the janitor, every session loop and every
 	// in-flight statement goroutine; Close waits for all of them, which is
@@ -340,9 +346,15 @@ func (s *Server) Close() error {
 	for s.running.Load() > 0 && time.Now().Before(deadline) {
 		time.Sleep(2 * time.Millisecond)
 	}
-	// Cancel the stragglers, then close every connection.
+	// Cancel the stragglers, then close every connection. Writers are
+	// exempt from cancellation-by-deadline: their work may already be
+	// durable, so drain waits for each one's outcome frame to reach the
+	// wire before the connection goes away.
 	for _, sess := range s.snapshotSessions() {
 		sess.cancelRunning(CodeShutdown, "server shutting down")
+	}
+	for s.writers.Load() > 0 {
+		time.Sleep(2 * time.Millisecond)
 	}
 	for _, sess := range s.snapshotSessions() {
 		sess.conn.Close()

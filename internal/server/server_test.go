@@ -407,6 +407,63 @@ func TestGracefulDrainNoLeaks(t *testing.T) {
 	waitGoroutines(t, baseline)
 }
 
+// TestDrainWaitsForWriters: Close while DML statements are in flight must
+// not sever their connections — a writer's commit may already be durable,
+// so its client must receive the DONE acknowledgement even though the
+// drain deadline passed mid-statement. No goroutines may leak.
+func TestDrainWaitsForWriters(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	// The INSERT ... SELECT reads over slow links, so the writer statement
+	// is reliably still running when Close fires with a tiny deadline.
+	eng, _ := buildFederation(t, 2, 25, 30*time.Millisecond, true)
+	eng.MustExec(`CREATE TABLE sink (y INT, amount INT)`)
+	if _, err := eng.Query(`SELECT y, amount FROM all_sales`, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, eng, Options{DrainTimeout: 10 * time.Millisecond})
+
+	type outcome struct {
+		n   int64
+		err error
+	}
+	const writerSessions = 2
+	results := make(chan outcome, writerSessions)
+	var clients []*Client
+	for i := 0; i < writerSessions; i++ {
+		c := dial(t, addr)
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	for _, c := range clients {
+		go func(c *Client) {
+			n, err := c.Exec(`INSERT INTO sink SELECT y, amount FROM all_sales`, nil)
+			results <- outcome{n, err}
+		}(c)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(0)
+	for i := 0; i < writerSessions; i++ {
+		o := <-results
+		if o.err != nil {
+			t.Errorf("writer lost its acknowledgement across drain: %v", o.err)
+			continue
+		}
+		total += o.n
+	}
+	res, err := eng.Query(`SELECT COUNT(*) AS n FROM sink`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0][0].Int(); n != total || total == 0 {
+		t.Errorf("sink has %d rows, writers were told %d", n, total)
+	}
+	waitGoroutines(t, baseline)
+}
+
 // TestIdleTimeout: the janitor closes traffic-free sessions; a session with
 // a running statement is not idle no matter how long it runs.
 func TestIdleTimeout(t *testing.T) {

@@ -255,24 +255,32 @@ func (s *Server) runStatement(sess *session, f *Frame, qctx context.Context) {
 	var err error
 	if kind == stmtSelect {
 		res, err = s.eng.QueryContext(qctx, f.SQL, params)
-	} else {
-		// DML runs to completion; the engine's write path is not
-		// context-aware, so cancellation takes effect at statement
-		// boundaries only (documented in DESIGN.md).
-		affected, err = s.eng.ExecParams(f.SQL, params)
+		elapsed := time.Since(start)
+		s.running.Add(-1)
+		s.release()
+		if err != nil {
+			sess.sendStatementError(qid, err)
+			return
+		}
+		_ = sess.streamResult(qid, res, elapsed)
+		return
 	}
+	// DML/DDL runs to completion; the engine's write path is not
+	// context-aware, so cancellation takes effect at statement boundaries
+	// only (documented in DESIGN.md). The writer count covers execution
+	// AND the outcome frame: a draining server must not close this
+	// connection before the client learns whether its commit happened.
+	s.writers.Add(1)
+	affected, err = s.eng.ExecParams(f.SQL, params)
 	elapsed := time.Since(start)
 	s.running.Add(-1)
 	s.release()
 	if err != nil {
 		sess.sendStatementError(qid, err)
-		return
+	} else {
+		_ = sess.writeFrame(&Frame{Type: FrameDone, QueryID: qid, RowCount: affected, ElapsedUS: elapsed.Microseconds()})
 	}
-	if res != nil {
-		_ = sess.streamResult(qid, res, elapsed)
-		return
-	}
-	_ = sess.writeFrame(&Frame{Type: FrameDone, QueryID: qid, RowCount: affected, ElapsedUS: elapsed.Microseconds()})
+	s.writers.Add(-1)
 }
 
 // sendStatementError maps an execution error onto a typed error frame.

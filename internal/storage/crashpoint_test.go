@@ -1,0 +1,206 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dhqp/internal/schema"
+)
+
+// crashStep is one acknowledged unit of the sweep workload: exactly one
+// commit boundary (autocommit op, DDL, or transaction commit).
+type crashStep struct {
+	name string
+	run  func(e *Engine) error
+}
+
+// crashWorkload is a deterministic DML/DDL mix covering every record kind
+// the commit paths emit: autocommit insert/update/delete, DDL, a
+// multi-operation transaction, and a prepare-then-commit transaction.
+func crashWorkload() []crashStep {
+	find := func(e *Engine) *Table {
+		db, _ := e.Database("db")
+		t, _ := db.Table("t")
+		return t
+	}
+	return []crashStep{
+		{"createtable", func(e *Engine) error {
+			db := e.CreateDatabase("db")
+			_, err := db.CreateTable(testTableDef("t"))
+			return err
+		}},
+		{"insert-a", func(e *Engine) error { _, err := find(e).Insert(trow(1, "a")); return err }},
+		{"insert-b", func(e *Engine) error { _, err := find(e).Insert(trow(2, "b")); return err }},
+		{"update-a", func(e *Engine) error { return find(e).Update(0, trow(1, "a2")) }},
+		{"addindex", func(e *Engine) error {
+			_, err := find(e).AddIndex(schema.Index{Name: "by_v", Columns: []int{1}})
+			return err
+		}},
+		{"txn-multi", func(e *Engine) error {
+			tx := e.Begin()
+			t := find(e)
+			if err := tx.Insert(t, trow(3, "c")); err != nil {
+				return err
+			}
+			if err := tx.Update(t, 1, trow(2, "b2")); err != nil {
+				return err
+			}
+			if err := tx.Delete(t, 0); err != nil {
+				return err
+			}
+			return tx.Commit()
+		}},
+		{"prepare-commit", func(e *Engine) error {
+			tx := e.Begin()
+			t := find(e)
+			if err := tx.Insert(t, trow(4, "d")); err != nil {
+				return err
+			}
+			if err := tx.Update(t, 1, trow(2, "b3")); err != nil {
+				return err
+			}
+			if err := tx.Prepare(); err != nil {
+				return err
+			}
+			return tx.Commit()
+		}},
+		{"delete-b", func(e *Engine) error { return find(e).Delete(1) }},
+	}
+}
+
+// recoverImage replays a survivor log image into a fresh engine and
+// returns its canonical dump. In-doubt transactions are resolved by
+// presumed abort, matching what a coordinator-less restart does.
+func recoverImage(t *testing.T, image []byte) (string, *RecoveryInfo) {
+	t.Helper()
+	e := NewEngine()
+	info, err := e.AttachWAL(NewMemBackend(image))
+	if err != nil {
+		t.Fatalf("recovery attach: %v", err)
+	}
+	for _, id := range info.InDoubt {
+		if err := e.ResolveInDoubt(id, false); err != nil {
+			t.Fatalf("presumed abort of txn %d: %v", id, err)
+		}
+	}
+	return dumpEngine(e), info
+}
+
+// TestCrashPointSweep crashes the WAL backend at every I/O operation
+// (append and fsync), in every crash mode (kill, short write, torn
+// write), and asserts that recovery always lands on exactly one of the
+// workload's commit-boundary images — never a mix — and that every
+// commit the workload had already acknowledged is present when
+// recovering from the fsynced image.
+func TestCrashPointSweep(t *testing.T) {
+	steps := crashWorkload()
+
+	// Baseline: run uninjected, recording the image at every commit
+	// boundary and the total number of backend I/O operations.
+	base := NewMemBackend(nil)
+	e := NewEngine()
+	if _, err := e.AttachWAL(base); err != nil {
+		t.Fatalf("AttachWAL: %v", err)
+	}
+	images := []string{dumpEngine(e)} // images[k] = state after k steps
+	for _, s := range steps {
+		if err := s.run(e); err != nil {
+			t.Fatalf("baseline step %s: %v", s.name, err)
+		}
+		images = append(images, dumpEngine(e))
+	}
+	totalOps := base.Ops()
+	if totalOps < len(steps) {
+		t.Fatalf("suspiciously few I/O ops: %d", totalOps)
+	}
+	imageIndex := map[string]int{}
+	for k, img := range images {
+		imageIndex[img] = k
+	}
+
+	for at := 1; at <= totalOps; at++ {
+		for _, mode := range []CrashMode{CrashKill, CrashShort, CrashTorn} {
+			name := fmt.Sprintf("op%d-%s", at, mode)
+			b := NewMemBackend(nil)
+			b.SetCrashPlan(CrashPlan{At: at, Mode: mode})
+			run := NewEngine()
+			if _, err := run.AttachWAL(b); err != nil {
+				t.Fatalf("%s: attach: %v", name, err)
+			}
+			acked := 0
+			for _, s := range steps {
+				if err := s.run(run); err != nil {
+					if !errors.Is(err, ErrCrashed) && !errors.Is(err, ErrWALBroken) {
+						t.Fatalf("%s: step %s failed with non-crash error: %v", name, s.name, err)
+					}
+					break
+				}
+				acked++
+			}
+			if !b.Crashed() {
+				t.Fatalf("%s: crash point never fired (acked %d)", name, acked)
+			}
+			// Recovery must be exact from both survivor images: the bytes
+			// fsync guaranteed, and the larger image the OS may have
+			// flushed anyway.
+			for _, img := range []struct {
+				label string
+				data  []byte
+				// The fsynced image must contain every acknowledged
+				// commit (DurabilityFull acked only after fsync). The
+				// lucky image trivially contains at least as much.
+				floor int
+			}{
+				{"synced", b.SyncedBytes(), acked},
+				{"lucky", b.AllBytes(), acked},
+			} {
+				got, _ := recoverImage(t, img.data)
+				k, ok := imageIndex[got]
+				if !ok {
+					t.Fatalf("%s/%s (acked %d): recovered state matches no commit boundary:\n%s",
+						name, img.label, acked, got)
+				}
+				if k < img.floor {
+					t.Fatalf("%s/%s: recovered only %d steps, but %d were acknowledged",
+						name, img.label, k, img.floor)
+				}
+			}
+		}
+	}
+}
+
+// TestCrashDurabilityAsync checks the async contract: unsynced commits
+// may vanish on a crash, but recovery still lands on a clean commit
+// boundary (a prefix), and the full written image recovers everything.
+func TestCrashDurabilityAsync(t *testing.T) {
+	steps := crashWorkload()
+	b := NewMemBackend(nil)
+	e := NewEngine()
+	if _, err := e.AttachWAL(b); err != nil {
+		t.Fatalf("AttachWAL: %v", err)
+	}
+	e.SetDurability(DurabilityAsync)
+	images := []string{dumpEngine(e)}
+	for _, s := range steps {
+		if err := s.run(e); err != nil {
+			t.Fatalf("step %s: %v", s.name, err)
+		}
+		images = append(images, dumpEngine(e))
+	}
+	imageIndex := map[string]bool{}
+	for _, img := range images {
+		imageIndex[img] = true
+	}
+	// Nothing was ever fsynced; the synced image is a (possibly empty)
+	// clean prefix state.
+	if got, _ := recoverImage(t, b.SyncedBytes()); !imageIndex[got] {
+		t.Fatalf("async synced image is not a commit boundary:\n%s", got)
+	}
+	// Everything written recovers to the final state.
+	got, _ := recoverImage(t, b.AllBytes())
+	if got != images[len(images)-1] {
+		t.Fatalf("async full image differs from final state:\nwant:\n%s\ngot:\n%s",
+			images[len(images)-1], got)
+	}
+}

@@ -91,8 +91,71 @@ type Bound struct {
 // [lo, hi] per the bounds' inclusivity, in index order. The returned rowset
 // carries bookmarks. Keys may be prefixes of the full index key.
 func (ix *Index) Range(lo, hi Bound) rowset.Bookmarked {
-	ix.table.mu.RLock()
-	defer ix.table.mu.RUnlock()
+	return ix.RangeAt(lo, hi, Latest)
+}
+
+// RangeAt is Range as of snapshot csn. When nothing newer than csn has
+// committed on the table it is exactly the fast Range path over the live
+// index; otherwise the row image is rewound through the undo tail and the
+// range is rebuilt from the reconstructed rows (correct but slower — it
+// only happens while a pinned snapshot races a writer).
+func (ix *Index) RangeAt(lo, hi Bound, csn uint64) rowset.Bookmarked {
+	t := ix.table
+	t.mu.RLock()
+	if csn == Latest || len(t.undo) == t.undoHead || t.undo[len(t.undo)-1].csn <= csn {
+		defer t.mu.RUnlock()
+		return ix.rangeLatestLocked(lo, hi)
+	}
+	rows := make([]rowset.Row, len(t.rows))
+	copy(rows, t.rows)
+	t.rollbackLocked(rows, csn)
+	t.mu.RUnlock()
+	var outRows []rowset.Row
+	var bms []int64
+	var keys []rowset.Row
+	for bm, r := range rows {
+		if r == nil {
+			continue
+		}
+		key := ix.keyOf(r)
+		if lo.Key != nil {
+			c := compareKeys(key, lo.Key)
+			if c < 0 || (c == 0 && !lo.Inclusive) {
+				continue
+			}
+		}
+		if hi.Key != nil {
+			c := compareKeys(key, hi.Key)
+			if c > 0 || (c == 0 && !hi.Inclusive) {
+				continue
+			}
+		}
+		outRows = append(outRows, r)
+		bms = append(bms, int64(bm))
+		keys = append(keys, key)
+	}
+	idx := make([]int, len(outRows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if c := compareKeys(keys[idx[a]], keys[idx[b]]); c != 0 {
+			return c < 0
+		}
+		return bms[idx[a]] < bms[idx[b]]
+	})
+	sortedRows := make([]rowset.Row, len(idx))
+	sortedBms := make([]int64, len(idx))
+	for i, j := range idx {
+		sortedRows[i] = outRows[j]
+		sortedBms[i] = bms[j]
+	}
+	return &rangeScan{cols: t.def.Columns, rows: sortedRows, bms: sortedBms, pos: -1}
+}
+
+// rangeLatestLocked is the live-index range scan; caller holds the table
+// read lock.
+func (ix *Index) rangeLatestLocked(lo, hi Bound) rowset.Bookmarked {
 	start := 0
 	if lo.Key != nil {
 		start = sort.Search(len(ix.entries), func(i int) bool {

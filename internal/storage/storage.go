@@ -25,11 +25,12 @@ import (
 type Engine struct {
 	mu  sync.RWMutex
 	dbs map[string]*Database
+	tm  *TxnManager
 }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{dbs: map[string]*Database{}}
+	return &Engine{dbs: map[string]*Database{}, tm: newTxnManager()}
 }
 
 // CreateDatabase adds a database; it is a no-op if it already exists.
@@ -39,7 +40,10 @@ func (e *Engine) CreateDatabase(name string) *Database {
 	if db, ok := e.dbs[lower(name)]; ok {
 		return db
 	}
-	db := &Database{name: name, tables: map[string]*Table{}}
+	// Best-effort DDL logging: a failure poisons durable writes rather
+	// than changing this method's infallible signature.
+	_ = e.tm.logDDL(walRecord{kind: recCreateDB, table: name})
+	db := &Database{eng: e, name: name, tables: map[string]*Table{}}
 	e.dbs[lower(name)] = db
 	return db
 }
@@ -67,12 +71,22 @@ func (e *Engine) Databases() []string {
 // Database is a namespace of tables.
 type Database struct {
 	mu     sync.RWMutex
+	eng    *Engine
 	name   string
 	tables map[string]*Table
 }
 
 // Name returns the database name.
 func (d *Database) Name() string { return d.name }
+
+// tm returns the owning engine's transaction manager (nil-safe for
+// directly-constructed test fixtures).
+func (d *Database) txns() *TxnManager {
+	if d.eng == nil {
+		return nil
+	}
+	return d.eng.tm
+}
 
 // CreateTable registers a table from its schema descriptor.
 func (d *Database) CreateTable(def *schema.Table) (*Table, error) {
@@ -85,7 +99,16 @@ func (d *Database) CreateTable(def *schema.Table) (*Table, error) {
 	if _, ok := d.tables[key]; ok {
 		return nil, fmt.Errorf("storage: table %s already exists in %s", def.Name, d.name)
 	}
-	t := &Table{def: def}
+	if tm := d.txns(); tm != nil && tm.logging.Load() {
+		defJSON, err := marshalTableDef(def)
+		if err != nil {
+			return nil, err
+		}
+		if err := tm.logDDL(walRecord{kind: recCreateTable, table: d.name, def: defJSON}); err != nil {
+			return nil, err
+		}
+	}
+	t := &Table{def: def, db: d.name, tm: d.txns()}
 	for _, ix := range def.Indexes {
 		t.indexes = append(t.indexes, &Index{def: ix, table: t})
 	}
@@ -97,8 +120,14 @@ func (d *Database) CreateTable(def *schema.Table) (*Table, error) {
 func (d *Database) DropTable(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, ok := d.tables[lower(name)]; !ok {
+	t, ok := d.tables[lower(name)]
+	if !ok {
 		return fmt.Errorf("storage: table %s not found in %s", name, d.name)
+	}
+	if tm := d.txns(); tm != nil {
+		if err := tm.logDDL(walRecord{kind: recDropTable, table: t.walName()}); err != nil {
+			return err
+		}
 	}
 	delete(d.tables, lower(name))
 	return nil
@@ -131,10 +160,24 @@ func (d *Database) Tables() []string {
 type Table struct {
 	mu      sync.RWMutex
 	def     *schema.Table
+	db      string       // owning database name (WAL identity, lock order)
+	tm      *TxnManager  // owning engine's transaction manager (nil in bare fixtures)
 	rows    []rowset.Row // slot = bookmark; nil = deleted
+	csns    []uint64     // per-slot CSN of the commit that last wrote it
 	live    int
-	version int64 // bumped by every Insert/Delete/Update; invalidates img
+	version int64 // bumped by every successful Insert/Delete/Update; invalidates img
 	indexes []*Index
+
+	// undo[undoHead:] holds before-images of rows overwritten while a
+	// snapshot (or an in-flight multi-op commit) could still need them,
+	// in ascending CSN order; snapshot scans roll the current image back
+	// by replaying the tail in reverse. Guarded by mu.
+	undo     []undoRec
+	undoHead int
+
+	// locks maps bookmarks write-locked by prepared (in-doubt)
+	// transactions to the owning transaction id. Guarded by mu.
+	locks map[int64]uint64
 
 	// img caches the table's columnar image — one full-length typed Vec
 	// per column — keyed by the version it was built from. Typed batch
@@ -194,34 +237,86 @@ func (t *Table) RowCount() int {
 	return t.live
 }
 
-// Insert validates and appends a row, maintaining indexes, and returns its
-// bookmark.
-func (t *Table) Insert(r rowset.Row) (int64, error) {
+// walName is the table's log identity, "db.table".
+func (t *Table) walName() string { return t.db + "." + t.def.Name }
+
+// lockName orders tables deterministically for multi-table commits.
+func (t *Table) lockName() string { return lower(t.walName()) }
+
+// Version reports the mutation counter. It changes only on successful
+// mutations: a failed Insert/Update/Delete (validation, bad bookmark,
+// lock conflict, WAL failure) leaves it — and the cached columnar image
+// it keys — untouched.
+func (t *Table) Version() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// validateRow checks arity, nullability and kind coercion, returning the
+// cloned, coerced row ready to store. The caller's slice is not mutated.
+func (t *Table) validateRow(r rowset.Row) (rowset.Row, error) {
 	if len(r) != len(t.def.Columns) {
-		return 0, fmt.Errorf("storage: %s: row has %d values, want %d", t.def.Name, len(r), len(t.def.Columns))
+		return nil, fmt.Errorf("storage: %s: row has %d values, want %d", t.def.Name, len(r), len(t.def.Columns))
 	}
+	stored := r.Clone()
 	for i, c := range t.def.Columns {
-		if r[i].IsNull() {
+		if stored[i].IsNull() {
 			if !c.Nullable {
-				return 0, fmt.Errorf("storage: %s.%s: NULL not allowed", t.def.Name, c.Name)
+				return nil, fmt.Errorf("storage: %s.%s: NULL not allowed", t.def.Name, c.Name)
 			}
 			continue
 		}
-		coerced, err := sqltypes.Coerce(r[i], c.Kind)
+		coerced, err := sqltypes.Coerce(stored[i], c.Kind)
 		if err != nil {
-			return 0, fmt.Errorf("storage: %s.%s: %w", t.def.Name, c.Name, err)
+			return nil, fmt.Errorf("storage: %s.%s: %w", t.def.Name, c.Name, err)
 		}
-		r[i] = coerced
+		stored[i] = coerced
+	}
+	return stored, nil
+}
+
+// logAutoLocked write-ahead-logs a single-operation autocommit write
+// (operation record + commit record, one fsync under DurabilityFull).
+// Caller holds t.mu; on error nothing has been applied.
+func (t *Table) logAutoLocked(kind recKind, bm int64, row rowset.Row) error {
+	w, sync, err := t.tm.walFor()
+	if err != nil || w == nil {
+		return err
+	}
+	txn := t.tm.autoTxnID()
+	recs := []walRecord{
+		{kind: kind, txn: txn, table: t.walName(), bm: bm, row: row},
+		{kind: recCommit, txn: txn},
+	}
+	if err := w.appendAll(recs, sync); err != nil {
+		t.tm.breakWAL()
+		return fmt.Errorf("storage: %s: WAL append: %w", t.def.Name, err)
+	}
+	return nil
+}
+
+// Insert validates and appends a row, maintaining indexes, and returns its
+// bookmark. The row is logged (and under DurabilityFull fsynced) before it
+// becomes visible; a WAL failure leaves the table unchanged.
+func (t *Table) Insert(r rowset.Row) (int64, error) {
+	stored, err := t.validateRow(r)
+	if err != nil {
+		return 0, err
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.version++
 	bm := int64(len(t.rows))
-	stored := r.Clone()
-	t.rows = append(t.rows, stored)
-	t.live++
-	for _, ix := range t.indexes {
-		ix.insertLocked(stored, bm)
+	if t.tm != nil {
+		if t.tm.logging.Load() {
+			if err := t.logAutoLocked(recInsert, bm, stored); err != nil {
+				return 0, err
+			}
+		}
+		csn, needUndo := t.tm.allocAuto()
+		t.insertAtLocked(bm, stored, csn, needUndo)
+	} else {
+		t.insertAtLocked(bm, stored, 0, false)
 	}
 	return bm, nil
 }
@@ -233,12 +328,19 @@ func (t *Table) Delete(bm int64) error {
 	if bm < 0 || bm >= int64(len(t.rows)) || t.rows[bm] == nil {
 		return fmt.Errorf("storage: %s: bad bookmark %d", t.def.Name, bm)
 	}
-	t.version++
-	old := t.rows[bm]
-	t.rows[bm] = nil
-	t.live--
-	for _, ix := range t.indexes {
-		ix.deleteLocked(old, bm)
+	if _, locked := t.locks[bm]; locked {
+		return fmt.Errorf("%w: %s bookmark %d", ErrRowLocked, t.def.Name, bm)
+	}
+	if t.tm != nil {
+		if t.tm.logging.Load() {
+			if err := t.logAutoLocked(recDelete, bm, nil); err != nil {
+				return err
+			}
+		}
+		csn, needUndo := t.tm.allocAuto()
+		t.deleteLockedMVCC(bm, csn, needUndo)
+	} else {
+		t.deleteLockedMVCC(bm, 0, false)
 	}
 	return nil
 }
@@ -253,25 +355,140 @@ func (t *Table) Update(bm int64, r rowset.Row) error {
 	if bm < 0 || bm >= int64(len(t.rows)) || t.rows[bm] == nil {
 		return fmt.Errorf("storage: %s: bad bookmark %d", t.def.Name, bm)
 	}
-	t.version++
-	old := t.rows[bm]
+	if _, locked := t.locks[bm]; locked {
+		return fmt.Errorf("%w: %s bookmark %d", ErrRowLocked, t.def.Name, bm)
+	}
 	stored := r.Clone()
-	t.rows[bm] = stored
-	for _, ix := range t.indexes {
-		ix.deleteLocked(old, bm)
-		ix.insertLocked(stored, bm)
+	if t.tm != nil {
+		if t.tm.logging.Load() {
+			if err := t.logAutoLocked(recUpdate, bm, stored); err != nil {
+				return err
+			}
+		}
+		csn, needUndo := t.tm.allocAuto()
+		t.updateLocked(bm, stored, csn, needUndo)
+	} else {
+		t.updateLocked(bm, stored, 0, false)
 	}
 	return nil
 }
 
+// insertAtLocked lands a validated row at an explicit slot, extending the
+// heap with tombstones if the slot is beyond the end (recovery replays
+// bookmark-exact inserts). Caller holds t.mu.
+func (t *Table) insertAtLocked(bm int64, stored rowset.Row, csn uint64, needUndo bool) {
+	for int64(len(t.rows)) <= bm {
+		t.rows = append(t.rows, nil)
+		t.csns = append(t.csns, 0)
+	}
+	t.version++
+	t.noteUndoLocked(bm, csn, nil, needUndo)
+	t.rows[bm] = stored
+	t.csns[bm] = csn
+	t.live++
+	for _, ix := range t.indexes {
+		ix.insertLocked(stored, bm)
+	}
+}
+
+// updateLocked replaces the row at a valid slot. Caller holds t.mu.
+func (t *Table) updateLocked(bm int64, stored rowset.Row, csn uint64, needUndo bool) {
+	t.version++
+	old := t.rows[bm]
+	t.noteUndoLocked(bm, csn, old, needUndo)
+	t.rows[bm] = stored
+	t.csns[bm] = csn
+	for _, ix := range t.indexes {
+		ix.deleteLocked(old, bm)
+		ix.insertLocked(stored, bm)
+	}
+}
+
+// deleteLockedMVCC tombstones the row at a valid slot. Caller holds t.mu.
+func (t *Table) deleteLockedMVCC(bm int64, csn uint64, needUndo bool) {
+	t.version++
+	old := t.rows[bm]
+	t.noteUndoLocked(bm, csn, old, needUndo)
+	t.rows[bm] = nil
+	t.csns[bm] = csn
+	t.live--
+	for _, ix := range t.indexes {
+		ix.deleteLocked(old, bm)
+	}
+}
+
+// noteUndoLocked records the before-image of slot bm for snapshot
+// reconstruction, or drops the whole undo tail when no snapshot can need
+// it anymore. Caller holds t.mu.
+func (t *Table) noteUndoLocked(bm int64, csn uint64, old rowset.Row, needUndo bool) {
+	if !needUndo {
+		// No active snapshot and no in-flight commit existed when this
+		// CSN was allocated, so nothing can ever read below it: the
+		// entire tail is dead.
+		if len(t.undo) > 0 {
+			t.undo = t.undo[:0]
+			t.undoHead = 0
+		}
+		return
+	}
+	t.undo = append(t.undo, undoRec{bm: bm, csn: csn, row: old})
+	if len(t.undo)-t.undoHead > 256 && t.tm != nil {
+		t.pruneUndoLocked(t.tm.horizon())
+	}
+}
+
+// pruneUndoLocked discards undo records no snapshot can reach (CSN at or
+// below the horizon). Caller holds t.mu.
+func (t *Table) pruneUndoLocked(h uint64) {
+	for t.undoHead < len(t.undo) && t.undo[t.undoHead].csn <= h {
+		t.undoHead++
+	}
+	if t.undoHead > 64 && t.undoHead*2 >= len(t.undo) {
+		n := copy(t.undo, t.undo[t.undoHead:])
+		t.undo = t.undo[:n]
+		t.undoHead = 0
+	}
+}
+
+// rollbackLocked rewinds the copied rows image to snapshot csn by
+// replaying before-images of newer commits, newest first. It reports
+// whether anything changed. Caller holds t.mu (read or write).
+func (t *Table) rollbackLocked(rows []rowset.Row, csn uint64) bool {
+	rolled := false
+	for i := len(t.undo) - 1; i >= t.undoHead && t.undo[i].csn > csn; i-- {
+		rec := t.undo[i]
+		if int(rec.bm) < len(rows) {
+			rows[rec.bm] = rec.row
+			rolled = true
+		}
+	}
+	return rolled
+}
+
 // Fetch returns the row at a bookmark (the IRowsetLocate path).
 func (t *Table) Fetch(bm int64) (rowset.Row, error) {
+	return t.FetchAt(bm, Latest)
+}
+
+// FetchAt returns the row at a bookmark as of snapshot csn.
+func (t *Table) FetchAt(bm int64, csn uint64) (rowset.Row, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if bm < 0 || bm >= int64(len(t.rows)) || t.rows[bm] == nil {
+	if bm < 0 || bm >= int64(len(t.rows)) {
 		return nil, fmt.Errorf("storage: %s: bad bookmark %d", t.def.Name, bm)
 	}
-	return t.rows[bm], nil
+	row := t.rows[bm]
+	if csn != Latest {
+		for i := len(t.undo) - 1; i >= t.undoHead && t.undo[i].csn > csn; i-- {
+			if t.undo[i].bm == bm {
+				row = t.undo[i].row
+			}
+		}
+	}
+	if row == nil {
+		return nil, fmt.Errorf("storage: %s: bad bookmark %d", t.def.Name, bm)
+	}
+	return row, nil
 }
 
 // scanSnapPool recycles scan-snapshot slot buffers across queries: a scan
@@ -282,8 +499,18 @@ var scanSnapPool = sync.Pool{New: func() any { return new(scanSnap) }}
 
 type scanSnap struct{ rows []rowset.Row }
 
-// Scan returns a full-table rowset snapshot. The rowset carries bookmarks.
-func (t *Table) Scan() rowset.Bookmarked {
+// Scan returns a full-table rowset snapshot at the latest state. The
+// rowset carries bookmarks.
+func (t *Table) Scan() rowset.Bookmarked { return t.ScanAt(Latest) }
+
+// ScanAt returns a full-table rowset as of snapshot csn: the copied slot
+// image is rewound through the undo tail, so the scan sees exactly the
+// rows committed at or below csn. When nothing newer than csn has
+// committed the scan is identical to (and as fast as) a latest scan,
+// including the cached-columnar-image batch path; a rewound historical
+// scan bypasses the image cache, which only ever holds the latest
+// version.
+func (t *Table) ScanAt(csn uint64) rowset.Bookmarked {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	// Snapshot slot references; rows are immutable once stored.
@@ -293,7 +520,11 @@ func (t *Table) Scan() rowset.Bookmarked {
 	}
 	rows := snap.rows[:len(t.rows)]
 	copy(rows, t.rows)
-	return &tableScan{cols: t.def.Columns, rows: rows, snap: snap, pos: -1, table: t, version: t.version}
+	s := &tableScan{cols: t.def.Columns, rows: rows, snap: snap, pos: -1, table: t, version: t.version}
+	if csn != Latest && t.rollbackLocked(rows, csn) {
+		s.table = nil // historical image: not cacheable
+	}
+	return s
 }
 
 type tableScan struct {
@@ -405,6 +636,15 @@ func (t *Table) AddIndex(def schema.Index) (*Index, error) {
 	for _, ix := range t.indexes {
 		if lower(ix.def.Name) == lower(def.Name) {
 			return nil, fmt.Errorf("storage: %s: index %s already exists", t.def.Name, def.Name)
+		}
+	}
+	if t.tm != nil && t.tm.logging.Load() {
+		defJSON, err := marshalIndexDef(def)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.tm.logDDL(walRecord{kind: recCreateIndex, table: t.walName(), def: defJSON}); err != nil {
+			return nil, err
 		}
 	}
 	ix := &Index{def: def, table: t}

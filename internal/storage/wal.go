@@ -1,0 +1,597 @@
+// Write-ahead log: length-prefixed, CRC-checksummed records grouped per
+// transaction. Every durable mutation is logged before it lands on the
+// heap; commit fsyncs (under DurabilityFull) before the statement is
+// acknowledged. The log is self-contained — DDL (create database/table/
+// index, drop table) is logged too, and attaching a WAL to a non-empty
+// engine first writes a checkpoint image — so recovery starts from an
+// empty engine and replays to exactly the durable state.
+//
+// Frame format (little-endian):
+//
+//	[4B payload length][4B CRC32 (IEEE) of payload][payload]
+//
+// Payload: record kind byte, then uvarint txn id, then kind-specific
+// fields (table name, bookmark, row values, insert-bookmark list, schema
+// JSON). A frame whose length or CRC does not check out ends replay: the
+// tail from that point is considered torn and is truncated.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"sync"
+
+	"dhqp/internal/rowset"
+	"dhqp/internal/sqltypes"
+)
+
+// record kinds.
+type recKind byte
+
+const (
+	recInsert recKind = iota + 1
+	recUpdate
+	recDelete
+	recPrepare
+	recCommit
+	recAbort
+	recCreateDB
+	recCreateTable
+	recCreateIndex
+	recDropTable
+)
+
+func (k recKind) String() string {
+	switch k {
+	case recInsert:
+		return "insert"
+	case recUpdate:
+		return "update"
+	case recDelete:
+		return "delete"
+	case recPrepare:
+		return "prepare"
+	case recCommit:
+		return "commit"
+	case recAbort:
+		return "abort"
+	case recCreateDB:
+		return "createdb"
+	case recCreateTable:
+		return "createtable"
+	case recCreateIndex:
+		return "createindex"
+	case recDropTable:
+		return "droptable"
+	default:
+		return fmt.Sprintf("rec(%d)", byte(k))
+	}
+}
+
+// walRecord is the decoded form of one log record.
+type walRecord struct {
+	kind  recKind
+	txn   uint64
+	table string     // "db.table" for DML, db name for createdb
+	bm    int64      // row slot; -1 when unassigned (prepared inserts)
+	row   rowset.Row // insert/update payload
+	bms   []int64    // commit record: slots assigned to prepared inserts
+	def   []byte     // DDL records: JSON-encoded schema descriptor
+}
+
+// WAL serializes record appends from concurrent committers onto one
+// backend. Each record is a separate Append call — every append and every
+// fsync is an injection point for the crash harness.
+type WAL struct {
+	mu sync.Mutex
+	b  Backend
+}
+
+// appendAll writes the records back-to-back and optionally fsyncs. A
+// failure anywhere leaves the log with a prefix of the records, which
+// recovery treats as an uncommitted (aborted) group.
+func (w *WAL) appendAll(recs []walRecord, sync bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := range recs {
+		if err := w.b.Append(encodeRecord(&recs[i])); err != nil {
+			return err
+		}
+	}
+	if sync {
+		return w.b.Sync()
+	}
+	return nil
+}
+
+// --- record codec ------------------------------------------------------
+
+func encodeRecord(r *walRecord) []byte {
+	p := make([]byte, 0, 64)
+	p = append(p, byte(r.kind))
+	p = binary.AppendUvarint(p, r.txn)
+	switch r.kind {
+	case recInsert, recUpdate:
+		p = appendString(p, r.table)
+		p = binary.AppendVarint(p, r.bm)
+		p = appendRow(p, r.row)
+	case recDelete:
+		p = appendString(p, r.table)
+		p = binary.AppendVarint(p, r.bm)
+	case recPrepare, recAbort:
+		// kind + txn only
+	case recCommit:
+		p = binary.AppendUvarint(p, uint64(len(r.bms)))
+		for _, bm := range r.bms {
+			p = binary.AppendVarint(p, bm)
+		}
+	case recCreateDB, recDropTable:
+		p = appendString(p, r.table)
+	case recCreateTable, recCreateIndex:
+		p = appendString(p, r.table)
+		p = binary.AppendUvarint(p, uint64(len(r.def)))
+		p = append(p, r.def...)
+	}
+	frame := make([]byte, 8+len(p))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(p)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(p))
+	copy(frame[8:], p)
+	return frame
+}
+
+func appendString(p []byte, s string) []byte {
+	p = binary.AppendUvarint(p, uint64(len(s)))
+	return append(p, s...)
+}
+
+func appendRow(p []byte, r rowset.Row) []byte {
+	p = binary.AppendUvarint(p, uint64(len(r)))
+	for i := range r {
+		v := &r[i]
+		p = append(p, byte(v.Kind()))
+		switch v.Kind() {
+		case sqltypes.KindNull:
+		case sqltypes.KindBool, sqltypes.KindInt, sqltypes.KindDate:
+			p = binary.AppendVarint(p, v.RawInt())
+		case sqltypes.KindFloat:
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.RawFloat()))
+			p = append(p, buf[:]...)
+		case sqltypes.KindString:
+			p = appendString(p, v.RawStr())
+		}
+	}
+	return p
+}
+
+var errBadRecord = errors.New("storage: malformed WAL record")
+
+type recReader struct{ p []byte }
+
+func (r *recReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.p)
+	if n <= 0 {
+		return 0, errBadRecord
+	}
+	r.p = r.p[n:]
+	return v, nil
+}
+
+func (r *recReader) varint() (int64, error) {
+	v, n := binary.Varint(r.p)
+	if n <= 0 {
+		return 0, errBadRecord
+	}
+	r.p = r.p[n:]
+	return v, nil
+}
+
+func (r *recReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil || uint64(len(r.p)) < n {
+		return "", errBadRecord
+	}
+	s := string(r.p[:n])
+	r.p = r.p[n:]
+	return s, nil
+}
+
+func (r *recReader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil || uint64(len(r.p)) < n {
+		return nil, errBadRecord
+	}
+	b := append([]byte(nil), r.p[:n]...)
+	r.p = r.p[n:]
+	return b, nil
+}
+
+func (r *recReader) row() (rowset.Row, error) {
+	n, err := r.uvarint()
+	if err != nil || n > uint64(len(r.p)) {
+		return nil, errBadRecord
+	}
+	row := make(rowset.Row, n)
+	for i := range row {
+		if len(r.p) == 0 {
+			return nil, errBadRecord
+		}
+		k := sqltypes.Kind(r.p[0])
+		r.p = r.p[1:]
+		switch k {
+		case sqltypes.KindNull:
+			row[i] = sqltypes.Null
+		case sqltypes.KindBool:
+			v, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			row[i] = sqltypes.NewBool(v != 0)
+		case sqltypes.KindInt:
+			v, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			row[i] = sqltypes.NewInt(v)
+		case sqltypes.KindDate:
+			v, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			row[i] = sqltypes.NewDateDays(v)
+		case sqltypes.KindFloat:
+			if len(r.p) < 8 {
+				return nil, errBadRecord
+			}
+			row[i] = sqltypes.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(r.p[:8])))
+			r.p = r.p[8:]
+		case sqltypes.KindString:
+			s, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			row[i] = sqltypes.NewString(s)
+		default:
+			return nil, errBadRecord
+		}
+	}
+	return row, nil
+}
+
+func decodeRecord(p []byte) (walRecord, error) {
+	if len(p) < 1 {
+		return walRecord{}, errBadRecord
+	}
+	rec := walRecord{kind: recKind(p[0])}
+	r := &recReader{p: p[1:]}
+	var err error
+	if rec.txn, err = r.uvarint(); err != nil {
+		return walRecord{}, err
+	}
+	switch rec.kind {
+	case recInsert, recUpdate:
+		if rec.table, err = r.str(); err != nil {
+			return walRecord{}, err
+		}
+		if rec.bm, err = r.varint(); err != nil {
+			return walRecord{}, err
+		}
+		if rec.row, err = r.row(); err != nil {
+			return walRecord{}, err
+		}
+	case recDelete:
+		if rec.table, err = r.str(); err != nil {
+			return walRecord{}, err
+		}
+		if rec.bm, err = r.varint(); err != nil {
+			return walRecord{}, err
+		}
+	case recPrepare, recAbort:
+	case recCommit:
+		n, err := r.uvarint()
+		if err != nil || n > uint64(len(r.p)) {
+			return walRecord{}, errBadRecord
+		}
+		for i := uint64(0); i < n; i++ {
+			bm, err := r.varint()
+			if err != nil {
+				return walRecord{}, err
+			}
+			rec.bms = append(rec.bms, bm)
+		}
+	case recCreateDB, recDropTable:
+		if rec.table, err = r.str(); err != nil {
+			return walRecord{}, err
+		}
+	case recCreateTable, recCreateIndex:
+		if rec.table, err = r.str(); err != nil {
+			return walRecord{}, err
+		}
+		if rec.def, err = r.bytes(); err != nil {
+			return walRecord{}, err
+		}
+	default:
+		return walRecord{}, errBadRecord
+	}
+	return rec, nil
+}
+
+// decodeLog splits the byte image into records, stopping at the first
+// torn or corrupt frame. It returns the decoded prefix and the byte
+// length of that valid prefix; anything beyond is a torn tail.
+func decodeLog(data []byte) (recs []walRecord, validLen int) {
+	off := 0
+	for off+8 <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n < 1 || off+8+n > len(data) {
+			break
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		off += 8 + n
+	}
+	return recs, off
+}
+
+// --- backends ----------------------------------------------------------
+
+// Backend is the byte sink under a WAL. Append adds bytes to the end of
+// the log; Sync makes everything appended so far durable. Contents
+// returns the log image for recovery at attach time.
+type Backend interface {
+	Append(p []byte) error
+	Sync() error
+	Contents() ([]byte, error)
+	Truncate(n int64) error
+	Close() error
+}
+
+// FileBackend logs to a regular file; Sync is fsync.
+type FileBackend struct {
+	f *os.File
+}
+
+// OpenFileBackend opens (creating if needed) the log file at path.
+func OpenFileBackend(path string) (*FileBackend, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileBackend{f: f}, nil
+}
+
+// Append writes at the end of the file.
+func (fb *FileBackend) Append(p []byte) error {
+	_, err := fb.f.Write(p)
+	return err
+}
+
+// Sync fsyncs the file.
+func (fb *FileBackend) Sync() error { return fb.f.Sync() }
+
+// Contents reads the whole file.
+func (fb *FileBackend) Contents() ([]byte, error) {
+	return os.ReadFile(fb.f.Name())
+}
+
+// Truncate cuts the file to n bytes (torn-tail removal) and repositions
+// the append cursor.
+func (fb *FileBackend) Truncate(n int64) error {
+	if err := fb.f.Truncate(n); err != nil {
+		return err
+	}
+	_, err := fb.f.Seek(n, 0)
+	return err
+}
+
+// Close closes the file.
+func (fb *FileBackend) Close() error { return fb.f.Close() }
+
+// --- crash-point injection --------------------------------------------
+
+// ErrCrashed is returned by a crash-injected backend at and after its
+// configured crash point: the simulated process is dead.
+var ErrCrashed = errors.New("storage: injected crash")
+
+// CrashMode selects what the crashing I/O operation leaves behind.
+type CrashMode int
+
+// Crash modes.
+const (
+	// CrashKill drops the operation entirely: an append writes nothing, a
+	// sync leaves everything since the last sync undurable.
+	CrashKill CrashMode = iota
+	// CrashShort leaves a prefix: an append writes half its bytes, a sync
+	// makes only half the pending bytes durable.
+	CrashShort
+	// CrashTorn leaves garbage: an append writes half its bytes cleanly
+	// and the rest bit-flipped; a sync makes all pending bytes durable but
+	// corrupts the final byte.
+	CrashTorn
+)
+
+// String names the crash mode.
+func (m CrashMode) String() string {
+	switch m {
+	case CrashKill:
+		return "kill"
+	case CrashShort:
+		return "short"
+	default:
+		return "torn"
+	}
+}
+
+// CrashPlan crashes the backend deterministically at the At-th I/O
+// operation (1-based; appends and syncs each count as one operation).
+type CrashPlan struct {
+	At   int
+	Mode CrashMode
+}
+
+// MemBackend is an in-memory Backend with deterministic crash injection,
+// used by the crash-point sweep and WAL unit tests. It models the
+// OS-durability boundary explicitly: Append lands bytes in an unsynced
+// buffer, Sync moves the buffer to the durable image. After a crash both
+// the guaranteed image (synced only) and the lucky image (synced +
+// whatever the OS happened to flush) are observable, and recovery must be
+// correct from either.
+type MemBackend struct {
+	mu      sync.Mutex
+	synced  []byte
+	pending []byte
+	ops     int
+	plan    *CrashPlan
+	crashed bool
+}
+
+// NewMemBackend returns an empty in-memory backend, optionally seeded
+// with a pre-existing log image (reopen-after-crash).
+func NewMemBackend(seed []byte) *MemBackend {
+	return &MemBackend{synced: append([]byte(nil), seed...)}
+}
+
+// SetCrashPlan arms the crash point. Call before the workload.
+func (m *MemBackend) SetCrashPlan(p CrashPlan) {
+	m.mu.Lock()
+	m.plan = &p
+	m.mu.Unlock()
+}
+
+// Ops reports how many I/O operations have been attempted (for sizing a
+// sweep: run once uninjected, read Ops, then iterate 1..Ops).
+func (m *MemBackend) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// Crashed reports whether the crash point has fired.
+func (m *MemBackend) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// SyncedBytes is the post-crash log image guaranteed by fsync.
+func (m *MemBackend) SyncedBytes() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.synced...)
+}
+
+// AllBytes is the post-crash log image if the OS flushed everything that
+// was written (the "lucky" survivor).
+func (m *MemBackend) AllBytes() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := append([]byte(nil), m.synced...)
+	return append(out, m.pending...)
+}
+
+// corrupt returns p with its bytes bit-flipped (a torn sector).
+func corrupt(p []byte) []byte {
+	out := append([]byte(nil), p...)
+	for i := range out {
+		out[i] ^= 0xff
+	}
+	return out
+}
+
+// Append implements Backend.
+func (m *MemBackend) Append(p []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	m.ops++
+	if m.plan != nil && m.ops == m.plan.At {
+		m.crashed = true
+		half := len(p) / 2
+		switch m.plan.Mode {
+		case CrashKill:
+			// nothing written
+		case CrashShort:
+			m.pending = append(m.pending, p[:half]...)
+		case CrashTorn:
+			m.pending = append(m.pending, p[:half]...)
+			m.pending = append(m.pending, corrupt(p[half:])...)
+		}
+		return ErrCrashed
+	}
+	m.pending = append(m.pending, p...)
+	return nil
+}
+
+// Sync implements Backend.
+func (m *MemBackend) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return ErrCrashed
+	}
+	m.ops++
+	if m.plan != nil && m.ops == m.plan.At {
+		m.crashed = true
+		switch m.plan.Mode {
+		case CrashKill:
+			// none of the pending bytes made it to disk
+			m.pending = nil
+		case CrashShort:
+			m.synced = append(m.synced, m.pending[:len(m.pending)/2]...)
+			m.pending = nil
+		case CrashTorn:
+			if n := len(m.pending); n > 0 {
+				m.pending[n-1] ^= 0xff
+			}
+			m.synced = append(m.synced, m.pending...)
+			m.pending = nil
+		}
+		return ErrCrashed
+	}
+	m.synced = append(m.synced, m.pending...)
+	m.pending = nil
+	return nil
+}
+
+// Contents implements Backend: everything written so far (used when
+// attaching; a crashed backend exposes SyncedBytes/AllBytes instead).
+func (m *MemBackend) Contents() ([]byte, error) {
+	if m.Crashed() {
+		return nil, ErrCrashed
+	}
+	return m.AllBytes(), nil
+}
+
+// Truncate implements Backend (torn-tail removal at attach).
+func (m *MemBackend) Truncate(n int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	all := append(m.synced, m.pending...)
+	if n > int64(len(all)) {
+		n = int64(len(all))
+	}
+	m.synced = all[:n]
+	m.pending = nil
+	return nil
+}
+
+// Close implements Backend.
+func (m *MemBackend) Close() error { return nil }

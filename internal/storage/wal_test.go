@@ -1,0 +1,326 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dhqp/internal/rowset"
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+)
+
+// attachFile attaches a file-backed WAL at path.
+func attachFile(t *testing.T, e *Engine, path string) *RecoveryInfo {
+	t.Helper()
+	b, err := OpenFileBackend(path)
+	if err != nil {
+		t.Fatalf("OpenFileBackend: %v", err)
+	}
+	info, err := e.AttachWAL(b)
+	if err != nil {
+		t.Fatalf("AttachWAL: %v", err)
+	}
+	return info
+}
+
+func TestWALRoundtripThroughFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+
+	e := NewEngine()
+	attachFile(t, e, path)
+	db := e.CreateDatabase("db")
+	tbl, err := db.CreateTable(testTableDef("t"))
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	// Mixed value kinds exercise the full codec.
+	wide, err := db.CreateTable(&schema.Table{
+		Catalog: "db", Name: "wide",
+		Columns: []schema.Column{
+			{Name: "i", Kind: sqltypes.KindInt},
+			{Name: "f", Kind: sqltypes.KindFloat, Nullable: true},
+			{Name: "s", Kind: sqltypes.KindString, Nullable: true},
+			{Name: "b", Kind: sqltypes.KindBool, Nullable: true},
+			{Name: "d", Kind: sqltypes.KindDate, Nullable: true},
+		},
+	})
+	if err != nil {
+		t.Fatalf("CreateTable wide: %v", err)
+	}
+	if _, err := wide.Insert(rowset.Row{
+		sqltypes.NewInt(-42), sqltypes.NewFloat(3.25), sqltypes.NewString("héllo 'quoted'"),
+		sqltypes.NewBool(true), sqltypes.NewDate(2026, 8, 8),
+	}); err != nil {
+		t.Fatalf("wide insert: %v", err)
+	}
+	if _, err := wide.Insert(rowset.Row{
+		sqltypes.NewInt(7), sqltypes.Null, sqltypes.Null, sqltypes.Null, sqltypes.Null,
+	}); err != nil {
+		t.Fatalf("wide null insert: %v", err)
+	}
+
+	for i := 0; i < 5; i++ {
+		mustInsert(t, tbl, trow(int64(i), "seed"))
+	}
+	if err := tbl.Update(1, trow(1, "updated")); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if err := tbl.Delete(2); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	// A multi-operation transaction and a secondary index created late.
+	tx := e.Begin()
+	if err := tx.Insert(tbl, trow(50, "txn")); err != nil {
+		t.Fatalf("tx insert: %v", err)
+	}
+	if err := tx.Update(tbl, 3, trow(3, "txn-upd")); err != nil {
+		t.Fatalf("tx update: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("tx commit: %v", err)
+	}
+	if _, err := tbl.AddIndex(schema.Index{Name: "by_v", Columns: []int{1}}); err != nil {
+		t.Fatalf("AddIndex: %v", err)
+	}
+	want := dumpEngine(e)
+	if err := e.DetachWAL(); err != nil {
+		t.Fatalf("DetachWAL: %v", err)
+	}
+
+	e2 := NewEngine()
+	info := attachFile(t, e2, path)
+	if info.Txns == 0 || info.Rows == 0 || info.Tables != 2 {
+		t.Fatalf("recovery info = %+v", info)
+	}
+	if got := dumpEngine(e2); got != want {
+		t.Fatalf("recovered state differs:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	// The recovered engine keeps working durably.
+	tbl2, _ := e2.Database("db")
+	tt, _ := tbl2.Table("t")
+	if _, err := tt.Insert(trow(60, "post-recovery")); err != nil {
+		t.Fatalf("post-recovery insert: %v", err)
+	}
+}
+
+func TestTornTailTruncatedOnAttach(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	e := NewEngine()
+	attachFile(t, e, path)
+	db := e.CreateDatabase("db")
+	tbl, _ := db.CreateTable(testTableDef("t"))
+	mustInsert(t, tbl, trow(1, "a"))
+	want := dumpEngine(e)
+	if err := e.DetachWAL(); err != nil {
+		t.Fatalf("DetachWAL: %v", err)
+	}
+	// Append garbage: half a frame header plus noise.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Write([]byte{0x10, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatalf("write garbage: %v", err)
+	}
+	f.Close()
+
+	e2 := NewEngine()
+	info := attachFile(t, e2, path)
+	if info.TornBytes == 0 {
+		t.Fatalf("expected torn bytes, got %+v", info)
+	}
+	if got := dumpEngine(e2); got != want {
+		t.Fatalf("recovered state differs after torn tail:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	// The file was truncated: a third attach sees no torn bytes.
+	if err := e2.DetachWAL(); err != nil {
+		t.Fatalf("DetachWAL: %v", err)
+	}
+	e3 := NewEngine()
+	if info := attachFile(t, e3, path); info.TornBytes != 0 {
+		t.Fatalf("tail not truncated: %+v", info)
+	}
+}
+
+func TestCheckpointOnAttachToNonEmptyEngine(t *testing.T) {
+	e, tbl := testEngine(t)
+	for i := 0; i < 4; i++ {
+		mustInsert(t, tbl, trow(int64(i), "pre"))
+	}
+	if err := tbl.Delete(1); err != nil { // leave a tombstone in the image
+		t.Fatalf("delete: %v", err)
+	}
+	want := dumpEngine(e)
+
+	path := filepath.Join(t.TempDir(), "wal.log")
+	info := attachFile(t, e, path)
+	if !info.Checkpointed {
+		t.Fatalf("expected checkpoint, got %+v", info)
+	}
+	// Post-checkpoint writes append to the same log.
+	mustInsert(t, tbl, trow(100, "post"))
+	want2 := dumpEngine(e)
+	if want2 == want {
+		t.Fatalf("dump did not change after insert")
+	}
+	if err := e.DetachWAL(); err != nil {
+		t.Fatalf("DetachWAL: %v", err)
+	}
+
+	e2 := NewEngine()
+	attachFile(t, e2, path)
+	if got := dumpEngine(e2); got != want2 {
+		t.Fatalf("checkpoint recovery differs:\nwant:\n%s\ngot:\n%s", want2, got)
+	}
+}
+
+func TestAttachRefusesConflictingState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	e, tbl := testEngine(t)
+	attachFile(t, e, path)
+	mustInsert(t, tbl, trow(1, "a"))
+	if err := e.DetachWAL(); err != nil {
+		t.Fatalf("DetachWAL: %v", err)
+	}
+	// Non-empty WAL + non-empty engine: refused.
+	e2, _ := testEngine(t)
+	b, err := OpenFileBackend(path)
+	if err != nil {
+		t.Fatalf("OpenFileBackend: %v", err)
+	}
+	if _, err := e2.AttachWAL(b); err == nil {
+		t.Fatalf("attach of non-empty WAL to non-empty engine succeeded")
+	}
+	b.Close()
+	// Double attach: refused.
+	e3 := NewEngine()
+	attachFile(t, e3, path)
+	if _, err := e3.AttachWAL(NewMemBackend(nil)); err == nil {
+		t.Fatalf("double attach succeeded")
+	}
+}
+
+func TestDurabilityOffSkipsLogging(t *testing.T) {
+	e, tbl := testEngine(t)
+	b := NewMemBackend(nil)
+	if _, err := e.AttachWAL(b); err != nil {
+		t.Fatalf("AttachWAL: %v", err)
+	}
+	base, _ := b.Contents() // the attach checkpoint image
+	e.SetDurability(DurabilityOff)
+	mustInsert(t, tbl, trow(1, "a"))
+	if got, _ := b.Contents(); len(got) != len(base) {
+		t.Fatalf("durability off still logged %d bytes", len(got)-len(base))
+	}
+	// Flipping back on resumes logging.
+	e.SetDurability(DurabilityFull)
+	mustInsert(t, tbl, trow(2, "b"))
+	if got, _ := b.Contents(); len(got) == len(base) {
+		t.Fatalf("durability full logged nothing")
+	}
+}
+
+func TestWALFailurePoisonsDurableWrites(t *testing.T) {
+	e, tbl := testEngine(t)
+	b := NewMemBackend(nil)
+	if _, err := e.AttachWAL(b); err != nil {
+		t.Fatalf("AttachWAL: %v", err)
+	}
+	mustInsert(t, tbl, trow(1, "a"))
+	before := dumpEngine(e)
+	b.SetCrashPlan(CrashPlan{At: b.Ops() + 1, Mode: CrashKill})
+	if _, err := tbl.Insert(trow(2, "b")); err == nil {
+		t.Fatalf("insert with failing WAL succeeded")
+	}
+	// The heap is untouched and subsequent durable writes are refused.
+	if got := dumpEngine(e); got != before {
+		t.Fatalf("failed WAL write mutated the heap")
+	}
+	if _, err := tbl.Insert(trow(3, "c")); !errors.Is(err, ErrWALBroken) {
+		t.Fatalf("write after WAL failure = %v, want ErrWALBroken", err)
+	}
+}
+
+func TestInDoubtRecoveryResolution(t *testing.T) {
+	// Run the same prepared-transaction crash twice: resolve by commit in
+	// one world, by abort in the other.
+	for _, commit := range []bool{true, false} {
+		// World A: prepare a transaction, then crash before the decision.
+		e, tbl := testEngine(t)
+		b := NewMemBackend(nil)
+		if _, err := e.AttachWAL(b); err != nil {
+			t.Fatalf("AttachWAL: %v", err)
+		}
+		bmA := mustInsert(t, tbl, trow(1, "a"))
+		preImage := dumpEngine(e)
+		tx := e.Begin()
+		if err := tx.Insert(tbl, trow(2, "in-doubt")); err != nil {
+			t.Fatalf("tx insert: %v", err)
+		}
+		if err := tx.Update(tbl, bmA, trow(1, "in-doubt-upd")); err != nil {
+			t.Fatalf("tx update: %v", err)
+		}
+		if err := tx.Prepare(); err != nil {
+			t.Fatalf("prepare: %v", err)
+		}
+		txid := tx.ID()
+		survivor := b.AllBytes() // crash here: decision never logged
+
+		// World B: recover.
+		e2 := NewEngine()
+		info, err := e2.AttachWAL(NewMemBackend(survivor))
+		if err != nil {
+			t.Fatalf("recovery attach: %v", err)
+		}
+		if len(info.InDoubt) != 1 || info.InDoubt[0] != txid {
+			t.Fatalf("InDoubt = %v, want [%d]", info.InDoubt, txid)
+		}
+		db2, _ := e2.Database("db")
+		tbl2, _ := db2.Table("t")
+		// The in-doubt transaction's rows are locked until resolution.
+		if err := tbl2.Update(bmA, trow(1, "x")); !errors.Is(err, ErrRowLocked) {
+			t.Fatalf("update of in-doubt row = %v, want ErrRowLocked", err)
+		}
+		if err := e2.ResolveInDoubt(txid, commit); err != nil {
+			t.Fatalf("ResolveInDoubt(%v): %v", commit, err)
+		}
+		if len(e2.InDoubt()) != 0 {
+			t.Fatalf("in-doubt list not cleared")
+		}
+		got := scanRows(t, tbl2.Scan())
+		if commit {
+			if len(got) != 2 || got[bmA] != "in-doubt-upd" {
+				t.Fatalf("commit resolution state = %v", got)
+			}
+		} else {
+			if got2 := dumpEngine(e2); got2 != preImage {
+				t.Fatalf("abort resolution differs from pre-image:\nwant:\n%s\ngot:\n%s", preImage, got2)
+			}
+		}
+		// Locks released either way.
+		if err := tbl2.Update(bmA, trow(1, "after")); err != nil {
+			t.Fatalf("update after resolution: %v", err)
+		}
+
+		// The resolution itself was logged: a second recovery agrees.
+		resolvedImage := dumpEngine(e2)
+		wal2 := func() *MemBackend {
+			e2.tm.mu.Lock()
+			defer e2.tm.mu.Unlock()
+			return e2.tm.wal.b.(*MemBackend)
+		}()
+		e3 := NewEngine()
+		info3, err := e3.AttachWAL(NewMemBackend(wal2.AllBytes()))
+		if err != nil {
+			t.Fatalf("second recovery: %v", err)
+		}
+		if len(info3.InDoubt) != 0 {
+			t.Fatalf("resolved txn still in doubt after second recovery: %+v", info3)
+		}
+		if got := dumpEngine(e3); got != resolvedImage {
+			t.Fatalf("second recovery differs:\nwant:\n%s\ngot:\n%s", resolvedImage, got)
+		}
+	}
+}
