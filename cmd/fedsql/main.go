@@ -28,15 +28,18 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"dhqp"
 	"dhqp/internal/algebra"
+	"dhqp/internal/metrics"
 	"dhqp/internal/opt"
 	"dhqp/internal/server"
 	"dhqp/internal/workload"
@@ -48,6 +51,8 @@ func main() {
 	listen := flag.String("listen", "", "serve the federation over TCP on this address instead of a local REPL")
 	connect := flag.String("connect", "", "connect the REPL to a serving fedsql at this address (no local engine)")
 	walDir := flag.String("wal-dir", "", "attach a write-ahead log under this directory: commits become durable and any state the log holds is recovered at startup")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics, /healthz and pprof over HTTP on this address")
+	slowMS := flag.Int("slow-query-ms", 0, "log statements slower than this many milliseconds as JSON lines on stderr (0 = off)")
 	flag.Parse()
 
 	if *connect != "" {
@@ -56,6 +61,9 @@ func main() {
 	}
 
 	local := dhqp.NewServer("local", "appdb")
+	if *slowMS > 0 {
+		local.SetSlowQueryThreshold(time.Duration(*slowMS) * time.Millisecond)
+	}
 	if *walDir != "" {
 		info, err := local.SetWALDir(*walDir)
 		if err != nil {
@@ -99,8 +107,16 @@ func main() {
 	}
 
 	if *listen != "" {
-		runServer(local, *listen)
+		runServer(local, *listen, *metricsAddr)
 		return
+	}
+	if *metricsAddr != "" {
+		h, err := metrics.ListenAndServe(*metricsAddr, local.Metrics(), nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer h.Close(context.Background())
+		fmt.Printf("fedsql: metrics on http://%s/metrics\n", h.Addr())
 	}
 
 	if *demo {
@@ -151,19 +167,34 @@ SELECT * FROM sys.dm_exec_cached_plans  plan-cache occupancy and hit/miss/evicti
 // runServer serves the federation over TCP until SIGTERM/SIGINT, then
 // drains gracefully: no new sessions, in-flight statements finish under the
 // drain deadline, stragglers are cancelled, and the process exits 0.
-func runServer(local *dhqp.Server, addr string) {
+func runServer(local *dhqp.Server, addr, metricsAddr string) {
 	srv := dhqp.Serve(local, dhqp.ServeOptions{})
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("fedsql: serving on %s (connect with: fedsql --connect %s)\n", bound, bound)
+	var mh *metrics.HTTPServer
+	if metricsAddr != "" {
+		// /healthz flips unhealthy the moment drain begins, so load
+		// balancers stop routing before the listener goes away.
+		mh, err = metrics.ListenAndServe(metricsAddr, local.Metrics(), srv.Healthy)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fedsql: metrics on http://%s/metrics\n", mh.Addr())
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	s := <-sig
 	fmt.Printf("fedsql: %v received, draining\n", s)
 	if err := srv.Close(); err != nil {
 		fatal(err)
+	}
+	if mh != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = mh.Close(ctx)
+		cancel()
 	}
 	fmt.Println("fedsql: drained, bye")
 }
@@ -177,6 +208,7 @@ func runClient(addr string) {
 	}
 	defer c.Close()
 	fmt.Printf("fedsql: connected to %s as session %d\n", c.ServerName(), c.SessionID())
+	tracing := false
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -193,7 +225,13 @@ func runClient(addr string) {
 		case line == `\help`:
 			fmt.Println(`any SQL statement runs on the server, including the DMVs
 SELECT * FROM sys.dm_exec_sessions | dm_exec_requests | dm_exec_query_stats | dm_exec_cached_plans
-KILL <session_id>  cancel that session's statement;  \info  occupancy;  \q  quit`)
+SELECT * FROM sys.dm_os_performance_counters | dm_os_wait_stats
+KILL <session_id>  cancel that session's statement;  \info  occupancy
+\trace  toggle distributed tracing (span tree after each query);  \q  quit`)
+		case line == `\trace`:
+			tracing = !tracing
+			c.SetTrace(tracing)
+			fmt.Printf("tracing %v\n", tracing)
 		case line == `\info`:
 			info, err := c.ServerInfo()
 			if err != nil {
@@ -213,6 +251,9 @@ KILL <session_id>  cancel that session's statement;  \info  occupancy;  \q  quit
 				fmt.Printf("(%d rows)\n", len(res.Rows))
 			} else {
 				fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
+			}
+			if tree := res.SpanTree(); tree != "" {
+				fmt.Printf("trace %s:\n%s", res.TraceID, tree)
 			}
 		}
 	}
@@ -263,6 +304,10 @@ func runStatement(local *dhqp.Server, line string) {
 		fmt.Print(server.QueryStatsResult(local).Display())
 	case strings.HasPrefix(upper, "SELECT") && strings.Contains(upper, "DM_EXEC_CACHED_PLANS"):
 		fmt.Print(server.PlanCacheResult(local).Display())
+	case strings.HasPrefix(upper, "SELECT") && strings.Contains(upper, "DM_OS_PERFORMANCE_COUNTERS"):
+		fmt.Print(server.PerformanceCountersResult(local).Display())
+	case strings.HasPrefix(upper, "SELECT") && strings.Contains(upper, "DM_OS_WAIT_STATS"):
+		fmt.Print(server.WaitStatsResult(local).Display())
 	case strings.HasPrefix(upper, "SELECT"):
 		res, err := local.Query(line, nil)
 		if err != nil {

@@ -41,22 +41,29 @@ func (s *Server) ExecParams(sql string, params map[string]sqltypes.Value) (int64
 	}
 	switch v := st.(type) {
 	case *parser.CreateTableStmt:
+		s.noteStatement("ddl")
 		return 0, s.execCreateTable(v)
 	case *parser.CreateIndexStmt:
+		s.noteStatement("ddl")
 		return 0, s.execCreateIndex(v)
 	case *parser.CreateViewStmt:
+		s.noteStatement("ddl")
 		s.mu.Lock()
 		s.views[strings.ToLower(v.Name.Name())] = v.Text
 		s.mu.Unlock()
 		s.invalidatePlans()
 		return 0, nil
 	case *parser.ExecStmt:
+		s.noteStatement("exec")
 		return 0, s.execProc(v)
 	case *parser.InsertStmt:
+		s.noteStatement("insert")
 		return s.execInsert(v, params)
 	case *parser.UpdateStmt:
+		s.noteStatement("update")
 		return s.execUpdate(v, params)
 	case *parser.DeleteStmt:
+		s.noteStatement("delete")
 		return s.execDelete(v, params)
 	case *parser.SelectStmt:
 		return 0, fmt.Errorf("engine: use Query for SELECT statements")

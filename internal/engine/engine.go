@@ -13,16 +13,19 @@ package engine
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dhqp/internal/algebra"
 	"dhqp/internal/circuit"
 	"dhqp/internal/cost"
 	"dhqp/internal/lru"
+	"dhqp/internal/metrics"
 	"dhqp/internal/netsim"
 	"dhqp/internal/oledb"
 	"dhqp/internal/opt"
@@ -136,6 +139,22 @@ type Server struct {
 	collectStats bool
 	queryStats   *telemetry.Registry
 
+	// metricsReg is the server-wide metrics registry (Metrics());
+	// allInstruments holds every engine/exec/storage instrument bundle and
+	// mx is the active pointer the hot paths load — nil when metric
+	// recording is disabled (SetMetricsEnabled). linkObs mirrors remote
+	// call traffic into the per-linked-server metrics.
+	metricsReg     *metrics.Registry
+	allInstruments *engineInstruments
+	mx             atomic.Pointer[engineInstruments]
+	linkObs        *linkObserver
+
+	// slowThreshold (ns; 0 = off) gates the structured slow-query log
+	// written to slowWriter (stderr when nil), guarded by slowMu.
+	slowThreshold atomic.Int64
+	slowMu        sync.Mutex
+	slowWriter    io.Writer
+
 	lastReport *opt.Report
 }
 
@@ -184,6 +203,10 @@ func NewServer(name, defaultDB string) *Server {
 		breakerCooldown:   DefaultBreakerCooldown,
 	}
 	s.UseRemoteStatistics = true
+	s.metricsReg = metrics.NewRegistry()
+	s.allInstruments = buildInstruments(s.metricsReg)
+	s.linkObs = newLinkObserver(s.allInstruments, s.meter.NameOf)
+	s.SetMetricsEnabled(true)
 	// The search service runs on the same machine: cheap, but still a
 	// service boundary (Figure 2).
 	s.ftLink = &netsim.Link{LatencyPerCall: 100 * time.Microsecond, BytesPerSecond: 1e9}

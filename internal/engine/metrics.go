@@ -1,0 +1,285 @@
+// Engine-side observability: the per-server metrics registry, the
+// instrument bundles handed to the executor and storage engine, the
+// server-wide link observer, and the structured slow-query log.
+//
+// Each engine instance owns one metrics.Registry — federations run
+// several engines in-process, so nothing here is package-global. The
+// serving layer registers its own instruments on the same registry, so
+// one /metrics scrape (or one DMV query) covers every layer.
+package engine
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"dhqp/internal/exec"
+	"dhqp/internal/metrics"
+	"dhqp/internal/netsim"
+	"dhqp/internal/storage"
+	"dhqp/internal/telemetry"
+)
+
+// engineInstruments holds every instrument the engine layer records
+// into. Built once per server; disabling metrics swaps the active
+// pointer to nil, so every hook is one atomic load on the off path.
+type engineInstruments struct {
+	statements    *metrics.CounterVec   // by verb: select/insert/update/delete/ddl/exec
+	rowsReturned  *metrics.Counter      // rows handed to clients
+	planHits      *metrics.Counter      // plan-cache probes served from cache
+	planMisses    *metrics.Counter      // probes that compiled
+	planEvictions *metrics.Counter      // plans evicted by the LRU bound
+	phaseSeconds  *metrics.HistogramVec // by phase: parse/bind/optimize/decode/execute
+	stmtSeconds   *metrics.Histogram    // whole-statement latency
+	slowQueries   *metrics.Counter      // statements over the slow threshold
+
+	linkCalls   *metrics.CounterVec   // by server
+	linkRows    *metrics.CounterVec   // by server
+	linkBytes   *metrics.CounterVec   // by server
+	linkFaults  *metrics.CounterVec   // by server
+	linkSeconds *metrics.HistogramVec // by server
+
+	breakerTrips *metrics.Counter
+	waits        *metrics.WaitTable
+
+	execIns    *exec.Instruments
+	storageIns *storage.Instrumentation
+}
+
+// buildInstruments registers (get-or-create) every engine-layer
+// instrument on the registry.
+func buildInstruments(r *metrics.Registry) *engineInstruments {
+	m := &engineInstruments{
+		statements:    r.CounterVec("dhqp_statements_total", "Statements executed by verb", "verb"),
+		rowsReturned:  r.Counter("dhqp_rows_returned_total", "Rows returned to clients"),
+		planHits:      r.Counter("dhqp_plan_cache_hits_total", "Plan cache probe hits"),
+		planMisses:    r.Counter("dhqp_plan_cache_misses_total", "Plan cache probe misses"),
+		planEvictions: r.Counter("dhqp_plan_cache_evictions_total", "Plans evicted by the LRU bound"),
+		phaseSeconds:  r.HistogramVec("dhqp_statement_phase_seconds", "Statement pipeline phase latency", "phase", nil),
+		stmtSeconds:   r.Histogram("dhqp_statement_seconds", "Whole-statement latency", nil),
+		slowQueries:   r.Counter("dhqp_slow_queries_total", "Statements over the slow-query threshold"),
+
+		linkCalls:   r.CounterVec("dhqp_remote_calls_total", "Remote round trips by linked server", "server"),
+		linkRows:    r.CounterVec("dhqp_remote_rows_total", "Rows shipped from linked servers", "server"),
+		linkBytes:   r.CounterVec("dhqp_remote_bytes_total", "Bytes shipped from linked servers", "server"),
+		linkFaults:  r.CounterVec("dhqp_remote_faults_total", "Faulted remote round trips", "server"),
+		linkSeconds: r.HistogramVec("dhqp_remote_call_seconds", "Remote round-trip latency", "server", nil),
+
+		breakerTrips: r.Counter("dhqp_breaker_trips_total", "Circuit breaker closed-to-open transitions"),
+		waits:        r.Waits(),
+	}
+	m.execIns = &exec.Instruments{
+		Retries:      r.Counter("dhqp_exec_retries_total", "Retried remote call attempts"),
+		BreakerTrips: m.breakerTrips,
+		Batches:      r.Counter("dhqp_exec_batches_total", "Vectorized batches drained"),
+		Spills:       r.Counter("dhqp_exec_spills_total", "Operator spill events"),
+		Waits:        m.waits,
+	}
+	m.storageIns = &storage.Instrumentation{
+		WALAppends:     r.Counter("dhqp_wal_appends_total", "WAL records appended"),
+		WALBytes:       r.Counter("dhqp_wal_bytes_total", "WAL payload bytes appended"),
+		WALFsyncs:      r.Counter("dhqp_wal_fsyncs_total", "Log-device fsync calls"),
+		FsyncSeconds:   r.Histogram("dhqp_wal_fsync_seconds", "Per-fsync latency", nil),
+		CommitSeconds:  r.Histogram("dhqp_commit_seconds", "Transaction commit latency", nil),
+		WriteConflicts: r.Counter("dhqp_mvcc_write_conflicts_total", "First-writer-wins aborts"),
+		RowLockWaits:   r.Counter("dhqp_mvcc_row_lock_aborts_total", "Aborts on prepared-row locks"),
+		Recoveries:     r.Counter("dhqp_wal_recoveries_total", "WAL replays at attach"),
+		RecoveredTxns:  r.Counter("dhqp_wal_recovered_txns_total", "Committed transactions replayed"),
+		Waits:          m.waits,
+	}
+	return m
+}
+
+// Metrics exposes the server's metrics registry: the serving layer
+// registers its instruments here and the HTTP/DMV exporters read it.
+func (s *Server) Metrics() *metrics.Registry { return s.metricsReg }
+
+// SetMetricsEnabled toggles metric recording on the engine, executor
+// and storage hot paths. On by default; disabling is the baseline for
+// the E18 overhead benchmark and leaves the registry readable (frozen)
+// rather than detached.
+func (s *Server) SetMetricsEnabled(on bool) {
+	if on {
+		s.mx.Store(s.allInstruments)
+		s.store.SetInstrumentation(s.allInstruments.storageIns)
+	} else {
+		s.mx.Store(nil)
+		s.store.SetInstrumentation(nil)
+	}
+}
+
+// MetricsEnabled reports whether metric recording is on.
+func (s *Server) MetricsEnabled() bool { return s.mx.Load() != nil }
+
+// instr returns the active instrument bundle (nil when disabled).
+func (s *Server) instr() *engineInstruments { return s.mx.Load() }
+
+// noteStatement counts one executed statement under its verb.
+func (s *Server) noteStatement(verb string) {
+	if m := s.instr(); m != nil {
+		m.statements.With(verb).Inc()
+	}
+}
+
+// notePhase records one statement-pipeline phase duration.
+func (s *Server) notePhase(phase string, d time.Duration) {
+	if m := s.instr(); m != nil {
+		m.phaseSeconds.With(phase).ObserveDuration(d)
+	}
+}
+
+// ResetMetrics zeroes every instrument in the registry (counters,
+// histograms, label children, wait stats). Handed-out instruments stay
+// live, mirroring the stats-registry and plan-cache reset semantics.
+func (s *Server) ResetMetrics() { s.metricsReg.Reset() }
+
+// ResetPlanCacheStats zeroes the plan cache outcome counters — hits,
+// misses and evictions — without touching the cached plans, making its
+// reset semantics uniform with ResetQueryStats (which clears the stats
+// registry including its eviction counter) and ResetMetrics.
+func (s *Server) ResetPlanCacheStats() {
+	s.mu.Lock()
+	s.planCacheHits, s.planCacheMisses, s.planCacheEvictions = 0, 0, 0
+	s.mu.Unlock()
+}
+
+// --- link observer ------------------------------------------------------
+
+// linkObserver mirrors every netsim call of every statement into the
+// server-wide per-linked-server metrics. One per engine; runPlan chains
+// it behind the per-statement LinkTracker.
+type linkObserver struct {
+	m      *engineInstruments
+	nameOf func(*netsim.Link) string
+
+	mu    sync.Mutex
+	names map[*netsim.Link]string
+}
+
+func newLinkObserver(m *engineInstruments, nameOf func(*netsim.Link) string) *linkObserver {
+	return &linkObserver{m: m, nameOf: nameOf, names: map[*netsim.Link]string{}}
+}
+
+func (o *linkObserver) serverName(l *netsim.Link) string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	name, ok := o.names[l]
+	if !ok {
+		if o.nameOf != nil {
+			name = o.nameOf(l)
+		}
+		if name == "" {
+			// Unregistered (yet): report it without caching so a link
+			// registered after first traffic still resolves later.
+			return "?"
+		}
+		o.names[l] = name
+	}
+	return name
+}
+
+// ObserveCall implements netsim.CallObserver.
+func (o *linkObserver) ObserveCall(l *netsim.Link, rows, bytes int, fault bool, d time.Duration) {
+	name := o.serverName(l)
+	o.m.linkCalls.With(name).Inc()
+	if fault {
+		o.m.linkFaults.With(name).Inc()
+	} else {
+		o.m.linkRows.With(name).Add(int64(rows))
+		o.m.linkBytes.With(name).Add(int64(bytes))
+	}
+	o.m.linkSeconds.With(name).ObserveDuration(d)
+	o.m.waits.Record(metrics.WaitRemoteCall, d)
+}
+
+// multiObserver fans one call event out to both the per-statement
+// tracker and the server-wide observer.
+type multiObserver struct {
+	a, b netsim.CallObserver
+}
+
+func (m multiObserver) ObserveCall(l *netsim.Link, rows, bytes int, fault bool, d time.Duration) {
+	m.a.ObserveCall(l, rows, bytes, fault, d)
+	m.b.ObserveCall(l, rows, bytes, fault, d)
+}
+
+// --- slow-query log -----------------------------------------------------
+
+// SetSlowQueryThreshold enables the structured slow-query log:
+// statements whose total elapsed time meets or exceeds d emit one JSON
+// line to the configured writer (stderr by default). 0 disables.
+func (s *Server) SetSlowQueryThreshold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.slowThreshold.Store(int64(d))
+}
+
+// SlowQueryThreshold reports the configured threshold (0 = off).
+func (s *Server) SlowQueryThreshold() time.Duration {
+	return time.Duration(s.slowThreshold.Load())
+}
+
+// SetSlowQueryWriter redirects the slow-query log (nil restores stderr).
+func (s *Server) SetSlowQueryWriter(w io.Writer) {
+	s.slowMu.Lock()
+	s.slowWriter = w
+	s.slowMu.Unlock()
+}
+
+// slowQueryRecord is one slow-query log line.
+type slowQueryRecord struct {
+	TS        string  `json:"ts"`
+	Server    string  `json:"server"`
+	TraceID   string  `json:"trace_id,omitempty"`
+	Query     string  `json:"query"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Rows      int64   `json:"rows"`
+	CacheHit  bool    `json:"cache_hit"`
+	Retries   int64   `json:"retries,omitempty"`
+	LinkCalls int64   `json:"link_calls,omitempty"`
+	LinkBytes int64   `json:"link_bytes,omitempty"`
+	Spans     string  `json:"spans,omitempty"`
+}
+
+// maybeLogSlow emits the slow-query record when the statement crossed
+// the threshold. tr may be nil (untraced statement).
+func (s *Server) maybeLogSlow(qs *telemetry.QueryStats, tr *telemetry.Trace) {
+	thr := s.slowThreshold.Load()
+	if thr <= 0 || int64(qs.Elapsed) < thr {
+		return
+	}
+	if m := s.instr(); m != nil {
+		m.slowQueries.Inc()
+	}
+	rec := slowQueryRecord{
+		TS:        time.Now().UTC().Format(time.RFC3339Nano),
+		Server:    s.name,
+		TraceID:   tr.ID(),
+		Query:     qs.QueryText,
+		ElapsedMS: float64(qs.Elapsed) / float64(time.Millisecond),
+		Rows:      qs.Rows,
+		CacheHit:  qs.PlanCacheHit,
+		Retries:   qs.Retries,
+	}
+	for _, l := range qs.Links {
+		rec.LinkCalls += l.Calls
+		rec.LinkBytes += l.Bytes
+	}
+	if tr != nil {
+		rec.Spans = telemetry.RenderSpanTree(tr.Spans())
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	s.slowMu.Lock()
+	w := s.slowWriter
+	if w == nil {
+		w = os.Stderr
+	}
+	w.Write(append(line, '\n'))
+	s.slowMu.Unlock()
+}

@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestPlanCacheCountersConcurrent hammers the plan cache from many
+// goroutines with more distinct statements than the cache holds — forcing
+// evictions — while another goroutine reads PlanCacheStats, resets the
+// counters and flips the capacity. Run under -race this pins down the
+// locking around the hit/miss/eviction counters; the final sanity check
+// pins their semantics after a reset.
+func TestPlanCacheCountersConcurrent(t *testing.T) {
+	s := NewServer("local", "db")
+	s.MustExec(`CREATE TABLE t (a INT)`)
+	s.MustExec(`INSERT INTO t VALUES (1), (2), (3)`)
+	s.SetPlanCacheCapacity(4)
+
+	var queries sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		queries.Add(1)
+		go func(g int) {
+			defer queries.Done()
+			for i := 0; i < 50; i++ {
+				// 16 distinct statements through a 4-slot cache: every
+				// round evicts.
+				q := fmt.Sprintf(`SELECT a FROM t WHERE a < %d`, (g*50+i)%16)
+				if _, err := s.Query(q, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var resetter sync.WaitGroup
+	resetter.Add(1)
+	go func() {
+		defer resetter.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = s.PlanCacheStats()
+			s.ResetPlanCacheStats()
+			s.SetPlanCacheCapacity(4)
+		}
+	}()
+	queries.Wait()
+	close(stop)
+	resetter.Wait()
+
+	s.ResetPlanCacheStats()
+	ps := s.PlanCacheStats()
+	if ps.Hits != 0 || ps.Misses != 0 || ps.Evictions != 0 {
+		t.Fatalf("reset left counters: %+v", ps)
+	}
+	if _, err := s.Query(`SELECT a FROM t WHERE a < 9999`, nil); err != nil {
+		t.Fatal(err)
+	}
+	ps = s.PlanCacheStats()
+	if ps.Misses != 1 {
+		t.Fatalf("one fresh statement after reset: misses = %d, want 1", ps.Misses)
+	}
+}
+
+// TestQueryStatsConcurrentEvictReset drives the query-stats registry with
+// concurrent recorders (distinct statements beyond capacity), readers and
+// resetters; under -race this exercises insert/evict/reset together. The
+// tail asserts the uniform reset contract: Reset clears both the rows and
+// the eviction counter.
+func TestQueryStatsConcurrentEvictReset(t *testing.T) {
+	s := NewServer("local", "db")
+	s.MustExec(`CREATE TABLE t (a INT)`)
+	s.MustExec(`INSERT INTO t VALUES (1)`)
+	s.SetQueryStatsCapacity(8)
+
+	var queries sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		queries.Add(1)
+		go func(g int) {
+			defer queries.Done()
+			for i := 0; i < 40; i++ {
+				q := fmt.Sprintf(`SELECT a FROM t WHERE a < %d`, (g*40+i)%32)
+				if _, err := s.Query(q, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var resetter sync.WaitGroup
+	resetter.Add(1)
+	go func() {
+		defer resetter.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = s.QueryStats()
+			_ = s.QueryStatsEvicted()
+			s.ResetQueryStats()
+		}
+	}()
+	queries.Wait()
+	close(stop)
+	resetter.Wait()
+
+	// Uniform reset semantics: rows and the evicted count both clear.
+	for i := 0; i < 16; i++ {
+		if _, err := s.Query(fmt.Sprintf(`SELECT a FROM t WHERE a < %d`, 100+i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.QueryStatsEvicted() == 0 {
+		t.Fatal("16 distinct statements through an 8-slot registry must evict")
+	}
+	s.ResetQueryStats()
+	if got := s.QueryStatsEvicted(); got != 0 {
+		t.Fatalf("ResetQueryStats left evicted = %d", got)
+	}
+	if rows := s.QueryStats(); len(rows) != 0 {
+		t.Fatalf("ResetQueryStats left %d rows", len(rows))
+	}
+}
+
+// TestMetricsResetUniform pins ResetMetrics against the same contract:
+// handed-out instruments stay live and every value — counters, vec
+// children, histograms, waits — returns to zero.
+func TestMetricsResetUniform(t *testing.T) {
+	s := NewServer("local", "db")
+	s.MustExec(`CREATE TABLE t (a INT)`)
+	s.MustExec(`INSERT INTO t VALUES (1), (2)`)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Query(`SELECT a FROM t`, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nonzero := 0
+	for _, smp := range s.Metrics().Samples() {
+		if smp.Value != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("three statements must move some instrument")
+	}
+	s.ResetMetrics()
+	for _, smp := range s.Metrics().Samples() {
+		if smp.Value != 0 {
+			t.Fatalf("ResetMetrics left %s{%s} = %v", smp.Name, smp.Instance, smp.Value)
+		}
+	}
+	// Instruments handed out before the reset keep recording.
+	if _, err := s.Query(`SELECT a FROM t`, nil); err != nil {
+		t.Fatal(err)
+	}
+	var stmts float64
+	for _, smp := range s.Metrics().Samples() {
+		if smp.Name == "dhqp_statements_total" && smp.Instance == "select" {
+			stmts = smp.Value
+		}
+	}
+	if stmts != 1 {
+		t.Fatalf("dhqp_statements_total{select} after reset+1 query = %v, want 1", stmts)
+	}
+}

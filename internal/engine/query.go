@@ -92,7 +92,9 @@ func (s *Server) Plan(sql string) (*algebra.Node, []schema.Column, *opt.Report, 
 func (s *Server) planSQL(sql string, col *telemetry.Collector) (*algebra.Node, []schema.Column, *opt.Report, error) {
 	start := time.Now()
 	st, err := parser.Parse(sql)
-	col.RecordSpan("parse", time.Since(start))
+	d := time.Since(start)
+	col.RecordSpan("parse", d)
+	s.notePhase("parse", d)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -111,7 +113,9 @@ func (s *Server) planSelectWith(sel *parser.SelectStmt, col *telemetry.Collector
 	start := time.Now()
 	b := binder.New(&catalog{s: s})
 	bound, err := b.BindSelect(sel)
-	col.RecordSpan("bind", time.Since(start))
+	d := time.Since(start)
+	col.RecordSpan("bind", d)
+	s.notePhase("bind", d)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -151,7 +155,9 @@ func (s *Server) planSelectWith(sel *parser.SelectStmt, col *telemetry.Collector
 	optimizer := opt.New(cfg, rctx)
 	start = time.Now()
 	plan, report, err := optimizer.Optimize(bound.Root, md, bound.RequiredOrder)
-	col.RecordSpan("optimize", time.Since(start))
+	d = time.Since(start)
+	col.RecordSpan("optimize", d)
+	s.notePhase("optimize", d)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("engine: optimizing: %w", err)
 	}
@@ -159,7 +165,9 @@ func (s *Server) planSelectWith(sel *parser.SelectStmt, col *telemetry.Collector
 	// SQL Server Profiler would show as the remote events of this query).
 	start = time.Now()
 	col.CaptureRemoteSQL(plan)
-	col.RecordSpan("decode", time.Since(start))
+	d = time.Since(start)
+	col.RecordSpan("decode", d)
+	s.notePhase("decode", d)
 	s.mu.Lock()
 	s.lastReport = report
 	s.mu.Unlock()
@@ -252,6 +260,7 @@ func (s *Server) QueryContext(ctx context.Context, sql string, params map[string
 	if s.CollectStats() {
 		col = telemetry.NewCollector()
 	}
+	m := s.instr()
 	s.mu.Lock()
 	disableCache := s.DisablePlanCache
 	var cached *cachedPlan
@@ -264,6 +273,13 @@ func (s *Server) QueryContext(ctx context.Context, sql string, params map[string
 		}
 	}
 	s.mu.Unlock()
+	if m != nil && !disableCache {
+		if cached != nil {
+			m.planHits.Inc()
+		} else {
+			m.planMisses.Inc()
+		}
+	}
 	if cached != nil {
 		// Cache hit: no compile spans, but the decoded remote texts are
 		// a plan property, so collection still reports them.
@@ -276,10 +292,14 @@ func (s *Server) QueryContext(ctx context.Context, sql string, params map[string
 	}
 	if !disableCache {
 		s.mu.Lock()
-		if s.planCache.Put(sql, &cachedPlan{plan: plan, cols: cols}) {
+		evicted := s.planCache.Put(sql, &cachedPlan{plan: plan, cols: cols})
+		if evicted {
 			s.planCacheEvictions++
 		}
 		s.mu.Unlock()
+		if evicted && m != nil {
+			m.planEvictions.Inc()
+		}
 	}
 	return s.runPlan(ctx, sql, plan, cols, params, false, col)
 }
@@ -293,12 +313,29 @@ func (s *Server) QueryContext(ctx context.Context, sql string, params map[string
 // like any other execution, but the plan cache is bypassed so the report
 // always reflects a fresh compilation.
 func (s *Server) ExplainAnalyze(sql string, params map[string]sqltypes.Value) (*telemetry.Explain, error) {
+	return s.ExplainAnalyzeContext(context.Background(), sql, params)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze under a caller-supplied context.
+// The statement always runs traced: if the context already carries a trace
+// (a serving-layer session propagating the client's) the statement joins
+// it, otherwise a fresh trace starts here; either way the report renders
+// the distributed span tree.
+func (s *Server) ExplainAnalyzeContext(ctx context.Context, sql string, params map[string]sqltypes.Value) (*telemetry.Explain, error) {
 	col := telemetry.NewCollector()
 	plan, cols, _, err := s.planSQL(sql, col)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.runPlan(context.Background(), sql, plan, cols, params, false, col)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tr, _ := telemetry.TraceFrom(ctx)
+	if tr == nil {
+		tr = telemetry.NewTrace()
+		ctx = telemetry.WithTrace(ctx, tr, 0)
+	}
+	res, err := s.runPlan(ctx, sql, plan, cols, params, false, col)
 	if err != nil {
 		return nil, err
 	}
@@ -308,6 +345,7 @@ func (s *Server) ExplainAnalyze(sql string, params map[string]sqltypes.Value) (*
 		Stats:     res.Stats,
 		RemoteSQL: col.RemoteSQL(),
 		Skipped:   res.Skipped,
+		Trace:     tr,
 	}, nil
 }
 
@@ -326,11 +364,23 @@ func (s *Server) runPlan(base context.Context, queryText string, plan *algebra.N
 	today, noPrefetch := s.Today, s.DisableRemotePrefetch
 	batchSize, noVectorized, noTyped := s.batchSize, s.vectorizedOff, s.typedVectorsOff
 	s.mu.Unlock()
+	ins := s.instr()
 	// Per-statement link attribution rides the statement context into every
 	// netsim call this execution makes: links are shared across concurrent
-	// statements, but each statement observes only its own calls.
+	// statements, but each statement observes only its own calls. With
+	// metrics on, the server-wide per-linked-server observer sees the same
+	// events through the fan-out.
 	tracker := telemetry.NewLinkTracker(s.meter.NameOf)
-	qctx := netsim.WithObserver(base, tracker)
+	var obs netsim.CallObserver = tracker
+	if ins != nil {
+		obs = multiObserver{a: tracker, b: s.linkObs}
+	}
+	qctx := netsim.WithObserver(base, obs)
+	// Under a traced statement (a serving-layer session carrying a client
+	// trace, or EXPLAIN ANALYZE) everything this execution does nests under
+	// one statement span; remote calls open child spans below it.
+	qctx, endSpan := telemetry.StartSpan(qctx, s.name, "statement", queryText)
+	defer endSpan()
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		qctx, cancel = context.WithTimeout(qctx, timeout)
@@ -351,7 +401,10 @@ func (s *Server) runPlan(base context.Context, queryText string, plan *algebra.N
 		BatchSize:       batchSize, NoVectorized: noVectorized, NoTypedVectors: noTyped,
 		Ctx: qctx, RetryAttempts: retryA, RetryBackoff: retryB,
 		BreakerFor: s.breakerFor, PartialResults: partial, Diags: diags,
-		Stats: col,
+		Stats: col, Server: s.name,
+	}
+	if ins != nil {
+		ctx.Ins = ins.execIns
 	}
 	out := plan.OutCols()
 	start := time.Now()
@@ -361,11 +414,20 @@ func (s *Server) runPlan(base context.Context, queryText string, plan *algebra.N
 		return nil, err
 	}
 	col.RecordSpan("execute", elapsed)
+	s.notePhase("execute", elapsed)
 	tracker.AddRetries(diags.RetriesByServer())
 	for server, after := range s.breakerTrips() {
 		if d := after - tripsBefore[server]; d > 0 {
 			tracker.AddBreakerTrips(server, d)
+			if ins != nil {
+				ins.breakerTrips.Add(d)
+			}
 		}
+	}
+	if ins != nil {
+		ins.statements.With("select").Inc()
+		ins.rowsReturned.Add(int64(len(m.Rows())))
+		ins.stmtSeconds.ObserveDuration(elapsed)
 	}
 	qs := &telemetry.QueryStats{
 		QueryText:    queryText,
@@ -377,6 +439,8 @@ func (s *Server) runPlan(base context.Context, queryText string, plan *algebra.N
 		Spans:        col.Spans(),
 	}
 	s.queryStats.Record(qs)
+	tr, _ := telemetry.TraceFrom(qctx)
+	s.maybeLogSlow(qs, tr)
 	return &Result{Cols: cols, Rows: m.Rows(), Retries: diags.Retries(), Skipped: diags.Skipped(), Stats: qs}, nil
 }
 
@@ -384,6 +448,18 @@ func (s *Server) runPlan(base context.Context, queryText string, plan *algebra.N
 // server by its peers.
 func (s *Server) QuerySQL(sql string, params map[string]sqltypes.Value) (*rowset.Materialized, error) {
 	res, err := s.Query(sql, params)
+	if err != nil {
+		return nil, err
+	}
+	return rowset.NewMaterialized(res.Cols, res.Rows), nil
+}
+
+// QuerySQLContext implements sqlful.ContextTarget: an in-process federation
+// member executes the shipped statement under the coordinator's context, so
+// cancellation crosses the boundary and the member's statement span nests
+// under the coordinator's remote-call span in one distributed trace.
+func (s *Server) QuerySQLContext(ctx context.Context, sql string, params map[string]sqltypes.Value) (*rowset.Materialized, error) {
+	res, err := s.QueryContext(ctx, sql, params)
 	if err != nil {
 		return nil, err
 	}

@@ -90,6 +90,12 @@ type Context struct {
 	// calls, and wall time (EXPLAIN ANALYZE / SET STATISTICS PROFILE).
 	// Nil keeps the hot path shim-free.
 	Stats *telemetry.Collector
+	// Server is the executing member's name, used to attribute trace
+	// spans opened by remote access operators ("" = unnamed).
+	Server string
+	// Ins holds the server-wide executor instruments (retry counters,
+	// backoff waits, batch counts); nil disables metric recording.
+	Ins *Instruments
 }
 
 // remoteBatch returns the effective batched-remote-access size.
@@ -139,7 +145,7 @@ func (c *Context) fork() *Context {
 		BatchSize:       c.BatchSize, NoVectorized: c.NoVectorized, NoTypedVectors: c.NoTypedVectors,
 		Ctx: c.Ctx, RetryAttempts: c.RetryAttempts, RetryBackoff: c.RetryBackoff,
 		BreakerFor: c.BreakerFor, PartialResults: c.PartialResults, Diags: c.Diags,
-		Stats: c.Stats}
+		Stats: c.Stats, Server: c.Server, Ins: c.Ins}
 	f.syncParams(c)
 	return f
 }
@@ -313,6 +319,9 @@ func Run(n *algebra.Node, ctx *Context, outCols []algebra.OutCol) (*rowset.Mater
 			}
 			if err != nil {
 				return nil, err
+			}
+			if ctx.Ins != nil {
+				ctx.Ins.Batches.Inc()
 			}
 			out.AppendBatch(b)
 		}

@@ -20,6 +20,7 @@ import (
 	"dhqp/internal/oledb"
 	"dhqp/internal/rowset"
 	"dhqp/internal/schema"
+	"dhqp/internal/telemetry"
 )
 
 // Retry defaults: four attempts with a sub-millisecond base keep the
@@ -170,6 +171,7 @@ func (c *Context) backoffWait(a int) error {
 	if d <= 0 {
 		return c.canceled()
 	}
+	defer func(start time.Time) { c.noteBackoff(time.Since(start)) }(time.Now())
 	if c.Ctx == nil {
 		time.Sleep(d)
 		return nil
@@ -232,7 +234,7 @@ func (c *Context) withRetry(server string, fn func() error) error {
 			return err
 		}
 		if a < attempts-1 {
-			c.Diags.RecordRetry(server)
+			c.noteRetry(server)
 			if werr := c.backoffWait(a); werr != nil {
 				return werr
 			}
@@ -265,7 +267,20 @@ type retryRowset struct {
 // closure runs against a fresh context-bound session view on every
 // attempt; the returned rowset recovers from mid-stream transients by
 // re-executing it.
+//
+// Under a traced statement each remote open records a "remote call"
+// span, and the span's context rides into the session — an in-process
+// member joining the trace nests its own statement span under it, which
+// is what assembles the cross-member span tree.
 func openRemoteRowset(ctx *Context, server, what string, open func(sess oledb.Session) (rowset.Rowset, error)) (rowset.Rowset, error) {
+	if server != "" {
+		if sctx, end := telemetry.StartSpan(ctx.Ctx, ctx.Server, "remote "+what, server); sctx != ctx.Ctx {
+			spanned := *ctx
+			spanned.Ctx = sctx
+			ctx = &spanned
+			defer end()
+		}
+	}
 	r := &retryRowset{ctx: ctx, server: server, what: what, open: open}
 	if err := r.reopen(0); err != nil {
 		return nil, err
@@ -320,7 +335,7 @@ func (r *retryRowset) Next() (rowset.Row, error) {
 		if br := r.ctx.breakerOf(r.server); br != nil {
 			br.Failure()
 		}
-		r.ctx.Diags.RecordRetry(r.server)
+		r.ctx.noteRetry(r.server)
 		r.rs.Close()
 		if rerr := r.reopen(r.delivered); rerr != nil {
 			return nil, fmt.Errorf("exec: %s on %s: %w", r.what, r.server, rerr)

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// HTTPServer serves a registry's metrics over HTTP: /metrics in
+// Prometheus text format, /healthz for liveness probes, and the
+// standard net/http/pprof profiling endpoints under /debug/pprof/.
+type HTTPServer struct {
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// Handler returns an http.Handler exposing /metrics, /healthz, and
+// /debug/pprof/* for the registry. healthz reports the value returned
+// by the healthy callback (always healthy when nil).
+func Handler(r *Registry, healthy func() bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if healthy != nil && !healthy() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	// Register pprof explicitly rather than importing for the
+	// DefaultServeMux side effect: embedded engines must not leak
+	// profiling handlers onto a mux they don't own.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe binds addr and serves the registry in a background
+// goroutine. The returned server must be Closed to release the port
+// and the serving goroutine.
+func ListenAndServe(addr string, r *Registry, healthy func() bool) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	h := &HTTPServer{
+		srv:  &http.Server{Handler: Handler(r, healthy), ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(h.done)
+		h.srv.Serve(ln) // returns http.ErrServerClosed on Shutdown
+	}()
+	return h, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (h *HTTPServer) Addr() string {
+	if h == nil || h.ln == nil {
+		return ""
+	}
+	return h.ln.Addr().String()
+}
+
+// Close gracefully shuts the server down, waiting for in-flight
+// scrapes up to the context deadline, then waits for the serving
+// goroutine to exit so callers can assert no goroutine leaks.
+func (h *HTTPServer) Close(ctx context.Context) error {
+	if h == nil {
+		return nil
+	}
+	err := h.srv.Shutdown(ctx)
+	<-h.done
+	return err
+}

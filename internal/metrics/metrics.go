@@ -1,0 +1,538 @@
+// Package metrics implements a small, dependency-free instrumentation
+// layer: lock-cheap counters, gauges, and fixed-bucket histograms in a
+// named registry, plus a wait-statistics table modeled on SQL Server's
+// sys.dm_os_wait_stats. Registries render themselves in the Prometheus
+// text exposition format so any scraper can consume them, and the same
+// snapshot feeds the sys.dm_os_performance_counters DMV.
+//
+// Every instrument method is nil-safe: a nil *Counter (or *Histogram,
+// *Gauge, ...) is a no-op, so instrumented code never branches on
+// "metrics enabled" — disabling metrics is just handing out nil
+// instruments.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value. No-op on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (may be negative). No-op on a nil receiver.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Inc adds one. Dec subtracts one.
+func (g *Gauge) Inc() { g.Add(1) }
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) reset() { g.v.Store(0) }
+
+// DefBuckets is the default histogram bucketing for latencies in
+// seconds: 50µs up to ~10s, roughly ×3 per step.
+var DefBuckets = []float64{
+	0.00005, 0.0002, 0.0005, 0.002, 0.005, 0.02, 0.05, 0.2, 0.5, 2, 10,
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Observations are
+// float64 (seconds for latency histograms); buckets are upper bounds.
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Int64 // one per bucket; +Inf bucket is implicit via count
+	count  atomic.Int64
+	sumBit atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	ub := make([]float64, len(buckets))
+	copy(ub, buckets)
+	sort.Float64s(ub)
+	return &Histogram{upper: ub, counts: make([]atomic.Int64, len(ub))}
+}
+
+// Observe records one observation. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Buckets are cumulative in exposition but stored per-bucket here:
+	// find the first upper bound >= v and bump only that slot; the
+	// writer accumulates.
+	i := sort.SearchFloat64s(h.upper, v)
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBit.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBit.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed seconds since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBit.Load())
+}
+
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBit.Store(0)
+}
+
+// CounterVec is a family of counters partitioned by one label value
+// (e.g. per linked server). Children are created on first use.
+type CounterVec struct {
+	label string
+	mu    sync.RWMutex
+	m     map[string]*Counter
+}
+
+// With returns the child counter for the given label value, creating
+// it if needed. Returns nil on a nil receiver.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c := v.m[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.m[value]; c == nil {
+		c = &Counter{}
+		v.m[value] = c
+	}
+	return c
+}
+
+func (v *CounterVec) snapshot() map[string]*Counter {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]*Counter, len(v.m))
+	for k, c := range v.m {
+		out[k] = c
+	}
+	return out
+}
+
+func (v *CounterVec) reset() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, c := range v.m {
+		c.reset()
+	}
+}
+
+// HistogramVec is a family of histograms partitioned by one label value.
+type HistogramVec struct {
+	label   string
+	buckets []float64
+	mu      sync.RWMutex
+	m       map[string]*Histogram
+}
+
+// With returns the child histogram for the label value, creating it if
+// needed. Returns nil on a nil receiver.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	h := v.m[value]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.m[value]; h == nil {
+		h = newHistogram(v.buckets)
+		v.m[value] = h
+	}
+	return h
+}
+
+func (v *HistogramVec) snapshot() map[string]*Histogram {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]*Histogram, len(v.m))
+	for k, h := range v.m {
+		out[k] = h
+	}
+	return out
+}
+
+func (v *HistogramVec) reset() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, h := range v.m {
+		h.reset()
+	}
+}
+
+// instrument is the registry's record of one named metric.
+type instrument struct {
+	name string
+	help string
+	kind string // "counter", "gauge", "histogram"
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	cv   *CounterVec
+	hv   *HistogramVec
+}
+
+// Registry holds named instruments. Registration is get-or-create: two
+// layers registering the same name receive the same instrument, so
+// wiring order never matters. A nil *Registry hands out nil
+// instruments, making an entire subsystem's metrics a no-op.
+type Registry struct {
+	mu   sync.Mutex
+	ins  map[string]*instrument
+	ord  []string // registration order for stable exposition
+	wait *WaitTable
+}
+
+// NewRegistry returns an empty registry with an attached wait table.
+func NewRegistry() *Registry {
+	return &Registry{ins: make(map[string]*instrument), wait: NewWaitTable()}
+}
+
+func (r *Registry) get(name, help, kind string) *instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.ins[name]; ok {
+		return in
+	}
+	in := &instrument{name: name, help: help, kind: kind}
+	r.ins[name] = in
+	r.ord = append(r.ord, name)
+	return in
+}
+
+// Counter returns the named counter, creating it on first call.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	in := r.get(name, help, "counter")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in.c == nil {
+		in.c = &Counter{}
+	}
+	return in.c
+}
+
+// Gauge returns the named gauge, creating it on first call.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	in := r.get(name, help, "gauge")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in.g == nil {
+		in.g = &Gauge{}
+	}
+	return in.g
+}
+
+// Histogram returns the named histogram with the given buckets
+// (DefBuckets if nil), creating it on first call.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	in := r.get(name, help, "histogram")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in.h == nil {
+		in.h = newHistogram(buckets)
+	}
+	return in.h
+}
+
+// CounterVec returns the named counter family keyed by label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	in := r.get(name, help, "counter")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in.cv == nil {
+		in.cv = &CounterVec{label: label, m: make(map[string]*Counter)}
+	}
+	return in.cv
+}
+
+// HistogramVec returns the named histogram family keyed by label.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	in := r.get(name, help, "histogram")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in.hv == nil {
+		in.hv = &HistogramVec{label: label, buckets: buckets, m: make(map[string]*Histogram)}
+	}
+	return in.hv
+}
+
+// Waits returns the registry's wait-statistics table (nil for a nil
+// registry; WaitTable methods are themselves nil-safe).
+func (r *Registry) Waits() *WaitTable {
+	if r == nil {
+		return nil
+	}
+	return r.wait
+}
+
+// Reset zeroes every instrument and the wait table. Label children are
+// kept (zeroed), so handed-out instrument pointers stay live.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	ins := make([]*instrument, 0, len(r.ord))
+	for _, name := range r.ord {
+		ins = append(ins, r.ins[name])
+	}
+	r.mu.Unlock()
+	for _, in := range ins {
+		if in.c != nil {
+			in.c.reset()
+		}
+		if in.g != nil {
+			in.g.reset()
+		}
+		if in.h != nil {
+			in.h.reset()
+		}
+		if in.cv != nil {
+			in.cv.reset()
+		}
+		if in.hv != nil {
+			in.hv.reset()
+		}
+	}
+	r.wait.Reset()
+}
+
+// Sample is one flattened metric value for DMV rendering.
+type Sample struct {
+	Name     string // metric name, possibly with _count/_sum suffix
+	Instance string // label value, "" for unlabeled
+	Value    float64
+}
+
+// Samples returns a stable flattened snapshot of every instrument,
+// histograms contributing name_count and name_sum rows. This backs the
+// sys.dm_os_performance_counters DMV.
+func (r *Registry) Samples() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ins := make([]*instrument, 0, len(r.ord))
+	for _, name := range r.ord {
+		ins = append(ins, r.ins[name])
+	}
+	r.mu.Unlock()
+	var out []Sample
+	for _, in := range ins {
+		switch {
+		case in.c != nil:
+			out = append(out, Sample{Name: in.name, Value: float64(in.c.Value())})
+		case in.g != nil:
+			out = append(out, Sample{Name: in.name, Value: float64(in.g.Value())})
+		case in.h != nil:
+			out = append(out,
+				Sample{Name: in.name + "_count", Value: float64(in.h.Count())},
+				Sample{Name: in.name + "_sum", Value: in.h.Sum()})
+		case in.cv != nil:
+			m := in.cv.snapshot()
+			for _, k := range sortedKeys(m) {
+				out = append(out, Sample{Name: in.name, Instance: k, Value: float64(m[k].Value())})
+			}
+		case in.hv != nil:
+			m := in.hv.snapshot()
+			for _, k := range sortedKeys(m) {
+				out = append(out,
+					Sample{Name: in.name + "_count", Instance: k, Value: float64(m[k].Count())},
+					Sample{Name: in.name + "_sum", Instance: k, Value: m[k].Sum()})
+			}
+		}
+	}
+	return out
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ins := make([]*instrument, 0, len(r.ord))
+	for _, name := range r.ord {
+		ins = append(ins, r.ins[name])
+	}
+	r.mu.Unlock()
+	for _, in := range ins {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", in.name, in.help, in.name, in.kind); err != nil {
+			return err
+		}
+		switch {
+		case in.c != nil:
+			fmt.Fprintf(w, "%s %d\n", in.name, in.c.Value())
+		case in.g != nil:
+			fmt.Fprintf(w, "%s %d\n", in.name, in.g.Value())
+		case in.h != nil:
+			writeHistogram(w, in.name, "", "", in.h)
+		case in.cv != nil:
+			m := in.cv.snapshot()
+			for _, k := range sortedKeys(m) {
+				fmt.Fprintf(w, "%s{%s=%q} %d\n", in.name, in.cv.label, k, m[k].Value())
+			}
+		case in.hv != nil:
+			m := in.hv.snapshot()
+			for _, k := range sortedKeys(m) {
+				writeHistogram(w, in.name, in.hv.label, k, m[k])
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name, label, value string, h *Histogram) {
+	prefix := ""
+	if label != "" {
+		prefix = fmt.Sprintf("%s=%q,", label, value)
+	}
+	cum := int64(0)
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, prefix, formatFloat(ub), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, prefix, h.Count())
+	if label != "" {
+		fmt.Fprintf(w, "%s_sum{%s=%q} %v\n", name, label, value, h.Sum())
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, value, h.Count())
+	} else {
+		fmt.Fprintf(w, "%s_sum %v\n", name, h.Sum())
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	}
+}
+
+func formatFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeNilSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var v *CounterVec
+	var hv *HistogramVec
+	var w *WaitTable
+	var r *Registry
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Dec()
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	v.With("x").Inc()
+	hv.With("x").Observe(1)
+	w.Record(WaitWALFsync, time.Millisecond)
+	r.Reset()
+	if r.Counter("a", "b") != nil || r.Gauge("a", "b") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dhqp_x_total", "x")
+	b := r.Counter("dhqp_x_total", "x again")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Add(7)
+	if b.Value() != 7 {
+		t.Fatalf("shared counter: got %d want 7", b.Value())
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dhqp_lat_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5) // overflows into +Inf only
+	if h.Count() != 4 {
+		t.Fatalf("count: got %d want 4", h.Count())
+	}
+	if got := h.Sum(); got < 5.05 || got > 5.06 {
+		t.Fatalf("sum: got %v", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE dhqp_lat_seconds histogram",
+		`dhqp_lat_seconds_bucket{le="0.001"} 1`,
+		`dhqp_lat_seconds_bucket{le="0.01"} 2`,
+		`dhqp_lat_seconds_bucket{le="0.1"} 3`,
+		`dhqp_lat_seconds_bucket{le="+Inf"} 4`,
+		"dhqp_lat_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecExpositionAndSamples(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("dhqp_remote_calls_total", "calls", "server")
+	cv.With("remote1").Add(3)
+	cv.With("remote0").Add(2)
+	hv := r.HistogramVec("dhqp_remote_seconds", "lat", "server", []float64{1})
+	hv.With("remote0").Observe(0.5)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`dhqp_remote_calls_total{server="remote0"} 2`,
+		`dhqp_remote_calls_total{server="remote1"} 3`,
+		`dhqp_remote_seconds_bucket{server="remote0",le="1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	var found bool
+	for _, s := range r.Samples() {
+		if s.Name == "dhqp_remote_calls_total" && s.Instance == "remote1" && s.Value == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Samples missing labeled counter row")
+	}
+}
+
+func TestWaitTable(t *testing.T) {
+	w := NewWaitTable()
+	w.Record(WaitRemoteCall, 10*time.Millisecond)
+	w.Record(WaitRemoteCall, 30*time.Millisecond)
+	w.Record(WaitWALFsync, 5*time.Millisecond)
+	snap := w.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("rows: got %d want 2", len(snap))
+	}
+	if snap[0].WaitType != WaitRemoteCall || snap[0].WaitingTasks != 2 {
+		t.Fatalf("top row: %+v", snap[0])
+	}
+	if snap[0].WaitTime != 40*time.Millisecond || snap[0].MaxWaitTime != 30*time.Millisecond {
+		t.Fatalf("times: %+v", snap[0])
+	}
+	w.Reset()
+	for _, s := range w.Snapshot() {
+		if s.WaitingTasks != 0 || s.WaitTime != 0 {
+			t.Fatalf("reset left %+v", s)
+		}
+	}
+}
+
+func TestRegistryResetConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	h := r.Histogram("h_seconds", "h", nil)
+	cv := r.CounterVec("v_total", "v", "k")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(0.001)
+				cv.With(fmt.Sprintf("k%d", i%2)).Inc()
+				r.Waits().Record(WaitRowLock, time.Microsecond)
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		r.Reset()
+	}
+	close(stop)
+	wg.Wait()
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Fatal("final reset must zero instruments")
+	}
+}
+
+func TestHTTPServerAndShutdownNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	r := NewRegistry()
+	r.Counter("dhqp_up", "up").Inc()
+	draining := false
+	srv, err := ListenAndServe("127.0.0.1:0", r, func() bool { return !draining })
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "dhqp_up 1") {
+		t.Fatalf("metrics body: %s", body)
+	}
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	draining = true
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The serving goroutine must be gone; allow the runtime a moment
+	// to reap connection goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}

@@ -50,8 +50,11 @@ func WAN() *Link {
 type CallObserver interface {
 	// ObserveCall mirrors one Call's effect on the link counters: calls
 	// always increment; fault=true means a faulted round trip (no payload),
-	// otherwise rows/bytes crossed the link.
-	ObserveCall(l *Link, rows, bytes int, fault bool)
+	// otherwise rows/bytes crossed the link. d is the call's simulated
+	// duration (latency + transfer time; zero for a downed link, which
+	// fails without sleeping) — the metrics layer feeds it into
+	// per-server latency histograms and REMOTE_CALL wait stats.
+	ObserveCall(l *Link, rows, bytes int, fault bool, d time.Duration)
 }
 
 type observerKey struct{}
@@ -104,7 +107,7 @@ func (l *Link) Call(ctx context.Context, rows int, bytes int) error {
 		if v.down {
 			l.faults.Add(1)
 			if obs != nil {
-				obs.ObserveCall(l, 0, 0, true)
+				obs.ObserveCall(l, 0, 0, true, 0)
 			}
 			return &downError{calls: l.calls.Load()}
 		}
@@ -115,7 +118,7 @@ func (l *Link) Call(ctx context.Context, rows int, bytes int) error {
 			l.virtualTime.Add(int64(d))
 			l.faults.Add(1)
 			if obs != nil {
-				obs.ObserveCall(l, 0, 0, true)
+				obs.ObserveCall(l, 0, 0, true, d)
 			}
 			if l.Sleep {
 				if err := sleepCtx(ctx, d); err != nil {
@@ -127,12 +130,12 @@ func (l *Link) Call(ctx context.Context, rows int, bytes int) error {
 	}
 	l.rows.Add(int64(rows))
 	l.bytes.Add(int64(bytes))
-	if obs != nil {
-		obs.ObserveCall(l, rows, bytes, false)
-	}
 	d := l.LatencyPerCall + extra
 	if l.BytesPerSecond > 0 {
 		d += time.Duration(float64(bytes) / l.BytesPerSecond * float64(time.Second))
+	}
+	if obs != nil {
+		obs.ObserveCall(l, rows, bytes, false, d)
 	}
 	l.virtualTime.Add(int64(d))
 	if l.Sleep && d > 0 {

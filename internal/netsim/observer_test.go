@@ -8,10 +8,12 @@ import (
 
 type recordingObserver struct {
 	calls, rows, bytes, faults int64
+	busy                       time.Duration
 }
 
-func (r *recordingObserver) ObserveCall(l *Link, rows, bytes int, fault bool) {
+func (r *recordingObserver) ObserveCall(l *Link, rows, bytes int, fault bool, d time.Duration) {
 	r.calls++
+	r.busy += d
 	if fault {
 		r.faults++
 		return
@@ -38,6 +40,9 @@ func TestObserverMirrorsLinkCounters(t *testing.T) {
 	}
 	if obs.rows != 15 || obs.bytes != 1500 || obs.faults != 1 {
 		t.Errorf("observer = %+v", *obs)
+	}
+	if obs.busy != s.VirtualTime {
+		t.Errorf("observer busy %v vs link virtual time %v", obs.busy, s.VirtualTime)
 	}
 }
 

@@ -34,6 +34,14 @@ type Target interface {
 	DescribeSQL(sql string) ([]schema.Column, error)
 }
 
+// ContextTarget is an optional Target extension: a target that executes
+// under the caller's context. In-process federation uses it to propagate
+// cancellation and the distributed trace — a member implementing it nests
+// its statement span under the coordinator's remote-call span.
+type ContextTarget interface {
+	QuerySQLContext(ctx context.Context, sql string, params map[string]sqltypes.Value) (*rowset.Materialized, error)
+}
+
 // Provider is a query-capable linked-server provider.
 type Provider struct {
 	target Target
@@ -225,7 +233,13 @@ func (c *command) Execute() (rowset.Rowset, error) {
 	if err := c.s.p.link.Call(c.s.callCtx(), 1, len(c.text)+len(c.params)*16); err != nil {
 		return nil, fmt.Errorf("sqlful: shipping statement: %w", err)
 	}
-	m, err := c.s.p.target.QuerySQL(c.text, c.params)
+	var m *rowset.Materialized
+	var err error
+	if ct, ok := c.s.p.target.(ContextTarget); ok {
+		m, err = ct.QuerySQLContext(c.s.callCtx(), c.text, c.params)
+	} else {
+		m, err = c.s.p.target.QuerySQL(c.text, c.params)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("sqlful: remote execution failed: %w", err)
 	}

@@ -12,6 +12,7 @@ import (
 	"dhqp/internal/rowset"
 	"dhqp/internal/schema"
 	"dhqp/internal/sqltypes"
+	"dhqp/internal/telemetry"
 )
 
 // Result is a statement outcome rehydrated on the client side.
@@ -26,6 +27,19 @@ type Result struct {
 	// and partitioned-view members skipped under partial results.
 	Retries int64
 	Skipped []string
+	// TraceID and Spans carry the distributed trace of a traced query
+	// (Client.SetTrace): the server-side span tree — coordinator statement,
+	// remote calls, member statements — rooted under the client's request.
+	TraceID string
+	Spans   []telemetry.TraceSpan
+}
+
+// SpanTree renders the traced query's span tree ("" when untraced).
+func (r *Result) SpanTree() string {
+	if len(r.Spans) == 0 {
+		return ""
+	}
+	return telemetry.RenderSpanTree(r.Spans)
 }
 
 // Display renders the result the same way the embedded engine does.
@@ -52,7 +66,14 @@ type Client struct {
 	reqMu   sync.Mutex
 	nextQID atomic.Int64
 	closed  atomic.Bool
+	// trace, when on, stamps every query frame with a fresh trace ID so the
+	// server returns its distributed span tree on the done frame.
+	trace atomic.Bool
 }
+
+// SetTrace toggles distributed tracing for this session's queries: each
+// traced SELECT returns the server-side span tree in Result.Spans.
+func (c *Client) SetTrace(on bool) { c.trace.Store(on) }
 
 // Dial opens a session: connect, hello, welcome. The handshake runs under
 // a 10s deadline; an unresponsive endpoint fails fast.
@@ -110,10 +131,14 @@ func (c *Client) Query(sql string, params map[string]sqltypes.Value) (*Result, e
 	defer c.reqMu.Unlock()
 	qid := c.nextQID.Add(1)
 	req := &Frame{Type: FrameQuery, QueryID: qid, SQL: sql, Params: encodeParams(params)}
+	if c.trace.Load() {
+		// Parent span 0: the server's statement span roots the tree.
+		req.TraceID = telemetry.NewTrace().ID()
+	}
 	if err := c.writeFrame(req); err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	res := &Result{TraceID: req.TraceID}
 	for {
 		f, err := ReadFrame(c.br)
 		if err != nil {
@@ -135,6 +160,7 @@ func (c *Client) Query(sql string, params map[string]sqltypes.Value) (*Result, e
 			res.Elapsed = time.Duration(f.ElapsedUS) * time.Microsecond
 			res.Retries = f.Retries
 			res.Skipped = f.Skipped
+			res.Spans = decodeSpans(f.Spans)
 			return res, nil
 		case FrameError:
 			return nil, &QueryError{Code: f.Code, Msg: f.Msg}

@@ -1,0 +1,115 @@
+// Serving-layer observability: session/admission/frame instruments
+// registered on the engine's metrics registry (one scrape covers both
+// layers), the byte-counting connection wrapper, and the
+// sys.dm_os_performance_counters / sys.dm_os_wait_stats DMV renderers.
+package server
+
+import (
+	"net"
+
+	"dhqp/internal/engine"
+	"dhqp/internal/metrics"
+	"dhqp/internal/rowset"
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+)
+
+// srvInstruments holds the serving layer's instruments. Always on — the
+// serving layer is off every per-row hot path, so there is nothing to
+// gate (the E18 overhead knob toggles the engine/exec/storage bundles).
+type srvInstruments struct {
+	sessionsOpened *metrics.Counter
+	sessionsActive *metrics.Gauge
+	admissionWaits *metrics.Counter // statements that queued for a slot
+	admissionBusy  *metrics.Counter // busy rejections (queue full / timeout)
+	framesRead     *metrics.Counter
+	framesWritten  *metrics.Counter
+	bytesRead      *metrics.Counter
+	bytesWritten   *metrics.Counter
+	kills          *metrics.Counter
+	drains         *metrics.Counter
+	waits          *metrics.WaitTable
+}
+
+func newSrvInstruments(r *metrics.Registry) *srvInstruments {
+	return &srvInstruments{
+		sessionsOpened: r.Counter("dhqp_server_sessions_opened_total", "Network sessions accepted"),
+		sessionsActive: r.Gauge("dhqp_server_sessions_active", "Network sessions currently open"),
+		admissionWaits: r.Counter("dhqp_server_admission_waits_total", "Statements that queued for a concurrency slot"),
+		admissionBusy:  r.Counter("dhqp_server_admission_rejects_total", "Statements rejected busy by admission control"),
+		framesRead:     r.Counter("dhqp_server_frames_read_total", "Protocol frames received"),
+		framesWritten:  r.Counter("dhqp_server_frames_written_total", "Protocol frames sent"),
+		bytesRead:      r.Counter("dhqp_server_bytes_read_total", "Bytes received from clients"),
+		bytesWritten:   r.Counter("dhqp_server_bytes_written_total", "Bytes sent to clients"),
+		kills:          r.Counter("dhqp_server_kills_total", "KILL statements that found their victim"),
+		drains:         r.Counter("dhqp_server_drains_total", "Graceful drains begun"),
+		waits:          r.Waits(),
+	}
+}
+
+// countingConn counts the session's wire bytes in both directions.
+type countingConn struct {
+	net.Conn
+	sm *srvInstruments
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.sm.bytesRead.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.sm.bytesWritten.Add(int64(n))
+	return n, err
+}
+
+// Healthy reports whether the server accepts new statements (false once
+// draining) — the /healthz predicate for the metrics endpoint.
+func (s *Server) Healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining
+}
+
+// PerformanceCountersResult renders every metric in the engine's registry
+// as a sys.dm_os_performance_counters-style result set: one row per
+// counter/gauge (and per labeled child), histograms contributing _count
+// and _sum rows. Exported so fedsql serves the identical shape embedded.
+func PerformanceCountersResult(eng *engine.Server) *engine.Result {
+	res := &engine.Result{Cols: []schema.Column{
+		{Name: "counter_name", Kind: sqltypes.KindString},
+		{Name: "instance_name", Kind: sqltypes.KindString},
+		{Name: "cntr_value", Kind: sqltypes.KindFloat},
+	}}
+	for _, sm := range eng.Metrics().Samples() {
+		res.Rows = append(res.Rows, rowset.Row{
+			sqltypes.NewString(sm.Name),
+			sqltypes.NewString(sm.Instance),
+			sqltypes.NewFloat(sm.Value),
+		})
+	}
+	return res
+}
+
+// WaitStatsResult renders the wait-point table as sys.dm_os_wait_stats:
+// one row per wait type with occurrence count, summed and maximum wait
+// time, sorted by total wait time descending.
+func WaitStatsResult(eng *engine.Server) *engine.Result {
+	res := &engine.Result{Cols: []schema.Column{
+		{Name: "wait_type", Kind: sqltypes.KindString},
+		{Name: "waiting_tasks_count", Kind: sqltypes.KindInt},
+		{Name: "wait_time_ms", Kind: sqltypes.KindFloat},
+		{Name: "max_wait_time_ms", Kind: sqltypes.KindFloat},
+	}}
+	for _, w := range eng.Metrics().Waits().Snapshot() {
+		res.Rows = append(res.Rows, rowset.Row{
+			sqltypes.NewString(w.WaitType),
+			sqltypes.NewInt(w.WaitingTasks),
+			sqltypes.NewFloat(float64(w.WaitTime.Microseconds()) / 1000),
+			sqltypes.NewFloat(float64(w.MaxWaitTime.Microseconds()) / 1000),
+		})
+	}
+	return res
+}

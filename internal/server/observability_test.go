@@ -1,0 +1,221 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dhqp/internal/metrics"
+	"dhqp/internal/telemetry"
+)
+
+// TestFederatedTraceTree is the tentpole acceptance check: a traced query
+// through the serving layer over a 3-member federation must come back with
+// one coherent span tree — the coordinator's statement span at the root,
+// a remote-call span per member underneath, and each member's own
+// statement span nested under its remote call.
+func TestFederatedTraceTree(t *testing.T) {
+	// Nonzero (simulated) link latency: with free links the optimizer
+	// prefers raw rowset scans; with real costs it ships SQL to members,
+	// which is the plan shape whose trace spans members.
+	head, links := buildFederation(t, 3, 5, time.Millisecond, false)
+	srv, addr := startServer(t, head, Options{})
+	defer srv.Close()
+	c := dial(t, addr)
+	defer c.Close()
+
+	c.SetTrace(true)
+	// Warm the plan cache, then zero both telemetry sides: links also
+	// count setup-time traffic (schema fetches, remote statistics) that
+	// statement-scoped metrics deliberately exclude, so parity below is
+	// asserted over one cached execution.
+	if _, err := c.Query(`SELECT y, SUM(amount) AS total FROM all_sales GROUP BY y`, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range links {
+		l.Reset()
+	}
+	head.ResetMetrics()
+	// An aggregate over the view pushes SQL to each member (not a bare
+	// rowset scan), so every member executes a statement of its own.
+	res, err := c.Query(`SELECT y, SUM(amount) AS total FROM all_sales GROUP BY y`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	if res.TraceID == "" {
+		t.Fatal("traced query must carry a trace ID")
+	}
+	if len(res.Spans) == 0 {
+		t.Fatal("traced query must return spans")
+	}
+
+	byID := make(map[uint64]telemetry.TraceSpan, len(res.Spans))
+	servers := map[string]bool{}
+	var roots []telemetry.TraceSpan
+	for _, sp := range res.Spans {
+		byID[sp.SpanID] = sp
+		servers[sp.Server] = true
+		if sp.ParentID == 0 {
+			roots = append(roots, sp)
+		}
+	}
+	if len(roots) != 1 || roots[0].Server != "head" || roots[0].Name != "statement" {
+		t.Fatalf("want exactly one root span (head statement), got %+v", roots)
+	}
+	for _, want := range []string{"head", "w0", "w1", "w2"} {
+		if !servers[want] {
+			t.Fatalf("span tree misses server %s; have %v\n%s",
+				want, servers, telemetry.RenderSpanTree(res.Spans))
+		}
+	}
+	// Every member statement span must nest under a head-side remote-call
+	// span, which in turn nests under the root: one tree, not four.
+	for _, sp := range res.Spans {
+		if sp.Server == "head" || sp.Name != "statement" {
+			continue
+		}
+		parent, ok := byID[sp.ParentID]
+		if !ok {
+			t.Fatalf("member span %+v has dangling parent", sp)
+		}
+		if parent.Server != "head" || !strings.HasPrefix(parent.Name, "remote ") {
+			t.Fatalf("member statement nests under %+v, want a head remote-call span", parent)
+		}
+		if parent.ParentID != roots[0].SpanID {
+			t.Fatalf("remote-call span %+v not rooted under the statement", parent)
+		}
+	}
+
+	// Parity: the metrics registry's per-server remote-call counters must
+	// agree with the links' own telemetry.
+	var linkCalls int64
+	for _, l := range links {
+		linkCalls += l.Stats().Calls
+	}
+	var metricCalls float64
+	for _, smp := range head.Metrics().Samples() {
+		if smp.Name == "dhqp_remote_calls_total" {
+			metricCalls += smp.Value
+		}
+	}
+	if int64(metricCalls) != linkCalls {
+		t.Fatalf("dhqp_remote_calls_total = %v, link telemetry counted %d", metricCalls, linkCalls)
+	}
+	if linkCalls == 0 {
+		t.Fatal("federated query must make remote calls")
+	}
+
+	// Untraced queries stay span-free.
+	c.SetTrace(false)
+	res, err = c.Query(`SELECT y, SUM(amount) AS total FROM all_sales GROUP BY y`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID != "" || len(res.Spans) != 0 {
+		t.Fatalf("untraced query returned trace %q with %d spans", res.TraceID, len(res.Spans))
+	}
+}
+
+// TestWaitStatsDMVOverWire asserts the wait-stats DMV, queried over TCP,
+// reports the REMOTE_CALL waits the federated statement just accrued.
+func TestWaitStatsDMVOverWire(t *testing.T) {
+	head, _ := buildFederation(t, 2, 3, time.Millisecond, false)
+	srv, addr := startServer(t, head, Options{})
+	defer srv.Close()
+	c := dial(t, addr)
+	defer c.Close()
+
+	if _, err := c.Query(`SELECT y, amount FROM all_sales`, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(`SELECT * FROM sys.dm_os_wait_stats`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range res.Rows {
+		if row[0].Str() == metrics.WaitRemoteCall && row[1].Int() > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wait-stats DMV misses REMOTE_CALL waits: %s", res.Display())
+	}
+
+	perf, err := c.Query(`SELECT * FROM sys.dm_os_performance_counters`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perf.Rows) == 0 {
+		t.Fatal("performance-counters DMV returned no rows")
+	}
+	seen := false
+	for _, row := range perf.Rows {
+		if row[0].Str() == "dhqp_statements_total" && row[2].Float() > 0 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("performance-counters DMV misses dhqp_statements_total")
+	}
+}
+
+// TestMetricsHTTPShutdownDuringDrain closes the metrics endpoint while the
+// serving layer drains — the fedsql shutdown path — with a scrape in
+// flight, and asserts every goroutine (sessions, HTTP conns, the serving
+// loop) unwinds.
+func TestMetricsHTTPShutdownDuringDrain(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	head, _ := buildFederation(t, 2, 3, 0, false)
+	srv, addr := startServer(t, head, Options{})
+	h, err := metrics.ListenAndServe("127.0.0.1:0", head.Metrics(), srv.Healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := dial(t, addr)
+	if _, err := c.Query(`SELECT y, amount FROM all_sales`, nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + h.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz before drain: %d", resp.StatusCode)
+	}
+
+	// Drain the server and shut the metrics endpoint down concurrently,
+	// with scrapes still arriving while both unwind.
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		if resp, err := http.Get("http://" + h.Addr() + "/metrics"); err == nil {
+			resp.Body.Close()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		srv.Close()
+	}()
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := h.Close(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+	c.Close()
+	waitGoroutines(t, baseline)
+}

@@ -18,10 +18,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"dhqp/internal/rowset"
 	"dhqp/internal/schema"
 	"dhqp/internal/sqltypes"
+	"dhqp/internal/telemetry"
 )
 
 // Frame types. A session speaks strictly request/response — the only frame
@@ -67,9 +69,13 @@ type Frame struct {
 	SessionID int64  `json:"session_id,omitempty"`
 	QueryID   int64  `json:"query_id,omitempty"`
 
-	// Query request.
-	SQL    string               `json:"sql,omitempty"`
-	Params map[string]WireValue `json:"params,omitempty"`
+	// Query request. TraceID/SpanID propagate the client's distributed
+	// trace: the server joins the trace (with a disjoint span-ID range) and
+	// nests the statement's span tree under the given parent span.
+	SQL     string               `json:"sql,omitempty"`
+	Params  map[string]WireValue `json:"params,omitempty"`
+	TraceID string               `json:"trace_id,omitempty"`
+	SpanID  uint64               `json:"span_id,omitempty"`
 
 	// Result stream.
 	Cols      []WireCol     `json:"cols,omitempty"`
@@ -78,6 +84,10 @@ type Frame struct {
 	ElapsedUS int64         `json:"elapsed_us,omitempty"`
 	Retries   int64         `json:"retries,omitempty"`
 	Skipped   []string      `json:"skipped,omitempty"`
+	// Spans rides the done frame of a traced statement: every span the
+	// server side recorded (statement, remote calls, member statements),
+	// for the client to graft into its trace.
+	Spans []WireSpan `json:"spans,omitempty"`
 
 	// Error frames.
 	Code string `json:"code,omitempty"`
@@ -97,6 +107,51 @@ type ServerInfo struct {
 	Queued        int    `json:"queued"`
 	MaxConcurrent int    `json:"max_concurrent"`
 	Draining      bool   `json:"draining"`
+}
+
+// WireSpan is one trace span on the wire.
+type WireSpan struct {
+	ID        uint64 `json:"id"`
+	Parent    uint64 `json:"parent,omitempty"`
+	Server    string `json:"server,omitempty"`
+	Name      string `json:"name,omitempty"`
+	Detail    string `json:"detail,omitempty"`
+	StartUS   int64  `json:"start_us,omitempty"`   // unix microseconds
+	ElapsedUS int64  `json:"elapsed_us,omitempty"` // span duration
+}
+
+// encodeSpans converts trace spans for the wire.
+func encodeSpans(spans []telemetry.TraceSpan) []WireSpan {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]WireSpan, len(spans))
+	for i, sp := range spans {
+		out[i] = WireSpan{
+			ID: sp.SpanID, Parent: sp.ParentID,
+			Server: sp.Server, Name: sp.Name, Detail: sp.Detail,
+			StartUS:   sp.Start.UnixMicro(),
+			ElapsedUS: sp.Elapsed.Microseconds(),
+		}
+	}
+	return out
+}
+
+// decodeSpans converts wire spans back into trace spans.
+func decodeSpans(spans []WireSpan) []telemetry.TraceSpan {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]telemetry.TraceSpan, len(spans))
+	for i, w := range spans {
+		out[i] = telemetry.TraceSpan{
+			SpanID: w.ID, ParentID: w.Parent,
+			Server: w.Server, Name: w.Name, Detail: w.Detail,
+			Start:   time.UnixMicro(w.StartUS),
+			Elapsed: time.Duration(w.ElapsedUS) * time.Microsecond,
+		}
+	}
+	return out
 }
 
 // WireCol is one result column.

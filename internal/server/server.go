@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dhqp/internal/engine"
+	"dhqp/internal/metrics"
 )
 
 // Options tunes the serving layer. The zero value picks every default.
@@ -105,6 +106,10 @@ type Server struct {
 	// in-flight statement goroutine; Close waits for all of them, which is
 	// what makes "drain leaks no goroutines" testable.
 	wg sync.WaitGroup
+
+	// sm holds the serving layer's instruments, registered on the engine's
+	// metrics registry so one scrape covers both layers.
+	sm *srvInstruments
 }
 
 // New wraps an engine in a serving layer. Call Listen (or Serve) to start
@@ -117,6 +122,7 @@ func New(eng *engine.Server, opt Options) *Server {
 		sessions: map[int64]*session{},
 		drainCh:  make(chan struct{}),
 		slots:    make(chan struct{}, opt.MaxConcurrent),
+		sm:       newSrvInstruments(eng.Metrics()),
 	}
 }
 
@@ -251,15 +257,22 @@ func (s *Server) admit(ctx context.Context) error {
 	}
 	if s.queued.Add(1) > int64(s.opt.MaxQueue) {
 		s.queued.Add(-1)
+		s.sm.admissionBusy.Inc()
 		return &BusyError{Reason: fmt.Sprintf("all %d query slots taken and the wait queue of %d is full", s.opt.MaxConcurrent, s.opt.MaxQueue)}
 	}
 	defer s.queued.Add(-1)
+	// The statement is queueing: whatever the outcome, the time spent here
+	// is an ADMISSION_QUEUE wait.
+	s.sm.admissionWaits.Inc()
+	start := time.Now()
+	defer func() { s.sm.waits.Record(metrics.WaitAdmissionQueue, time.Since(start)) }()
 	t := time.NewTimer(s.opt.QueueTimeout)
 	defer t.Stop()
 	select {
 	case s.slots <- struct{}{}:
 		return nil
 	case <-t.C:
+		s.sm.admissionBusy.Inc()
 		return &BusyError{Reason: fmt.Sprintf("queued %v for a query slot (all %d taken)", s.opt.QueueTimeout, s.opt.MaxConcurrent)}
 	case <-ctx.Done():
 		return ctx.Err()
@@ -308,6 +321,7 @@ func (s *Server) kill(victimID, byID int64) error {
 		return fmt.Errorf("session %d does not exist", victimID)
 	}
 	if victim.cancelRunning(CodeKilled, fmt.Sprintf("killed by session %d", byID)) {
+		s.sm.kills.Inc()
 		return nil
 	}
 	if victimID == byID {
@@ -315,6 +329,7 @@ func (s *Server) kill(victimID, byID int64) error {
 	}
 	victim.sendError(0, CodeKilled, fmt.Sprintf("session killed by session %d", byID))
 	victim.conn.Close()
+	s.sm.kills.Inc()
 	return nil
 }
 
@@ -339,6 +354,7 @@ func (s *Server) Close() error {
 	if ln != nil {
 		ln.Close()
 	}
+	s.sm.drains.Inc()
 	close(s.drainCh)
 	// Let in-flight statements finish under the drain deadline. Queued
 	// statements abort immediately through drainCh.
@@ -377,6 +393,8 @@ const (
 	stmtDMVRequests
 	stmtDMVQueryStats
 	stmtDMVPlanCache
+	stmtDMVPerfCounters
+	stmtDMVWaitStats
 )
 
 // classifyStatement routes by statement prefix the way fedsql's REPL does;
@@ -399,6 +417,10 @@ func classifyStatement(sql string) (statementKind, int64) {
 			return stmtDMVQueryStats, 0
 		case strings.Contains(upper, "DM_EXEC_CACHED_PLANS"):
 			return stmtDMVPlanCache, 0
+		case strings.Contains(upper, "DM_OS_PERFORMANCE_COUNTERS"):
+			return stmtDMVPerfCounters, 0
+		case strings.Contains(upper, "DM_OS_WAIT_STATS"):
+			return stmtDMVWaitStats, 0
 		}
 		return stmtSelect, 0
 	}

@@ -15,6 +15,7 @@ import (
 	"dhqp/internal/rowset"
 	"dhqp/internal/schema"
 	"dhqp/internal/sqltypes"
+	"dhqp/internal/telemetry"
 )
 
 // session is one authenticated connection. Its read loop stays free while a
@@ -69,6 +70,7 @@ func (sess *session) writeFrame(f *Frame) error {
 	if err := WriteFrame(sess.bw, f); err != nil {
 		return err
 	}
+	sess.srv.sm.framesWritten.Inc()
 	return sess.bw.Flush()
 }
 
@@ -145,8 +147,9 @@ func (sess *session) endStatement() {
 }
 
 // handleConn runs one session: handshake, register, then the frame loop.
-func (s *Server) handleConn(conn net.Conn) {
+func (s *Server) handleConn(rawConn net.Conn) {
 	defer s.wg.Done()
+	conn := &countingConn{Conn: rawConn, sm: s.sm}
 	defer conn.Close()
 	now := time.Now()
 	sess := &session{srv: s, conn: conn, bw: bufio.NewWriter(conn), login: now, lastActive: now}
@@ -158,6 +161,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	s.sm.framesRead.Inc()
 	if f.Type != FrameHello {
 		sess.sendError(0, CodeProtocol, fmt.Sprintf("expected hello, got %q", f.Type))
 		return
@@ -168,6 +172,9 @@ func (s *Server) handleConn(conn net.Conn) {
 		sess.sendError(0, CodeShutdown, "server shutting down")
 		return
 	}
+	s.sm.sessionsOpened.Inc()
+	s.sm.sessionsActive.Inc()
+	defer s.sm.sessionsActive.Add(-1)
 	defer s.unregister(id)
 	// A vanished client must not strand its statement holding a slot.
 	defer sess.cancelRunning(CodeCancelled, "session closed")
@@ -179,6 +186,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		s.sm.framesRead.Inc()
 		sess.touch()
 		switch f.Type {
 		case FrameQuery:
@@ -216,30 +224,39 @@ func (s *Server) runStatement(sess *session, f *Frame, qctx context.Context) {
 		return
 	}
 	kind, killID := classifyStatement(f.SQL)
-	if kind == stmtKill || kind == stmtDMVSessions || kind == stmtDMVRequests ||
-		kind == stmtDMVQueryStats || kind == stmtDMVPlanCache {
-		// No admission wait for these; they are running the moment they start.
+	if kind != stmtSelect && kind != stmtExec {
+		// No admission wait for KILL and the DMVs; they are running the
+		// moment they start — observability and the ability to shoot a
+		// runaway query must keep working on a saturated server.
 		sess.markRunning()
 	}
 	switch kind {
 	case stmtKill:
 		if err := s.kill(killID, sess.id); err != nil {
+			sess.endStatement()
 			sess.sendError(qid, CodeQuery, err.Error())
 			return
 		}
+		sess.endStatement()
 		_ = sess.writeFrame(&Frame{Type: FrameDone, QueryID: qid})
 		return
 	case stmtDMVSessions:
-		_ = sess.streamResult(qid, s.sessionsDMV(), 0)
+		_ = sess.streamResult(qid, s.sessionsDMV(), 0, nil)
 		return
 	case stmtDMVRequests:
-		_ = sess.streamResult(qid, s.requestsDMV(), 0)
+		_ = sess.streamResult(qid, s.requestsDMV(), 0, nil)
 		return
 	case stmtDMVQueryStats:
-		_ = sess.streamResult(qid, QueryStatsResult(s.eng), 0)
+		_ = sess.streamResult(qid, QueryStatsResult(s.eng), 0, nil)
 		return
 	case stmtDMVPlanCache:
-		_ = sess.streamResult(qid, PlanCacheResult(s.eng), 0)
+		_ = sess.streamResult(qid, PlanCacheResult(s.eng), 0, nil)
+		return
+	case stmtDMVPerfCounters:
+		_ = sess.streamResult(qid, PerformanceCountersResult(s.eng), 0, nil)
+		return
+	case stmtDMVWaitStats:
+		_ = sess.streamResult(qid, WaitStatsResult(s.eng), 0, nil)
 		return
 	}
 	// Engine statements pass admission control.
@@ -254,7 +271,17 @@ func (s *Server) runStatement(sess *session, f *Frame, qctx context.Context) {
 	var affected int64
 	var err error
 	if kind == stmtSelect {
-		res, err = s.eng.QueryContext(qctx, f.SQL, params)
+		// A client-propagated trace joins here: this server (and every
+		// in-process federation member below it) records spans with a
+		// span-ID range disjoint from the client's, nested under the
+		// client's parent span; they ship back on the done frame.
+		ectx := qctx
+		var tr *telemetry.Trace
+		if f.TraceID != "" {
+			tr = telemetry.JoinTrace(f.TraceID)
+			ectx = telemetry.WithTrace(qctx, tr, f.SpanID)
+		}
+		res, err = s.eng.QueryContext(ectx, f.SQL, params)
 		elapsed := time.Since(start)
 		s.running.Add(-1)
 		s.release()
@@ -262,7 +289,11 @@ func (s *Server) runStatement(sess *session, f *Frame, qctx context.Context) {
 			sess.sendStatementError(qid, err)
 			return
 		}
-		_ = sess.streamResult(qid, res, elapsed)
+		var spans []WireSpan
+		if tr != nil {
+			spans = encodeSpans(tr.Spans())
+		}
+		_ = sess.streamResult(qid, res, elapsed, spans)
 		return
 	}
 	// DML/DDL runs to completion; the engine's write path is not
@@ -278,6 +309,7 @@ func (s *Server) runStatement(sess *session, f *Frame, qctx context.Context) {
 	if err != nil {
 		sess.sendStatementError(qid, err)
 	} else {
+		sess.endStatement()
 		_ = sess.writeFrame(&Frame{Type: FrameDone, QueryID: qid, RowCount: affected, ElapsedUS: elapsed.Microseconds()})
 	}
 	s.writers.Add(-1)
@@ -303,11 +335,15 @@ func (sess *session) sendStatementError(qid int64, err error) {
 			code, msg = c, m
 		}
 	}
+	// Release the statement slot before the outcome frame goes out: the
+	// moment the client reads it, its next query is legal, and the frame
+	// loop must not race the deferred cleanup into a protocol error.
+	sess.endStatement()
 	sess.sendError(qid, code, msg)
 }
 
 // streamResult sends cols, row batches, then done for one result set.
-func (sess *session) streamResult(qid int64, res *engine.Result, elapsed time.Duration) error {
+func (sess *session) streamResult(qid int64, res *engine.Result, elapsed time.Duration, spans []WireSpan) error {
 	if err := sess.writeFrame(&Frame{Type: FrameCols, QueryID: qid, Cols: encodeCols(res.Cols)}); err != nil {
 		return err
 	}
@@ -322,6 +358,10 @@ func (sess *session) streamResult(qid int64, res *engine.Result, elapsed time.Du
 			return err
 		}
 	}
+	// Release the statement slot before done goes out (see
+	// sendStatementError); endStatement is idempotent, so the runStatement
+	// defer remains a backstop for error paths.
+	sess.endStatement()
 	return sess.writeFrame(&Frame{
 		Type:      FrameDone,
 		QueryID:   qid,
@@ -329,6 +369,7 @@ func (sess *session) streamResult(qid int64, res *engine.Result, elapsed time.Du
 		ElapsedUS: elapsed.Microseconds(),
 		Retries:   res.Retries,
 		Skipped:   res.Skipped,
+		Spans:     spans,
 	})
 }
 

@@ -1,0 +1,80 @@
+// Storage-layer instrumentation: the engine above attaches a set of
+// metrics instruments and a wait table, and the WAL/commit/conflict hot
+// paths report into them. Every hook is nil-safe and lock-free (atomic
+// pointer load + atomic counter adds), so an uninstrumented engine pays
+// one pointer load per hook.
+package storage
+
+import (
+	"sync/atomic"
+	"time"
+
+	"dhqp/internal/metrics"
+)
+
+// Instrumentation bundles the storage engine's metric instruments. Any
+// field may be nil; the metrics package's instrument methods are
+// nil-safe, so a partially filled bundle is fine.
+type Instrumentation struct {
+	WALAppends    *metrics.Counter   // log records appended
+	WALBytes      *metrics.Counter   // payload bytes appended
+	WALFsyncs     *metrics.Counter   // fsync calls on the log device
+	FsyncSeconds  *metrics.Histogram // per-fsync latency
+	CommitSeconds *metrics.Histogram // Txn.Commit latency (validate+log+apply)
+
+	WriteConflicts *metrics.Counter // first-writer-wins aborts
+	RowLockWaits   *metrics.Counter // aborts on prepared-transaction row locks
+
+	Recoveries    *metrics.Counter // WAL replays performed at attach
+	RecoveredTxns *metrics.Counter // committed transactions replayed
+
+	Waits *metrics.WaitTable // WAL_FSYNC and ROW_LOCK wait points
+}
+
+// SetInstrumentation attaches (or with nil, detaches) the metric
+// instruments the storage hot paths report into. Safe to call at any
+// time; concurrent commits see either the old or new bundle.
+func (e *Engine) SetInstrumentation(ins *Instrumentation) {
+	e.tm.ins.Store(ins)
+}
+
+// instr returns the active bundle (nil when uninstrumented).
+func (tm *TxnManager) instr() *Instrumentation {
+	if tm == nil {
+		return nil
+	}
+	return tm.ins.Load()
+}
+
+// noteAppend records a batch of appended log records. Nil-safe.
+func (ins *Instrumentation) noteAppend(recs int, bytes int) {
+	if ins == nil {
+		return
+	}
+	ins.WALAppends.Add(int64(recs))
+	ins.WALBytes.Add(int64(bytes))
+}
+
+// noteFsync records one log-device sync and its duration. Nil-safe.
+func (ins *Instrumentation) noteFsync(d time.Duration) {
+	if ins == nil {
+		return
+	}
+	ins.WALFsyncs.Inc()
+	ins.FsyncSeconds.ObserveDuration(d)
+	ins.Waits.Record(metrics.WaitWALFsync, d)
+}
+
+// walInstr holds the shared instrumentation pointer a WAL reports
+// through (the owning TxnManager's). A zero walInstr reads nil forever,
+// which keeps bare test fixtures uninstrumented.
+type walInstr struct {
+	p *atomic.Pointer[Instrumentation]
+}
+
+func (wi walInstr) load() *Instrumentation {
+	if wi.p == nil {
+		return nil
+	}
+	return wi.p.Load()
+}

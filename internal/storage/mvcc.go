@@ -18,7 +18,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"dhqp/internal/metrics"
 	"dhqp/internal/rowset"
 )
 
@@ -99,6 +101,10 @@ type TxnManager struct {
 	// indoubt holds transactions recovered in the prepared state, awaiting
 	// ResolveInDoubt; their row locks are held until resolution.
 	indoubt map[uint64]*Txn
+
+	// ins is the engine's metric instrumentation bundle (nil when
+	// uninstrumented); hot paths load it once per operation.
+	ins atomic.Pointer[Instrumentation]
 }
 
 // updateLoggingLocked recomputes the fast-path logging gate; caller holds
@@ -395,9 +401,16 @@ func (t *Txn) validateLocked() error {
 			return fmt.Errorf("storage: %s: bad bookmark %d", tbl.def.Name, op.bm)
 		}
 		if owner, locked := tbl.locks[op.bm]; locked && owner != t.id {
+			if ins := t.eng.tm.instr(); ins != nil {
+				ins.RowLockWaits.Inc()
+				ins.Waits.Record(metrics.WaitRowLock, 0)
+			}
 			return fmt.Errorf("%w: %s bookmark %d", ErrRowLocked, tbl.def.Name, op.bm)
 		}
 		if tbl.csns[op.bm] > t.snap.csn {
+			if ins := t.eng.tm.instr(); ins != nil {
+				ins.WriteConflicts.Inc()
+			}
 			return fmt.Errorf("%w: %s bookmark %d", ErrWriteConflict, tbl.def.Name, op.bm)
 		}
 		if tbl.rows[op.bm] == nil {
@@ -553,11 +566,21 @@ func (t *Txn) Commit() error {
 		return fmt.Errorf("storage: txn %d already finished", t.id)
 	}
 	tm := t.eng.tm
+	ins := tm.instr()
+	start := time.Now()
 	tm.commitMu.Lock()
 	defer tm.commitMu.Unlock()
 	tables := t.tables()
 	for _, tbl := range tables {
 		tbl.mu.Lock()
+	}
+	if ins != nil {
+		// Time spent blocked behind concurrent committers' locks is the
+		// row/table-lock wait; the commit's own work is timed separately.
+		if d := time.Since(start); d > 0 {
+			ins.Waits.Record(metrics.WaitRowLock, d)
+		}
+		defer ins.CommitSeconds.ObserveSince(start)
 	}
 	unlock := func() {
 		for i := len(tables) - 1; i >= 0; i-- {

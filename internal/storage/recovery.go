@@ -79,7 +79,7 @@ func (e *Engine) AttachWAL(b Backend) (*RecoveryInfo, error) {
 			return nil, err
 		}
 	}
-	w := &WAL{b: b}
+	w := &WAL{b: b, ins: walInstr{p: &e.tm.ins}}
 	switch {
 	case e.tableCount() > 0 && len(recs) > 0:
 		return nil, errors.New("storage: refusing to attach a non-empty WAL to a non-empty engine")
@@ -91,6 +91,10 @@ func (e *Engine) AttachWAL(b Backend) (*RecoveryInfo, error) {
 	case len(recs) > 0:
 		if err := e.replay(recs, info); err != nil {
 			return nil, err
+		}
+		if ins := e.tm.instr(); ins != nil {
+			ins.Recoveries.Inc()
+			ins.RecoveredTxns.Add(int64(info.Txns))
 		}
 	}
 	e.tm.mu.Lock()

@@ -24,6 +24,7 @@ import (
 	"math"
 	"os"
 	"sync"
+	"time"
 
 	"dhqp/internal/rowset"
 	"dhqp/internal/sqltypes"
@@ -87,23 +88,32 @@ type walRecord struct {
 // backend. Each record is a separate Append call — every append and every
 // fsync is an injection point for the crash harness.
 type WAL struct {
-	mu sync.Mutex
-	b  Backend
+	mu  sync.Mutex
+	b   Backend
+	ins walInstr // owning engine's instrumentation (zero in bare fixtures)
 }
 
 // appendAll writes the records back-to-back and optionally fsyncs. A
 // failure anywhere leaves the log with a prefix of the records, which
 // recovery treats as an uncommitted (aborted) group.
 func (w *WAL) appendAll(recs []walRecord, sync bool) error {
+	ins := w.ins.load()
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	bytes := 0
 	for i := range recs {
-		if err := w.b.Append(encodeRecord(&recs[i])); err != nil {
+		p := encodeRecord(&recs[i])
+		bytes += len(p)
+		if err := w.b.Append(p); err != nil {
 			return err
 		}
 	}
+	ins.noteAppend(len(recs), bytes)
 	if sync {
-		return w.b.Sync()
+		start := time.Now()
+		err := w.b.Sync()
+		ins.noteFsync(time.Since(start))
+		return err
 	}
 	return nil
 }

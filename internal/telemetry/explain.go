@@ -23,6 +23,10 @@ type Explain struct {
 	RemoteSQL []RemoteText
 	// Skipped lists partitions skipped under partial-results execution.
 	Skipped []string
+	// Trace, when the statement ran traced, carries the distributed span
+	// tree: the coordinator's statement span, its remote calls, and — over
+	// trace-propagating transports — the member-side spans nested below.
+	Trace *Trace
 }
 
 // Actual returns the runtime counters for a plan node (nil if the node
@@ -92,6 +96,12 @@ func (e *Explain) String() string {
 		b.WriteString("remote statements:\n")
 		for _, rt := range e.RemoteSQL {
 			fmt.Fprintf(&b, "  %s: %s\n", rt.Server, rt.Text)
+		}
+	}
+	if e.Trace != nil {
+		if spans := e.Trace.Spans(); len(spans) > 0 {
+			fmt.Fprintf(&b, "trace %s:\n", e.Trace.ID())
+			b.WriteString(RenderSpanTree(spans))
 		}
 	}
 	if e.Stats != nil && len(e.Stats.Links) > 0 {

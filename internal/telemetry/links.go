@@ -3,6 +3,7 @@ package telemetry
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"dhqp/internal/netsim"
 )
@@ -21,6 +22,9 @@ type LinkStats struct {
 	// BreakerTrips counts closed→open transitions of the server's circuit
 	// breaker during this execution.
 	BreakerTrips int64
+	// CallTime is the summed simulated duration of the server's calls
+	// (overlapping under parallel exchange — a busy total, not elapsed).
+	CallTime time.Duration
 }
 
 // LinkTracker accumulates per-server link metrics for one execution. It
@@ -48,7 +52,7 @@ func NewLinkTracker(nameOf func(*netsim.Link) string) *LinkTracker {
 }
 
 // ObserveCall implements netsim.CallObserver.
-func (t *LinkTracker) ObserveCall(l *netsim.Link, rows, bytes int, fault bool) {
+func (t *LinkTracker) ObserveCall(l *netsim.Link, rows, bytes int, fault bool, d time.Duration) {
 	if t == nil {
 		return
 	}
@@ -66,6 +70,7 @@ func (t *LinkTracker) ObserveCall(l *netsim.Link, rows, bytes int, fault bool) {
 	}
 	s := t.entryLocked(name)
 	s.Calls++
+	s.CallTime += d
 	if fault {
 		s.Faults++
 	} else {

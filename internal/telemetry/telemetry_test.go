@@ -50,9 +50,9 @@ func TestLinkTrackerAttribution(t *testing.T) {
 	la, lb := &netsim.Link{}, &netsim.Link{}
 	names := map[*netsim.Link]string{la: "beta", lb: "alpha"}
 	tr := NewLinkTracker(func(l *netsim.Link) string { return names[l] })
-	tr.ObserveCall(la, 10, 100, false)
-	tr.ObserveCall(la, 0, 0, true) // fault: call counted, no payload
-	tr.ObserveCall(lb, 5, 50, false)
+	tr.ObserveCall(la, 10, 100, false, 2*time.Millisecond)
+	tr.ObserveCall(la, 0, 0, true, time.Millisecond) // fault: call counted, no payload
+	tr.ObserveCall(lb, 5, 50, false, time.Millisecond)
 	tr.AddRetries(map[string]int64{"beta": 2})
 	tr.AddBreakerTrips("alpha", 1)
 	snap := tr.Snapshot()
@@ -62,6 +62,9 @@ func TestLinkTrackerAttribution(t *testing.T) {
 	if b := snap[1]; b.Calls != 2 || b.Rows != 10 || b.Bytes != 100 || b.Faults != 1 || b.Retries != 2 {
 		t.Errorf("beta = %+v", b)
 	}
+	if snap[1].CallTime != 3*time.Millisecond {
+		t.Errorf("beta call time = %v", snap[1].CallTime)
+	}
 	if a := snap[0]; a.Calls != 1 || a.BreakerTrips != 1 {
 		t.Errorf("alpha = %+v", a)
 	}
@@ -69,7 +72,7 @@ func TestLinkTrackerAttribution(t *testing.T) {
 
 func TestLinkTrackerUnresolvedName(t *testing.T) {
 	tr := NewLinkTracker(nil)
-	tr.ObserveCall(&netsim.Link{}, 1, 1, false)
+	tr.ObserveCall(&netsim.Link{}, 1, 1, false, 0)
 	snap := tr.Snapshot()
 	if len(snap) != 1 || snap[0].Server != "?" {
 		t.Errorf("unresolved link filed under %+v", snap)

@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceSpan is one timed unit of work inside a distributed query: a
+// statement on some member, a remote call, a WAL commit. Spans form a
+// tree via ParentID; a federated query's spans — head statement, its
+// remote calls, and the member-side statements those calls run — all
+// share one TraceID and compose into a single cross-member tree.
+type TraceSpan struct {
+	TraceID  string
+	SpanID   uint64
+	ParentID uint64 // 0 = root
+	Server   string // member that did the work
+	Name     string // "statement", "remote call", ...
+	Detail   string // free-form annotation (SQL fragment, target server)
+	Start    time.Time
+	Elapsed  time.Duration
+}
+
+// Trace accumulates the spans of one traced query. Span IDs are issued
+// from a shared atomic counter, so spans created concurrently by
+// parallel exchange branches — or by a remote member executing in the
+// same process — never collide. A nil *Trace is valid everywhere and
+// records nothing.
+type Trace struct {
+	id   string
+	next atomic.Uint64
+
+	mu    sync.Mutex
+	spans []TraceSpan
+}
+
+// NewTrace starts a trace with a fresh random 16-hex-digit ID.
+func NewTrace() *Trace {
+	var b [8]byte
+	rand.Read(b[:])
+	return &Trace{id: hex.EncodeToString(b[:])}
+}
+
+// JoinTrace continues a trace started elsewhere (a client or an
+// upstream member): spans record under the given trace ID, and locally
+// issued span IDs start from a random 2^32..2^63 base so they stay
+// disjoint from the issuer's (and from any sibling member's) IDs. The
+// TCP server uses this to graft a member's spans into the head's tree.
+func JoinTrace(id string) *Trace {
+	if id == "" {
+		return NewTrace()
+	}
+	t := &Trace{id: id}
+	var b [8]byte
+	rand.Read(b[:])
+	base := binary.BigEndian.Uint64(b[:]) >> 1
+	if base < 1<<32 {
+		base += 1 << 32
+	}
+	t.next.Store(base)
+	return t
+}
+
+// ID returns the trace ID ("" for nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// NewSpanID issues the next span ID (0 for nil).
+func (t *Trace) NewSpanID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.next.Add(1)
+}
+
+// Add records a finished span. Nil-safe.
+func (t *Trace) Add(s TraceSpan) {
+	if t == nil {
+		return
+	}
+	s.TraceID = t.id
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// AddSpans merges spans collected elsewhere (a remote member's Done
+// frame) into this trace. Spans keep their IDs — JoinTrace's disjoint
+// ID bases make that safe. Nil-safe.
+func (t *Trace) AddSpans(spans []TraceSpan) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, spans...)
+	t.mu.Unlock()
+}
+
+// Spans returns the recorded spans sorted by span ID.
+func (t *Trace) Spans() []TraceSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TraceSpan, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].SpanID < out[j].SpanID })
+	return out
+}
+
+// traceKey carries the active trace and the current parent span ID in
+// a context; StartSpan reads both so children nest correctly.
+type traceKey struct{}
+
+type traceCtx struct {
+	tr     *Trace
+	parent uint64
+}
+
+// WithTrace returns a context carrying the trace with the given parent
+// span ID as the nesting point for spans started under it.
+func WithTrace(ctx context.Context, tr *Trace, parent uint64) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, traceCtx{tr: tr, parent: parent})
+}
+
+// TraceFrom extracts the context's trace and current parent span ID
+// (nil, 0 if untraced).
+func TraceFrom(ctx context.Context) (*Trace, uint64) {
+	if ctx == nil {
+		return nil, 0
+	}
+	tc, _ := ctx.Value(traceKey{}).(traceCtx)
+	return tc.tr, tc.parent
+}
+
+// StartSpan opens a span under the context's trace and returns a child
+// context (new spans started under it nest inside this one) plus a
+// finish func recording the elapsed time. On an untraced context it
+// returns the context unchanged and a no-op finish.
+func StartSpan(ctx context.Context, server, name, detail string) (context.Context, func()) {
+	tr, parent := TraceFrom(ctx)
+	if tr == nil {
+		return ctx, func() {}
+	}
+	id := tr.NewSpanID()
+	start := time.Now()
+	child := WithTrace(ctx, tr, id)
+	return child, func() {
+		tr.Add(TraceSpan{
+			SpanID:   id,
+			ParentID: parent,
+			Server:   server,
+			Name:     name,
+			Detail:   detail,
+			Start:    start,
+			Elapsed:  time.Since(start),
+		})
+	}
+}
+
+// RenderSpanTree renders spans as an indented tree, children under
+// parents in span-ID order — the EXPLAIN ANALYZE / slow-log view of a
+// distributed execution.
+func RenderSpanTree(spans []TraceSpan) string {
+	if len(spans) == 0 {
+		return ""
+	}
+	byParent := map[uint64][]TraceSpan{}
+	ids := map[uint64]bool{}
+	for _, s := range spans {
+		ids[s.SpanID] = true
+	}
+	var roots []TraceSpan
+	for _, s := range spans {
+		// A span whose parent is absent (e.g. the client didn't trace)
+		// renders as a root rather than vanishing.
+		if s.ParentID == 0 || !ids[s.ParentID] {
+			roots = append(roots, s)
+		} else {
+			byParent[s.ParentID] = append(byParent[s.ParentID], s)
+		}
+	}
+	sortSpans := func(ss []TraceSpan) {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].SpanID < ss[j].SpanID })
+	}
+	sortSpans(roots)
+	var sb strings.Builder
+	var walk func(s TraceSpan, depth int)
+	walk = func(s TraceSpan, depth int) {
+		detail := ""
+		if s.Detail != "" {
+			detail = " " + s.Detail
+		}
+		fmt.Fprintf(&sb, "%s[%d<-%d] %s: %s%s (%v)\n",
+			strings.Repeat("  ", depth), s.SpanID, s.ParentID, s.Server, s.Name, detail, s.Elapsed.Round(time.Microsecond))
+		kids := byParent[s.SpanID]
+		sortSpans(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return sb.String()
+}

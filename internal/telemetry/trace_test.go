@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoop(t *testing.T) {
+	var tr *Trace
+	tr.Add(TraceSpan{})
+	tr.AddSpans([]TraceSpan{{}})
+	if tr.ID() != "" || tr.NewSpanID() != 0 || tr.Spans() != nil {
+		t.Fatal("nil trace must be inert")
+	}
+	ctx, end := StartSpan(context.Background(), "s", "n", "")
+	end()
+	if got, _ := TraceFrom(ctx); got != nil {
+		t.Fatal("untraced context must stay untraced")
+	}
+}
+
+func TestStartSpanNesting(t *testing.T) {
+	tr := NewTrace()
+	if len(tr.ID()) != 16 {
+		t.Fatalf("trace id %q", tr.ID())
+	}
+	ctx := WithTrace(context.Background(), tr, 0)
+	ctx, endRoot := StartSpan(ctx, "head", "statement", "SELECT 1")
+	cctx, endChild := StartSpan(ctx, "head", "remote call", "remote1")
+	_, endGrand := StartSpan(cctx, "remote1", "statement", "")
+	endGrand()
+	endChild()
+	endRoot()
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	root, child, grand := spans[0], spans[1], spans[2]
+	if root.ParentID != 0 || child.ParentID != root.SpanID || grand.ParentID != child.SpanID {
+		t.Fatalf("bad nesting: %+v", spans)
+	}
+	for _, s := range spans {
+		if s.TraceID != tr.ID() {
+			t.Fatalf("span trace id %q != %q", s.TraceID, tr.ID())
+		}
+	}
+}
+
+func TestJoinTraceDisjointIDs(t *testing.T) {
+	head := NewTrace()
+	headID := head.NewSpanID()
+	member := JoinTrace(head.ID())
+	if member.ID() != head.ID() {
+		t.Fatal("joined trace must keep the id")
+	}
+	mID := member.NewSpanID()
+	if mID <= headID || mID < 1<<32 {
+		t.Fatalf("member span id %d not disjoint from head ids", mID)
+	}
+	if JoinTrace("").ID() == "" {
+		t.Fatal("joining an empty id must mint a trace")
+	}
+}
+
+func TestConcurrentSpanIDs(t *testing.T) {
+	tr := NewTrace()
+	const n = 200
+	var wg sync.WaitGroup
+	ids := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = tr.NewSpanID()
+			tr.Add(TraceSpan{SpanID: ids[i], Name: "x"})
+		}(i)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate span id %d", id)
+		}
+		seen[id] = true
+	}
+	if len(tr.Spans()) != n {
+		t.Fatalf("spans = %d", len(tr.Spans()))
+	}
+}
+
+func TestRenderSpanTree(t *testing.T) {
+	spans := []TraceSpan{
+		{SpanID: 1, ParentID: 0, Server: "head", Name: "statement", Detail: "SELECT ...", Elapsed: 3 * time.Millisecond},
+		{SpanID: 2, ParentID: 1, Server: "head", Name: "remote call", Detail: "remote0", Elapsed: time.Millisecond},
+		{SpanID: 1<<40 + 1, ParentID: 2, Server: "remote0", Name: "statement", Elapsed: 500 * time.Microsecond},
+		{SpanID: 3, ParentID: 1, Server: "head", Name: "remote call", Detail: "remote1", Elapsed: time.Millisecond},
+	}
+	out := RenderSpanTree(spans)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "[1<-0] head: statement") {
+		t.Fatalf("root line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  [2<-1] head: remote call") {
+		t.Fatalf("child line %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "    [") || !strings.Contains(lines[2], "remote0: statement") {
+		t.Fatalf("grandchild line %q", lines[2])
+	}
+	// A span with an absent parent renders as a root, not lost.
+	orphan := RenderSpanTree([]TraceSpan{{SpanID: 9, ParentID: 7, Server: "s", Name: "n"}})
+	if !strings.HasPrefix(orphan, "[9<-7]") {
+		t.Fatalf("orphan render %q", orphan)
+	}
+}
