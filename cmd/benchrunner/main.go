@@ -55,6 +55,7 @@ func main() {
 	run("E16", e16)
 	run("E17", e17)
 	run("E18", e18)
+	run("E19", e19)
 }
 
 func header(id, title string) {

@@ -23,7 +23,9 @@ import (
 	"dhqp/internal/providers/fulltext"
 	"dhqp/internal/providers/simplep"
 	"dhqp/internal/providers/sqlful"
+	"dhqp/internal/schema"
 	"dhqp/internal/server"
+	"dhqp/internal/shardmap"
 	"dhqp/internal/sqltypes"
 	"dhqp/internal/telemetry"
 )
@@ -48,6 +50,33 @@ type Faults = netsim.Faults
 
 // Message is a mail message for the mail provider.
 type Message = email.Message
+
+// Column describes one column of a table or elastic view.
+type Column = schema.Column
+
+// ShardPlacement names where one elastic-view shard lives and the key
+// range it owns; see Server.CreateElasticView / AddShard / SplitShard /
+// RebalanceShard / RemoveShard.
+type ShardPlacement = engine.ShardPlacement
+
+// ShardMemberInfo is one row of Server.ShardMapInfo (and of the
+// sys.dm_shard_map DMV).
+type ShardMemberInfo = engine.ShardMemberInfo
+
+// Unbounded shard-range sentinels for ShardPlacement.Lo / .Hi.
+const (
+	NoLowerBound = shardmap.NoLowerBound
+	NoUpperBound = shardmap.NoUpperBound
+)
+
+// Column kinds for Column definitions.
+const (
+	KindInt    = sqltypes.KindInt
+	KindFloat  = sqltypes.KindFloat
+	KindString = sqltypes.KindString
+	KindBool   = sqltypes.KindBool
+	KindDate   = sqltypes.KindDate
+)
 
 // Capabilities is an OLE DB provider capability set.
 type Capabilities = oledb.Capabilities

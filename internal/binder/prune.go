@@ -1,0 +1,125 @@
+package binder
+
+import (
+	"dhqp/internal/algebra"
+	"dhqp/internal/expr"
+)
+
+// PruneColumns narrows every scan in a bound tree to the columns some
+// ancestor actually reads. Binding expands each table reference to all of
+// its columns; for federated plans that width is paid twice — member
+// servers materialize and ship every column — so the pass walks the tree
+// top-down with the live set (result columns, then whatever each operator's
+// expressions reference) and drops dead columns from Get scans, Project
+// lists, and UNION ALL output positions. Operators it does not understand
+// are treated as reading their children in full, so unknown shapes are
+// never over-pruned.
+func PruneColumns(bound *Bound) {
+	live := expr.ColSet{}
+	for _, c := range bound.ResultCols {
+		live.Add(c.ID)
+	}
+	for _, oc := range bound.RequiredOrder {
+		live.Add(oc.Col)
+	}
+	pruneNode(bound.Root, live)
+}
+
+func pruneNode(n *algebra.Node, live expr.ColSet) {
+	switch op := n.Op.(type) {
+	case *algebra.Get:
+		kept := op.Cols[:0:0]
+		for _, c := range op.Cols {
+			if live.Has(c.ID) {
+				kept = append(kept, c)
+			}
+		}
+		// A scan must produce at least one column to have a row count.
+		if len(kept) == 0 && len(op.Cols) > 0 {
+			kept = op.Cols[:1]
+		}
+		op.Cols = kept
+	case *algebra.Select:
+		pruneNode(n.Kids[0], live.Union(expr.Cols(op.Filter)))
+	case *algebra.Project:
+		kept := op.Exprs[:0:0]
+		for _, pe := range op.Exprs {
+			if live.Has(pe.Out.ID) {
+				kept = append(kept, pe)
+			}
+		}
+		if len(kept) == 0 && len(op.Exprs) > 0 {
+			kept = op.Exprs[:1]
+		}
+		op.Exprs = kept
+		inner := expr.ColSet{}
+		for _, pe := range kept {
+			inner = inner.Union(expr.Cols(pe.E))
+		}
+		pruneNode(n.Kids[0], inner)
+	case *algebra.Join:
+		inner := live
+		if op.On != nil {
+			inner = live.Union(expr.Cols(op.On))
+		}
+		for _, k := range n.Kids {
+			pruneNode(k, inner)
+		}
+	case *algebra.GroupBy:
+		inner := expr.ColSet{}
+		for _, gc := range op.GroupCols {
+			inner.Add(gc.ID)
+		}
+		for _, a := range op.Aggs {
+			if a.Arg != nil {
+				inner = inner.Union(expr.Cols(a.Arg))
+			}
+		}
+		pruneNode(n.Kids[0], inner)
+	case *algebra.UnionAll:
+		keptPos := make([]int, 0, len(op.OutColsList))
+		for j, oc := range op.OutColsList {
+			if live.Has(oc.ID) {
+				keptPos = append(keptPos, j)
+			}
+		}
+		if len(keptPos) == 0 && len(op.OutColsList) > 0 {
+			keptPos = append(keptPos, 0)
+		}
+		outCols := make([]algebra.OutCol, len(keptPos))
+		inMaps := make([][]expr.ColumnID, len(op.InMaps))
+		for i := range op.InMaps {
+			inMaps[i] = make([]expr.ColumnID, len(keptPos))
+		}
+		for jj, j := range keptPos {
+			outCols[jj] = op.OutColsList[j]
+			for i := range op.InMaps {
+				inMaps[i][jj] = op.InMaps[i][j]
+			}
+		}
+		op.OutColsList, op.InMaps = outCols, inMaps
+		for i, k := range n.Kids {
+			armLive := expr.ColSet{}
+			for _, id := range inMaps[i] {
+				armLive.Add(id)
+			}
+			pruneNode(k, armLive)
+		}
+	case *algebra.Top:
+		inner := live.Union(nil)
+		for _, oc := range op.Ordering {
+			inner.Add(oc.Col)
+		}
+		pruneNode(n.Kids[0], inner)
+	default:
+		// Unknown operator (Apply, Values, ...): treat it as reading every
+		// column its children can produce.
+		for _, k := range n.Kids {
+			full := expr.ColSet{}
+			for _, c := range k.OutCols() {
+				full.Add(c.ID)
+			}
+			pruneNode(k, full)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package binder
+
+import (
+	"testing"
+
+	"dhqp/internal/algebra"
+)
+
+// getCols returns the column names of every Get in the tree, in walk order.
+func getCols(n *algebra.Node) [][]string {
+	var out [][]string
+	var walk func(n *algebra.Node)
+	walk = func(n *algebra.Node) {
+		if g, ok := n.Op.(*algebra.Get); ok {
+			names := make([]string, len(g.Cols))
+			for i, c := range g.Cols {
+				names[i] = c.Name
+			}
+			out = append(out, names)
+		}
+		for _, k := range n.Kids {
+			walk(k)
+		}
+	}
+	walk(n)
+	return out
+}
+
+func TestPruneKeepsOnlyLiveColumns(t *testing.T) {
+	b := bind(t, "SELECT c_name FROM customer WHERE c_acctbal > 10")
+	PruneColumns(b)
+	got := getCols(b.Root)
+	if len(got) != 1 {
+		t.Fatalf("gets = %v", got)
+	}
+	// c_name (result) and c_acctbal (filter) survive; the scan drops
+	// c_custkey and c_nationkey. Note the kept set is a non-prefix subset.
+	want := map[string]bool{"c_name": true, "c_acctbal": true}
+	if len(got[0]) != 2 {
+		t.Fatalf("scan cols = %v", got[0])
+	}
+	for _, name := range got[0] {
+		if !want[name] {
+			t.Fatalf("scan cols = %v", got[0])
+		}
+	}
+}
+
+func TestPruneKeepsAtLeastOneColumn(t *testing.T) {
+	// COUNT(*)-style: nothing references the scan, but a row count needs
+	// at least one column.
+	b := bind(t, "SELECT COUNT(c_custkey) AS n FROM customer WHERE c_custkey > 0")
+	PruneColumns(b)
+	for _, cols := range getCols(b.Root) {
+		if len(cols) == 0 {
+			t.Fatal("scan pruned to zero columns")
+		}
+	}
+}
+
+func TestPruneJoinKeepsOnColumns(t *testing.T) {
+	b := bind(t, `SELECT c_name FROM customer c JOIN nation n ON c.c_nationkey = n.n_nationkey`)
+	PruneColumns(b)
+	got := getCols(b.Root)
+	if len(got) != 2 {
+		t.Fatalf("gets = %v", got)
+	}
+	// customer keeps name + join key; nation keeps only its join key.
+	if len(got[0]) != 2 || len(got[1]) != 1 || got[1][0] != "n_nationkey" {
+		t.Fatalf("scan cols = %v", got)
+	}
+}
+
+func TestPruneUnionAllNarrowsArms(t *testing.T) {
+	b := bind(t, `SELECT c_custkey FROM customer WHERE c_custkey < 5
+		UNION ALL SELECT c_custkey FROM customer WHERE c_custkey >= 5`)
+	PruneColumns(b)
+	for _, cols := range getCols(b.Root) {
+		if len(cols) != 1 || cols[0] != "c_custkey" {
+			t.Fatalf("scan cols = %v", cols)
+		}
+	}
+}

@@ -137,8 +137,14 @@ func (d *decoder) get(op *algebra.Get) (*box, error) {
 	if op.Src.Def == nil || len(op.Src.Def.Columns) < len(op.Cols) {
 		return nil, notRemotable("missing schema for %s", op.Src)
 	}
-	for i, c := range op.Cols {
-		ref := alias + "." + d.ident(op.Src.Def.Columns[i].Name)
+	for _, c := range op.Cols {
+		// Resolve by name, not position: column pruning can narrow the scan
+		// to a non-prefix subset of the table's columns.
+		ord := op.Src.Def.ColumnIndex(c.Name)
+		if ord < 0 {
+			return nil, notRemotable("column %s not in schema for %s", c.Name, op.Src)
+		}
+		ref := alias + "." + d.ident(op.Src.Def.Columns[ord].Name)
 		b.refs[c.ID] = ref
 		b.selectList = append(b.selectList, ref+" AS "+colAlias(c.ID))
 	}

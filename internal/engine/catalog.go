@@ -49,13 +49,18 @@ func (c *catalog) ResolveObject(parts []string) (*binder.Resolved, error) {
 			Catalog: parts[1],
 			Schema:  parts[2],
 			Table:   ti.Def.Name,
-			Def:     ti.Def,
+			Def:     s.overlayMemberDef(l.name, ti.Def),
 		}}, nil
 	}
-	// Local: [catalog.][schema.]object. Views take priority.
+	// Local: [catalog.][schema.]object. Views take priority; elastic views
+	// resolve to view text synthesized from the current shard map, so a
+	// topology change re-binds without any CREATE VIEW.
 	object := parts[len(parts)-1]
 	if text, ok := s.views[strings.ToLower(object)]; ok {
 		return &binder.Resolved{ViewText: text}, nil
+	}
+	if mp, ok := s.shards.Lookup(object); ok {
+		return &binder.Resolved{ViewText: mp.ViewText()}, nil
 	}
 	catalogName := s.defaultDB
 	if len(parts) == 3 {
@@ -79,8 +84,27 @@ func (c *catalog) ResolveObject(parts []string) (*binder.Resolved, error) {
 		Catalog: catalogName,
 		Schema:  "dbo",
 		Table:   t.Def().Name,
-		Def:     t.Def(),
+		Def:     s.overlayMemberDef("", t.Def()),
 	}}, nil
+}
+
+// overlayMemberDef swaps the CHECK constraints of an elastic member table
+// for the range the current shard map assigns it. The physical table def is
+// never mutated — a clone carries the synthesized check — and every consumer
+// of Checks (startup-filter pruning, DML routing, insert validation) now
+// reasons from the live topology instead of CREATE-time DDL.
+func (s *Server) overlayMemberDef(server string, def *schema.Table) *schema.Table {
+	check, ok := s.shards.CheckFor(server, def.Name)
+	if !ok {
+		return def
+	}
+	clone := *def
+	if check == "" {
+		clone.Checks = nil
+	} else {
+		clone.Checks = []string{check}
+	}
+	return &clone
 }
 
 // PassThroughSource implements binder.Catalog for OPENQUERY(server, text).
@@ -264,9 +288,11 @@ func (s *Server) newMetadata(root *algebra.Node) *metadata {
 	var walk func(n *algebra.Node)
 	walk = func(n *algebra.Node) {
 		if g, ok := n.Op.(*algebra.Get); ok && g.Src.Kind == algebra.SourceBaseTable {
-			for i, c := range g.Cols {
-				if i < len(g.Src.Def.Columns) {
-					md.colSources[c.ID] = colSource{src: g.Src, name: g.Src.Def.Columns[i].Name, kind: c.Kind}
+			for _, c := range g.Cols {
+				// By name, not position: pruning can leave a non-prefix
+				// subset of the table's columns on the scan.
+				if g.Src.Def != nil && g.Src.Def.ColumnIndex(c.Name) >= 0 {
+					md.colSources[c.ID] = colSource{src: g.Src, name: c.Name, kind: c.Kind}
 				}
 			}
 		}

@@ -34,7 +34,20 @@ func (s *Server) MustExec(sql string) {
 }
 
 // ExecParams executes DDL/DML with parameters.
+//
+// Like QueryContext, the statement pins the shard-map statement gate for
+// its whole lifetime, so elastic topology cutovers serialize against every
+// write: a row routed by one map version commits before the map can change.
 func (s *Server) ExecParams(sql string, params map[string]sqltypes.Value) (int64, error) {
+	defer s.shards.PinStatement()()
+	return s.execParams(sql, params)
+}
+
+// execParams is ExecParams without the shard-map statement pin — the inner
+// entry for re-entrant statement work (partitioned-view DML fan-out onto a
+// local member) and for the rebalance copier, which coordinates with the
+// gate itself.
+func (s *Server) execParams(sql string, params map[string]sqltypes.Value) (int64, error) {
 	st, err := parser.Parse(sql)
 	if err != nil {
 		return 0, err
@@ -263,11 +276,8 @@ func (s *Server) execInsert(st *parser.InsertStmt, params map[string]sqltypes.Va
 		}
 		return s.forward(st.Table.Parts[0], text, params)
 	}
-	// Local: view (partitioned) or table.
-	name := strings.ToLower(st.Table.Name())
-	s.mu.Lock()
-	viewText, isView := s.views[name]
-	s.mu.Unlock()
+	// Local: view (partitioned, static or elastic) or table.
+	viewText, isView := s.viewTextFor(st.Table.Name())
 	rows, err := s.insertRows(st, params)
 	if err != nil {
 		return 0, err
@@ -437,9 +447,7 @@ func (s *Server) execUpdate(st *parser.UpdateStmt, params map[string]sqltypes.Va
 		}
 		return s.forward(st.Table.Parts[0], text, params)
 	}
-	s.mu.Lock()
-	viewText, isView := s.views[strings.ToLower(st.Table.Name())]
-	s.mu.Unlock()
+	viewText, isView := s.viewTextFor(st.Table.Name())
 	if isView {
 		return s.updateThroughView(viewText, st, params)
 	}
@@ -524,9 +532,7 @@ func (s *Server) execDelete(st *parser.DeleteStmt, params map[string]sqltypes.Va
 		}
 		return s.forward(st.Table.Parts[0], text, params)
 	}
-	s.mu.Lock()
-	viewText, isView := s.views[strings.ToLower(st.Table.Name())]
-	s.mu.Unlock()
+	viewText, isView := s.viewTextFor(st.Table.Name())
 	if isView {
 		return s.deleteThroughView(viewText, st, params)
 	}
@@ -748,8 +754,37 @@ func (s *Server) insertIntoPartitionedView(viewName, viewText string, cols []str
 	if err := txn.Commit(); err != nil {
 		return 0, err
 	}
+	// A rebalance in flight on this view replays committed keys from its
+	// delta log before cutover; the statement is pinned against the gate, so
+	// the log entry lands strictly before the move's barrier.
+	if s.shards.MoveActive(viewName) {
+		var keys []int64
+		for _, r := range ordered {
+			if k, ok := r[partOrd].AsInt(); ok {
+				keys = append(keys, k)
+			}
+		}
+		s.shards.NoteKeys(viewName, keys)
+	}
 	s.invalidateLocal()
 	return total, nil
+}
+
+// viewTextFor resolves a DML target to partitioned-view text: CREATE VIEW
+// definitions first, then elastic shard maps, whose UNION ALL text is
+// synthesized from the map version current when the statement pinned.
+func (s *Server) viewTextFor(name string) (string, bool) {
+	lower := strings.ToLower(name)
+	s.mu.Lock()
+	text, ok := s.views[lower]
+	s.mu.Unlock()
+	if ok {
+		return text, true
+	}
+	if mp, ok := s.shards.Lookup(lower); ok {
+		return mp.ViewText(), true
+	}
+	return "", false
 }
 
 // applyMemberInsert forwards a batch to a remote member as a VALUES

@@ -34,6 +34,7 @@ import (
 	"dhqp/internal/providers/native"
 	"dhqp/internal/rowset"
 	"dhqp/internal/schema"
+	"dhqp/internal/shardmap"
 	"dhqp/internal/sqltypes"
 	"dhqp/internal/stats"
 	"dhqp/internal/storage"
@@ -59,6 +60,12 @@ type Server struct {
 
 	mailStore *email.Store
 
+	// shards owns the elastic shard maps and the statement gate pinning
+	// every statement to one map version (see internal/shardmap); elasticSeq
+	// numbers generated member tables.
+	shards     *shardmap.Manager
+	elasticSeq int
+
 	// extraSessions holds ad-hoc provider sessions (OPENROWSET, MakeTable
 	// over registered providers) keyed by synthetic server names.
 	extraSessions map[string]oledb.Session
@@ -76,6 +83,9 @@ type Server struct {
 	// remote rules (ablation experiments).
 	DisableSpool            bool
 	DisableParameterization bool
+	// DisableAggSplit turns off partial-aggregation pushdown through UNION
+	// ALL (the aggsplit rule) — the row-shipping baseline of E19.
+	DisableAggSplit bool
 	// DisableRemotePrefetch turns off asynchronous prefetching of remote
 	// rowsets (serial-baseline measurements).
 	DisableRemotePrefetch bool
@@ -188,6 +198,7 @@ func NewServer(name, defaultDB string) *Server {
 		ftService:         fulltext.NewService(),
 		ftIndexes:         map[string]string{},
 		mailStore:         email.NewStore(),
+		shards:            shardmap.NewManager(),
 		extraSessions:     map[string]oledb.Session{},
 		extraCaps:         map[string]oledb.Capabilities{},
 		providerFactories: map[string]func(string) (oledb.DataSource, *netsim.Link, error){},
@@ -371,6 +382,16 @@ func (s *Server) SetMaxDOP(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.maxDOP = n
+}
+
+// SetDisableAggSplit toggles partial-aggregation pushdown through UNION
+// ALL (the row-shipping baseline of E19) and invalidates cached plans so
+// the change takes effect immediately.
+func (s *Server) SetDisableAggSplit(off bool) {
+	s.mu.Lock()
+	s.DisableAggSplit = off
+	s.mu.Unlock()
+	s.invalidatePlans()
 }
 
 // MaxDOP reports the configured degree-of-parallelism cap (0 = default).

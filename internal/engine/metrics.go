@@ -44,6 +44,10 @@ type engineInstruments struct {
 	breakerTrips *metrics.Counter
 	waits        *metrics.WaitTable
 
+	shardVersion  *metrics.Gauge   // current shard-map version counter
+	shardMoves    *metrics.Counter // completed online shard moves
+	rebalanceRows *metrics.Counter // rows copied by rebalance/split moves
+
 	execIns    *exec.Instruments
 	storageIns *storage.Instrumentation
 }
@@ -69,6 +73,10 @@ func buildInstruments(r *metrics.Registry) *engineInstruments {
 
 		breakerTrips: r.Counter("dhqp_breaker_trips_total", "Circuit breaker closed-to-open transitions"),
 		waits:        r.Waits(),
+
+		shardVersion:  r.Gauge("dhqp_shardmap_version", "Current shard-map version counter"),
+		shardMoves:    r.Counter("dhqp_shardmap_moves_total", "Completed online shard moves"),
+		rebalanceRows: r.Counter("dhqp_rebalance_rows_copied_total", "Rows copied by online shard moves"),
 	}
 	m.execIns = &exec.Instruments{
 		Retries:      r.Counter("dhqp_exec_retries_total", "Retried remote call attempts"),

@@ -42,7 +42,7 @@ func (s *Server) updateThroughView(viewText string, st *parser.UpdateStmt, param
 		}
 		return b.String(), nil
 	}
-	return s.routeViewDML(members, st.Where, params, render)
+	return s.routeViewDML(st.Table.Name(), members, st.Where, params, render)
 }
 
 // deleteThroughView routes a DELETE against a partitioned view.
@@ -63,13 +63,13 @@ func (s *Server) deleteThroughView(viewText string, st *parser.DeleteStmt, param
 		}
 		return b.String(), nil
 	}
-	return s.routeViewDML(members, st.Where, params, render)
+	return s.routeViewDML(st.Table.Name(), members, st.Where, params, render)
 }
 
 // routeViewDML prunes members whose CHECK domains contradict the statement
 // predicate, then applies the rendered statement to the remainder under one
 // distributed transaction.
-func (s *Server) routeViewDML(members []pvMember, where parser.Expr,
+func (s *Server) routeViewDML(viewName string, members []pvMember, where parser.Expr,
 	params map[string]sqltypes.Value, render func(pvMember) (string, error)) (int64, error) {
 
 	targets := make([]pvMember, 0, len(members))
@@ -104,6 +104,17 @@ func (s *Server) routeViewDML(members []pvMember, where parser.Expr,
 	if err := txn.Commit(); err != nil {
 		return 0, err
 	}
+	// Predicate-driven UPDATE/DELETE cannot be replayed key-by-key: if a
+	// rebalance is draining one of the members this statement touched, flag
+	// its delta dirty so cutover re-copies the whole moving range.
+	if srv, tbl, ok := s.shards.MoveSourceTable(viewName); ok {
+		for _, m := range targets {
+			if strings.EqualFold(m.server, srv) && strings.EqualFold(m.def.Name, tbl) {
+				s.shards.MarkDirty(viewName)
+				break
+			}
+		}
+	}
 	for _, n := range results {
 		total += n
 	}
@@ -128,10 +139,12 @@ func (s *Server) memberProvablyUnaffected(m pvMember, where parser.Expr) bool {
 	return !cm.ApplyPredicate(bound)
 }
 
-// applyMemberDML executes a rendered statement on one member.
+// applyMemberDML executes a rendered statement on one member. The local
+// path takes the inner entry: the routing statement already holds a pin on
+// the shard-map gate, and RLock is not re-entrant once a cutover queues.
 func (s *Server) applyMemberDML(m pvMember, text string, params map[string]sqltypes.Value) (int64, error) {
 	if m.server == "" {
-		return s.ExecParams(text, params)
+		return s.execParams(text, params)
 	}
 	return s.forward(m.server, text, params)
 }

@@ -84,6 +84,7 @@ func (r *Result) Display() string {
 // Plan compiles a SELECT into a physical plan (without executing it); it
 // returns the plan, the result columns and the optimizer report.
 func (s *Server) Plan(sql string) (*algebra.Node, []schema.Column, *opt.Report, error) {
+	defer s.shards.PinStatement()()
 	return s.planSQL(sql, nil)
 }
 
@@ -119,10 +120,14 @@ func (s *Server) planSelectWith(sel *parser.SelectStmt, col *telemetry.Collector
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	// Narrow scans to the columns the statement reads before the tree is
+	// memoized: member servers then materialize and ship only those.
+	binder.PruneColumns(bound)
 	// Snapshot the planning knobs under the engine mutex: admin sessions
 	// may flip them while other sessions compile.
 	s.mu.Lock()
 	disableSpool, disableParam := s.DisableSpool, s.DisableParameterization
+	disableAggSplit := s.DisableAggSplit
 	optCfg := s.OptConfig
 	s.mu.Unlock()
 	md := s.newMetadata(bound.Root)
@@ -146,6 +151,7 @@ func (s *Server) planSelectWith(sel *parser.SelectStmt, col *telemetry.Collector
 		TableCardFn:             md.TableCardinality,
 		DisableSpool:            disableSpool,
 		DisableParameterization: disableParam,
+		DisableAggSplit:         disableAggSplit,
 		RemoteBatchSize:         s.planBatchSize(),
 	}
 	cfg := optCfg
@@ -255,7 +261,22 @@ func (s *Server) Query(sql string, params map[string]sqltypes.Value) (*Result, e
 // all observe it. The serving layer threads each network session's query
 // context through here, which is what makes client-initiated cancel and
 // KILL work. A configured SetQueryTimeout still applies on top.
+//
+// The statement pins the shard-map statement gate for its whole lifetime
+// (plan-cache probe through execution), so an elastic topology cutover can
+// never flip the map under a running statement: results always reflect
+// exactly one map version.
 func (s *Server) QueryContext(ctx context.Context, sql string, params map[string]sqltypes.Value) (*Result, error) {
+	defer s.shards.PinStatement()()
+	return s.queryContext(ctx, sql, params)
+}
+
+// queryContext is QueryContext without the shard-map statement pin — the
+// inner entry point for callers that already coordinate with the gate (the
+// rebalance copier runs inside the topology lock; re-entrant statement work
+// like partitioned-view DML fan-out must not re-acquire a gate its outer
+// statement already holds).
+func (s *Server) queryContext(ctx context.Context, sql string, params map[string]sqltypes.Value) (*Result, error) {
 	var col *telemetry.Collector
 	if s.CollectStats() {
 		col = telemetry.NewCollector()
@@ -322,6 +343,7 @@ func (s *Server) ExplainAnalyze(sql string, params map[string]sqltypes.Value) (*
 // it, otherwise a fresh trace starts here; either way the report renders
 // the distributed span tree.
 func (s *Server) ExplainAnalyzeContext(ctx context.Context, sql string, params map[string]sqltypes.Value) (*telemetry.Explain, error) {
+	defer s.shards.PinStatement()()
 	col := telemetry.NewCollector()
 	plan, cols, _, err := s.planSQL(sql, col)
 	if err != nil {
@@ -402,6 +424,11 @@ func (s *Server) runPlan(base context.Context, queryText string, plan *algebra.N
 		Ctx: qctx, RetryAttempts: retryA, RetryBackoff: retryB,
 		BreakerFor: s.breakerFor, PartialResults: partial, Diags: diags,
 		Stats: col, Server: s.name,
+	}
+	if s.shards.Active() {
+		// Skipped-partition diagnostics name shard ranges and the map
+		// version this pinned statement planned against.
+		ctx.SkipLabelFor = s.shards.SkipLabel
 	}
 	if ins != nil {
 		ctx.Ins = ins.execIns

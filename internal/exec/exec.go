@@ -82,6 +82,11 @@ type Context struct {
 	// breaker is open, recording them in Diags, instead of failing the
 	// query (degraded partitioned-view mode).
 	PartialResults bool
+	// SkipLabelFor, when set, rewrites a skipped branch's label before it
+	// is recorded in Diags (the engine maps linked-server names onto shard
+	// ranges and the shard-map version the statement is pinned to, so
+	// partial results report against the live topology, not DDL text).
+	SkipLabelFor func(label string) string
 	// Diags accumulates the execution's fault diagnostics (retries,
 	// skipped partitions); nil disables recording.
 	Diags *Diagnostics
@@ -184,13 +189,13 @@ func Build(n *algebra.Node, ctx *Context) (Iterator, error) {
 func buildOp(n *algebra.Node, ctx *Context) (Iterator, error) {
 	switch op := n.Op.(type) {
 	case *algebra.TableScan:
-		return newScan(ctx, op.Src, len(op.Cols)), nil
+		return newScan(ctx, op.Src, op.Cols), nil
 	case *algebra.RemoteScan:
-		return newScan(ctx, op.Src, len(op.Cols)), nil
+		return newScan(ctx, op.Src, op.Cols), nil
 	case *algebra.IndexRange:
-		return newIndexRange(ctx, op.Src, op.Index, op.Lo, op.Hi, len(op.Cols))
+		return newIndexRange(ctx, op.Src, op.Index, op.Lo, op.Hi, op.Cols)
 	case *algebra.RemoteRange:
-		return newIndexRange(ctx, op.Src, op.Index, op.Lo, op.Hi, len(op.Cols))
+		return newIndexRange(ctx, op.Src, op.Index, op.Lo, op.Hi, op.Cols)
 	case *algebra.RemoteQuery:
 		return &remoteQueryIter{ctx: ctx, op: op}, nil
 	case *algebra.ProviderCommand:

@@ -528,6 +528,15 @@ func skippableBranch(ctx *Context, err error, sent int) bool {
 	return ctx.PartialResults && sent == 0 && circuit.IsOpen(err)
 }
 
+// recordSkip records a skipped branch, mapping the label through the
+// context's rewriter (shard-map attribution) when one is installed.
+func recordSkip(ctx *Context, label string) {
+	if ctx.SkipLabelFor != nil {
+		label = ctx.SkipLabelFor(label)
+	}
+	ctx.Diags.RecordSkip(label)
+}
+
 func buildConcat(n *algebra.Node, op *algebra.Concat, ctx *Context) (Iterator, error) {
 	// Fan-out goes parallel when at least two children reach across the
 	// network (the partitioned-view case, §4.1.5): their link round trips
@@ -601,7 +610,7 @@ func (c *concatIter) Next() (rowset.Row, error) {
 			c.sent = 0
 			if err := c.kids[c.idx].Open(); err != nil {
 				if skippableBranch(c.ctx, err, c.sent) {
-					c.ctx.Diags.RecordSkip(c.labels[c.idx])
+					recordSkip(c.ctx, c.labels[c.idx])
 					c.idx++
 					continue
 				}
@@ -620,7 +629,7 @@ func (c *concatIter) Next() (rowset.Row, error) {
 		}
 		if err != nil {
 			if skippableBranch(c.ctx, err, c.sent) {
-				c.ctx.Diags.RecordSkip(c.labels[c.idx])
+				recordSkip(c.ctx, c.labels[c.idx])
 				c.open = false
 				_ = c.kids[c.idx].Close()
 				c.idx++

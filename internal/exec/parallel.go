@@ -135,7 +135,7 @@ func (p *parallelConcatIter) runChild(idx int, ch chan parItem, cancel chan stru
 	kid := p.kids[idx]
 	if err := kid.Open(); err != nil {
 		if skippableBranch(p.parent, err, 0) {
-			p.parent.Diags.RecordSkip(p.labels[idx])
+			recordSkip(p.parent, p.labels[idx])
 			return false
 		}
 		sendItem(ch, cancel, parItem{err: branchErr(idx, p.labels[idx], err)})
@@ -151,7 +151,7 @@ func (p *parallelConcatIter) runChild(idx int, ch chan parItem, cancel chan stru
 		}
 		if err != nil {
 			if skippableBranch(p.parent, err, sent) {
-				p.parent.Diags.RecordSkip(p.labels[idx])
+				recordSkip(p.parent, p.labels[idx])
 				return false
 			}
 			sendItem(ch, cancel, parItem{err: branchErr(idx, p.labels[idx], err)})

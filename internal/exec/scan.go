@@ -23,17 +23,53 @@ func objectName(src *algebra.Source) string {
 	return src.Table
 }
 
+// scanProjection maps a scan's output columns to the source row's ordinals
+// by name. Column pruning can narrow a scan to a non-prefix subset of the
+// table's columns; the projection re-addresses the full-width rows the
+// rowset delivers. A nil result means the outputs are an identity prefix
+// (or the source has no definition to map by) and plain truncation applies.
+func scanProjection(src *algebra.Source, cols []algebra.OutCol) []int {
+	if src.Def == nil {
+		return nil
+	}
+	proj := make([]int, len(cols))
+	identity := true
+	for i, c := range cols {
+		ord := src.Def.ColumnIndex(c.Name)
+		if ord < 0 {
+			return nil
+		}
+		proj[i] = ord
+		if ord != i {
+			identity = false
+		}
+	}
+	if identity {
+		return nil
+	}
+	return proj
+}
+
+func projectRow(r rowset.Row, proj []int) rowset.Row {
+	out := make(rowset.Row, len(proj))
+	for i, ord := range proj {
+		out[i] = r[ord]
+	}
+	return out
+}
+
 // scanIter reads a whole table through OpenRowset — the TableScan and
 // RemoteScan code paths are identical by design (§2).
 type scanIter struct {
 	ctx   *Context
 	src   *algebra.Source
 	width int
+	proj  []int // non-nil when outputs are not an identity prefix
 	rs    rowset.Rowset
 }
 
-func newScan(ctx *Context, src *algebra.Source, width int) *scanIter {
-	return &scanIter{ctx: ctx, src: src, width: width}
+func newScan(ctx *Context, src *algebra.Source, cols []algebra.OutCol) *scanIter {
+	return &scanIter{ctx: ctx, src: src, width: len(cols), proj: scanProjection(src, cols)}
 }
 
 func (s *scanIter) Open() error {
@@ -71,6 +107,9 @@ func (s *scanIter) Next() (rowset.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.proj != nil {
+		return projectRow(r, s.proj), nil
+	}
 	if s.width > 0 && len(r) > s.width {
 		r = r[:s.width]
 	}
@@ -79,15 +118,39 @@ func (s *scanIter) Next() (rowset.Row, error) {
 
 // NextBatch fills a column batch straight from the underlying rowset (the
 // storage engine's table scan fills it without per-row interface calls) and
-// projects it down to the plan's scan width.
+// projects it down to the plan's scan width. A pruned (non-prefix) scan
+// falls back to row-at-a-time projection into the batch.
 func (s *scanIter) NextBatch(b *rowset.Batch) error {
 	if s.rs == nil {
 		return io.EOF
+	}
+	if s.proj != nil {
+		return fillBatchProjected(s.rs, b, s.proj)
 	}
 	if err := rowset.FillBatch(s.rs, b); err != nil {
 		return err
 	}
 	b.Truncate(s.width)
+	return nil
+}
+
+// fillBatchProjected drains rows into the batch through a column
+// projection (the pruned-scan batch path).
+func fillBatchProjected(rs rowset.Rowset, b *rowset.Batch, proj []int) error {
+	b.Reset(0)
+	for !b.Full() {
+		r, err := rs.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		b.AppendRow(projectRow(r, proj))
+	}
+	if b.NumRows() == 0 {
+		return io.EOF
+	}
 	return nil
 }
 
@@ -108,10 +171,11 @@ type indexRangeIter struct {
 	index  string
 	lo, hi algebra.RangeBound
 	width  int
+	proj   []int // non-nil when outputs are not an identity prefix
 	rs     rowset.Rowset
 }
 
-func newIndexRange(ctx *Context, src *algebra.Source, index string, lo, hi algebra.RangeBound, width int) (Iterator, error) {
+func newIndexRange(ctx *Context, src *algebra.Source, index string, lo, hi algebra.RangeBound, cols []algebra.OutCol) (Iterator, error) {
 	// Bind bound expressions against the empty layout: only consts and
 	// params are legal in access-path bounds.
 	bind := func(b algebra.RangeBound) (algebra.RangeBound, error) {
@@ -136,7 +200,8 @@ func newIndexRange(ctx *Context, src *algebra.Source, index string, lo, hi algeb
 	if err != nil {
 		return nil, err
 	}
-	return &indexRangeIter{ctx: ctx, src: src, index: index, lo: blo, hi: bhi, width: width}, nil
+	return &indexRangeIter{ctx: ctx, src: src, index: index, lo: blo, hi: bhi,
+		width: len(cols), proj: scanProjection(src, cols)}, nil
 }
 
 func (s *indexRangeIter) Open() error {
@@ -198,6 +263,9 @@ func (s *indexRangeIter) Next() (rowset.Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.proj != nil {
+		return projectRow(r, s.proj), nil
+	}
 	if s.width > 0 && len(r) > s.width {
 		r = r[:s.width]
 	}
@@ -208,6 +276,9 @@ func (s *indexRangeIter) Next() (rowset.Row, error) {
 func (s *indexRangeIter) NextBatch(b *rowset.Batch) error {
 	if s.rs == nil {
 		return io.EOF
+	}
+	if s.proj != nil {
+		return fillBatchProjected(s.rs, b, s.proj)
 	}
 	if err := rowset.FillBatch(s.rs, b); err != nil {
 		return err

@@ -4,6 +4,7 @@ import (
 	"dhqp/internal/algebra"
 	"dhqp/internal/expr"
 	"dhqp/internal/memo"
+	"dhqp/internal/sqltypes"
 )
 
 // SplitAggThroughUnion rewrites an aggregation over a UNION ALL into a
@@ -16,8 +17,9 @@ import (
 // partial aggregations push to the member servers and only pre-aggregated
 // rows cross the network — one of the "algebraic re-writes of query ...
 // operator trees" the federation work depends on. COUNT merges by SUM; SUM,
-// MIN and MAX merge by themselves. DISTINCT aggregates and AVG do not
-// decompose this way and disable the rule.
+// MIN and MAX merge by themselves. AVG decomposes as SUM+COUNT partials
+// merged by a finishing projection (SUM of sums over SUM of counts).
+// DISTINCT aggregates do not decompose this way and disable the rule.
 type SplitAggThroughUnion struct{}
 
 // Name implements ExplorationRule.
@@ -35,8 +37,11 @@ func (*SplitAggThroughUnion) MinPhase() Phase { return PhaseQuick }
 // rule again, nesting partials forever.
 func (r *SplitAggThroughUnion) Apply(e *memo.GroupExpr, ctx *Context) []*memo.XNode {
 	gb := e.Op.(*algebra.GroupBy)
+	if ctx.DisableAggSplit {
+		return nil
+	}
 	for _, a := range gb.Aggs {
-		if a.Distinct || a.Func == algebra.AggAvg {
+		if a.Distinct {
 			return nil
 		}
 	}
@@ -83,6 +88,19 @@ func armsAlreadyAggregate(kid *memo.GroupExpr, ctx *Context) bool {
 	return len(kid.Kids) > 0
 }
 
+// partialSlot is one per-arm partial aggregate and its global merge. A
+// plain aggregate occupies one slot whose merged output keeps the original
+// column ID; AVG occupies two (SUM and COUNT partials) whose merged outputs
+// are fresh, finished by a projection computing sum-of-sums over
+// sum-of-counts under the original ID.
+type partialSlot struct {
+	agg      int             // index into the original agg list
+	fn       algebra.AggFunc // partial function the arms compute
+	merge    algebra.AggFunc // global merge over the shipped partials
+	out      algebra.OutCol  // merged output column
+	unionCol algebra.OutCol  // fresh inner-union column carrying the partial
+}
+
 func splitOverUnion(gb *algebra.GroupBy, u *algebra.UnionAll, kid *memo.GroupExpr, ctx *Context) *memo.XNode {
 	// Locate each grouping column's position in the union's output list.
 	groupPos := make([]int, len(gb.GroupCols))
@@ -98,16 +116,38 @@ func splitOverUnion(gb *algebra.GroupBy, u *algebra.UnionAll, kid *memo.GroupExp
 			return nil // grouping column is not a direct union output
 		}
 	}
+	// Decompose the aggregates into partial slots.
+	var slots []partialSlot
+	avgSum := map[int]algebra.OutCol{} // agg index -> global SUM-of-sums col
+	avgCnt := map[int]algebra.OutCol{} // agg index -> global SUM-of-counts col
+	hasAvg := false
+	for j, a := range gb.Aggs {
+		switch a.Func {
+		case algebra.AggAvg:
+			hasAvg = true
+			sumOut := algebra.OutCol{ID: ctx.NewCol(), Name: a.Out.Name + "$sum", Kind: a.Out.Kind}
+			cntOut := algebra.OutCol{ID: ctx.NewCol(), Name: a.Out.Name + "$cnt", Kind: sqltypes.KindInt}
+			avgSum[j], avgCnt[j] = sumOut, cntOut
+			slots = append(slots,
+				partialSlot{agg: j, fn: algebra.AggSum, merge: algebra.AggSum, out: sumOut,
+					unionCol: algebra.OutCol{ID: ctx.NewCol(), Name: sumOut.Name, Kind: sumOut.Kind}},
+				partialSlot{agg: j, fn: algebra.AggCount, merge: algebra.AggSum, out: cntOut,
+					unionCol: algebra.OutCol{ID: ctx.NewCol(), Name: cntOut.Name, Kind: cntOut.Kind}})
+		case algebra.AggCount:
+			slots = append(slots, partialSlot{agg: j, fn: algebra.AggCount, merge: algebra.AggSum, out: a.Out,
+				unionCol: algebra.OutCol{ID: ctx.NewCol(), Name: a.Out.Name, Kind: a.Out.Kind}})
+		default:
+			slots = append(slots, partialSlot{agg: j, fn: a.Func, merge: a.Func, out: a.Out,
+				unionCol: algebra.OutCol{ID: ctx.NewCol(), Name: a.Out.Name, Kind: a.Out.Kind}})
+		}
+	}
 	// The inner union's outputs: the original grouping columns (keeping
 	// their IDs so the global aggregation's output matches the group's
-	// logical properties) followed by one fresh column per partial
-	// aggregate.
-	newOut := make([]algebra.OutCol, 0, len(gb.GroupCols)+len(gb.Aggs))
+	// logical properties) followed by one fresh column per partial slot.
+	newOut := make([]algebra.OutCol, 0, len(gb.GroupCols)+len(slots))
 	newOut = append(newOut, gb.GroupCols...)
-	partialUnionCols := make([]algebra.OutCol, len(gb.Aggs))
-	for j, a := range gb.Aggs {
-		partialUnionCols[j] = algebra.OutCol{ID: ctx.NewCol(), Name: a.Out.Name, Kind: a.Out.Kind}
-		newOut = append(newOut, partialUnionCols[j])
+	for _, sl := range slots {
+		newOut = append(newOut, sl.unionCol)
 	}
 
 	arms := make([]memo.XChild, len(kid.Kids))
@@ -137,22 +177,23 @@ func splitOverUnion(gb *algebra.GroupBy, u *algebra.UnionAll, kid *memo.GroupExp
 			}
 			armGroupCols[gi] = c
 		}
-		armAggs := make([]algebra.AggSpec, len(gb.Aggs))
+		armAggs := make([]algebra.AggSpec, len(slots))
 		armMap := make([]expr.ColumnID, 0, len(newOut))
 		for gi := range armGroupCols {
 			armMap = append(armMap, armGroupCols[gi].ID)
 		}
-		for j, a := range gb.Aggs {
+		for si, sl := range slots {
+			a := gb.Aggs[sl.agg]
 			var arg expr.Expr
 			if a.Arg != nil {
 				arg = expr.Substitute(a.Arg, subst)
 			}
-			armAggs[j] = algebra.AggSpec{
-				Out:  algebra.OutCol{ID: ctx.NewCol(), Name: a.Out.Name, Kind: a.Out.Kind},
-				Func: a.Func,
+			armAggs[si] = algebra.AggSpec{
+				Out:  algebra.OutCol{ID: ctx.NewCol(), Name: sl.unionCol.Name, Kind: sl.unionCol.Kind},
+				Func: sl.fn,
 				Arg:  arg,
 			}
-			armMap = append(armMap, armAggs[j].Out.ID)
+			armMap = append(armMap, armAggs[si].Out.ID)
 		}
 		arms[i] = memo.NodeChild(&memo.XNode{
 			Op:   &algebra.GroupBy{GroupCols: armGroupCols, Aggs: armAggs},
@@ -164,22 +205,46 @@ func splitOverUnion(gb *algebra.GroupBy, u *algebra.UnionAll, kid *memo.GroupExp
 		Op:   &algebra.UnionAll{OutColsList: newOut, InMaps: inMaps},
 		Kids: arms,
 	}
-	// Global aggregation merges the partials; its outputs carry the
-	// original column IDs.
-	globalAggs := make([]algebra.AggSpec, len(gb.Aggs))
-	for j, a := range gb.Aggs {
-		mergeFn := a.Func
-		if a.Func == algebra.AggCount {
-			mergeFn = algebra.AggSum
-		}
-		globalAggs[j] = algebra.AggSpec{
-			Out:  a.Out,
-			Func: mergeFn,
-			Arg:  expr.NewColRef(partialUnionCols[j].ID, a.Out.Name),
+	// Global aggregation merges the partials; plain aggregates carry the
+	// original column IDs, AVG halves carry fresh ones for the finisher.
+	globalAggs := make([]algebra.AggSpec, len(slots))
+	for si, sl := range slots {
+		globalAggs[si] = algebra.AggSpec{
+			Out:  sl.out,
+			Func: sl.merge,
+			Arg:  expr.NewColRef(sl.unionCol.ID, sl.out.Name),
 		}
 	}
-	return &memo.XNode{
+	global := &memo.XNode{
 		Op:   &algebra.GroupBy{GroupCols: gb.GroupCols, Aggs: globalAggs},
 		Kids: []memo.XChild{memo.NodeChild(innerUnion)},
+	}
+	if !hasAvg {
+		return global
+	}
+	// AVG finisher: a projection over the merged partials computes
+	// sum-of-sums / sum-of-counts under the original output ID (the
+	// multiply by 1.0 forces float division; NULL sums and zero counts
+	// propagate NULL, matching AVG over no rows). Grouping columns and
+	// plain aggregates pass through by identity.
+	projExprs := make([]algebra.ProjExpr, 0, len(gb.GroupCols)+len(gb.Aggs))
+	for _, gc := range gb.GroupCols {
+		projExprs = append(projExprs, algebra.ProjExpr{Out: gc, E: expr.NewColRef(gc.ID, gc.Name)})
+	}
+	for j, a := range gb.Aggs {
+		if a.Func != algebra.AggAvg {
+			projExprs = append(projExprs, algebra.ProjExpr{Out: a.Out, E: expr.NewColRef(a.Out.ID, a.Out.Name)})
+			continue
+		}
+		sum := expr.NewColRef(avgSum[j].ID, avgSum[j].Name)
+		cnt := expr.NewColRef(avgCnt[j].ID, avgCnt[j].Name)
+		e := expr.NewBinary(expr.OpDiv,
+			expr.NewBinary(expr.OpMul, sum, expr.NewConst(sqltypes.NewFloat(1))),
+			cnt)
+		projExprs = append(projExprs, algebra.ProjExpr{Out: a.Out, E: e})
+	}
+	return &memo.XNode{
+		Op:   &algebra.Project{Exprs: projExprs},
+		Kids: []memo.XChild{memo.NodeChild(global)},
 	}
 }

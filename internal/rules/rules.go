@@ -74,6 +74,9 @@ type Context struct {
 	// DisableParameterization suppresses the parameterization rule
 	// (ablation experiment E9).
 	DisableParameterization bool
+	// DisableAggSplit suppresses partial-aggregation pushdown through
+	// UNION ALL (the row-shipping baseline of experiment E19).
+	DisableAggSplit bool
 	// RemoteBatchSize is the number of outer-key slots a batched
 	// parameterized join ships per remote call. Values below 2 disable
 	// batched parameterization (serial parameterization still applies).

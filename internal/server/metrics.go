@@ -93,6 +93,34 @@ func PerformanceCountersResult(eng *engine.Server) *engine.Result {
 	return res
 }
 
+// ShardMapResult renders the engine's elastic shard maps as
+// sys.dm_shard_map: one row per member of every installed map, with the
+// map version so operators can watch cutovers land. Exported so fedsql
+// serves the identical shape embedded.
+func ShardMapResult(eng *engine.Server) *engine.Result {
+	res := &engine.Result{Cols: []schema.Column{
+		{Name: "view_name", Kind: sqltypes.KindString},
+		{Name: "map_version", Kind: sqltypes.KindInt},
+		{Name: "member_id", Kind: sqltypes.KindInt},
+		{Name: "server_name", Kind: sqltypes.KindString},
+		{Name: "catalog_name", Kind: sqltypes.KindString},
+		{Name: "table_name", Kind: sqltypes.KindString},
+		{Name: "key_range", Kind: sqltypes.KindString},
+	}}
+	for _, mi := range eng.ShardMapInfo() {
+		res.Rows = append(res.Rows, rowset.Row{
+			sqltypes.NewString(mi.View),
+			sqltypes.NewInt(mi.Version),
+			sqltypes.NewInt(int64(mi.ID)),
+			sqltypes.NewString(mi.Server),
+			sqltypes.NewString(mi.Catalog),
+			sqltypes.NewString(mi.Table),
+			sqltypes.NewString(mi.Range),
+		})
+	}
+	return res
+}
+
 // WaitStatsResult renders the wait-point table as sys.dm_os_wait_stats:
 // one row per wait type with occurrence count, summed and maximum wait
 // time, sorted by total wait time descending.

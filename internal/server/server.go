@@ -395,6 +395,7 @@ const (
 	stmtDMVPlanCache
 	stmtDMVPerfCounters
 	stmtDMVWaitStats
+	stmtDMVShardMap
 )
 
 // classifyStatement routes by statement prefix the way fedsql's REPL does;
@@ -421,6 +422,8 @@ func classifyStatement(sql string) (statementKind, int64) {
 			return stmtDMVPerfCounters, 0
 		case strings.Contains(upper, "DM_OS_WAIT_STATS"):
 			return stmtDMVWaitStats, 0
+		case strings.Contains(upper, "DM_SHARD_MAP"):
+			return stmtDMVShardMap, 0
 		}
 		return stmtSelect, 0
 	}

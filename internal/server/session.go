@@ -258,6 +258,9 @@ func (s *Server) runStatement(sess *session, f *Frame, qctx context.Context) {
 	case stmtDMVWaitStats:
 		_ = sess.streamResult(qid, WaitStatsResult(s.eng), 0, nil)
 		return
+	case stmtDMVShardMap:
+		_ = sess.streamResult(qid, ShardMapResult(s.eng), 0, nil)
+		return
 	}
 	// Engine statements pass admission control.
 	if err := s.admit(qctx); err != nil {

@@ -1,0 +1,199 @@
+package shardmap
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"dhqp/internal/schema"
+	"dhqp/internal/sqltypes"
+)
+
+func testMap() *Map {
+	return &Map{
+		View:   "orders",
+		KeyCol: "o_id",
+		Cols: []schema.Column{
+			{Name: "o_id", Kind: sqltypes.KindInt},
+			{Name: "o_total", Kind: sqltypes.KindInt},
+		},
+		Members: []Member{
+			{ID: 0, Catalog: "shop", Table: "orders_p0", Lo: NoLowerBound, Hi: 100},
+			{ID: 1, Server: "server1", Catalog: "shop", Table: "orders_p1", Lo: 100, Hi: 200},
+			{ID: 2, Server: "server2", Catalog: "shop", Table: "orders_p2", Lo: 200, Hi: NoUpperBound},
+		},
+	}
+}
+
+func TestMemberFor(t *testing.T) {
+	mp := testMap()
+	cases := []struct {
+		key  int64
+		want int
+	}{
+		{-50, 0}, {0, 0}, {99, 0}, {100, 1}, {199, 1}, {200, 2}, {1 << 40, 2},
+	}
+	for _, c := range cases {
+		m, ok := mp.MemberFor(c.key)
+		if !ok || m.ID != c.want {
+			t.Fatalf("MemberFor(%d) = %v ok=%v, want shard %d", c.key, m.ID, ok, c.want)
+		}
+	}
+}
+
+func TestViewTextAndChecks(t *testing.T) {
+	mp := testMap()
+	text := mp.ViewText()
+	want := "SELECT o_id, o_total FROM shop.dbo.orders_p0 UNION ALL " +
+		"SELECT o_id, o_total FROM server1.shop.dbo.orders_p1 UNION ALL " +
+		"SELECT o_id, o_total FROM server2.shop.dbo.orders_p2"
+	if text != want {
+		t.Fatalf("ViewText:\n got %s\nwant %s", text, want)
+	}
+	if got := mp.Members[0].CheckText("o_id"); got != "o_id < 100" {
+		t.Fatalf("lower-open check = %q", got)
+	}
+	if got := mp.Members[1].CheckText("o_id"); got != "o_id >= 100 AND o_id < 200" {
+		t.Fatalf("bounded check = %q", got)
+	}
+	if got := mp.Members[2].CheckText("o_id"); got != "o_id >= 200" {
+		t.Fatalf("upper-open check = %q", got)
+	}
+	full := Member{Lo: NoLowerBound, Hi: NoUpperBound}
+	if got := full.CheckText("k"); !strings.Contains(got, "<=") {
+		t.Fatalf("full-range check should still restrict the key column, got %q", got)
+	}
+}
+
+func TestValidateRejectsOverlap(t *testing.T) {
+	mp := testMap()
+	mp.Members[1].Lo = 50 // overlaps shard 0
+	if err := mp.Validate(); err == nil {
+		t.Fatal("expected overlap to fail validation")
+	}
+}
+
+func TestInstallVersions(t *testing.T) {
+	g := NewManager()
+	v1, err := g.Install(testMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := g.Install(testMap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != 1 || v2 != 2 {
+		t.Fatalf("versions = %d, %d; want 1, 2", v1, v2)
+	}
+	mp, ok := g.Lookup("ORDERS")
+	if !ok || mp.Version != 2 {
+		t.Fatalf("Lookup = %+v ok=%v, want version 2", mp, ok)
+	}
+}
+
+func TestCheckForAndSkipLabel(t *testing.T) {
+	g := NewManager()
+	if _, err := g.Install(testMap()); err != nil {
+		t.Fatal(err)
+	}
+	check, ok := g.CheckFor("server1", "ORDERS_P1")
+	if !ok || check != "o_id >= 100 AND o_id < 200" {
+		t.Fatalf("CheckFor = %q ok=%v", check, ok)
+	}
+	if _, ok := g.CheckFor("server1", "unrelated"); ok {
+		t.Fatal("CheckFor matched an unrelated table")
+	}
+	label := g.SkipLabel("server2")
+	if label != "server2[200,+inf)@v1" {
+		t.Fatalf("SkipLabel = %q", label)
+	}
+	if got := g.SkipLabel("elsewhere"); got != "elsewhere" {
+		t.Fatalf("non-member SkipLabel = %q", got)
+	}
+}
+
+func TestMoveDelta(t *testing.T) {
+	g := NewManager()
+	if _, err := g.Install(testMap()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.BeginMove("orders", 1, 100, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.BeginMove("orders", 2, 200, 300); err == nil {
+		t.Fatal("second concurrent move should be rejected")
+	}
+	g.NoteKeys("orders", []int64{5, 100, 150, 199, 200}) // 5 and 200 are outside the range
+	g.NoteKeys("other", []int64{150})                    // different view: ignored
+	keys, dirty := g.TakeDelta("orders")
+	if dirty {
+		t.Fatal("unexpected dirty flag")
+	}
+	if len(keys) != 3 || keys[0] != 100 || keys[1] != 150 || keys[2] != 199 {
+		t.Fatalf("delta keys = %v", keys)
+	}
+	g.MarkDirty("orders")
+	if _, dirty := g.TakeDelta("orders"); !dirty {
+		t.Fatal("MarkDirty not observed")
+	}
+	g.EndMove()
+	if g.MoveActive("orders") {
+		t.Fatal("move still active after EndMove")
+	}
+}
+
+// TestGateDrains checks Barrier waits for pinned statements and blocks new
+// pins until released.
+func TestGateDrains(t *testing.T) {
+	g := NewManager()
+	release := g.PinStatement()
+	barrierHeld := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		unlock := g.Barrier()
+		close(barrierHeld)
+		unlock()
+		close(done)
+	}()
+	select {
+	case <-barrierHeld:
+		t.Fatal("Barrier returned while a statement was pinned")
+	default:
+	}
+	release()
+	<-done
+}
+
+func TestConcurrentPins(t *testing.T) {
+	g := NewManager()
+	if _, err := g.Install(testMap()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				unpin := g.PinStatement()
+				if _, ok := g.Lookup("orders"); !ok {
+					t.Error("map vanished under pin")
+				}
+				unpin()
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		unlock := g.Barrier()
+		if _, err := g.Install(testMap()); err != nil {
+			t.Error(err)
+		}
+		g.NoteMove()
+		unlock()
+	}
+	wg.Wait()
+	if g.Moves() != 20 {
+		t.Fatalf("moves = %d, want 20", g.Moves())
+	}
+}
